@@ -1,0 +1,141 @@
+//! Criterion micro-benchmarks of the *simulator itself* (real host time,
+//! not virtual time): these guard the reproduction's own performance so
+//! the million-ecall experiments stay tractable.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sgx_perf::{Logger, LoggerConfig};
+use sgx_sdk::{CallData, OcallTableBuilder, Runtime, ThreadCtx};
+use sgx_sim::{EnclaveConfig, Machine};
+use sim_core::{Clock, HwProfile, Nanos};
+
+struct App {
+    rt: Arc<Runtime>,
+    eid: sgx_sim::EnclaveId,
+    table: Arc<sgx_sdk::OcallTable>,
+}
+
+fn app() -> App {
+    let machine = Arc::new(Machine::new(Clock::new(), HwProfile::Unpatched));
+    let rt = Runtime::new(machine);
+    let spec = sgx_edl::parse(
+        "enclave { trusted { public void ecall_empty(); public void ecall_io(); };
+                   untrusted { void ocall_empty(); }; };",
+    )
+    .unwrap();
+    let enclave = rt.create_enclave(&spec, &EnclaveConfig::default()).unwrap();
+    enclave.register_ecall("ecall_empty", |_, _| Ok(())).unwrap();
+    enclave
+        .register_ecall("ecall_io", |ctx, _| ctx.ocall("ocall_empty", &mut CallData::default()))
+        .unwrap();
+    let mut builder = OcallTableBuilder::new(enclave.spec());
+    builder.register("ocall_empty", |_, _| Ok(())).unwrap();
+    let table = Arc::new(builder.build().unwrap());
+    App {
+        eid: enclave.id(),
+        rt,
+        table,
+    }
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    group.throughput(Throughput::Elements(1));
+
+    let a = app();
+    let tcx = ThreadCtx::main();
+    group.bench_function("sdk_ecall_dispatch", |b| {
+        b.iter(|| {
+            a.rt.ecall(&tcx, a.eid, "ecall_empty", &a.table, &mut CallData::default())
+                .unwrap()
+        })
+    });
+
+    let a = app();
+    group.bench_function("sdk_ecall_plus_ocall", |b| {
+        b.iter(|| {
+            a.rt.ecall(&tcx, a.eid, "ecall_io", &a.table, &mut CallData::default())
+                .unwrap()
+        })
+    });
+
+    let a = app();
+    let _logger = Logger::attach(&a.rt, LoggerConfig::default());
+    group.bench_function("sdk_ecall_with_logger", |b| {
+        b.iter(|| {
+            a.rt.ecall(&tcx, a.eid, "ecall_io", &a.table, &mut CallData::default())
+                .unwrap()
+        })
+    });
+
+    let a = app();
+    group.bench_function("in_enclave_compute_45ms", |b| {
+        b.iter(|| {
+            let machine = a.rt.machine();
+            machine
+                .execute_in_enclave(a.eid, sgx_sim::ThreadToken::MAIN, Nanos::from_micros(45_377))
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_eventdb(c: &mut Criterion) {
+    use sgx_perf::TraceDb;
+    let mut group = c.benchmark_group("eventdb");
+    // A realistic trace: 100k ecall rows.
+    let mut trace = TraceDb::default();
+    for i in 0..100_000u64 {
+        trace.ecalls.insert(sgx_perf::events::EcallRow {
+            thread: i % 8,
+            enclave: 1,
+            call_index: (i % 16) as u32,
+            start_ns: i * 1_000,
+            end_ns: i * 1_000 + 700,
+            parent_ocall: None,
+            aex_count: 0,
+            failed: false,
+        });
+    }
+    let bytes = trace.to_bytes();
+    group.throughput(Throughput::Bytes(bytes.len() as u64));
+    group.bench_function("encode_100k_rows", |b| b.iter(|| trace.to_bytes()));
+    group.bench_function("decode_100k_rows", |b| {
+        b.iter(|| TraceDb::from_bytes(&bytes).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_analyzer(c: &mut Criterion) {
+    use sgx_perf::{Analyzer, TraceDb};
+    let mut group = c.benchmark_group("analyzer");
+    let mut trace = TraceDb::default();
+    let mut t = 0u64;
+    for i in 0..50_000u64 {
+        trace.ecalls.insert(sgx_perf::events::EcallRow {
+            thread: i % 4,
+            enclave: 1,
+            call_index: (i % 8) as u32,
+            start_ns: t,
+            end_ns: t + 3_000 + (i % 7) * 900,
+            parent_ocall: None,
+            aex_count: 0,
+            failed: false,
+        });
+        t += 10_000;
+    }
+    group.bench_function("full_analysis_50k_events", |b| {
+        b.iter(|| {
+            Analyzer::new(&trace, HwProfile::Unpatched.cost_model()).analyze()
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_dispatch, bench_eventdb, bench_analyzer
+}
+criterion_main!(benches);

@@ -1,0 +1,105 @@
+//! E3 (§5.2.1 + Figure 5): nginx + TaLoS under 1000 HTTPS GET requests.
+//!
+//! Paper: interface of 207 ecalls / 61 ocalls of which 61 and 10 were
+//! called, 27,631 ecall and 28,969 ocall events; 60.78% of ecalls and
+//! 73.69% of ocalls shorter than 10 µs; the call graph (Figure 5) shows
+//! the error-queue ecalls and per-chunk read/write ocalls. Verdict: the
+//! OpenSSL interface is unsuitable as an enclave interface.
+
+use sgx_perf::{Analyzer, CallKind, Logger, LoggerConfig};
+use sgx_perf_bench::{banner, row, scaled_count, timed_real};
+use sim_core::HwProfile;
+use workloads::talos::{run, TalosConfig};
+use workloads::Harness;
+
+fn main() {
+    banner("E3", "TaLoS + nginx call behaviour (Figure 5, §5.2.1)");
+    let harness = Harness::new(HwProfile::Unpatched);
+    let logger = Logger::attach(harness.runtime(), LoggerConfig::default());
+    let config = TalosConfig {
+        requests: scaled_count(1_000, 200),
+        ..TalosConfig::default()
+    };
+    let result = timed_real("workload", || run(&harness, &config).unwrap());
+    let trace = logger.finish();
+    let analyzer = Analyzer::new(&trace, harness.profile().cost_model());
+    let report = analyzer.analyze();
+
+    row("requests served", result.stats.operations);
+    row(
+        "interface (ecalls/ocalls declared)",
+        "207 / 61 (paper: 207 / 61)".to_string(),
+    );
+    row(
+        "distinct calls traced (ecalls/ocalls)",
+        format!(
+            "{} / {} (paper: 61 / 10)",
+            report.totals.distinct_ecalls, report.totals.distinct_ocalls
+        ),
+    );
+    row(
+        "events (ecalls/ocalls)",
+        format!(
+            "{} / {} (paper @1000 reqs: 27,631 / 28,969)",
+            report.totals.ecall_events, report.totals.ocall_events
+        ),
+    );
+    row(
+        "share of ecalls < 10us",
+        format!(
+            "{:.2}% (paper: 60.78%)",
+            report.short_fraction(CallKind::Ecall) * 100.0
+        ),
+    );
+    row(
+        "share of ocalls < 10us",
+        format!(
+            "{:.2}% (paper: 73.69%)",
+            report.short_fraction(CallKind::Ocall) * 100.0
+        ),
+    );
+
+    // Interface-tax breakdown: how much traced time the error-queue
+    // ecalls (the paper's main complaint) and the socket ocalls eat.
+    let err_share: f64 = ["ecall_SSL_get_error", "ecall_ERR_peek_error", "ecall_ERR_clear_error"]
+        .iter()
+        .filter_map(|n| report.time_share(n))
+        .sum();
+    row(
+        "error-queue ecalls' share of ecall time",
+        format!("{:.1}% across 12k+ pure-overhead transitions", err_share * 100.0),
+    );
+    let io_share: f64 = ["enclave_ocall_read", "enclave_ocall_write"]
+        .iter()
+        .filter_map(|n| report.time_share(n))
+        .sum();
+    row(
+        "socket ocalls' share of ocall time",
+        format!("{:.1}%", io_share * 100.0),
+    );
+
+    // The Figure 5 call graph.
+    let graph = analyzer.call_graph();
+    let dot = graph.to_dot();
+    let out = std::path::Path::new("target/fig5_talos_callgraph.dot");
+    if let Some(parent) = out.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    std::fs::write(out, &dot).expect("write DOT file");
+    row("call graph", format!("{} nodes, {} edges -> {}", graph.nodes.len(), graph.edges.len(), out.display()));
+
+    // The paper's headline edges: error-queue traffic and socket I/O.
+    println!("\n  main call-graph edges (direct parents, by count):");
+    let mut direct: Vec<_> = graph.edges.iter().filter(|e| !e.indirect).collect();
+    direct.sort_by_key(|e| std::cmp::Reverse(e.count));
+    for e in direct.iter().take(10) {
+        let from = graph.nodes.iter().find(|n| n.call == e.from).unwrap();
+        let to = graph.nodes.iter().find(|n| n.call == e.to).unwrap();
+        println!("    {:<44} -> {:<44} {:>8}", from.name, to.name, e.count);
+    }
+
+    println!("\n  top findings:");
+    for d in report.detections.iter().take(8) {
+        println!("    {d}");
+    }
+}

@@ -1,0 +1,70 @@
+//! Shared helpers for the table/figure regeneration benches.
+//!
+//! Every `[[bench]]` target in this crate is a `harness = false` binary
+//! that re-runs one experiment of the paper's evaluation (§2.3.1, §5) on
+//! the simulated SGX stack and prints the corresponding table rows or
+//! figure series. `cargo bench -p sgx-perf-bench` regenerates everything;
+//! see EXPERIMENTS.md for the paper-vs-measured record.
+
+use std::time::Instant;
+
+use sim_core::Nanos;
+
+/// Scale factor for run lengths, settable via `SGX_PERF_BENCH_SCALE`
+/// (e.g. `0.1` for a quick smoke run, `1.0` for paper-length runs).
+pub fn scale() -> f64 {
+    std::env::var("SGX_PERF_BENCH_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.2)
+}
+
+/// A virtual duration scaled by [`scale`].
+pub fn scaled_duration(full: Nanos) -> Nanos {
+    full.scale(scale())
+}
+
+/// A count scaled by [`scale`], at least `min`.
+pub fn scaled_count(full: u64, min: u64) -> u64 {
+    ((full as f64 * scale()) as u64).max(min)
+}
+
+/// Prints a banner for one experiment.
+pub fn banner(id: &str, title: &str) {
+    println!("\n==================================================================");
+    println!("{id}: {title}");
+    println!("==================================================================");
+}
+
+/// Prints one key/value result row.
+pub fn row(label: &str, value: impl std::fmt::Display) {
+    println!("  {label:<58} {value}");
+}
+
+/// Runs `f`, printing how much real (host) time the experiment took.
+pub fn timed_real<T>(label: &str, f: impl FnOnce() -> T) -> T {
+    let start = Instant::now();
+    let value = f();
+    println!("  [{label}: {:.1}s real time]", start.elapsed().as_secs_f64());
+    value
+}
+
+/// Formats a ratio as the paper does (`0.57x`).
+pub fn ratio(value: f64) -> String {
+    format!("{value:.2}x")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_count_respects_minimum() {
+        assert!(scaled_count(10, 100) >= 100);
+    }
+
+    #[test]
+    fn ratio_formats() {
+        assert_eq!(ratio(0.5678), "0.57x");
+    }
+}

@@ -1,0 +1,786 @@
+//! Problem detection (§4.3.2): the SGX-specific performance anti-patterns
+//! of §3 and their mitigation recommendations (Table 1).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::events::{CallKind, CallRef};
+
+use super::parents::Instances;
+use super::stats::CallStats;
+use super::{symbol_name, Analyzer};
+
+/// The problem classes of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Problem {
+    /// Short Identical Successive Calls (§3.1).
+    Sisc,
+    /// Short Different Successive Calls (§3.2).
+    Sdsc,
+    /// Short Nested Calls (§3.3).
+    Snc,
+    /// Short Synchronisation Calls (§3.4).
+    Ssc,
+    /// EPC paging (§3.5).
+    Paging,
+    /// Permissive enclave interface (§3.6).
+    Interface,
+}
+
+impl fmt::Display for Problem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Problem::Sisc => "short identical successive calls (SISC)",
+            Problem::Sdsc => "short different successive calls (SDSC)",
+            Problem::Snc => "short nested calls (SNC)",
+            Problem::Ssc => "short synchronisation calls (SSC)",
+            Problem::Paging => "EPC paging",
+            Problem::Interface => "permissive enclave interface",
+        })
+    }
+}
+
+/// A concrete mitigation recommendation (Table 1 solutions).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Recommendation {
+    /// Batch successive executions of the same call into one transition.
+    BatchCalls {
+        /// The call to batch (it is its own indirect parent).
+        with: String,
+    },
+    /// Merge different successive calls into a single call.
+    MergeCalls {
+        /// The indirect parent to merge with.
+        with: String,
+    },
+    /// Move the calling function inside the enclave (no extra security
+    /// risk, but grows the TCB).
+    MoveCallerIntoEnclave,
+    /// Move the called function outside the enclave (requires a security
+    /// evaluation — it may handle sensitive data).
+    MoveCallerOutOfEnclave,
+    /// Execute the nested call before its parent starts.
+    ReorderBeforeParent,
+    /// Execute the nested call after its parent ends.
+    ReorderAfterParent,
+    /// Duplicate the (short) ocall's functionality inside the enclave
+    /// (grows the TCB).
+    DuplicateInsideEnclave,
+    /// Replace sleep-based locking with hybrid spin-then-sleep locks or
+    /// lock-free data structures.
+    HybridSynchronisation,
+    /// Reduce memory usage / pre-load pages before the ecall / use an
+    /// alternative in-enclave memory management scheme.
+    MitigatePaging,
+    /// Declare the ecall private; it was only ever called during ocalls.
+    MakePrivate {
+        /// The ocalls that must then `allow()` it.
+        allow_from: Vec<String>,
+    },
+    /// Shrink an ocall's `allow()` list to the ecalls actually used.
+    RestrictAllowedEcalls {
+        /// Declared-but-never-used ecalls to remove.
+        remove: Vec<String>,
+    },
+    /// Review `user_check` pointer parameters for missing validation.
+    ReviewUserCheck {
+        /// The flagged parameter names.
+        params: Vec<String>,
+    },
+}
+
+impl fmt::Display for Recommendation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Recommendation::BatchCalls { with } => write!(f, "batch successive calls to {with}"),
+            Recommendation::MergeCalls { with } => write!(f, "merge with preceding call {with}"),
+            Recommendation::MoveCallerIntoEnclave => {
+                f.write_str("move the calling function inside the enclave")
+            }
+            Recommendation::MoveCallerOutOfEnclave => f.write_str(
+                "move the calling function outside the enclave (needs security evaluation)",
+            ),
+            Recommendation::ReorderBeforeParent => {
+                f.write_str("reorder the call to execute before its parent")
+            }
+            Recommendation::ReorderAfterParent => {
+                f.write_str("reorder the call to execute after its parent")
+            }
+            Recommendation::DuplicateInsideEnclave => {
+                f.write_str("duplicate the functionality inside the enclave (grows TCB)")
+            }
+            Recommendation::HybridSynchronisation => f.write_str(
+                "use hybrid spin-then-sleep locks or lock-free data structures",
+            ),
+            Recommendation::MitigatePaging => f.write_str(
+                "reduce enclave memory usage, pre-load pages before ecalls, or manage memory \
+                 inside the enclave instead of relying on SGX paging",
+            ),
+            Recommendation::MakePrivate { allow_from } => write!(
+                f,
+                "declare this ecall private and allow() it from: {}",
+                allow_from.join(", ")
+            ),
+            Recommendation::RestrictAllowedEcalls { remove } => write!(
+                f,
+                "remove never-used ecalls from the allow() list: {}",
+                remove.join(", ")
+            ),
+            Recommendation::ReviewUserCheck { params } => write!(
+                f,
+                "review user_check pointer parameter(s): {}",
+                params.join(", ")
+            ),
+        }
+    }
+}
+
+/// Recommendation priority (§4.3.2): lower is to be evaluated first.
+/// Reordering does not grow the TCB, so it comes before moving/duplicating;
+/// moving code *out* of the enclave needs a security evaluation and comes
+/// last among the performance recommendations.
+pub type Priority = u8;
+
+/// One finding: a problem on a call with a recommendation and evidence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Detection {
+    /// The call the finding is about.
+    pub target: CallRef,
+    /// The call's symbol name.
+    pub name: String,
+    /// The detected problem class.
+    pub problem: Problem,
+    /// The suggested mitigation.
+    pub recommendation: Recommendation,
+    /// Human-readable evidence (counts, ratios).
+    pub evidence: String,
+    /// Evaluation priority.
+    pub priority: Priority,
+}
+
+impl fmt::Display for Detection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[P{}] {} `{}`: {} — {} ({})",
+            self.priority, self.problem, self.name, self.recommendation, self.evidence, self.target
+        )
+    }
+}
+
+const PRIO_REORDER: Priority = 1;
+const PRIO_BATCH_MERGE: Priority = 2;
+const PRIO_SYNC: Priority = 2;
+const PRIO_PAGING: Priority = 2;
+const PRIO_DUP_MOVE_IN: Priority = 3;
+const PRIO_MOVE_OUT: Priority = 4;
+pub(crate) const PRIO_SECURITY: Priority = 5;
+
+/// Runs all performance detectors.
+pub fn detect_all(
+    analyzer: &Analyzer<'_>,
+    instances: &Instances,
+    call_stats: &[(CallRef, CallStats)],
+) -> Vec<Detection> {
+    let mut out = Vec::new();
+    out.extend(detect_move_duplicate(analyzer, call_stats, instances));
+    out.extend(detect_reorder(analyzer, instances));
+    out.extend(detect_merge_batch(analyzer, instances));
+    out.extend(detect_ssc(analyzer, instances));
+    out.extend(detect_paging(analyzer));
+    out
+}
+
+/// Equation 1: moving/duplication opportunities from short mean execution
+/// times. For ecalls the mitigation is moving the caller across the
+/// boundary (SISC/SDSC family); for nested ocalls it is duplicating the
+/// functionality inside the enclave (SNC family).
+fn detect_move_duplicate(
+    analyzer: &Analyzer<'_>,
+    call_stats: &[(CallRef, CallStats)],
+    instances: &Instances,
+) -> Vec<Detection> {
+    let w = analyzer.weights();
+    let mut out = Vec::new();
+    for (call, stats) in call_stats {
+        if stats.count < w.min_calls {
+            continue;
+        }
+        let hit = stats.frac_under_1us >= w.move_alpha
+            || stats.frac_under_5us >= w.move_beta
+            || stats.frac_under_10us >= w.move_gamma;
+        if !hit {
+            continue;
+        }
+        let evidence = format!(
+            "{} calls; {:.1}% < 1us, {:.1}% < 5us, {:.1}% < 10us (transition-adjusted)",
+            stats.count,
+            stats.frac_under_1us * 100.0,
+            stats.frac_under_5us * 100.0,
+            stats.frac_under_10us * 100.0,
+        );
+        let name = symbol_name(analyzer.trace(), *call);
+        // Identical-successor ratio decides SISC vs SDSC for ecalls.
+        let self_parent = instances
+            .of_call(*call)
+            .filter(|i| {
+                i.indirect_parent
+                    .is_some_and(|p| instances.all[p].call == *call)
+            })
+            .count();
+        let mostly_identical = self_parent * 2 >= stats.count;
+        match call.kind {
+            CallKind::Ecall => {
+                out.push(Detection {
+                    target: *call,
+                    name: name.clone(),
+                    problem: if mostly_identical {
+                        Problem::Sisc
+                    } else {
+                        Problem::Sdsc
+                    },
+                    recommendation: Recommendation::MoveCallerIntoEnclave,
+                    evidence: evidence.clone(),
+                    priority: PRIO_DUP_MOVE_IN,
+                });
+                out.push(Detection {
+                    target: *call,
+                    name,
+                    problem: if mostly_identical {
+                        Problem::Sisc
+                    } else {
+                        Problem::Sdsc
+                    },
+                    recommendation: Recommendation::MoveCallerOutOfEnclave,
+                    evidence,
+                    priority: PRIO_MOVE_OUT,
+                });
+            }
+            CallKind::Ocall => {
+                out.push(Detection {
+                    target: *call,
+                    name,
+                    problem: Problem::Snc,
+                    recommendation: Recommendation::DuplicateInsideEnclave,
+                    evidence,
+                    priority: PRIO_DUP_MOVE_IN,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Equation 2: reordering opportunities — nested calls clustered at the
+/// start or end of their direct parent.
+fn detect_reorder(analyzer: &Analyzer<'_>, instances: &Instances) -> Vec<Detection> {
+    let w = analyzer.weights();
+    // Group nested instances by child call.
+    #[derive(Default)]
+    struct Acc {
+        total: usize,
+        start_10: usize,
+        start_20: usize,
+        end_10: usize,
+        end_20: usize,
+    }
+    let mut groups: BTreeMap<CallRef, Acc> = BTreeMap::new();
+    for i in &instances.all {
+        let Some((pkind, prow)) = i.direct_parent else {
+            continue;
+        };
+        let Some(parent) = instances.by_row(pkind, prow) else {
+            continue;
+        };
+        let acc = groups.entry(i.call).or_default();
+        acc.total += 1;
+        let from_start = i.start_ns.saturating_sub(parent.start_ns);
+        let to_end = parent.end_ns.saturating_sub(i.end_ns);
+        if from_start < 10_000 {
+            acc.start_10 += 1;
+        } else if from_start < 20_000 {
+            acc.start_20 += 1;
+        }
+        if to_end < 10_000 {
+            acc.end_10 += 1;
+        } else if to_end < 20_000 {
+            acc.end_20 += 1;
+        }
+    }
+    let mut out = Vec::new();
+    for (call, acc) in groups {
+        if acc.total < w.min_calls {
+            continue;
+        }
+        let total = acc.total as f64;
+        let score_start =
+            acc.start_10 as f64 / total * w.reorder_alpha + acc.start_20 as f64 / total * w.reorder_beta;
+        let score_end =
+            acc.end_10 as f64 / total * w.reorder_alpha + acc.end_20 as f64 / total * w.reorder_beta;
+        let name = symbol_name(analyzer.trace(), call);
+        if score_start >= w.reorder_gamma {
+            out.push(Detection {
+                target: call,
+                name: name.clone(),
+                problem: Problem::Snc,
+                recommendation: Recommendation::ReorderBeforeParent,
+                evidence: format!(
+                    "{}/{} nested executions within 10us of parent start (score {:.2})",
+                    acc.start_10, acc.total, score_start
+                ),
+                priority: PRIO_REORDER,
+            });
+        }
+        if score_end >= w.reorder_gamma {
+            out.push(Detection {
+                target: call,
+                name,
+                problem: Problem::Snc,
+                recommendation: Recommendation::ReorderAfterParent,
+                evidence: format!(
+                    "{}/{} nested executions within 10us of parent end (score {:.2})",
+                    acc.end_10, acc.total, score_end
+                ),
+                priority: PRIO_REORDER,
+            });
+        }
+    }
+    out
+}
+
+/// Equation 3: merging/batching opportunities from indirect-parent gaps.
+/// Batching is the special case where the call is its own indirect parent.
+fn detect_merge_batch(analyzer: &Analyzer<'_>, instances: &Instances) -> Vec<Detection> {
+    let w = analyzer.weights();
+    #[derive(Default)]
+    struct Acc {
+        pairs: usize,
+        gap_1: usize,
+        gap_5: usize,
+        gap_10: usize,
+        gap_20: usize,
+    }
+    let mut pair_stats: BTreeMap<(CallRef, CallRef), Acc> = BTreeMap::new();
+    let mut call_counts: BTreeMap<CallRef, usize> = BTreeMap::new();
+    for i in &instances.all {
+        *call_counts.entry(i.call).or_default() += 1;
+        let Some(p) = i.indirect_parent else { continue };
+        let parent = &instances.all[p];
+        let acc = pair_stats.entry((i.call, parent.call)).or_default();
+        acc.pairs += 1;
+        let gap = i.start_ns.saturating_sub(parent.end_ns);
+        if gap < 1_000 {
+            acc.gap_1 += 1;
+        } else if gap < 5_000 {
+            acc.gap_5 += 1;
+        } else if gap < 10_000 {
+            acc.gap_10 += 1;
+        } else if gap < 20_000 {
+            acc.gap_20 += 1;
+        }
+    }
+    let mut out = Vec::new();
+    for ((child, parent), acc) in pair_stats {
+        let child_total = call_counts[&child];
+        if child_total < w.min_calls {
+            continue;
+        }
+        // λ: the parent must be this call's indirect parent often enough.
+        if (acc.pairs as f64) < w.merge_lambda * child_total as f64 {
+            continue;
+        }
+        let pairs = acc.pairs as f64;
+        let score = acc.gap_1 as f64 / pairs * w.merge_alpha
+            + acc.gap_5 as f64 / pairs * w.merge_beta
+            + acc.gap_10 as f64 / pairs * w.merge_gamma
+            + acc.gap_20 as f64 / pairs * w.merge_delta;
+        if score < w.merge_epsilon {
+            continue;
+        }
+        let child_name = symbol_name(analyzer.trace(), child);
+        let parent_name = symbol_name(analyzer.trace(), parent);
+        let evidence = format!(
+            "{} of {} executions follow `{}` closely (gap score {:.2})",
+            acc.pairs, child_total, parent_name, score
+        );
+        if child == parent {
+            out.push(Detection {
+                target: child,
+                name: child_name,
+                problem: Problem::Sisc,
+                recommendation: Recommendation::BatchCalls { with: parent_name },
+                evidence,
+                priority: PRIO_BATCH_MERGE,
+            });
+        } else {
+            out.push(Detection {
+                target: child,
+                name: child_name,
+                problem: Problem::Sdsc,
+                recommendation: Recommendation::MergeCalls { with: parent_name },
+                evidence,
+                priority: PRIO_BATCH_MERGE,
+            });
+        }
+    }
+    out
+}
+
+/// §3.4: short synchronisation calls — sleeps that are so short that the
+/// transitions dominate; recommend hybrid locks.
+fn detect_ssc(analyzer: &Analyzer<'_>, instances: &Instances) -> Vec<Detection> {
+    let w = analyzer.weights();
+    let trace = analyzer.trace();
+    let mut sleeps_per_ocall: BTreeMap<CallRef, (usize, usize)> = BTreeMap::new();
+    for s in trace.sync.iter() {
+        if !s.sleep {
+            continue;
+        }
+        let Some(row) = trace.ocalls.get(eventdb::RowId(s.ocall_row as usize)) else {
+            continue;
+        };
+        let call = CallRef {
+            enclave: row.enclave,
+            kind: CallKind::Ocall,
+            index: row.call_index,
+        };
+        let duration = instances
+            .by_row(CallKind::Ocall, s.ocall_row)
+            .map(|i| i.duration_ns)
+            .unwrap_or(0);
+        let entry = sleeps_per_ocall.entry(call).or_default();
+        entry.0 += 1;
+        if duration < w.ssc_short_us * 1_000 {
+            entry.1 += 1;
+        }
+    }
+    let mut out = Vec::new();
+    for (call, (total, short)) in sleeps_per_ocall {
+        if total < w.min_calls {
+            continue;
+        }
+        if (short as f64) < w.ssc_fraction * total as f64 {
+            continue;
+        }
+        out.push(Detection {
+            target: call,
+            name: symbol_name(trace, call),
+            problem: Problem::Ssc,
+            recommendation: Recommendation::HybridSynchronisation,
+            evidence: format!(
+                "{short} of {total} sleep ocalls shorter than {}us — lock hold times are \
+                 shorter than a transition",
+                w.ssc_short_us
+            ),
+            priority: PRIO_SYNC,
+        });
+    }
+    out
+}
+
+/// §3.5: paging events observed at all mean the enclave's working set
+/// exceeded the (shared) EPC.
+fn detect_paging(analyzer: &Analyzer<'_>) -> Vec<Detection> {
+    let trace = analyzer.trace();
+    let mut per_enclave: BTreeMap<u32, (usize, usize)> = BTreeMap::new();
+    for p in trace.paging.iter() {
+        let entry = per_enclave.entry(p.enclave).or_default();
+        if p.out {
+            entry.0 += 1;
+        } else {
+            entry.1 += 1;
+        }
+    }
+    let mut out = Vec::new();
+    for (enclave, (outs, ins)) in per_enclave {
+        if outs == 0 && ins == 0 {
+            continue;
+        }
+        // Page-ins during creation are normal; only report enclaves with
+        // actual evictions or faulted re-loads.
+        if outs == 0 {
+            continue;
+        }
+        let target = CallRef {
+            enclave,
+            kind: CallKind::Ecall,
+            index: 0,
+        };
+        out.push(Detection {
+            target,
+            name: format!("enclave{enclave}"),
+            problem: Problem::Paging,
+            recommendation: Recommendation::MitigatePaging,
+            evidence: format!("{outs} page-outs and {ins} page-ins observed"),
+            priority: PRIO_PAGING,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::{EcallRow, OcallRow, PagingRow, SymbolRow, SyncRow};
+    use crate::trace::TraceDb;
+    use sim_core::HwProfile;
+
+    fn analyzer(trace: &TraceDb) -> Analyzer<'_> {
+        Analyzer::new(trace, HwProfile::Unpatched.cost_model())
+    }
+
+    fn symbol(trace: &mut TraceDb, is_ecall: bool, index: u32, name: &str) {
+        trace.symbols.insert(SymbolRow {
+            enclave: 1,
+            kind_is_ecall: is_ecall,
+            index,
+            name: name.into(),
+            public: true,
+            allowed_ecalls: vec![],
+            user_check_params: vec![],
+        });
+    }
+
+    /// Many short successive identical ecalls trigger batching (SISC) and
+    /// move recommendations.
+    #[test]
+    fn sisc_batching_detected() {
+        let mut trace = TraceDb::default();
+        symbol(&mut trace, true, 0, "ecall_tiny");
+        let mut t = 0;
+        for _ in 0..100 {
+            // 5 us call (under 1 us adjusted), 200 ns gap.
+            trace.ecalls.insert(EcallRow {
+                thread: 0,
+                enclave: 1,
+                call_index: 0,
+                start_ns: t,
+                end_ns: t + 5_000,
+                parent_ocall: None,
+                aex_count: 0,
+                failed: false,
+            });
+            t += 5_200;
+        }
+        let a = analyzer(&trace);
+        let report_detections = detect_all(&a, &a.instances(), &super::super::stats::per_call_stats(&a.instances()));
+        let batch = report_detections
+            .iter()
+            .find(|d| matches!(d.recommendation, Recommendation::BatchCalls { .. }));
+        assert!(batch.is_some(), "{report_detections:?}");
+        assert_eq!(batch.unwrap().problem, Problem::Sisc);
+        assert!(report_detections
+            .iter()
+            .any(|d| d.recommendation == Recommendation::MoveCallerIntoEnclave));
+    }
+
+    /// Alternating short calls trigger merging (SDSC).
+    #[test]
+    fn sdsc_merging_detected() {
+        let mut trace = TraceDb::default();
+        symbol(&mut trace, false, 0, "ocall_lseek");
+        symbol(&mut trace, false, 1, "ocall_write");
+        symbol(&mut trace, true, 0, "ecall_insert");
+        let mut t = 0;
+        for _ in 0..50 {
+            // Parent ecall wrapping an lseek+write pair.
+            let e_start = t;
+            let row = trace.ecalls.len() as u64;
+            t += 2_000;
+            trace.ocalls.insert(OcallRow {
+                thread: 0,
+                enclave: 1,
+                call_index: 0,
+                start_ns: t,
+                end_ns: t + 4_000,
+                parent_ecall: Some(row),
+                failed: false,
+            });
+            t += 4_300; // 300 ns gap
+            trace.ocalls.insert(OcallRow {
+                thread: 0,
+                enclave: 1,
+                call_index: 1,
+                start_ns: t,
+                end_ns: t + 17_000,
+                parent_ecall: Some(row),
+                failed: false,
+            });
+            t += 20_000;
+            trace.ecalls.insert(EcallRow {
+                thread: 0,
+                enclave: 1,
+                call_index: 0,
+                start_ns: e_start,
+                end_ns: t,
+                parent_ocall: None,
+                aex_count: 0,
+                failed: false,
+            });
+            t += 1_000;
+        }
+        let a = analyzer(&trace);
+        let inst = a.instances();
+        let detections = detect_merge_batch(&a, &inst);
+        let merge = detections
+            .iter()
+            .find(|d| matches!(&d.recommendation, Recommendation::MergeCalls { with } if with == "ocall_lseek"));
+        assert!(merge.is_some(), "{detections:?}");
+        assert_eq!(merge.unwrap().problem, Problem::Sdsc);
+        assert_eq!(merge.unwrap().name, "ocall_write");
+    }
+
+    /// Ocalls clustered at the start of their parent trigger reordering.
+    #[test]
+    fn snc_reorder_detected() {
+        let mut trace = TraceDb::default();
+        symbol(&mut trace, false, 0, "ocall_alloc");
+        symbol(&mut trace, true, 0, "ecall_work");
+        let mut t = 0;
+        for _ in 0..20 {
+            let row = trace.ecalls.len() as u64;
+            trace.ocalls.insert(OcallRow {
+                thread: 0,
+                enclave: 1,
+                call_index: 0,
+                start_ns: t + 1_000, // 1 us after parent start
+                end_ns: t + 3_000,
+                parent_ecall: Some(row),
+                failed: false,
+            });
+            trace.ecalls.insert(EcallRow {
+                thread: 0,
+                enclave: 1,
+                call_index: 0,
+                start_ns: t,
+                end_ns: t + 100_000,
+                parent_ocall: None,
+                aex_count: 0,
+                failed: false,
+            });
+            t += 110_000;
+        }
+        let a = analyzer(&trace);
+        let detections = detect_reorder(&a, &a.instances());
+        assert!(
+            detections
+                .iter()
+                .any(|d| d.recommendation == Recommendation::ReorderBeforeParent
+                    && d.name == "ocall_alloc"),
+            "{detections:?}"
+        );
+        // Priority: reorder comes before move/duplicate.
+        assert_eq!(detections[0].priority, PRIO_REORDER);
+    }
+
+    /// Long calls trigger nothing.
+    #[test]
+    fn long_calls_are_clean() {
+        let mut trace = TraceDb::default();
+        symbol(&mut trace, true, 0, "ecall_long");
+        let mut t = 0;
+        for _ in 0..50 {
+            trace.ecalls.insert(EcallRow {
+                thread: 0,
+                enclave: 1,
+                call_index: 0,
+                start_ns: t,
+                end_ns: t + 500_000, // 500 us
+                parent_ocall: None,
+                aex_count: 0,
+                failed: false,
+            });
+            t += 600_000;
+        }
+        let a = analyzer(&trace);
+        let inst = a.instances();
+        let stats = super::super::stats::per_call_stats(&inst);
+        let detections = detect_all(&a, &inst, &stats);
+        assert!(detections.is_empty(), "{detections:?}");
+    }
+
+    /// Short sleeps under contention trigger the SSC hint.
+    #[test]
+    fn ssc_detected_for_short_sleeps() {
+        let mut trace = TraceDb::default();
+        symbol(&mut trace, false, 0, "sgx_thread_wait_untrusted_event_ocall");
+        let mut t = 0;
+        for i in 0..20 {
+            let row = trace.ocalls.insert(OcallRow {
+                thread: 0,
+                enclave: 1,
+                call_index: 0,
+                start_ns: t,
+                end_ns: t + 3_000, // 3 us sleep: shorter than a transition
+                parent_ecall: None,
+                failed: false,
+            });
+            trace.sync.insert(SyncRow {
+                thread: 0,
+                time_ns: t,
+                sleep: true,
+                target_thread: None,
+                ocall_row: row.0 as u64,
+            });
+            t += 10_000 + i;
+        }
+        let a = analyzer(&trace);
+        let detections = detect_ssc(&a, &a.instances());
+        assert_eq!(detections.len(), 1, "{detections:?}");
+        assert_eq!(detections[0].problem, Problem::Ssc);
+        assert_eq!(
+            detections[0].recommendation,
+            Recommendation::HybridSynchronisation
+        );
+    }
+
+    /// Page-outs trigger the paging mitigation hint; creation-only
+    /// page-ins do not.
+    #[test]
+    fn paging_detected_only_with_evictions() {
+        let mut trace = TraceDb::default();
+        for i in 0..10 {
+            trace.paging.insert(PagingRow {
+                enclave: 1,
+                out: false,
+                vaddr: 0x1000 * i,
+                time_ns: i,
+            });
+        }
+        let a = analyzer(&trace);
+        assert!(detect_paging(&a).is_empty());
+        trace.paging.insert(PagingRow {
+            enclave: 1,
+            out: true,
+            vaddr: 0x9000,
+            time_ns: 99,
+        });
+        let a = analyzer(&trace);
+        let detections = detect_paging(&a);
+        assert_eq!(detections.len(), 1);
+        assert_eq!(detections[0].problem, Problem::Paging);
+    }
+
+    /// Below the minimum sample size nothing fires.
+    #[test]
+    fn few_samples_do_not_fire() {
+        let mut trace = TraceDb::default();
+        symbol(&mut trace, true, 0, "ecall_tiny");
+        for i in 0..3u64 {
+            trace.ecalls.insert(EcallRow {
+                thread: 0,
+                enclave: 1,
+                call_index: 0,
+                start_ns: i * 6_000,
+                end_ns: i * 6_000 + 5_000,
+                parent_ocall: None,
+                aex_count: 0,
+                failed: false,
+            });
+        }
+        let a = analyzer(&trace);
+        let inst = a.instances();
+        let stats = super::super::stats::per_call_stats(&inst);
+        assert!(detect_all(&a, &inst, &stats).is_empty());
+    }
+}

@@ -1,0 +1,225 @@
+//! Call graphs (Figure 5): nodes are ecalls/ocalls, solid edges are direct
+//! parent relationships, dashed edges indirect parents, edge labels carry
+//! call counts.
+
+use std::collections::BTreeMap;
+
+use crate::events::{CallKind, CallRef};
+use crate::trace::TraceDb;
+
+use super::parents::Instances;
+use super::symbol_name;
+
+/// One node of the call graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GraphNode {
+    /// The call.
+    pub call: CallRef,
+    /// Its symbol name.
+    pub name: String,
+    /// How many times it executed.
+    pub count: usize,
+}
+
+/// One edge of the call graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GraphEdge {
+    /// Source call (the parent).
+    pub from: CallRef,
+    /// Destination call (the child).
+    pub to: CallRef,
+    /// Number of observed parent→child occurrences.
+    pub count: usize,
+    /// `false` for direct-parent (solid) edges, `true` for indirect-parent
+    /// (dashed) edges.
+    pub indirect: bool,
+}
+
+/// The assembled call graph of a trace.
+#[derive(Debug, Clone, Default)]
+pub struct CallGraph {
+    /// All nodes, sorted by call.
+    pub nodes: Vec<GraphNode>,
+    /// All edges, sorted by (from, to, indirect).
+    pub edges: Vec<GraphEdge>,
+}
+
+impl CallGraph {
+    /// Builds the graph from the instance view.
+    pub fn build(trace: &TraceDb, instances: &Instances) -> CallGraph {
+        let mut counts: BTreeMap<CallRef, usize> = BTreeMap::new();
+        let mut direct: BTreeMap<(CallRef, CallRef), usize> = BTreeMap::new();
+        let mut indirect: BTreeMap<(CallRef, CallRef), usize> = BTreeMap::new();
+        for i in &instances.all {
+            *counts.entry(i.call).or_default() += 1;
+            if let Some((kind, row)) = i.direct_parent {
+                if let Some(parent) = instances.by_row(kind, row) {
+                    *direct.entry((parent.call, i.call)).or_default() += 1;
+                }
+            }
+            if let Some(p) = i.indirect_parent {
+                let parent = &instances.all[p];
+                *indirect.entry((parent.call, i.call)).or_default() += 1;
+            }
+        }
+        let nodes = counts
+            .into_iter()
+            .map(|(call, count)| GraphNode {
+                call,
+                name: symbol_name(trace, call),
+                count,
+            })
+            .collect();
+        let mut edges: Vec<GraphEdge> = direct
+            .into_iter()
+            .map(|((from, to), count)| GraphEdge {
+                from,
+                to,
+                count,
+                indirect: false,
+            })
+            .chain(indirect.into_iter().map(|((from, to), count)| GraphEdge {
+                from,
+                to,
+                count,
+                indirect: true,
+            }))
+            .collect();
+        edges.sort_by_key(|e| (e.from, e.to, e.indirect));
+        CallGraph { nodes, edges }
+    }
+
+    /// Renders the graph in Graphviz DOT: square nodes for ecalls, round
+    /// nodes for ocalls, solid edges for direct parents, dashed for
+    /// indirect parents — the exact conventions of Figure 5.
+    pub fn to_dot(&self) -> String {
+        let mut out = String::from("digraph calls {\n  rankdir=TB;\n");
+        for n in &self.nodes {
+            let shape = match n.call.kind {
+                CallKind::Ecall => "box",
+                CallKind::Ocall => "ellipse",
+            };
+            out.push_str(&format!(
+                "  \"{}\" [shape={shape}, label=\"[{}] {}\"];\n",
+                node_id(n.call),
+                n.call.index,
+                n.name
+            ));
+        }
+        for e in &self.edges {
+            let style = if e.indirect { ", style=dashed" } else { "" };
+            out.push_str(&format!(
+                "  \"{}\" -> \"{}\" [label=\"{}\"{}];\n",
+                node_id(e.from),
+                node_id(e.to),
+                e.count,
+                style
+            ));
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Total number of direct edges.
+    pub fn direct_edge_count(&self) -> usize {
+        self.edges.iter().filter(|e| !e.indirect).count()
+    }
+}
+
+fn node_id(call: CallRef) -> String {
+    format!(
+        "e{}_{}{}",
+        call.enclave,
+        match call.kind {
+            CallKind::Ecall => "ec",
+            CallKind::Ocall => "oc",
+        },
+        call.index
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::{EcallRow, OcallRow, SymbolRow};
+    use sim_core::HwProfile;
+
+    fn sample_trace() -> TraceDb {
+        let mut trace = TraceDb::default();
+        trace.symbols.insert(SymbolRow {
+            enclave: 1,
+            kind_is_ecall: true,
+            index: 0,
+            name: "ecall_read".into(),
+            public: true,
+            allowed_ecalls: vec![],
+            user_check_params: vec![],
+        });
+        trace.symbols.insert(SymbolRow {
+            enclave: 1,
+            kind_is_ecall: false,
+            index: 0,
+            name: "ocall_io".into(),
+            public: false,
+            allowed_ecalls: vec![],
+            user_check_params: vec![],
+        });
+        for k in 0..3u64 {
+            trace.ecalls.insert(EcallRow {
+                thread: 0,
+                enclave: 1,
+                call_index: 0,
+                start_ns: k * 100,
+                end_ns: k * 100 + 80,
+                parent_ocall: None,
+                aex_count: 0,
+                failed: false,
+            });
+            trace.ocalls.insert(OcallRow {
+                thread: 0,
+                enclave: 1,
+                call_index: 0,
+                start_ns: k * 100 + 10,
+                end_ns: k * 100 + 50,
+                parent_ecall: Some(k),
+                failed: false,
+            });
+        }
+        trace
+    }
+
+    #[test]
+    fn graph_counts_nodes_and_edges() {
+        let trace = sample_trace();
+        let inst = Instances::build(&trace, &HwProfile::Unpatched.cost_model());
+        let graph = CallGraph::build(&trace, &inst);
+        assert_eq!(graph.nodes.len(), 2);
+        let ecall_node = graph
+            .nodes
+            .iter()
+            .find(|n| n.call.kind == CallKind::Ecall)
+            .unwrap();
+        assert_eq!(ecall_node.count, 3);
+        // One direct edge ecall→ocall (count 3) and one dashed indirect
+        // edge ecall→ecall (count 2).
+        let direct = graph.edges.iter().find(|e| !e.indirect).unwrap();
+        assert_eq!(direct.count, 3);
+        assert_eq!(direct.from.kind, CallKind::Ecall);
+        assert_eq!(direct.to.kind, CallKind::Ocall);
+        let indirect = graph.edges.iter().find(|e| e.indirect).unwrap();
+        assert_eq!(indirect.count, 2);
+        assert_eq!(graph.direct_edge_count(), 1);
+    }
+
+    #[test]
+    fn dot_uses_figure5_conventions() {
+        let trace = sample_trace();
+        let inst = Instances::build(&trace, &HwProfile::Unpatched.cost_model());
+        let dot = CallGraph::build(&trace, &inst).to_dot();
+        assert!(dot.contains("shape=box"), "{dot}");
+        assert!(dot.contains("shape=ellipse"), "{dot}");
+        assert!(dot.contains("style=dashed"), "{dot}");
+        assert!(dot.contains("[0] ecall_read"), "{dot}");
+        assert!(dot.starts_with("digraph"));
+    }
+}

@@ -1,0 +1,274 @@
+//! The flattened call-instance view with direct and indirect parents
+//! (Figure 4).
+//!
+//! *Direct* parents are logged by the event logger: an ecall E is the
+//! direct parent of an ocall O iff O was called during E's execution (and
+//! vice versa for nested ecalls). *Indirect* parents are derived here: the
+//! previous completed call **of the same kind** that belongs to the **same
+//! direct parent** (or, for top-level calls, the previous top-level call of
+//! the same kind on the same thread).
+
+use std::collections::HashMap;
+
+use sim_core::CostModel;
+
+use crate::events::{CallKind, CallRef};
+use crate::trace::TraceDb;
+
+/// One call occurrence with resolved parent links.
+#[derive(Debug, Clone)]
+pub struct CallInstance {
+    /// Which call this is an instance of.
+    pub call: CallRef,
+    /// Row id in the source table (`ecalls` or `ocalls` depending on kind).
+    pub row: u64,
+    /// Issuing thread.
+    pub thread: u64,
+    /// Start timestamp (ns).
+    pub start_ns: u64,
+    /// End timestamp (ns).
+    pub end_ns: u64,
+    /// Raw duration (ns).
+    pub duration_ns: u64,
+    /// Duration with the transition overhead subtracted for ecalls
+    /// (§4.1.2); equals `duration_ns` for ocalls.
+    pub adjusted_ns: u64,
+    /// Direct parent, as (kind, row id).
+    pub direct_parent: Option<(CallKind, u64)>,
+    /// Index (into [`Instances::all`]) of the indirect parent.
+    pub indirect_parent: Option<usize>,
+    /// AEXs observed during this call (ecalls only).
+    pub aex_count: u64,
+}
+
+/// The instance view over a whole trace.
+#[derive(Debug, Default)]
+pub struct Instances {
+    /// All instances, ordered by start time.
+    pub all: Vec<CallInstance>,
+    /// Maps (kind, row) to the index in [`Instances::all`].
+    index: HashMap<(CallKind, u64), usize>,
+}
+
+impl Instances {
+    /// Builds the view: merges the ecall and ocall tables, sorts by start
+    /// time and resolves indirect parents.
+    pub fn build(trace: &TraceDb, cost: &CostModel) -> Instances {
+        let transition = cost.sdk_ecall_overhead().as_nanos();
+        let mut all: Vec<CallInstance> = Vec::with_capacity(trace.event_count());
+        for (row, e) in trace.ecalls.iter_with_ids() {
+            let duration = e.end_ns.saturating_sub(e.start_ns);
+            all.push(CallInstance {
+                call: CallRef {
+                    enclave: e.enclave,
+                    kind: CallKind::Ecall,
+                    index: e.call_index,
+                },
+                row: row.0 as u64,
+                thread: e.thread,
+                start_ns: e.start_ns,
+                end_ns: e.end_ns,
+                duration_ns: duration,
+                adjusted_ns: duration.saturating_sub(transition),
+                direct_parent: e.parent_ocall.map(|r| (CallKind::Ocall, r)),
+                indirect_parent: None,
+                aex_count: e.aex_count,
+            });
+        }
+        for (row, o) in trace.ocalls.iter_with_ids() {
+            let duration = o.end_ns.saturating_sub(o.start_ns);
+            all.push(CallInstance {
+                call: CallRef {
+                    enclave: o.enclave,
+                    kind: CallKind::Ocall,
+                    index: o.call_index,
+                },
+                row: row.0 as u64,
+                thread: o.thread,
+                start_ns: o.start_ns,
+                end_ns: o.end_ns,
+                duration_ns: duration,
+                adjusted_ns: duration,
+                direct_parent: o.parent_ecall.map(|r| (CallKind::Ecall, r)),
+                indirect_parent: None,
+                aex_count: 0,
+            });
+        }
+        all.sort_by_key(|i| (i.start_ns, i.call.kind, i.row));
+
+        let index: HashMap<(CallKind, u64), usize> = all
+            .iter()
+            .enumerate()
+            .map(|(idx, i)| ((i.call.kind, i.row), idx))
+            .collect();
+
+        // Indirect parents: within each (thread, direct-parent, kind)
+        // group, link each call to the previous one (Figure 4).
+        type GroupKey = (u64, Option<(CallKind, u64)>, CallKind);
+        let mut last_in_group: HashMap<GroupKey, usize> = HashMap::new();
+        for (idx, inst) in all.iter_mut().enumerate() {
+            let key = (inst.thread, inst.direct_parent, inst.call.kind);
+            if let Some(&prev) = last_in_group.get(&key) {
+                inst.indirect_parent = Some(prev);
+            }
+            last_in_group.insert(key, idx);
+        }
+
+        Instances { all, index }
+    }
+
+    /// Looks up an instance by its source (kind, row id).
+    pub fn by_row(&self, kind: CallKind, row: u64) -> Option<&CallInstance> {
+        self.index.get(&(kind, row)).map(|&i| &self.all[i])
+    }
+
+    /// All instances of one call, in start order.
+    pub fn of_call(&self, call: CallRef) -> impl Iterator<Item = &CallInstance> {
+        self.all.iter().filter(move |i| i.call == call)
+    }
+
+    /// Distinct calls present in the trace, sorted.
+    pub fn distinct_calls(&self) -> Vec<CallRef> {
+        let mut calls: Vec<CallRef> = self.all.iter().map(|i| i.call).collect();
+        calls.sort();
+        calls.dedup();
+        calls
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::{EcallRow, OcallRow};
+    use sim_core::HwProfile;
+
+    fn ecall(thread: u64, idx: u32, start: u64, end: u64, parent: Option<u64>) -> EcallRow {
+        EcallRow {
+            thread,
+            enclave: 1,
+            call_index: idx,
+            start_ns: start,
+            end_ns: end,
+            parent_ocall: parent,
+            aex_count: 0,
+            failed: false,
+        }
+    }
+
+    fn ocall(thread: u64, idx: u32, start: u64, end: u64, parent: Option<u64>) -> OcallRow {
+        OcallRow {
+            thread,
+            enclave: 1,
+            call_index: idx,
+            start_ns: start,
+            end_ns: end,
+            parent_ecall: parent,
+            failed: false,
+        }
+    }
+
+    fn build(trace: &TraceDb) -> Instances {
+        Instances::build(trace, &HwProfile::Unpatched.cost_model())
+    }
+
+    /// Figure 4 case (1): successive top-level ecalls chain as indirect
+    /// parents.
+    #[test]
+    fn fig4_case1_successive_ecalls() {
+        let mut trace = TraceDb::default();
+        trace.ecalls.insert(ecall(0, 0, 0, 10, None)); // E1
+        trace.ecalls.insert(ecall(0, 0, 20, 30, None)); // E2
+        trace.ecalls.insert(ecall(0, 0, 40, 50, None)); // E3
+        let inst = build(&trace);
+        assert_eq!(inst.all[0].indirect_parent, None);
+        assert_eq!(inst.all[1].indirect_parent, Some(0));
+        assert_eq!(inst.all[2].indirect_parent, Some(1));
+    }
+
+    /// Figure 4 case (2): two ocalls inside the same ecall — the second's
+    /// indirect parent is the first.
+    #[test]
+    fn fig4_case2_sibling_ocalls() {
+        let mut trace = TraceDb::default();
+        trace.ecalls.insert(ecall(0, 0, 0, 100, None)); // E1, row 0
+        trace.ocalls.insert(ocall(0, 0, 10, 20, Some(0))); // O2
+        trace.ocalls.insert(ocall(0, 0, 30, 40, Some(0))); // O3
+        let inst = build(&trace);
+        let o2 = inst.by_row(CallKind::Ocall, 0).unwrap();
+        let o3 = inst.by_row(CallKind::Ocall, 1).unwrap();
+        assert_eq!(o2.indirect_parent, None);
+        let o2_idx = inst
+            .all
+            .iter()
+            .position(|i| i.call.kind == CallKind::Ocall && i.row == 0)
+            .unwrap();
+        assert_eq!(o3.indirect_parent, Some(o2_idx));
+    }
+
+    /// Figure 4 case (3): E1 → O2 → E3 (each nested in the previous): no
+    /// indirect parents anywhere.
+    #[test]
+    fn fig4_case3_nested_chain() {
+        let mut trace = TraceDb::default();
+        trace.ecalls.insert(ecall(0, 0, 0, 100, None)); // E1, ecall row 0
+        trace.ocalls.insert(ocall(0, 0, 10, 90, Some(0))); // O2, ocall row 0
+        trace.ecalls.insert(ecall(0, 1, 20, 80, Some(0))); // E3 nested in O2
+        let inst = build(&trace);
+        for i in &inst.all {
+            assert_eq!(i.indirect_parent, None, "{i:?}");
+        }
+    }
+
+    /// Figure 4 case (4): E1, O2 (inside E1), E3 top-level: E3's indirect
+    /// parent is E1, skipping the different-kind O2.
+    #[test]
+    fn fig4_case4_skips_different_kind() {
+        let mut trace = TraceDb::default();
+        trace.ecalls.insert(ecall(0, 0, 0, 50, None)); // E1
+        trace.ocalls.insert(ocall(0, 0, 10, 20, Some(0))); // O2 inside E1
+        trace.ecalls.insert(ecall(0, 0, 60, 90, None)); // E3
+        let inst = build(&trace);
+        let e3 = inst.by_row(CallKind::Ecall, 1).unwrap();
+        let e1_idx = inst
+            .all
+            .iter()
+            .position(|i| i.call.kind == CallKind::Ecall && i.row == 0)
+            .unwrap();
+        assert_eq!(e3.indirect_parent, Some(e1_idx));
+    }
+
+    /// Calls on different threads never link.
+    #[test]
+    fn threads_are_independent() {
+        let mut trace = TraceDb::default();
+        trace.ecalls.insert(ecall(0, 0, 0, 10, None));
+        trace.ecalls.insert(ecall(1, 0, 20, 30, None));
+        let inst = build(&trace);
+        assert_eq!(inst.all[1].indirect_parent, None);
+    }
+
+    #[test]
+    fn ecall_durations_are_transition_adjusted() {
+        let mut trace = TraceDb::default();
+        trace.ecalls.insert(ecall(0, 0, 0, 10_000, None));
+        trace.ocalls.insert(ocall(0, 0, 0, 10_000, None));
+        let inst = build(&trace);
+        let e = inst.by_row(CallKind::Ecall, 0).unwrap();
+        let o = inst.by_row(CallKind::Ocall, 0).unwrap();
+        assert_eq!(e.duration_ns, 10_000);
+        assert_eq!(e.adjusted_ns, 10_000 - 4_205);
+        assert_eq!(o.adjusted_ns, 10_000);
+    }
+
+    #[test]
+    fn distinct_calls_sorted_and_deduped() {
+        let mut trace = TraceDb::default();
+        trace.ecalls.insert(ecall(0, 1, 0, 1, None));
+        trace.ecalls.insert(ecall(0, 0, 2, 3, None));
+        trace.ecalls.insert(ecall(0, 1, 4, 5, None));
+        let inst = build(&trace);
+        let calls = inst.distinct_calls();
+        assert_eq!(calls.len(), 2);
+        assert!(calls[0].index < calls[1].index);
+    }
+}

@@ -1,0 +1,361 @@
+//! The assembled analysis report and its text rendering.
+
+use std::fmt;
+
+use sim_core::Nanos;
+
+use crate::events::{CallKind, CallRef};
+use crate::trace::TraceDb;
+
+use super::detect::Detection;
+use super::stats::CallStats;
+use super::symbol_name;
+
+/// Aggregate counters over a whole trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Totals {
+    /// Recorded ecall events.
+    pub ecall_events: usize,
+    /// Recorded ocall events.
+    pub ocall_events: usize,
+    /// Distinct ecalls seen.
+    pub distinct_ecalls: usize,
+    /// Distinct ocalls seen.
+    pub distinct_ocalls: usize,
+    /// Traced AEX events.
+    pub aex_events: usize,
+    /// Page-out events.
+    pub page_outs: usize,
+    /// Page-in events.
+    pub page_ins: usize,
+    /// Sleep events.
+    pub sync_sleeps: usize,
+    /// Wake events.
+    pub sync_wakes: usize,
+    /// Enclaves observed.
+    pub enclaves: usize,
+}
+
+/// A waker→sleeper dependency edge derived from the sync events
+/// (§4.1.3: "track which thread wakes up which other threads to track
+/// dependencies between them").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WakeEdge {
+    /// The thread that issued the wake ocall.
+    pub waker: u64,
+    /// The thread that was woken.
+    pub sleeper: u64,
+    /// Number of wake events on this edge.
+    pub count: usize,
+}
+
+/// The result of [`Analyzer::analyze`](super::Analyzer::analyze).
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Per-call statistics, sorted by call.
+    pub call_stats: Vec<(CallRef, CallStats)>,
+    /// Names resolved for each entry of `call_stats` (same order).
+    pub call_names: Vec<String>,
+    /// All findings, sorted by priority.
+    pub detections: Vec<Detection>,
+    /// Aggregate counters.
+    pub totals: Totals,
+    /// Thread wake dependencies, sorted by descending count — dense edges
+    /// indicate high-contention synchronisation.
+    pub wake_edges: Vec<WakeEdge>,
+}
+
+impl Report {
+    pub(crate) fn assemble(
+        trace: &TraceDb,
+        call_stats: Vec<(CallRef, CallStats)>,
+        detections: Vec<Detection>,
+    ) -> Report {
+        let call_names = call_stats
+            .iter()
+            .map(|(call, _)| symbol_name(trace, *call))
+            .collect();
+        let totals = Totals {
+            ecall_events: trace.ecalls.len(),
+            ocall_events: trace.ocalls.len(),
+            distinct_ecalls: call_stats
+                .iter()
+                .filter(|(c, _)| c.kind == CallKind::Ecall)
+                .count(),
+            distinct_ocalls: call_stats
+                .iter()
+                .filter(|(c, _)| c.kind == CallKind::Ocall)
+                .count(),
+            aex_events: trace.aex.len(),
+            page_outs: trace.paging.iter().filter(|p| p.out).count(),
+            page_ins: trace.paging.iter().filter(|p| !p.out).count(),
+            sync_sleeps: trace.sync.iter().filter(|s| s.sleep).count(),
+            sync_wakes: trace.sync.iter().filter(|s| !s.sleep).count(),
+            enclaves: trace.enclaves.len(),
+        };
+        let mut edge_counts: std::collections::BTreeMap<(u64, u64), usize> =
+            std::collections::BTreeMap::new();
+        for s in trace.sync.iter() {
+            if let (false, Some(target)) = (s.sleep, s.target_thread) {
+                *edge_counts.entry((s.thread, target)).or_default() += 1;
+            }
+        }
+        let mut wake_edges: Vec<WakeEdge> = edge_counts
+            .into_iter()
+            .map(|((waker, sleeper), count)| WakeEdge {
+                waker,
+                sleeper,
+                count,
+            })
+            .collect();
+        wake_edges.sort_by_key(|e| (std::cmp::Reverse(e.count), e.waker, e.sleeper));
+        Report {
+            call_stats,
+            call_names,
+            detections,
+            totals,
+            wake_edges,
+        }
+    }
+
+    /// The statistics for a named call, if present.
+    pub fn stats_for(&self, name: &str) -> Option<&CallStats> {
+        self.call_names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| &self.call_stats[i].1)
+    }
+
+    /// The call's share of the total traced execution time of its kind —
+    /// the §5.2.2-style "lseek, write and fsync are each responsible for
+    /// 33% of the execution time" metric. Returns `None` for unknown
+    /// names.
+    pub fn time_share(&self, name: &str) -> Option<f64> {
+        let idx = self.call_names.iter().position(|n| n == name)?;
+        let (call, stats) = &self.call_stats[idx];
+        let kind_total: u64 = self
+            .call_stats
+            .iter()
+            .filter(|(c, _)| c.kind == call.kind)
+            .map(|(_, s)| s.total_ns)
+            .sum();
+        if kind_total == 0 {
+            return Some(0.0);
+        }
+        Some(stats.total_ns as f64 / kind_total as f64)
+    }
+
+    /// Fraction of ecall executions with an adjusted duration below 10 µs
+    /// (the §5.2.1-style headline number).
+    pub fn short_fraction(&self, kind: CallKind) -> f64 {
+        let mut total = 0usize;
+        let mut short = 0.0;
+        for (call, stats) in &self.call_stats {
+            if call.kind != kind {
+                continue;
+            }
+            total += stats.count;
+            short += stats.frac_under_10us * stats.count as f64;
+        }
+        if total == 0 {
+            0.0
+        } else {
+            short / total as f64
+        }
+    }
+
+    /// Renders the full text report (overview, per-call table, findings).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("== sgx-perf analysis report ==\n\n");
+        let t = &self.totals;
+        out.push_str(&format!(
+            "events: {} ecalls ({} distinct), {} ocalls ({} distinct), {} AEX, \
+             {} page-outs, {} page-ins, {} sleeps, {} wakes, {} enclave(s)\n\n",
+            t.ecall_events,
+            t.distinct_ecalls,
+            t.ocall_events,
+            t.distinct_ocalls,
+            t.aex_events,
+            t.page_outs,
+            t.page_ins,
+            t.sync_sleeps,
+            t.sync_wakes,
+            t.enclaves,
+        ));
+        out.push_str(&format!(
+            "short calls (<10us adjusted): {:.2}% of ecalls, {:.2}% of ocalls\n\n",
+            self.short_fraction(CallKind::Ecall) * 100.0,
+            self.short_fraction(CallKind::Ocall) * 100.0,
+        ));
+        out.push_str("-- call statistics --\n");
+        out.push_str(&format!(
+            "{:<40} {:>6} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12}\n",
+            "call", "count", "mean", "median", "stddev", "p90", "p95", "p99"
+        ));
+        for ((call, stats), name) in self.call_stats.iter().zip(&self.call_names) {
+            out.push_str(&format!(
+                "{:<40} {:>6} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12}\n",
+                format!("{} ({})", name, call.kind),
+                stats.count,
+                Nanos::from_nanos(stats.mean_ns as u64).to_string(),
+                Nanos::from_nanos(stats.median_ns).to_string(),
+                Nanos::from_nanos(stats.stddev_ns as u64).to_string(),
+                Nanos::from_nanos(stats.p90_ns).to_string(),
+                Nanos::from_nanos(stats.p95_ns).to_string(),
+                Nanos::from_nanos(stats.p99_ns).to_string(),
+            ));
+        }
+        if !self.wake_edges.is_empty() {
+            out.push_str("\n-- thread wake dependencies (waker -> sleeper) --\n");
+            for e in self.wake_edges.iter().take(16) {
+                out.push_str(&format!(
+                    "t{} -> t{}: {} wake(s)\n",
+                    e.waker, e.sleeper, e.count
+                ));
+            }
+        }
+        out.push_str("\n-- findings (sorted by priority; check applicability!) --\n");
+        if self.detections.is_empty() {
+            out.push_str("no problems detected\n");
+        }
+        for d in &self.detections {
+            out.push_str(&format!("{d}\n"));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::Analyzer;
+    use crate::events::EcallRow;
+    use sim_core::HwProfile;
+
+    fn trace_with_short_ecalls(n: usize) -> TraceDb {
+        let mut trace = TraceDb::default();
+        let mut t = 0;
+        for _ in 0..n {
+            trace.ecalls.insert(EcallRow {
+                thread: 0,
+                enclave: 1,
+                call_index: 0,
+                start_ns: t,
+                end_ns: t + 5_000,
+                parent_ocall: None,
+                aex_count: 0,
+                failed: false,
+            });
+            t += 5_100;
+        }
+        trace
+    }
+
+    #[test]
+    fn report_totals_and_render() {
+        let trace = trace_with_short_ecalls(20);
+        let report = Analyzer::new(&trace, HwProfile::Unpatched.cost_model()).analyze();
+        assert_eq!(report.totals.ecall_events, 20);
+        assert_eq!(report.totals.distinct_ecalls, 1);
+        let text = report.render();
+        assert!(text.contains("sgx-perf analysis report"));
+        assert!(text.contains("call statistics"));
+        // Short identical successive calls must be in the findings.
+        assert!(text.contains("SISC") || text.contains("batch"), "{text}");
+    }
+
+    #[test]
+    fn short_fraction_is_one_for_all_short_calls() {
+        let trace = trace_with_short_ecalls(10);
+        let report = Analyzer::new(&trace, HwProfile::Unpatched.cost_model()).analyze();
+        assert!((report.short_fraction(CallKind::Ecall) - 1.0).abs() < 1e-9);
+        assert_eq!(report.short_fraction(CallKind::Ocall), 0.0);
+    }
+
+    #[test]
+    fn detections_sorted_by_priority() {
+        let trace = trace_with_short_ecalls(50);
+        let report = Analyzer::new(&trace, HwProfile::Unpatched.cost_model()).analyze();
+        let priorities: Vec<u8> = report.detections.iter().map(|d| d.priority).collect();
+        let mut sorted = priorities.clone();
+        sorted.sort_unstable();
+        assert_eq!(priorities, sorted);
+    }
+
+    #[test]
+    fn time_share_partitions_by_kind() {
+        use crate::events::OcallRow;
+        let mut trace = TraceDb::default();
+        // Two ocalls: 3 us and 1 us of total time.
+        for (idx, dur) in [(0u32, 3_000u64), (1, 1_000)] {
+            trace.ocalls.insert(OcallRow {
+                thread: 0,
+                enclave: 1,
+                call_index: idx,
+                start_ns: idx as u64 * 10_000,
+                end_ns: idx as u64 * 10_000 + dur,
+                parent_ecall: None,
+                failed: false,
+            });
+        }
+        let report = Analyzer::new(&trace, HwProfile::Unpatched.cost_model()).analyze();
+        let share0 = report.time_share("enclave1/ocall#0").unwrap();
+        let share1 = report.time_share("enclave1/ocall#1").unwrap();
+        assert!((share0 - 0.75).abs() < 1e-9);
+        assert!((share1 - 0.25).abs() < 1e-9);
+        assert!(report.time_share("nope").is_none());
+    }
+
+    #[test]
+    fn wake_edges_are_aggregated_and_sorted() {
+        use crate::events::SyncRow;
+        let mut trace = trace_with_short_ecalls(1);
+        for _ in 0..3 {
+            trace.sync.insert(SyncRow {
+                thread: 0,
+                time_ns: 1,
+                sleep: false,
+                target_thread: Some(2),
+                ocall_row: 0,
+            });
+        }
+        trace.sync.insert(SyncRow {
+            thread: 1,
+            time_ns: 2,
+            sleep: false,
+            target_thread: Some(0),
+            ocall_row: 0,
+        });
+        // Sleeps don't create edges.
+        trace.sync.insert(SyncRow {
+            thread: 2,
+            time_ns: 3,
+            sleep: true,
+            target_thread: None,
+            ocall_row: 0,
+        });
+        let report = Analyzer::new(&trace, HwProfile::Unpatched.cost_model()).analyze();
+        assert_eq!(report.wake_edges.len(), 2);
+        assert_eq!(
+            (report.wake_edges[0].waker, report.wake_edges[0].sleeper, report.wake_edges[0].count),
+            (0, 2, 3)
+        );
+        assert!(report.render().contains("t0 -> t2: 3 wake(s)"));
+    }
+
+    #[test]
+    fn stats_for_falls_back_to_positional_name() {
+        let trace = trace_with_short_ecalls(5);
+        let report = Analyzer::new(&trace, HwProfile::Unpatched.cost_model()).analyze();
+        // No symbols captured: name is the CallRef display.
+        assert!(report.stats_for("enclave1/ecall#0").is_some());
+        assert!(report.stats_for("nope").is_none());
+    }
+}

@@ -1,0 +1,152 @@
+//! The sgx-perf command-line analyser: consumes a trace file recorded by
+//! the event logger and produces reports, call graphs and plot data —
+//! the offline half of the tool collection (§4.3).
+//!
+//! ```text
+//! sgxperf report  <trace.evdb> [--profile unpatched|spectre|l1tf] [--edl <file.edl>]
+//! sgxperf dot     <trace.evdb> [-o <out.dot>]
+//! sgxperf hist    <trace.evdb> <call-name> [--bins N]
+//! sgxperf scatter <trace.evdb> <call-name>
+//! sgxperf info    <trace.evdb>
+//! ```
+
+use std::process::ExitCode;
+
+use sgx_perf::analysis::stats::{scatter, scatter_csv, Histogram};
+use sgx_perf::{Analyzer, TraceDb};
+use sim_core::HwProfile;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  sgxperf report  <trace.evdb> [--profile unpatched|spectre|l1tf] [--edl <file.edl>]\n  sgxperf dot     <trace.evdb> [-o <out.dot>]\n  sgxperf hist    <trace.evdb> <call-name> [--bins N]\n  sgxperf scatter <trace.evdb> <call-name>\n  sgxperf info    <trace.evdb>"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_profile(s: &str) -> Option<HwProfile> {
+    match s {
+        "unpatched" => Some(HwProfile::Unpatched),
+        "spectre" => Some(HwProfile::Spectre),
+        "l1tf" | "foreshadow" => Some(HwProfile::Foreshadow),
+        _ => None,
+    }
+}
+
+fn find_call(
+    analyzer: &Analyzer<'_>,
+    name: &str,
+) -> Option<sgx_perf::CallRef> {
+    let report = analyzer.analyze();
+    report
+        .call_names
+        .iter()
+        .position(|n| n == name)
+        .map(|i| report.call_stats[i].0)
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, rest) = args.split_first().ok_or("missing command")?;
+    let (path, opts) = rest.split_first().ok_or("missing trace file")?;
+    let trace = TraceDb::load(path).map_err(|e| format!("cannot load {path}: {e}"))?;
+
+    let mut profile = HwProfile::Unpatched;
+    let mut edl: Option<sgx_edl::InterfaceSpec> = None;
+    let mut out: Option<String> = None;
+    let mut bins = 100usize;
+    let mut positional = Vec::new();
+    let mut it = opts.iter();
+    while let Some(opt) = it.next() {
+        match opt.as_str() {
+            "--profile" => {
+                let v = it.next().ok_or("--profile needs a value")?;
+                profile = parse_profile(v).ok_or_else(|| format!("unknown profile `{v}`"))?;
+            }
+            "--edl" => {
+                let v = it.next().ok_or("--edl needs a file")?;
+                let src =
+                    std::fs::read_to_string(v).map_err(|e| format!("cannot read {v}: {e}"))?;
+                edl = Some(sgx_edl::parse(&src).map_err(|e| format!("{v}: {e}"))?);
+            }
+            "-o" => out = Some(it.next().ok_or("-o needs a file")?.clone()),
+            "--bins" => {
+                bins = it
+                    .next()
+                    .ok_or("--bins needs a number")?
+                    .parse()
+                    .map_err(|e| format!("--bins: {e}"))?;
+            }
+            other => positional.push(other.to_string()),
+        }
+    }
+
+    let mut analyzer = Analyzer::new(&trace, profile.cost_model());
+    if let Some(spec) = edl {
+        analyzer = analyzer.with_edl(spec);
+    }
+
+    match cmd.as_str() {
+        "report" => {
+            print!("{}", analyzer.analyze().render());
+        }
+        "dot" => {
+            let dot = analyzer.call_graph().to_dot();
+            match out {
+                Some(path) => {
+                    std::fs::write(&path, dot).map_err(|e| format!("cannot write {path}: {e}"))?;
+                    eprintln!("wrote {path}");
+                }
+                None => print!("{dot}"),
+            }
+        }
+        "hist" => {
+            let name = positional.first().ok_or("hist needs a call name")?;
+            let call =
+                find_call(&analyzer, name).ok_or_else(|| format!("no call named `{name}`"))?;
+            let instances = analyzer.instances();
+            let hist = Histogram::of_call(&instances, call, bins)
+                .ok_or_else(|| format!("`{name}` has no recorded executions"))?;
+            println!("{}", hist.render_ascii(24, 48));
+            if let Some(path) = out {
+                std::fs::write(&path, hist.to_csv())
+                    .map_err(|e| format!("cannot write {path}: {e}"))?;
+                eprintln!("wrote {path}");
+            }
+        }
+        "scatter" => {
+            let name = positional.first().ok_or("scatter needs a call name")?;
+            let call =
+                find_call(&analyzer, name).ok_or_else(|| format!("no call named `{name}`"))?;
+            let instances = analyzer.instances();
+            let points = scatter(&instances, call);
+            print!("{}", scatter_csv(&points));
+        }
+        "info" => {
+            println!(
+                "ecalls: {}  ocalls: {}  aex: {}  paging: {}  sync: {}  enclaves: {}  symbols: {}",
+                trace.ecalls.len(),
+                trace.ocalls.len(),
+                trace.aex.len(),
+                trace.paging.len(),
+                trace.sync.len(),
+                trace.enclaves.len(),
+                trace.symbols.len()
+            );
+        }
+        other => return Err(format!("unknown command `{other}`")),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    if std::env::args().len() < 3 {
+        return usage();
+    }
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("sgxperf: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,498 @@
+//! Trace event schema — the rows sgx-perf serialises to its event database.
+
+use eventdb::{DbError, Decoder, Encoder, Record};
+
+/// Whether a call is an ecall or an ocall.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CallKind {
+    /// A call into the enclave.
+    Ecall,
+    /// A call out of the enclave.
+    Ocall,
+}
+
+impl std::fmt::Display for CallKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            CallKind::Ecall => "ecall",
+            CallKind::Ocall => "ocall",
+        })
+    }
+}
+
+/// Identifies one call symbol of one enclave — the analyzer's unit of
+/// aggregation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CallRef {
+    /// Enclave id.
+    pub enclave: u32,
+    /// Ecall or ocall.
+    pub kind: CallKind,
+    /// Call index within the interface.
+    pub index: u32,
+}
+
+impl std::fmt::Display for CallRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "enclave{}/{}#{}", self.enclave, self.kind, self.index)
+    }
+}
+
+/// How the logger observes asynchronous enclave exits (§4.1.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AexMode {
+    /// Leave the AEP unpatched: no AEX observation.
+    Off,
+    /// Count AEXs per ecall (cheaper: ≈1,076 ns per AEX).
+    #[default]
+    Count,
+    /// Record each AEX with its timestamp (≈1,118 ns per AEX).
+    Trace,
+}
+
+/// One completed ecall.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EcallRow {
+    /// Issuing thread token.
+    pub thread: u64,
+    /// Enclave id.
+    pub enclave: u32,
+    /// Ecall index within the enclave interface.
+    pub call_index: u32,
+    /// Timestamp before `sgx_ecall` was forwarded (includes transitions).
+    pub start_ns: u64,
+    /// Timestamp after `sgx_ecall` returned.
+    pub end_ns: u64,
+    /// Row id of the ocall this (nested) ecall was issued from, if any —
+    /// the *direct parent* (§4.3.2).
+    pub parent_ocall: Option<u64>,
+    /// AEXs observed during this ecall (when counting/tracing is enabled).
+    pub aex_count: u64,
+    /// Whether the call returned an error (still traced).
+    pub failed: bool,
+}
+
+impl Record for EcallRow {
+    const TAG: &'static str = "ecalls";
+    fn encode(&self, out: &mut Encoder) {
+        out.u64(self.thread);
+        out.u32(self.enclave);
+        out.u32(self.call_index);
+        out.u64(self.start_ns);
+        out.u64(self.end_ns);
+        out.option(&self.parent_ocall, |e, v| e.u64(*v));
+        out.u64(self.aex_count);
+        out.bool(self.failed);
+    }
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, DbError> {
+        Ok(EcallRow {
+            thread: r.u64()?,
+            enclave: r.u32()?,
+            call_index: r.u32()?,
+            start_ns: r.u64()?,
+            end_ns: r.u64()?,
+            parent_ocall: r.option(|r| r.u64())?,
+            aex_count: r.u64()?,
+            failed: r.bool()?,
+        })
+    }
+}
+
+/// One completed ocall. Timestamps are taken in the logger's generated
+/// call stub, i.e. *outside* the enclave, so — unlike ecalls — the duration
+/// excludes the transition time (§4.1.2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OcallRow {
+    /// Issuing thread token.
+    pub thread: u64,
+    /// Enclave id.
+    pub enclave: u32,
+    /// Ocall index within the (effective) enclave interface.
+    pub call_index: u32,
+    /// Timestamp when the stub was entered.
+    pub start_ns: u64,
+    /// Timestamp when the real ocall function returned.
+    pub end_ns: u64,
+    /// Row id of the ecall this ocall was issued from — the *direct
+    /// parent*. `None` can only occur if tracing started mid-call.
+    pub parent_ecall: Option<u64>,
+    /// Whether the call returned an error (still traced).
+    pub failed: bool,
+}
+
+impl Record for OcallRow {
+    const TAG: &'static str = "ocalls";
+    fn encode(&self, out: &mut Encoder) {
+        out.u64(self.thread);
+        out.u32(self.enclave);
+        out.u32(self.call_index);
+        out.u64(self.start_ns);
+        out.u64(self.end_ns);
+        out.option(&self.parent_ecall, |e, v| e.u64(*v));
+        out.bool(self.failed);
+    }
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, DbError> {
+        Ok(OcallRow {
+            thread: r.u64()?,
+            enclave: r.u32()?,
+            call_index: r.u32()?,
+            start_ns: r.u64()?,
+            end_ns: r.u64()?,
+            parent_ecall: r.option(|r| r.u64())?,
+            failed: r.bool()?,
+        })
+    }
+}
+
+/// Why an AEX happened, when observable. On SGX v1 the reason cannot be
+/// inferred (§4.1.4); on SGX v2 debug enclaves the logger reads the
+/// recorded exit type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AexCauseCode {
+    /// Timer or device interrupt.
+    Interrupt,
+    /// EPC page fault.
+    PageFault,
+    /// MMU access fault (e.g. stripped permissions).
+    AccessFault,
+}
+
+impl AexCauseCode {
+    fn encode(self) -> u8 {
+        match self {
+            AexCauseCode::Interrupt => 0,
+            AexCauseCode::PageFault => 1,
+            AexCauseCode::AccessFault => 2,
+        }
+    }
+
+    fn decode(v: u8) -> Result<AexCauseCode, DbError> {
+        match v {
+            0 => Ok(AexCauseCode::Interrupt),
+            1 => Ok(AexCauseCode::PageFault),
+            2 => Ok(AexCauseCode::AccessFault),
+            other => Err(DbError::Corrupt(format!("bad AexCauseCode {other}"))),
+        }
+    }
+}
+
+/// One traced AEX (only in [`AexMode::Trace`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AexRow {
+    /// Thread that was interrupted.
+    pub thread: u64,
+    /// Enclave that was exited.
+    pub enclave: u32,
+    /// Time of the exit.
+    pub time_ns: u64,
+    /// Row id of the ecall in progress, if the logger could attribute one.
+    pub during_ecall: Option<u64>,
+    /// Exit cause — `Some` only on SGX v2 debug enclaves (§4.1.4).
+    pub cause: Option<AexCauseCode>,
+}
+
+impl Record for AexRow {
+    const TAG: &'static str = "aex";
+    fn encode(&self, out: &mut Encoder) {
+        out.u64(self.thread);
+        out.u32(self.enclave);
+        out.u64(self.time_ns);
+        out.option(&self.during_ecall, |e, v| e.u64(*v));
+        out.option(&self.cause, |e, v| e.u8(v.encode()));
+    }
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, DbError> {
+        Ok(AexRow {
+            thread: r.u64()?,
+            enclave: r.u32()?,
+            time_ns: r.u64()?,
+            during_ecall: r.option(|r| r.u64())?,
+            cause: r.option(|r| AexCauseCode::decode(r.u8()?))?,
+        })
+    }
+}
+
+/// One EPC paging event captured from the driver hooks (§4.1.5).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PagingRow {
+    /// Enclave whose page moved.
+    pub enclave: u32,
+    /// `true` = page-out (eviction), `false` = page-in.
+    pub out: bool,
+    /// Virtual address of the page.
+    pub vaddr: u64,
+    /// Time of the operation.
+    pub time_ns: u64,
+}
+
+impl Record for PagingRow {
+    const TAG: &'static str = "paging";
+    fn encode(&self, out: &mut Encoder) {
+        out.u32(self.enclave);
+        out.bool(self.out);
+        out.u64(self.vaddr);
+        out.u64(self.time_ns);
+    }
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, DbError> {
+        Ok(PagingRow {
+            enclave: r.u32()?,
+            out: r.bool()?,
+            vaddr: r.u64()?,
+            time_ns: r.u64()?,
+        })
+    }
+}
+
+/// Classification of a synchronisation ocall event (§4.1.3): the four SDK
+/// sync ocalls reduce to sleep and wake-up events.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SyncRow {
+    /// Thread that issued the sync ocall.
+    pub thread: u64,
+    /// Time the event was recorded.
+    pub time_ns: u64,
+    /// `true` = sleep, `false` = wake-up.
+    pub sleep: bool,
+    /// For wake-ups: the thread being woken (dependency edge waker→sleeper).
+    pub target_thread: Option<u64>,
+    /// Row id of the underlying ocall.
+    pub ocall_row: u64,
+}
+
+impl Record for SyncRow {
+    const TAG: &'static str = "sync";
+    fn encode(&self, out: &mut Encoder) {
+        out.u64(self.thread);
+        out.u64(self.time_ns);
+        out.bool(self.sleep);
+        out.option(&self.target_thread, |e, v| e.u64(*v));
+        out.u64(self.ocall_row);
+    }
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, DbError> {
+        Ok(SyncRow {
+            thread: r.u64()?,
+            time_ns: r.u64()?,
+            sleep: r.bool()?,
+            target_thread: r.option(|r| r.u64())?,
+            ocall_row: r.u64()?,
+        })
+    }
+}
+
+/// One observed enclave (from driver lifecycle events).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnclaveRow {
+    /// Enclave id.
+    pub enclave: u32,
+    /// Total pages (power of two).
+    pub total_pages: u64,
+    /// Creation time.
+    pub created_ns: u64,
+}
+
+impl Record for EnclaveRow {
+    const TAG: &'static str = "enclaves";
+    fn encode(&self, out: &mut Encoder) {
+        out.u32(self.enclave);
+        out.u64(self.total_pages);
+        out.u64(self.created_ns);
+    }
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, DbError> {
+        Ok(EnclaveRow {
+            enclave: r.u32()?,
+            total_pages: r.u64()?,
+            created_ns: r.u64()?,
+        })
+    }
+}
+
+/// One interface symbol (captured from the enclave's registered interface —
+/// the analogue of reading names from debug symbols / the EDL).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SymbolRow {
+    /// Enclave id.
+    pub enclave: u32,
+    /// Ecall or ocall.
+    pub kind_is_ecall: bool,
+    /// Call index.
+    pub index: u32,
+    /// Function name.
+    pub name: String,
+    /// Ecalls: declared `public`. Ocalls: always `false`.
+    pub public: bool,
+    /// Ocalls: the declared `allow()` ecall indexes.
+    pub allowed_ecalls: Vec<u32>,
+    /// Names of parameters annotated `user_check`.
+    pub user_check_params: Vec<String>,
+}
+
+impl Record for SymbolRow {
+    const TAG: &'static str = "symbols";
+    fn encode(&self, out: &mut Encoder) {
+        out.u32(self.enclave);
+        out.bool(self.kind_is_ecall);
+        out.u32(self.index);
+        out.str(&self.name);
+        out.bool(self.public);
+        out.usize(self.allowed_ecalls.len());
+        for a in &self.allowed_ecalls {
+            out.u32(*a);
+        }
+        out.usize(self.user_check_params.len());
+        for p in &self.user_check_params {
+            out.str(p);
+        }
+    }
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, DbError> {
+        let enclave = r.u32()?;
+        let kind_is_ecall = r.bool()?;
+        let index = r.u32()?;
+        let name = r.str()?;
+        let public = r.bool()?;
+        let n = r.usize()?;
+        let mut allowed_ecalls = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            allowed_ecalls.push(r.u32()?);
+        }
+        let m = r.usize()?;
+        let mut user_check_params = Vec::with_capacity(m.min(1024));
+        for _ in 0..m {
+            user_check_params.push(r.str()?);
+        }
+        Ok(SymbolRow {
+            enclave,
+            kind_is_ecall,
+            index,
+            name,
+            public,
+            allowed_ecalls,
+            user_check_params,
+        })
+    }
+}
+
+impl SymbolRow {
+    /// The [`CallRef`] this symbol describes.
+    pub fn call_ref(&self) -> CallRef {
+        CallRef {
+            enclave: self.enclave,
+            kind: if self.kind_is_ecall {
+                CallKind::Ecall
+            } else {
+                CallKind::Ocall
+            },
+            index: self.index,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eventdb::Table;
+
+    fn roundtrip<R: Record + Clone + PartialEq + std::fmt::Debug>(rows: Vec<R>) {
+        let table: Table<R> = rows.clone().into_iter().collect();
+        let mut enc = Encoder::new();
+        table.encode(&mut enc);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        let back = Table::<R>::decode(&mut dec).unwrap();
+        let got: Vec<R> = back.iter().cloned().collect();
+        assert_eq!(got, rows);
+    }
+
+    #[test]
+    fn ecall_row_roundtrip() {
+        roundtrip(vec![
+            EcallRow {
+                thread: 1,
+                enclave: 2,
+                call_index: 3,
+                start_ns: 4,
+                end_ns: 5,
+                parent_ocall: Some(6),
+                aex_count: 7,
+                failed: false,
+            },
+            EcallRow {
+                thread: 0,
+                enclave: 0,
+                call_index: 0,
+                start_ns: 0,
+                end_ns: 0,
+                parent_ocall: None,
+                aex_count: 0,
+                failed: true,
+            },
+        ]);
+    }
+
+    #[test]
+    fn ocall_row_roundtrip() {
+        roundtrip(vec![OcallRow {
+            thread: 9,
+            enclave: 1,
+            call_index: 2,
+            start_ns: 10,
+            end_ns: 20,
+            parent_ecall: Some(0),
+            failed: false,
+        }]);
+    }
+
+    #[test]
+    fn aex_paging_sync_roundtrip() {
+        roundtrip(vec![
+            AexRow {
+                thread: 1,
+                enclave: 1,
+                time_ns: 99,
+                during_ecall: None,
+                cause: None,
+            },
+            AexRow {
+                thread: 2,
+                enclave: 1,
+                time_ns: 100,
+                during_ecall: Some(4),
+                cause: Some(AexCauseCode::PageFault),
+            },
+        ]);
+        roundtrip(vec![PagingRow {
+            enclave: 1,
+            out: true,
+            vaddr: 0x2000,
+            time_ns: 5,
+        }]);
+        roundtrip(vec![SyncRow {
+            thread: 2,
+            time_ns: 7,
+            sleep: false,
+            target_thread: Some(3),
+            ocall_row: 11,
+        }]);
+    }
+
+    #[test]
+    fn symbol_row_roundtrip() {
+        roundtrip(vec![SymbolRow {
+            enclave: 1,
+            kind_is_ecall: false,
+            index: 4,
+            name: "ocall_read".into(),
+            public: false,
+            allowed_ecalls: vec![0, 2],
+            user_check_params: vec!["p".into()],
+        }]);
+    }
+
+    #[test]
+    fn call_ref_display() {
+        let r = CallRef {
+            enclave: 1,
+            kind: CallKind::Ocall,
+            index: 3,
+        };
+        assert_eq!(r.to_string(), "enclave1/ocall#3");
+    }
+}

@@ -1,0 +1,150 @@
+//! The trace database produced by the logger and consumed by the analyzer.
+
+use std::path::Path;
+
+use eventdb::{DbError, Store, Table};
+
+use crate::events::{AexRow, EcallRow, EnclaveRow, OcallRow, PagingRow, SymbolRow, SyncRow};
+
+/// A complete sgx-perf trace: every table the logger records, serialisable
+/// to a single file (the SQLite stand-in — §4).
+///
+/// # Examples
+///
+/// ```
+/// use sgx_perf::TraceDb;
+///
+/// let trace = TraceDb::default();
+/// let bytes = trace.to_bytes();
+/// let back = TraceDb::from_bytes(&bytes)?;
+/// assert_eq!(back.ecalls.len(), 0);
+/// # Ok::<(), eventdb::DbError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TraceDb {
+    /// Completed ecalls.
+    pub ecalls: Table<EcallRow>,
+    /// Completed ocalls.
+    pub ocalls: Table<OcallRow>,
+    /// Traced AEXs (only under [`AexMode::Trace`](crate::AexMode::Trace)).
+    pub aex: Table<AexRow>,
+    /// EPC paging events.
+    pub paging: Table<PagingRow>,
+    /// Sleep/wake classification of sync ocalls.
+    pub sync: Table<SyncRow>,
+    /// Observed enclaves.
+    pub enclaves: Table<EnclaveRow>,
+    /// Interface symbols.
+    pub symbols: Table<SymbolRow>,
+}
+
+impl TraceDb {
+    /// Serialises all tables into the container format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.to_store().to_bytes()
+    }
+
+    fn to_store(&self) -> Store {
+        let mut store = Store::new();
+        store.put(&self.ecalls);
+        store.put(&self.ocalls);
+        store.put(&self.aex);
+        store.put(&self.paging);
+        store.put(&self.sync);
+        store.put(&self.enclaves);
+        store.put(&self.symbols);
+        store
+    }
+
+    /// Parses a trace from container bytes.
+    ///
+    /// # Errors
+    ///
+    /// Corruption or missing tables.
+    pub fn from_bytes(data: &[u8]) -> Result<TraceDb, DbError> {
+        let store = Store::from_bytes(data)?;
+        Ok(TraceDb {
+            ecalls: store.get()?,
+            ocalls: store.get()?,
+            aex: store.get()?,
+            paging: store.get()?,
+            sync: store.get()?,
+            enclaves: store.get()?,
+            symbols: store.get()?,
+        })
+    }
+
+    /// Writes the trace to a file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), DbError> {
+        self.to_store().save(path)
+    }
+
+    /// Loads a trace from a file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors and corruption.
+    pub fn load(path: impl AsRef<Path>) -> Result<TraceDb, DbError> {
+        let store = Store::load(path)?;
+        Ok(TraceDb {
+            ecalls: store.get()?,
+            ocalls: store.get()?,
+            aex: store.get()?,
+            paging: store.get()?,
+            sync: store.get()?,
+            enclaves: store.get()?,
+            symbols: store.get()?,
+        })
+    }
+
+    /// Total recorded call events (ecalls + ocalls).
+    pub fn event_count(&self) -> usize {
+        self.ecalls.len() + self.ocalls.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_with_rows() {
+        let mut trace = TraceDb::default();
+        trace.ecalls.insert(EcallRow {
+            thread: 0,
+            enclave: 1,
+            call_index: 0,
+            start_ns: 100,
+            end_ns: 200,
+            parent_ocall: None,
+            aex_count: 0,
+            failed: false,
+        });
+        trace.paging.insert(PagingRow {
+            enclave: 1,
+            out: true,
+            vaddr: 0x1000,
+            time_ns: 150,
+        });
+        let back = TraceDb::from_bytes(&trace.to_bytes()).unwrap();
+        assert_eq!(back.ecalls.len(), 1);
+        assert_eq!(back.paging.len(), 1);
+        assert_eq!(back.event_count(), 1);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("sgx-perf-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.evdb");
+        let trace = TraceDb::default();
+        trace.save(&path).unwrap();
+        let back = TraceDb::load(&path).unwrap();
+        assert_eq!(back.event_count(), 0);
+        std::fs::remove_file(path).unwrap();
+    }
+}

@@ -1,0 +1,258 @@
+//! The working-set estimator (§4.2).
+//!
+//! Reports how many enclave pages are accessed between two configurable
+//! points in time, at page granularity — useful for right-sizing enclaves.
+//! It operates by stripping all MMU page permissions from enclave pages,
+//! catching the resulting access faults and restoring permissions on
+//! access. This works because page permissions are checked twice — by the
+//! MMU first, then by SGX — and the MMU permissions can be changed at
+//! runtime while the SGX (EPCM) ones are fixed.
+//!
+//! The estimator "heavily interferes with enclave execution" (§4), which is
+//! why it is a separate tool from the event logger; each caught fault costs
+//! fault-delivery time in the simulation too.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use sgx_sim::{EnclaveId, Machine, MmuFault, SimError};
+
+/// A working-set measurement between two marks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkingSet {
+    /// Distinct pages touched in the interval.
+    pub pages: usize,
+    /// The page indexes, for layout attribution.
+    pub page_indexes: Vec<usize>,
+}
+
+impl WorkingSet {
+    /// The working set size in bytes.
+    pub fn bytes(&self) -> usize {
+        self.pages * sgx_sim::PAGE_SIZE
+    }
+
+    /// The working set size in MiB.
+    pub fn mib(&self) -> f64 {
+        self.bytes() as f64 / (1024.0 * 1024.0)
+    }
+}
+
+struct WseState {
+    touched: BTreeSet<usize>,
+}
+
+/// The attached working-set estimator for one enclave.
+///
+/// # Examples
+///
+/// ```no_run
+/// # use sgx_perf::WorkingSetEstimator;
+/// # use sgx_sim::{EnclaveConfig, EnclaveId, Machine};
+/// # use sim_core::{Clock, HwProfile};
+/// # use std::sync::Arc;
+/// # let machine = Arc::new(Machine::new(Clock::new(), HwProfile::Unpatched));
+/// # let eid = machine.create_enclave(&EnclaveConfig::default()).unwrap();
+/// let wse = WorkingSetEstimator::attach(&machine, eid)?;
+/// // ... run the start-up phase of the workload ...
+/// let startup = wse.mark()?; // pages touched during start-up
+/// // ... run the steady-state phase ...
+/// let steady = wse.mark()?;  // pages touched since the first mark
+/// assert!(steady.pages <= startup.pages + steady.pages);
+/// # Ok::<(), sgx_sim::SimError>(())
+/// ```
+pub struct WorkingSetEstimator {
+    machine: Arc<Machine>,
+    enclave: EnclaveId,
+    state: Arc<Mutex<WseState>>,
+    detached: bool,
+}
+
+impl std::fmt::Debug for WorkingSetEstimator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkingSetEstimator")
+            .field("enclave", &self.enclave)
+            .field("touched", &self.state.lock().touched.len())
+            .finish()
+    }
+}
+
+impl WorkingSetEstimator {
+    /// Attaches the estimator: strips all MMU permissions from the
+    /// enclave's pages and installs the access-fault handler.
+    ///
+    /// Only one estimator (or other fault-handler user) can be attached to
+    /// a machine at a time.
+    ///
+    /// # Errors
+    ///
+    /// Propagates hardware-layer failures (e.g. unknown enclave).
+    pub fn attach(
+        machine: &Arc<Machine>,
+        enclave: EnclaveId,
+    ) -> Result<WorkingSetEstimator, SimError> {
+        let state = Arc::new(Mutex::new(WseState {
+            touched: BTreeSet::new(),
+        }));
+        let handler_state = Arc::clone(&state);
+        let target = enclave;
+        machine.set_mmu_fault_handler(Some(Arc::new(move |fault: &MmuFault| {
+            if fault.enclave == target {
+                handler_state.lock().touched.insert(fault.page_index);
+            }
+        })));
+        machine.strip_mmu_perms(enclave)?;
+        Ok(WorkingSetEstimator {
+            machine: Arc::clone(machine),
+            enclave,
+            state,
+            detached: false,
+        })
+    }
+
+    /// Ends the current measurement interval: returns the set of pages
+    /// touched since attach (or since the previous mark) and re-strips
+    /// permissions so a new interval begins.
+    ///
+    /// # Errors
+    ///
+    /// Propagates hardware-layer failures.
+    pub fn mark(&self) -> Result<WorkingSet, SimError> {
+        let touched: Vec<usize> = {
+            let mut st = self.state.lock();
+            let pages = std::mem::take(&mut st.touched);
+            pages.into_iter().collect()
+        };
+        // Start the next interval: permissions stripped again.
+        self.machine.strip_mmu_perms(self.enclave)?;
+        Ok(WorkingSet {
+            pages: touched.len(),
+            page_indexes: touched,
+        })
+    }
+
+    /// Pages touched so far in the current interval (without ending it).
+    pub fn touched_so_far(&self) -> usize {
+        self.state.lock().touched.len()
+    }
+
+    /// Detaches the estimator: restores page permissions and removes the
+    /// fault handler.
+    ///
+    /// # Errors
+    ///
+    /// Propagates hardware-layer failures.
+    pub fn detach(mut self) -> Result<(), SimError> {
+        self.machine.set_mmu_fault_handler(None);
+        self.machine.restore_mmu_perms(self.enclave)?;
+        self.detached = true;
+        Ok(())
+    }
+}
+
+impl Drop for WorkingSetEstimator {
+    fn drop(&mut self) {
+        if !self.detached {
+            self.machine.set_mmu_fault_handler(None);
+            // Best-effort restore; the enclave may already be gone.
+            let _ = self.machine.restore_mmu_perms(self.enclave);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgx_sim::{AccessKind, EnclaveConfig, ThreadToken};
+    use sim_core::{Clock, HwProfile};
+
+    fn setup() -> (Arc<Machine>, EnclaveId) {
+        let machine = Arc::new(Machine::new(Clock::new(), HwProfile::Unpatched));
+        let eid = machine.create_enclave(&EnclaveConfig::default()).unwrap();
+        (machine, eid)
+    }
+
+    #[test]
+    fn counts_distinct_pages_between_marks() {
+        let (machine, eid) = setup();
+        let wse = WorkingSetEstimator::attach(&machine, eid).unwrap();
+        let heap = machine.heap_range(eid).unwrap();
+        // Touch 5 heap pages, two of them twice.
+        machine
+            .touch(eid, ThreadToken::MAIN, heap.start..heap.start + 5, AccessKind::Write)
+            .unwrap();
+        machine
+            .touch(eid, ThreadToken::MAIN, heap.start..heap.start + 2, AccessKind::Read)
+            .unwrap();
+        let ws = wse.mark().unwrap();
+        assert_eq!(ws.pages, 5);
+        assert_eq!(ws.bytes(), 5 * 4096);
+    }
+
+    #[test]
+    fn marks_partition_accesses() {
+        let (machine, eid) = setup();
+        let wse = WorkingSetEstimator::attach(&machine, eid).unwrap();
+        let heap = machine.heap_range(eid).unwrap();
+        machine
+            .touch(eid, ThreadToken::MAIN, heap.start..heap.start + 3, AccessKind::Write)
+            .unwrap();
+        let first = wse.mark().unwrap();
+        // Touch 2 pages in the second interval: 1 old, 1 new.
+        machine
+            .touch(eid, ThreadToken::MAIN, heap.start + 2..heap.start + 4, AccessKind::Write)
+            .unwrap();
+        let second = wse.mark().unwrap();
+        assert_eq!(first.pages, 3);
+        assert_eq!(second.pages, 2);
+    }
+
+    #[test]
+    fn detach_restores_normal_execution() {
+        let (machine, eid) = setup();
+        let wse = WorkingSetEstimator::attach(&machine, eid).unwrap();
+        wse.detach().unwrap();
+        // No handler installed anymore, but permissions restored: touching
+        // pages must not fault.
+        let heap = machine.heap_range(eid).unwrap();
+        let stats = machine
+            .touch(eid, ThreadToken::MAIN, heap.start..heap.start + 1, AccessKind::Write)
+            .unwrap();
+        assert_eq!(stats.mmu_faults, 0);
+    }
+
+    #[test]
+    fn touched_so_far_reports_live_count() {
+        let (machine, eid) = setup();
+        let wse = WorkingSetEstimator::attach(&machine, eid).unwrap();
+        assert_eq!(wse.touched_so_far(), 0);
+        let heap = machine.heap_range(eid).unwrap();
+        machine
+            .touch(eid, ThreadToken::MAIN, heap.start..heap.start + 2, AccessKind::Write)
+            .unwrap();
+        assert_eq!(wse.touched_so_far(), 2);
+    }
+
+    #[test]
+    fn estimation_costs_time() {
+        // §4.2: the estimator heavily interferes with execution — each
+        // fault costs virtual time.
+        let (machine, eid) = setup();
+        let wse = WorkingSetEstimator::attach(&machine, eid).unwrap();
+        let heap = machine.heap_range(eid).unwrap();
+        let before = machine.clock().now();
+        machine
+            .touch(eid, ThreadToken::MAIN, heap.clone(), AccessKind::Write)
+            .unwrap();
+        let with_wse = machine.clock().now() - before;
+        wse.mark().unwrap();
+        wse.detach().unwrap();
+        let before = machine.clock().now();
+        machine
+            .touch(eid, ThreadToken::MAIN, heap, AccessKind::Write)
+            .unwrap();
+        let without = machine.clock().now() - before;
+        assert!(with_wse > without);
+    }
+}

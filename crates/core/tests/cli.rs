@@ -1,0 +1,119 @@
+//! Smoke tests of the `sgxperf` command-line analyser.
+
+use std::process::Command;
+use std::sync::Arc;
+
+use sgx_perf::{Logger, LoggerConfig};
+use sgx_sdk::{CallData, OcallTableBuilder, Runtime, ThreadCtx};
+use sgx_sim::{EnclaveConfig, Machine};
+use sim_core::{Clock, HwProfile, Nanos};
+
+/// Records a small trace with one hot ecall + nested ocall and writes it
+/// to a temp file; returns the path.
+fn record_trace(tag: &str) -> std::path::PathBuf {
+    let machine = Arc::new(Machine::new(Clock::new(), HwProfile::Unpatched));
+    let rt = Runtime::new(machine);
+    let spec = sgx_edl::parse(
+        "enclave { trusted { public void ecall_step(uint64_t i); };
+                   untrusted { void ocall_note(uint64_t i); }; };",
+    )
+    .unwrap();
+    let enclave = rt.create_enclave(&spec, &EnclaveConfig::default()).unwrap();
+    enclave
+        .register_ecall("ecall_step", |ctx, data| {
+            ctx.compute(Nanos::from_micros(1))?;
+            ctx.ocall("ocall_note", &mut CallData::new(data.scalar))
+        })
+        .unwrap();
+    let mut builder = OcallTableBuilder::new(enclave.spec());
+    builder
+        .register("ocall_note", |h, _| {
+            h.compute(Nanos::from_nanos(300));
+            Ok(())
+        })
+        .unwrap();
+    let table = Arc::new(builder.build().unwrap());
+    let logger = Logger::attach(&rt, LoggerConfig::default());
+    let tcx = ThreadCtx::main();
+    for i in 0..64 {
+        rt.ecall(&tcx, enclave.id(), "ecall_step", &table, &mut CallData::new(i))
+            .unwrap();
+    }
+    let dir = std::env::temp_dir().join("sgxperf-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("{tag}.evdb"));
+    logger.finish().save(&path).unwrap();
+    path
+}
+
+fn sgxperf(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_sgxperf"))
+        .args(args)
+        .output()
+        .expect("spawn sgxperf");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn report_command_prints_findings() {
+    let trace = record_trace("report");
+    let (stdout, _, ok) = sgxperf(&["report", trace.to_str().unwrap()]);
+    assert!(ok);
+    assert!(stdout.contains("sgx-perf analysis report"), "{stdout}");
+    assert!(stdout.contains("ecall_step"), "{stdout}");
+    // The 1 us ecall in a tight loop must be flagged.
+    assert!(stdout.contains("SISC") || stdout.contains("batch"), "{stdout}");
+}
+
+#[test]
+fn dot_command_emits_graphviz() {
+    let trace = record_trace("dot");
+    let (stdout, _, ok) = sgxperf(&["dot", trace.to_str().unwrap()]);
+    assert!(ok);
+    assert!(stdout.starts_with("digraph"), "{stdout}");
+    assert!(stdout.contains("ocall_note"), "{stdout}");
+}
+
+#[test]
+fn hist_command_renders_ascii() {
+    let trace = record_trace("hist");
+    let (stdout, _, ok) = sgxperf(&["hist", trace.to_str().unwrap(), "ecall_step"]);
+    assert!(ok);
+    assert!(stdout.contains('#'), "{stdout}");
+}
+
+#[test]
+fn scatter_command_emits_csv() {
+    let trace = record_trace("scatter");
+    let (stdout, _, ok) = sgxperf(&["scatter", trace.to_str().unwrap(), "ecall_step"]);
+    assert!(ok);
+    assert!(stdout.starts_with("time_ns,duration_ns"), "{stdout}");
+    assert_eq!(stdout.lines().count(), 65); // header + 64 points
+}
+
+#[test]
+fn info_command_counts_tables() {
+    let trace = record_trace("info");
+    let (stdout, _, ok) = sgxperf(&["info", trace.to_str().unwrap()]);
+    assert!(ok);
+    assert!(stdout.contains("ecalls: 64"), "{stdout}");
+    assert!(stdout.contains("ocalls: 64"), "{stdout}");
+}
+
+#[test]
+fn bad_inputs_fail_cleanly() {
+    let (_, stderr, ok) = sgxperf(&["report", "/nonexistent/trace.evdb"]);
+    assert!(!ok);
+    assert!(stderr.contains("cannot load"), "{stderr}");
+    let trace = record_trace("bad");
+    let (_, stderr, ok) = sgxperf(&["hist", trace.to_str().unwrap(), "no_such_call"]);
+    assert!(!ok);
+    assert!(stderr.contains("no call named"), "{stderr}");
+    let (_, stderr, ok) = sgxperf(&["frobnicate", trace.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"), "{stderr}");
+}

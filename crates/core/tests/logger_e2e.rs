@@ -1,0 +1,339 @@
+//! End-to-end logger tests against the simulated SDK: the interposition
+//! mechanics of §4.1 and the overhead numbers of Table 2.
+
+use std::sync::Arc;
+
+use sgx_perf::{AexMode, Logger, LoggerConfig};
+use sgx_sdk::{CallData, OcallTableBuilder, Runtime, SgxThreadMutex, ThreadCtx};
+use sgx_sim::{EnclaveConfig, Machine};
+use sim_core::{Clock, HwProfile, Nanos};
+use sim_threads::Simulation;
+
+struct App {
+    rt: Arc<Runtime>,
+    enclave: Arc<sgx_sdk::Enclave>,
+    table: Arc<sgx_sdk::OcallTable>,
+}
+
+/// Builds the standard test app: `ecall_work` computing for
+/// `data.scalar` ns, `ecall_io` doing one ocall, `ocall_io` computing
+/// 1 us outside.
+fn app(profile: HwProfile) -> App {
+    let machine = Arc::new(Machine::new(Clock::new(), profile));
+    let rt = Runtime::new(machine);
+    let spec = sgx_edl::parse(
+        "enclave {
+            trusted {
+                public void ecall_work(uint64_t ns);
+                public void ecall_io();
+            };
+            untrusted { void ocall_io(); };
+        };",
+    )
+    .unwrap();
+    let enclave = rt
+        .create_enclave(
+            &spec,
+            &EnclaveConfig {
+                tcs_count: 4,
+                ..EnclaveConfig::default()
+            },
+        )
+        .unwrap();
+    enclave
+        .register_ecall("ecall_work", |ctx, data| {
+            ctx.compute(Nanos::from_nanos(data.scalar))?;
+            Ok(())
+        })
+        .unwrap();
+    enclave
+        .register_ecall("ecall_io", |ctx, _| ctx.ocall("ocall_io", &mut CallData::default()))
+        .unwrap();
+    let mut builder = OcallTableBuilder::new(enclave.spec());
+    builder
+        .register("ocall_io", |host, _| {
+            host.compute(Nanos::from_micros(1));
+            Ok(())
+        })
+        .unwrap();
+    let table = Arc::new(builder.build().unwrap());
+    App { rt, enclave, table }
+}
+
+#[test]
+fn logged_empty_ecall_costs_5572ns() {
+    // Table 2 (1): 4,205 ns native + ~1,366 ns logging = 5,571 ns.
+    let app = app(HwProfile::Unpatched);
+    let logger = Logger::attach(&app.rt, LoggerConfig::default());
+    let tcx = ThreadCtx::main();
+    let before = app.rt.machine().clock().now();
+    app.rt
+        .ecall(&tcx, app.enclave.id(), "ecall_work", &app.table, &mut CallData::new(0))
+        .unwrap();
+    let elapsed = app.rt.machine().clock().now() - before;
+    assert_eq!(elapsed, Nanos::from_nanos(5_571)); // paper: 5,572 (rounding)
+    let trace = logger.finish();
+    assert_eq!(trace.ecalls.len(), 1);
+}
+
+#[test]
+fn logged_ecall_plus_ocall_costs_10699ns() {
+    // Table 2 (2): 8,013 ns native + 1,366 (ecall) + 1,320 (ocall).
+    let machine = Arc::new(Machine::new(Clock::new(), HwProfile::Unpatched));
+    let rt = Runtime::new(machine);
+    let spec = sgx_edl::parse(
+        "enclave { trusted { public void ecall_io(); };
+                   untrusted { void ocall_empty(); }; };",
+    )
+    .unwrap();
+    let enclave = rt.create_enclave(&spec, &EnclaveConfig::default()).unwrap();
+    enclave
+        .register_ecall("ecall_io", |ctx, _| ctx.ocall("ocall_empty", &mut CallData::default()))
+        .unwrap();
+    let mut builder = OcallTableBuilder::new(enclave.spec());
+    builder.register("ocall_empty", |_, _| Ok(())).unwrap();
+    let table = Arc::new(builder.build().unwrap());
+    let logger = Logger::attach(&rt, LoggerConfig::default());
+    let before = rt.machine().clock().now();
+    rt.ecall(
+        &ThreadCtx::main(),
+        enclave.id(),
+        "ecall_io",
+        &table,
+        &mut CallData::default(),
+    )
+    .unwrap();
+    let elapsed = rt.machine().clock().now() - before;
+    assert_eq!(elapsed, Nanos::from_nanos(10_699));
+    let trace = logger.finish();
+    assert_eq!(trace.ecalls.len(), 1);
+    assert_eq!(trace.ocalls.len(), 1);
+}
+
+#[test]
+fn ocall_duration_excludes_transition_ecall_includes_it() {
+    // §4.1.2: ocall timestamps are recorded outside the enclave, so the
+    // same 1 us of work appears shorter for the ocall than the ecall.
+    let app = app(HwProfile::Unpatched);
+    let logger = Logger::attach(&app.rt, LoggerConfig::default());
+    let tcx = ThreadCtx::main();
+    // ecall doing 1 us of in-enclave work.
+    app.rt
+        .ecall(&tcx, app.enclave.id(), "ecall_work", &app.table, &mut CallData::new(1_000))
+        .unwrap();
+    // ecall performing the 1 us ocall.
+    app.rt
+        .ecall(&tcx, app.enclave.id(), "ecall_io", &app.table, &mut CallData::default())
+        .unwrap();
+    let trace = logger.finish();
+    let work = trace.ecalls.iter().next().unwrap();
+    let io_ocall = trace.ocalls.iter().next().unwrap();
+    let work_duration = work.end_ns - work.start_ns;
+    let ocall_duration = io_ocall.end_ns - io_ocall.start_ns;
+    // Both did 1 us of work; the ecall's measured duration carries the
+    // 4,205 ns of transition+dispatch on top, the ocall's doesn't.
+    assert_eq!(ocall_duration, 1_000);
+    assert_eq!(work_duration, 1_000 + 4_205);
+}
+
+#[test]
+fn direct_parents_are_recorded() {
+    let app = app(HwProfile::Unpatched);
+    let logger = Logger::attach(&app.rt, LoggerConfig::default());
+    let tcx = ThreadCtx::main();
+    app.rt
+        .ecall(&tcx, app.enclave.id(), "ecall_io", &app.table, &mut CallData::default())
+        .unwrap();
+    let trace = logger.finish();
+    let ocall = trace.ocalls.iter().next().unwrap();
+    assert_eq!(ocall.parent_ecall, Some(0));
+}
+
+#[test]
+fn aex_counting_and_tracing_match_table2() {
+    // Table 2 (3): a 45,377 us ecall sees ≈11.5 AEXs; counting costs
+    // ≈1,076 ns per AEX, tracing ≈1,118 ns.
+    for (mode, per_aex) in [(AexMode::Count, 1_076u64), (AexMode::Trace, 1_118u64)] {
+        let app = app(HwProfile::Unpatched);
+        let logger = Logger::attach(&app.rt, LoggerConfig::with_aex(mode));
+        let tcx = ThreadCtx::main();
+        let before = app.rt.machine().clock().now();
+        app.rt
+            .ecall(
+                &tcx,
+                app.enclave.id(),
+                "ecall_work",
+                &app.table,
+                &mut CallData::new(45_377_000),
+            )
+            .unwrap();
+        let elapsed = (app.rt.machine().clock().now() - before).as_nanos();
+        let trace = logger.finish();
+        let row = trace.ecalls.iter().next().unwrap();
+        assert!((11..=12).contains(&row.aex_count), "{:?}", row.aex_count);
+        // The AEX observation overhead is part of the elapsed time.
+        let base = 45_377_000 + 5_571; // work + logged empty-ecall cost
+        let aex_hw = row.aex_count * app.rt.machine().cost_model().aex_roundtrip().as_nanos();
+        assert_eq!(elapsed, base + aex_hw + row.aex_count * per_aex);
+        match mode {
+            AexMode::Trace => assert_eq!(trace.aex.len() as u64, row.aex_count),
+            _ => assert_eq!(trace.aex.len(), 0),
+        }
+    }
+}
+
+#[test]
+fn paging_events_are_traced() {
+    let app = app(HwProfile::Unpatched);
+    let logger = Logger::attach(&app.rt, LoggerConfig::default());
+    // Evict everything, then run an ecall: entry pages fault back in.
+    app.rt.machine().evict_all(app.enclave.id()).unwrap();
+    let tcx = ThreadCtx::main();
+    app.rt
+        .ecall(&tcx, app.enclave.id(), "ecall_work", &app.table, &mut CallData::new(0))
+        .unwrap();
+    let trace = logger.finish();
+    let ins = trace.paging.iter().filter(|p| !p.out).count();
+    let outs = trace.paging.iter().filter(|p| p.out).count();
+    assert!(ins >= 2, "expected entry-page page-ins, got {ins}");
+    // The forced eviction itself was traced as page-outs (one per
+    // resident page), timestamped before the page-ins.
+    let info = app.rt.machine().enclave_info(app.enclave.id()).unwrap();
+    assert_eq!(outs, info.total_pages);
+    let first_in = trace.paging.iter().find(|p| !p.out).unwrap();
+    assert!(trace
+        .paging
+        .iter()
+        .filter(|p| p.out)
+        .all(|p| p.time_ns <= first_in.time_ns));
+}
+
+#[test]
+fn sync_ocalls_are_classified() {
+    let machine = Arc::new(Machine::new(Clock::new(), HwProfile::Unpatched));
+    let rt = Runtime::new(machine);
+    let spec = sgx_edl::parse("enclave { trusted { public void ecall_crit(); }; };").unwrap();
+    let enclave = rt
+        .create_enclave(
+            &spec,
+            &EnclaveConfig {
+                tcs_count: 2,
+                ..EnclaveConfig::default()
+            },
+        )
+        .unwrap();
+    let mutex = Arc::new(SgxThreadMutex::new());
+    let m2 = Arc::clone(&mutex);
+    enclave
+        .register_ecall("ecall_crit", move |ctx, _| {
+            m2.lock(ctx)?;
+            if let Some(sim) = ctx.thread().sim {
+                sim.yield_now();
+            }
+            ctx.compute(Nanos::from_micros(1))?;
+            m2.unlock(ctx)?;
+            Ok(())
+        })
+        .unwrap();
+    let table = Arc::new(OcallTableBuilder::new(enclave.spec()).build().unwrap());
+    let logger = Logger::attach(&rt, LoggerConfig::default());
+
+    let sim = Simulation::new(rt.machine().clock().clone());
+    for _ in 0..2 {
+        let rt = Arc::clone(&rt);
+        let table = Arc::clone(&table);
+        let eid = enclave.id();
+        sim.spawn("worker", move |ctx| {
+            let tcx = ThreadCtx::from_sim(ctx);
+            rt.ecall(&tcx, eid, "ecall_crit", &table, &mut CallData::default())
+                .unwrap();
+        });
+    }
+    sim.run();
+    let trace = logger.finish();
+    let sleeps = trace.sync.iter().filter(|s| s.sleep).count();
+    let wakes = trace.sync.iter().filter(|s| !s.sleep).count();
+    assert_eq!(sleeps, 1, "{:?}", trace.sync);
+    assert_eq!(wakes, 1);
+    // The dependency edge: waker thread 0 woke sleeper thread 1.
+    let wake = trace.sync.iter().find(|s| !s.sleep).unwrap();
+    assert_eq!(wake.target_thread, Some(1));
+    assert_eq!(wake.thread, 0);
+}
+
+#[test]
+fn symbols_are_captured_once_per_enclave() {
+    let app = app(HwProfile::Unpatched);
+    let logger = Logger::attach(&app.rt, LoggerConfig::default());
+    let tcx = ThreadCtx::main();
+    for _ in 0..3 {
+        app.rt
+            .ecall(&tcx, app.enclave.id(), "ecall_work", &app.table, &mut CallData::new(0))
+            .unwrap();
+    }
+    let trace = logger.finish();
+    // 2 ecalls + 1 ocall + 4 implicit sync ocalls = 7 symbols, once.
+    assert_eq!(trace.symbols.len(), 7);
+    assert!(trace
+        .symbols
+        .iter()
+        .any(|s| s.kind_is_ecall && s.name == "ecall_work" && s.public));
+}
+
+#[test]
+fn disabled_logger_is_pass_through() {
+    let app = app(HwProfile::Unpatched);
+    let logger = Logger::attach(&app.rt, LoggerConfig::default());
+    logger.set_enabled(false);
+    let tcx = ThreadCtx::main();
+    let before = app.rt.machine().clock().now();
+    app.rt
+        .ecall(&tcx, app.enclave.id(), "ecall_work", &app.table, &mut CallData::new(0))
+        .unwrap();
+    let elapsed = app.rt.machine().clock().now() - before;
+    // Native cost, no logging overhead, nothing recorded.
+    assert_eq!(elapsed, Nanos::from_nanos(4_205));
+    assert_eq!(logger.counts(), (0, 0));
+}
+
+#[test]
+fn trace_roundtrips_through_file() {
+    let app = app(HwProfile::Unpatched);
+    let logger = Logger::attach(&app.rt, LoggerConfig::default());
+    let tcx = ThreadCtx::main();
+    for i in 0..10 {
+        app.rt
+            .ecall(&tcx, app.enclave.id(), "ecall_work", &app.table, &mut CallData::new(i * 100))
+            .unwrap();
+    }
+    let trace = logger.finish();
+    let dir = std::env::temp_dir().join("sgx-perf-e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("trace.evdb");
+    trace.save(&path).unwrap();
+    let back = sgx_perf::TraceDb::load(&path).unwrap();
+    assert_eq!(back.ecalls.len(), 10);
+    assert_eq!(back.symbols.len(), trace.symbols.len());
+    std::fs::remove_file(path).unwrap();
+}
+
+#[test]
+fn stub_table_created_once_per_ocall_table() {
+    // §4.1.2: "Call stub and table creation is only needed once per ocall
+    // table." Repeated calls must reuse the cached stub table; we verify
+    // indirectly: repeated calls all get traced and costs stay constant.
+    let app = app(HwProfile::Unpatched);
+    let logger = Logger::attach(&app.rt, LoggerConfig::default());
+    let tcx = ThreadCtx::main();
+    let mut costs = Vec::new();
+    for _ in 0..5 {
+        let before = app.rt.machine().clock().now();
+        app.rt
+            .ecall(&tcx, app.enclave.id(), "ecall_io", &app.table, &mut CallData::default())
+            .unwrap();
+        costs.push((app.rt.machine().clock().now() - before).as_nanos());
+    }
+    assert!(costs.windows(2).all(|w| w[0] == w[1]), "{costs:?}");
+    let trace = logger.finish();
+    assert_eq!(trace.ocalls.len(), 5);
+}

@@ -1,0 +1,268 @@
+//! Binary encoding primitives.
+//!
+//! Little-endian fixed-width integers, IEEE-754 doubles, and
+//! length-prefixed UTF-8 strings/byte blobs. All decode paths are
+//! bounds-checked and return [`DbError::Corrupt`] rather than panicking.
+
+use crate::DbError;
+
+/// Append-only binary encoder.
+#[derive(Debug, Default)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// Creates an empty encoder.
+    pub fn new() -> Encoder {
+        Encoder::default()
+    }
+
+    /// Consumes the encoder, returning the bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Writes one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Writes a little-endian u32.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a little-endian u64.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a little-endian i64.
+    pub fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes an IEEE-754 double.
+    pub fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a boolean as one byte.
+    pub fn bool(&mut self, v: bool) {
+        self.u8(u8::from(v));
+    }
+
+    /// Writes a usize as u64 (portable row counts / indexes).
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Writes a length-prefixed byte blob.
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.u32(u32::try_from(v.len()).expect("blob larger than 4 GiB"));
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Writes a length-prefixed UTF-8 string.
+    pub fn str(&mut self, v: &str) {
+        self.bytes(v.as_bytes());
+    }
+
+    /// Writes an `Option` as a presence byte followed by the value.
+    pub fn option<T>(&mut self, v: &Option<T>, mut write: impl FnMut(&mut Encoder, &T)) {
+        match v {
+            Some(value) => {
+                self.bool(true);
+                write(self, value);
+            }
+            None => self.bool(false),
+        }
+    }
+}
+
+/// Bounds-checked binary decoder over a byte slice.
+#[derive(Debug)]
+pub struct Decoder<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// Creates a decoder at position 0.
+    pub fn new(data: &'a [u8]) -> Decoder<'a> {
+        Decoder { data, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Whether the input was fully consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DbError> {
+        if self.remaining() < n {
+            return Err(DbError::Corrupt(format!(
+                "truncated input: wanted {n} bytes at offset {}, {} remain",
+                self.pos,
+                self.remaining()
+            )));
+        }
+        let slice = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, DbError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian u32.
+    pub fn u32(&mut self) -> Result<u32, DbError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian u64.
+    pub fn u64(&mut self) -> Result<u64, DbError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian i64.
+    pub fn i64(&mut self) -> Result<i64, DbError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads an IEEE-754 double.
+    pub fn f64(&mut self) -> Result<f64, DbError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a boolean; any byte other than 0/1 is corruption.
+    pub fn bool(&mut self) -> Result<bool, DbError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(DbError::Corrupt(format!("invalid bool byte {other}"))),
+        }
+    }
+
+    /// Reads a usize stored as u64, rejecting values beyond the platform.
+    pub fn usize(&mut self) -> Result<usize, DbError> {
+        let v = self.u64()?;
+        usize::try_from(v).map_err(|_| DbError::Corrupt(format!("usize overflow: {v}")))
+    }
+
+    /// Reads a length-prefixed byte blob.
+    pub fn bytes(&mut self) -> Result<&'a [u8], DbError> {
+        let len = self.u32()? as usize;
+        self.take(len)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, DbError> {
+        let raw = self.bytes()?;
+        std::str::from_utf8(raw)
+            .map(str::to_string)
+            .map_err(|e| DbError::Corrupt(format!("invalid utf-8 string: {e}")))
+    }
+
+    /// Reads an `Option` written by [`Encoder::option`].
+    pub fn option<T>(
+        &mut self,
+        mut read: impl FnMut(&mut Decoder<'a>) -> Result<T, DbError>,
+    ) -> Result<Option<T>, DbError> {
+        if self.bool()? {
+            Ok(Some(read(self)?))
+        } else {
+            Ok(None)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrip() {
+        let mut e = Encoder::new();
+        e.u8(7);
+        e.u32(0xdeadbeef);
+        e.u64(u64::MAX);
+        e.i64(-42);
+        e.f64(3.5);
+        e.bool(true);
+        e.usize(12345);
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes);
+        assert_eq!(d.u8().unwrap(), 7);
+        assert_eq!(d.u32().unwrap(), 0xdeadbeef);
+        assert_eq!(d.u64().unwrap(), u64::MAX);
+        assert_eq!(d.i64().unwrap(), -42);
+        assert_eq!(d.f64().unwrap(), 3.5);
+        assert!(d.bool().unwrap());
+        assert_eq!(d.usize().unwrap(), 12345);
+        assert!(d.is_exhausted());
+    }
+
+    #[test]
+    fn string_and_bytes_roundtrip() {
+        let mut e = Encoder::new();
+        e.str("héllo wörld");
+        e.bytes(&[1, 2, 3]);
+        e.str("");
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes);
+        assert_eq!(d.str().unwrap(), "héllo wörld");
+        assert_eq!(d.bytes().unwrap(), &[1, 2, 3]);
+        assert_eq!(d.str().unwrap(), "");
+    }
+
+    #[test]
+    fn option_roundtrip() {
+        let mut e = Encoder::new();
+        e.option(&Some(9u64), |e, v| e.u64(*v));
+        e.option(&None::<u64>, |e, v| e.u64(*v));
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes);
+        assert_eq!(d.option(|d| d.u64()).unwrap(), Some(9));
+        assert_eq!(d.option(|d| d.u64()).unwrap(), None);
+    }
+
+    #[test]
+    fn truncated_input_is_corrupt_not_panic() {
+        let mut d = Decoder::new(&[1, 2]);
+        let err = d.u64().unwrap_err();
+        assert!(matches!(err, DbError::Corrupt(_)));
+    }
+
+    #[test]
+    fn invalid_bool_is_corrupt() {
+        let mut d = Decoder::new(&[2]);
+        assert!(matches!(d.bool().unwrap_err(), DbError::Corrupt(_)));
+    }
+
+    #[test]
+    fn invalid_utf8_is_corrupt() {
+        let mut e = Encoder::new();
+        e.bytes(&[0xff, 0xfe]);
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes);
+        assert!(matches!(d.str().unwrap_err(), DbError::Corrupt(_)));
+    }
+}

@@ -1,0 +1,264 @@
+//! The on-disk container: named table sections with a versioned header.
+//!
+//! Layout:
+//!
+//! ```text
+//! magic   "EVDB"          4 bytes
+//! version u8              currently 1
+//! count   u32             number of sections
+//! section*:
+//!   tag   str             table tag
+//!   blob  bytes           the encoded table
+//! ```
+
+use std::fs;
+use std::path::Path;
+
+use crate::codec::{Decoder, Encoder};
+use crate::table::{Record, Table};
+use crate::DbError;
+
+const MAGIC: &[u8; 4] = b"EVDB";
+const VERSION: u8 = 1;
+
+/// A set of encoded tables, addressable by their [`Record::TAG`], with
+/// binary (de)serialisation. This is the trace *file*; live recording
+/// happens in typed [`Table`]s which are `put` here at flush time.
+#[derive(Debug, Default, Clone)]
+pub struct Store {
+    sections: Vec<(String, Vec<u8>)>,
+}
+
+impl Store {
+    /// Creates an empty store.
+    pub fn new() -> Store {
+        Store::default()
+    }
+
+    /// Adds (or replaces) the section for `table`.
+    pub fn put<R: Record>(&mut self, table: &Table<R>) {
+        let mut enc = Encoder::new();
+        table.encode(&mut enc);
+        let blob = enc.into_bytes();
+        if let Some(slot) = self.sections.iter_mut().find(|(tag, _)| tag == R::TAG) {
+            slot.1 = blob;
+        } else {
+            self.sections.push((R::TAG.to_string(), blob));
+        }
+    }
+
+    /// Decodes the table for record type `R`.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::MissingTable`] if no section carries `R::TAG`;
+    /// [`DbError::Corrupt`] if the section fails to decode cleanly
+    /// (including trailing bytes).
+    pub fn get<R: Record>(&self) -> Result<Table<R>, DbError> {
+        let blob = self
+            .sections
+            .iter()
+            .find(|(tag, _)| tag == R::TAG)
+            .map(|(_, blob)| blob)
+            .ok_or(DbError::MissingTable(R::TAG))?;
+        let mut dec = Decoder::new(blob);
+        let table = Table::<R>::decode(&mut dec)?;
+        if !dec.is_exhausted() {
+            return Err(DbError::Corrupt(format!(
+                "{} trailing bytes after table `{}`",
+                dec.remaining(),
+                R::TAG
+            )));
+        }
+        Ok(table)
+    }
+
+    /// Tags of all sections in insertion order.
+    pub fn tags(&self) -> Vec<&str> {
+        self.sections.iter().map(|(tag, _)| tag.as_str()).collect()
+    }
+
+    /// Serialises the store to bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        for b in MAGIC {
+            enc.u8(*b);
+        }
+        enc.u8(VERSION);
+        enc.u32(u32::try_from(self.sections.len()).expect("too many sections"));
+        for (tag, blob) in &self.sections {
+            enc.str(tag);
+            enc.bytes(blob);
+        }
+        enc.into_bytes()
+    }
+
+    /// Parses a store from bytes.
+    pub fn from_bytes(data: &[u8]) -> Result<Store, DbError> {
+        let mut dec = Decoder::new(data);
+        let mut magic = [0u8; 4];
+        for b in &mut magic {
+            *b = dec.u8()?;
+        }
+        if &magic != MAGIC {
+            return Err(DbError::Corrupt(format!("bad magic {magic:?}")));
+        }
+        let version = dec.u8()?;
+        if version != VERSION {
+            return Err(DbError::Corrupt(format!(
+                "unsupported version {version} (supported: {VERSION})"
+            )));
+        }
+        let count = dec.u32()? as usize;
+        let mut sections = Vec::with_capacity(count.min(1024));
+        for _ in 0..count {
+            let tag = dec.str()?;
+            let blob = dec.bytes()?.to_vec();
+            sections.push((tag, blob));
+        }
+        if !dec.is_exhausted() {
+            return Err(DbError::Corrupt(format!(
+                "{} trailing bytes after last section",
+                dec.remaining()
+            )));
+        }
+        Ok(Store { sections })
+    }
+
+    /// Writes the store to a file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), DbError> {
+        fs::write(path, self.to_bytes())?;
+        Ok(())
+    }
+
+    /// Reads a store from a file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors and corruption.
+    pub fn load(path: impl AsRef<Path>) -> Result<Store, DbError> {
+        let data = fs::read(path)?;
+        Store::from_bytes(&data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct A(u64);
+    impl Record for A {
+        const TAG: &'static str = "a";
+        fn encode(&self, out: &mut Encoder) {
+            out.u64(self.0);
+        }
+        fn decode(r: &mut Decoder<'_>) -> Result<Self, DbError> {
+            Ok(A(r.u64()?))
+        }
+    }
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct B(String);
+    impl Record for B {
+        const TAG: &'static str = "b";
+        fn encode(&self, out: &mut Encoder) {
+            out.str(&self.0);
+        }
+        fn decode(r: &mut Decoder<'_>) -> Result<Self, DbError> {
+            Ok(B(r.str()?))
+        }
+    }
+
+    fn sample_store() -> Store {
+        let mut ta = Table::new();
+        ta.insert(A(1));
+        ta.insert(A(2));
+        let mut tb = Table::new();
+        tb.insert(B("x".into()));
+        let mut s = Store::new();
+        s.put(&ta);
+        s.put(&tb);
+        s
+    }
+
+    #[test]
+    fn multi_table_roundtrip() {
+        let s = sample_store();
+        let bytes = s.to_bytes();
+        let s2 = Store::from_bytes(&bytes).unwrap();
+        let ta: Table<A> = s2.get().unwrap();
+        let tb: Table<B> = s2.get().unwrap();
+        assert_eq!(ta.len(), 2);
+        assert_eq!(tb.iter().next().unwrap().0, "x");
+    }
+
+    #[test]
+    fn put_replaces_existing_section() {
+        let mut s = sample_store();
+        let mut ta = Table::new();
+        ta.insert(A(99));
+        s.put(&ta);
+        assert_eq!(s.tags(), vec!["a", "b"]);
+        let got: Table<A> = s.get().unwrap();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got.iter().next().unwrap().0, 99);
+    }
+
+    #[test]
+    fn missing_table_reported() {
+        let s = Store::new();
+        assert!(matches!(
+            s.get::<A>().unwrap_err(),
+            DbError::MissingTable("a")
+        ));
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = sample_store().to_bytes();
+        bytes[0] = b'X';
+        assert!(matches!(
+            Store::from_bytes(&bytes).unwrap_err(),
+            DbError::Corrupt(_)
+        ));
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut bytes = sample_store().to_bytes();
+        bytes[4] = 9;
+        let err = Store::from_bytes(&bytes).unwrap_err();
+        assert!(err.to_string().contains("version"), "{err}");
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let bytes = sample_store().to_bytes();
+        let err = Store::from_bytes(&bytes[..bytes.len() - 3]).unwrap_err();
+        assert!(matches!(err, DbError::Corrupt(_)));
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut bytes = sample_store().to_bytes();
+        bytes.push(0);
+        let err = Store::from_bytes(&bytes).unwrap_err();
+        assert!(err.to_string().contains("trailing"), "{err}");
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("eventdb-test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.evdb");
+        sample_store().save(&path).unwrap();
+        let s = Store::load(&path).unwrap();
+        assert_eq!(s.tags(), vec!["a", "b"]);
+        fs::remove_file(path).unwrap();
+    }
+}

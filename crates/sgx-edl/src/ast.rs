@@ -1,0 +1,91 @@
+//! Abstract syntax tree for EDL files.
+
+use crate::token::Pos;
+
+/// A parsed EDL file: the `trusted` and `untrusted` sections.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct EdlFile {
+    /// Ecall declarations, in source order.
+    pub trusted: Vec<FunctionDecl>,
+    /// Ocall declarations, in source order.
+    pub untrusted: Vec<FunctionDecl>,
+}
+
+/// One ecall or ocall declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FunctionDecl {
+    /// Function name.
+    pub name: String,
+    /// Return type (as written, e.g. `void`, `int`, `size_t`).
+    pub return_type: String,
+    /// Parameters in order.
+    pub params: Vec<ParamDecl>,
+    /// `public` keyword present (trusted section only; defaults to private
+    /// as in the SDK).
+    pub public: bool,
+    /// `allow(...)` ecall list (untrusted section only).
+    pub allowed_ecalls: Vec<String>,
+    /// Where the declaration starts.
+    pub pos: Pos,
+}
+
+/// One declared parameter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParamDecl {
+    /// Parameter name.
+    pub name: String,
+    /// Base type as written (`char`, `void`, `size_t`, ...).
+    pub base_type: String,
+    /// Whether the type is a pointer (`*`). Double pointers are recorded
+    /// with `pointer_depth == 2`.
+    pub pointer_depth: u8,
+    /// Attributes from the leading `[...]` group.
+    pub attrs: Vec<Attr>,
+    /// Where the parameter starts.
+    pub pos: Pos,
+}
+
+/// One attribute inside `[...]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Attr {
+    /// `in` — copy into the callee's side before the call.
+    In,
+    /// `out` — copy back after the call.
+    Out,
+    /// `user_check` — no copying or checking; the developer is on their own.
+    UserCheck,
+    /// `string` — NUL-terminated string semantics.
+    String,
+    /// `size=ident` or `size=N` — byte size of the buffer.
+    Size(SizeExpr),
+    /// `count=ident` or `count=N` — element count.
+    Count(SizeExpr),
+    /// `isptr` — the typedef is a pointer type (passed through).
+    IsPtr,
+}
+
+/// The value of a `size=`/`count=` attribute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SizeExpr {
+    /// References another parameter by name.
+    Param(String),
+    /// A constant.
+    Literal(u64),
+}
+
+impl ParamDecl {
+    /// Whether the parameter carries the `user_check` attribute.
+    pub fn is_user_check(&self) -> bool {
+        self.attrs.iter().any(|a| matches!(a, Attr::UserCheck))
+    }
+
+    /// Whether the parameter is copied in (`in` present).
+    pub fn is_in(&self) -> bool {
+        self.attrs.iter().any(|a| matches!(a, Attr::In))
+    }
+
+    /// Whether the parameter is copied out (`out` present).
+    pub fn is_out(&self) -> bool {
+        self.attrs.iter().any(|a| matches!(a, Attr::Out))
+    }
+}

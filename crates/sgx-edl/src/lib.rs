@@ -1,0 +1,86 @@
+//! Enclave Description Language (EDL) front-end.
+//!
+//! The Intel SGX SDK's `sgx_edger8r` tool consumes an EDL file describing
+//! the enclave interface — the set of ecalls and ocalls, their public/
+//! private status, which ecalls each ocall may re-enter with (`allow`), and
+//! how pointer arguments cross the boundary (`in`, `out`, `user_check`,
+//! `string`, `size=`, `count=`). This crate implements that language:
+//!
+//! * [`lex`](token::lex) — tokeniser with source positions,
+//! * [`parse`] — recursive-descent parser producing an [`ast::EdlFile`],
+//! * [`InterfaceSpec`] — the validated, index-assigned interface model the
+//!   simulated SDK registers at enclave load and the sgx-perf analyzer
+//!   consumes for its security analysis (§3.6, §4.3.2).
+//!
+//! # Examples
+//!
+//! ```
+//! let spec = sgx_edl::parse(r#"
+//!     enclave {
+//!         trusted {
+//!             public void ecall_store([in, size=len] char* buf, size_t len);
+//!             void ecall_notify(int fd);
+//!         };
+//!         untrusted {
+//!             int ocall_read([out, size=n] char* buf, size_t n)
+//!                 allow(ecall_notify);
+//!         };
+//!     };
+//! "#)?;
+//! assert_eq!(spec.ecalls().len(), 2);
+//! assert!(spec.ecall_by_name("ecall_store").unwrap().public);
+//! assert!(!spec.ecall_by_name("ecall_notify").unwrap().public);
+//! # Ok::<(), sgx_edl::EdlError>(())
+//! ```
+
+pub mod ast;
+pub mod codegen;
+pub mod parser;
+pub mod spec;
+pub mod token;
+
+pub use parser::parse_file;
+pub use spec::{EcallSpec, InterfaceBuilder, InterfaceSpec, OcallSpec, ParamSpec, PointerDir};
+pub use token::Pos;
+
+use std::fmt;
+
+/// Errors produced while lexing, parsing or validating EDL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EdlError {
+    /// Source position (1-based line and column) where the error occurred.
+    pub pos: Pos,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl EdlError {
+    pub(crate) fn new(pos: Pos, message: impl Into<String>) -> EdlError {
+        EdlError {
+            pos,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for EdlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.pos.line, self.pos.col, self.message)
+    }
+}
+
+impl std::error::Error for EdlError {}
+
+/// Parses and validates EDL source into an [`InterfaceSpec`].
+///
+/// This is the main entry point, equivalent to running `sgx_edger8r` on the
+/// file: ecall and ocall indexes are assigned in declaration order.
+///
+/// # Errors
+///
+/// Returns an [`EdlError`] with a source position on any lexical, syntactic
+/// or semantic problem (e.g. an `allow()` naming an unknown ecall).
+pub fn parse(source: &str) -> Result<InterfaceSpec, EdlError> {
+    let file = parser::parse_file(source)?;
+    spec::InterfaceSpec::from_ast(&file)
+}

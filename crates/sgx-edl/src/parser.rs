@@ -1,0 +1,410 @@
+//! Recursive-descent parser for EDL.
+//!
+//! Grammar (simplified):
+//!
+//! ```text
+//! file      := "enclave" "{" section* "}" ";"?
+//! section   := ("trusted" | "untrusted") "{" decl* "}" ";"?
+//! decl      := "public"? type ident "(" params? ")" allow? ";"
+//! allow     := "allow" "(" ident ("," ident)* ")"
+//! params    := param ("," param)*        | "void"
+//! param     := attrs? type "*"* ident
+//! attrs     := "[" attr ("," attr)* "]"
+//! attr      := "in" | "out" | "user_check" | "string" | "isptr"
+//!            | ("size" | "count") "=" (ident | int)
+//! type      := ("const")? ident ("unsigned"-style multiword supported)
+//! ```
+
+use crate::ast::{Attr, EdlFile, FunctionDecl, ParamDecl, SizeExpr};
+use crate::token::{lex, Pos, Token, TokenKind};
+use crate::EdlError;
+
+/// Parses EDL source into an AST. See [`crate::parse`] for the validated
+/// interface model.
+pub fn parse_file(source: &str) -> Result<EdlFile, EdlError> {
+    let tokens = lex(source)?;
+    let mut parser = Parser { tokens, index: 0 };
+    parser.file()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    index: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.index]
+    }
+
+    fn pos(&self) -> Pos {
+        self.peek().pos
+    }
+
+    fn advance(&mut self) -> Token {
+        let tok = self.tokens[self.index].clone();
+        if self.index + 1 < self.tokens.len() {
+            self.index += 1;
+        }
+        tok
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<Token, EdlError> {
+        if &self.peek().kind == kind {
+            Ok(self.advance())
+        } else {
+            Err(EdlError::new(
+                self.pos(),
+                format!("expected {kind}, found {}", self.peek().kind),
+            ))
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), EdlError> {
+        match &self.peek().kind {
+            TokenKind::Ident(s) if s == kw => {
+                self.advance();
+                Ok(())
+            }
+            other => Err(EdlError::new(
+                self.pos(),
+                format!("expected `{kw}`, found {other}"),
+            )),
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        matches!(&self.peek().kind, TokenKind::Ident(s) if s == kw) && {
+            self.advance();
+            true
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, EdlError> {
+        match &self.peek().kind {
+            TokenKind::Ident(s) => {
+                let s = s.clone();
+                self.advance();
+                Ok(s)
+            }
+            other => Err(EdlError::new(
+                self.pos(),
+                format!("expected identifier, found {other}"),
+            )),
+        }
+    }
+
+    fn file(&mut self) -> Result<EdlFile, EdlError> {
+        self.expect_keyword("enclave")?;
+        self.expect(&TokenKind::LBrace)?;
+        let mut file = EdlFile::default();
+        loop {
+            match &self.peek().kind {
+                TokenKind::RBrace => {
+                    self.advance();
+                    break;
+                }
+                TokenKind::Ident(s) if s == "trusted" => {
+                    self.advance();
+                    self.section(&mut file, true)?;
+                }
+                TokenKind::Ident(s) if s == "untrusted" => {
+                    self.advance();
+                    self.section(&mut file, false)?;
+                }
+                other => {
+                    return Err(EdlError::new(
+                        self.pos(),
+                        format!("expected `trusted`, `untrusted` or `}}`, found {other}"),
+                    ))
+                }
+            }
+        }
+        // Optional trailing semicolon, then EOF.
+        let _ = self.eat(&TokenKind::Semi);
+        self.expect(&TokenKind::Eof)?;
+        Ok(file)
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if &self.peek().kind == kind {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn section(&mut self, file: &mut EdlFile, trusted: bool) -> Result<(), EdlError> {
+        self.expect(&TokenKind::LBrace)?;
+        while !self.eat(&TokenKind::RBrace) {
+            let decl = self.decl(trusted)?;
+            if trusted {
+                file.trusted.push(decl);
+            } else {
+                file.untrusted.push(decl);
+            }
+        }
+        let _ = self.eat(&TokenKind::Semi);
+        Ok(())
+    }
+
+    fn decl(&mut self, trusted: bool) -> Result<FunctionDecl, EdlError> {
+        let pos = self.pos();
+        let public = self.eat_keyword("public");
+        if public && !trusted {
+            return Err(EdlError::new(
+                pos,
+                "`public` is only meaningful on trusted functions (ecalls)",
+            ));
+        }
+        let return_type = self.type_name()?;
+        let name = self.ident()?;
+        self.expect(&TokenKind::LParen)?;
+        let params = self.params()?;
+        self.expect(&TokenKind::RParen)?;
+        let mut allowed_ecalls = Vec::new();
+        if self.eat_keyword("allow") {
+            if trusted {
+                return Err(EdlError::new(
+                    pos,
+                    "`allow` is only meaningful on untrusted functions (ocalls)",
+                ));
+            }
+            self.expect(&TokenKind::LParen)?;
+            loop {
+                allowed_ecalls.push(self.ident()?);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect(&TokenKind::RParen)?;
+        }
+        self.expect(&TokenKind::Semi)?;
+        Ok(FunctionDecl {
+            name,
+            return_type,
+            params,
+            public,
+            allowed_ecalls,
+            pos,
+        })
+    }
+
+    /// Parses a (possibly multi-word) type name such as `unsigned int` or
+    /// `const char`. `const` is folded away; pointer stars are handled by
+    /// the parameter parser.
+    fn type_name(&mut self) -> Result<String, EdlError> {
+        let mut words = Vec::new();
+        let _ = self.eat_keyword("const");
+        words.push(self.ident()?);
+        while matches!(&self.peek().kind, TokenKind::Ident(s)
+            if matches!(words[0].as_str(), "unsigned" | "signed" | "long" | "short")
+                && matches!(s.as_str(), "int" | "long" | "char" | "short"))
+        {
+            words.push(self.ident()?);
+        }
+        Ok(words.join(" "))
+    }
+
+    fn params(&mut self) -> Result<Vec<ParamDecl>, EdlError> {
+        if matches!(&self.peek().kind, TokenKind::RParen) {
+            return Ok(Vec::new());
+        }
+        // `(void)` means no parameters.
+        if matches!(&self.peek().kind, TokenKind::Ident(s) if s == "void")
+            && matches!(&self.tokens[self.index + 1].kind, TokenKind::RParen)
+        {
+            self.advance();
+            return Ok(Vec::new());
+        }
+        let mut params = Vec::new();
+        loop {
+            params.push(self.param()?);
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        Ok(params)
+    }
+
+    fn param(&mut self) -> Result<ParamDecl, EdlError> {
+        let pos = self.pos();
+        let mut attrs = Vec::new();
+        if self.eat(&TokenKind::LBracket) {
+            loop {
+                attrs.push(self.attr()?);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect(&TokenKind::RBracket)?;
+        }
+        let base_type = self.type_name()?;
+        let mut pointer_depth: u8 = 0;
+        while self.eat(&TokenKind::Star) {
+            pointer_depth += 1;
+        }
+        let name = self.ident()?;
+        Ok(ParamDecl {
+            name,
+            base_type,
+            pointer_depth,
+            attrs,
+            pos,
+        })
+    }
+
+    fn attr(&mut self) -> Result<Attr, EdlError> {
+        let pos = self.pos();
+        let word = self.ident()?;
+        match word.as_str() {
+            "in" => Ok(Attr::In),
+            "out" => Ok(Attr::Out),
+            "user_check" => Ok(Attr::UserCheck),
+            "string" => Ok(Attr::String),
+            "isptr" => Ok(Attr::IsPtr),
+            "size" | "count" => {
+                self.expect(&TokenKind::Eq)?;
+                let expr = match &self.peek().kind {
+                    TokenKind::Ident(s) => {
+                        let s = s.clone();
+                        self.advance();
+                        SizeExpr::Param(s)
+                    }
+                    TokenKind::Int(n) => {
+                        let n = *n;
+                        self.advance();
+                        SizeExpr::Literal(n)
+                    }
+                    other => {
+                        return Err(EdlError::new(
+                            self.pos(),
+                            format!("expected parameter name or integer, found {other}"),
+                        ))
+                    }
+                };
+                Ok(if word == "size" {
+                    Attr::Size(expr)
+                } else {
+                    Attr::Count(expr)
+                })
+            }
+            other => Err(EdlError::new(pos, format!("unknown attribute `{other}`"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+        enclave {
+            trusted {
+                public void ecall_store([in, size=len] char* buf, size_t len);
+                void ecall_notify(int fd);
+                public int ecall_unsafe([user_check] void* p);
+            };
+            untrusted {
+                void ocall_print([in, string] const char* msg);
+                int ocall_read([out, size=n] char* buf, size_t n)
+                    allow(ecall_notify, ecall_store);
+            };
+        };
+    "#;
+
+    #[test]
+    fn parses_sample_interface() {
+        let file = parse_file(SAMPLE).unwrap();
+        assert_eq!(file.trusted.len(), 3);
+        assert_eq!(file.untrusted.len(), 2);
+        assert!(file.trusted[0].public);
+        assert!(!file.trusted[1].public);
+        assert_eq!(
+            file.untrusted[1].allowed_ecalls,
+            vec!["ecall_notify", "ecall_store"]
+        );
+    }
+
+    #[test]
+    fn parses_pointer_attrs() {
+        let file = parse_file(SAMPLE).unwrap();
+        let store = &file.trusted[0];
+        assert!(store.params[0].is_in());
+        assert!(!store.params[0].is_out());
+        assert_eq!(store.params[0].pointer_depth, 1);
+        assert_eq!(
+            store.params[0].attrs[1],
+            Attr::Size(SizeExpr::Param("len".into()))
+        );
+        let unsafe_ecall = &file.trusted[2];
+        assert!(unsafe_ecall.params[0].is_user_check());
+    }
+
+    #[test]
+    fn parses_void_parameter_list() {
+        let file = parse_file("enclave { trusted { public void e(void); }; };").unwrap();
+        assert!(file.trusted[0].params.is_empty());
+    }
+
+    #[test]
+    fn parses_empty_parameter_list() {
+        let file = parse_file("enclave { trusted { public int e(); }; };").unwrap();
+        assert!(file.trusted[0].params.is_empty());
+        assert_eq!(file.trusted[0].return_type, "int");
+    }
+
+    #[test]
+    fn parses_multiword_types() {
+        let file =
+            parse_file("enclave { trusted { public unsigned long e(unsigned int x); }; };")
+                .unwrap();
+        assert_eq!(file.trusted[0].return_type, "unsigned long");
+        assert_eq!(file.trusted[0].params[0].base_type, "unsigned int");
+    }
+
+    #[test]
+    fn parses_literal_size() {
+        let file = parse_file(
+            "enclave { untrusted { void o([out, size=4096] char* page); }; };",
+        )
+        .unwrap();
+        assert_eq!(
+            file.untrusted[0].params[0].attrs[1],
+            Attr::Size(SizeExpr::Literal(4096))
+        );
+    }
+
+    #[test]
+    fn rejects_public_ocall() {
+        let err = parse_file("enclave { untrusted { public void o(); }; };").unwrap_err();
+        assert!(err.message.contains("public"), "{err}");
+    }
+
+    #[test]
+    fn rejects_allow_on_ecall() {
+        let err =
+            parse_file("enclave { trusted { public void e() allow(x); }; };").unwrap_err();
+        assert!(err.message.contains("allow"), "{err}");
+    }
+
+    #[test]
+    fn rejects_unknown_attribute() {
+        let err =
+            parse_file("enclave { trusted { public void e([inout] char* p); }; };").unwrap_err();
+        assert!(err.message.contains("unknown attribute"), "{err}");
+    }
+
+    #[test]
+    fn error_positions_point_at_problem() {
+        let err = parse_file("enclave {\n  bogus {\n").unwrap_err();
+        assert_eq!(err.pos.line, 2);
+    }
+
+    #[test]
+    fn missing_semicolon_is_reported() {
+        let err = parse_file("enclave { trusted { public void e() } };").unwrap_err();
+        assert!(err.message.contains("`;`"), "{err}");
+    }
+}

@@ -1,0 +1,541 @@
+//! The validated interface model produced from an EDL file (or built
+//! programmatically) — the artefact `sgx_edger8r` would turn into generated
+//! wrapper code. The simulated SDK registers this at enclave load; the
+//! sgx-perf analyzer consumes it for its security analysis.
+
+use std::collections::HashMap;
+
+use crate::ast::{Attr, EdlFile, FunctionDecl, SizeExpr};
+use crate::token::Pos;
+use crate::EdlError;
+
+/// Direction of a pointer parameter across the enclave boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PointerDir {
+    /// `[in]` — copied to the callee before the call.
+    In,
+    /// `[out]` — copied back after the call.
+    Out,
+    /// `[in, out]` — copied both ways.
+    InOut,
+    /// `[user_check]` — passed raw; no copy, no checks (§3.6 flags these).
+    UserCheck,
+}
+
+/// A validated parameter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParamSpec {
+    /// Parameter name.
+    pub name: String,
+    /// Base type as written.
+    pub ty: String,
+    /// `Some(dir)` for pointer parameters, `None` for by-value parameters.
+    pub pointer: Option<PointerDir>,
+    /// Statically-known buffer size in bytes, when `size=`/`count=` used a
+    /// literal (used for marshalling cost estimates).
+    pub static_bytes: Option<u64>,
+}
+
+impl ParamSpec {
+    /// Convenience constructor for a by-value parameter.
+    pub fn value(name: &str, ty: &str) -> ParamSpec {
+        ParamSpec {
+            name: name.to_string(),
+            ty: ty.to_string(),
+            pointer: None,
+            static_bytes: None,
+        }
+    }
+
+    /// Convenience constructor for a pointer parameter.
+    pub fn pointer(name: &str, ty: &str, dir: PointerDir) -> ParamSpec {
+        ParamSpec {
+            name: name.to_string(),
+            ty: ty.to_string(),
+            pointer: Some(dir),
+            static_bytes: None,
+        }
+    }
+
+    /// Whether the parameter is a `user_check` pointer.
+    pub fn is_user_check(&self) -> bool {
+        self.pointer == Some(PointerDir::UserCheck)
+    }
+}
+
+/// A validated ecall.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EcallSpec {
+    /// Index assigned in declaration order (the SDK's numeric call id).
+    pub index: usize,
+    /// Function name.
+    pub name: String,
+    /// Whether the ecall is `public` (callable from outside an ocall).
+    pub public: bool,
+    /// Parameters.
+    pub params: Vec<ParamSpec>,
+}
+
+/// A validated ocall.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OcallSpec {
+    /// Index assigned in declaration order.
+    pub index: usize,
+    /// Function name.
+    pub name: String,
+    /// Indexes of ecalls this ocall is allowed to (re-)enter with.
+    pub allowed_ecalls: Vec<usize>,
+    /// Parameters.
+    pub params: Vec<ParamSpec>,
+}
+
+/// A complete, validated enclave interface.
+///
+/// # Examples
+///
+/// ```
+/// use sgx_edl::{InterfaceBuilder, PointerDir, ParamSpec};
+///
+/// let spec = InterfaceBuilder::new()
+///     .public_ecall("ecall_work", vec![ParamSpec::value("n", "int")])
+///     .private_ecall("ecall_internal", vec![])
+///     .ocall_allowing("ocall_help", vec![], &["ecall_internal"])
+///     .build()?;
+/// assert_eq!(spec.ocalls()[0].allowed_ecalls, vec![1]);
+/// # Ok::<(), sgx_edl::EdlError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InterfaceSpec {
+    ecalls: Vec<EcallSpec>,
+    ocalls: Vec<OcallSpec>,
+    ecall_names: HashMap<String, usize>,
+    ocall_names: HashMap<String, usize>,
+}
+
+impl InterfaceSpec {
+    /// Builds the spec from a parsed AST, validating the cross-references.
+    pub fn from_ast(file: &EdlFile) -> Result<InterfaceSpec, EdlError> {
+        let mut ecalls = Vec::with_capacity(file.trusted.len());
+        for (index, decl) in file.trusted.iter().enumerate() {
+            ecalls.push(EcallSpec {
+                index,
+                name: decl.name.clone(),
+                public: decl.public,
+                params: convert_params(decl)?,
+            });
+        }
+        let mut ocalls = Vec::with_capacity(file.untrusted.len());
+        for (index, decl) in file.untrusted.iter().enumerate() {
+            ocalls.push((
+                decl.pos,
+                OcallSpec {
+                    index,
+                    name: decl.name.clone(),
+                    allowed_ecalls: Vec::new(),
+                    params: convert_params(decl)?,
+                },
+                decl.allowed_ecalls.clone(),
+            ));
+        }
+        let mut spec = InterfaceSpec::assemble(
+            ecalls,
+            ocalls.iter().map(|(_, o, _)| o.clone()).collect(),
+        )?;
+        // Resolve allow() lists.
+        for (pos, ocall, allowed_names) in &ocalls {
+            let mut allowed = Vec::with_capacity(allowed_names.len());
+            for name in allowed_names {
+                let idx = spec.ecall_names.get(name).copied().ok_or_else(|| {
+                    EdlError::new(*pos, format!("allow() references unknown ecall `{name}`"))
+                })?;
+                if allowed.contains(&idx) {
+                    return Err(EdlError::new(
+                        *pos,
+                        format!("allow() lists ecall `{name}` twice"),
+                    ));
+                }
+                allowed.push(idx);
+            }
+            spec.ocalls[ocall.index].allowed_ecalls = allowed;
+        }
+        // Private ecalls must be reachable through some allow() list.
+        for ecall in &spec.ecalls {
+            if !ecall.public
+                && !spec
+                    .ocalls
+                    .iter()
+                    .any(|o| o.allowed_ecalls.contains(&ecall.index))
+            {
+                return Err(EdlError::new(
+                    Pos::START,
+                    format!(
+                        "private ecall `{}` is not allowed by any ocall and can never be called",
+                        ecall.name
+                    ),
+                ));
+            }
+        }
+        Ok(spec)
+    }
+
+    fn assemble(
+        ecalls: Vec<EcallSpec>,
+        ocalls: Vec<OcallSpec>,
+    ) -> Result<InterfaceSpec, EdlError> {
+        let mut ecall_names = HashMap::new();
+        for e in &ecalls {
+            if ecall_names.insert(e.name.clone(), e.index).is_some() {
+                return Err(EdlError::new(
+                    Pos::START,
+                    format!("duplicate ecall `{}`", e.name),
+                ));
+            }
+        }
+        let mut ocall_names = HashMap::new();
+        for o in &ocalls {
+            if ocall_names.insert(o.name.clone(), o.index).is_some() {
+                return Err(EdlError::new(
+                    Pos::START,
+                    format!("duplicate ocall `{}`", o.name),
+                ));
+            }
+        }
+        Ok(InterfaceSpec {
+            ecalls,
+            ocalls,
+            ecall_names,
+            ocall_names,
+        })
+    }
+
+    /// All ecalls in index order.
+    pub fn ecalls(&self) -> &[EcallSpec] {
+        &self.ecalls
+    }
+
+    /// All ocalls in index order.
+    pub fn ocalls(&self) -> &[OcallSpec] {
+        &self.ocalls
+    }
+
+    /// Looks up an ecall by name.
+    pub fn ecall_by_name(&self, name: &str) -> Option<&EcallSpec> {
+        self.ecall_names.get(name).map(|&i| &self.ecalls[i])
+    }
+
+    /// Looks up an ocall by name.
+    pub fn ocall_by_name(&self, name: &str) -> Option<&OcallSpec> {
+        self.ocall_names.get(name).map(|&i| &self.ocalls[i])
+    }
+
+    /// Whether `ecall` may be issued while `ocall` is on the stack.
+    pub fn is_ecall_allowed_from(&self, ecall: usize, ocall: usize) -> bool {
+        self.ocalls
+            .get(ocall)
+            .is_some_and(|o| o.allowed_ecalls.contains(&ecall))
+    }
+
+    /// Parameters across the whole interface that use `user_check` —
+    /// the security-review list from §3.6.
+    pub fn user_check_params(&self) -> Vec<(String, String)> {
+        let mut out = Vec::new();
+        for e in &self.ecalls {
+            for p in &e.params {
+                if p.is_user_check() {
+                    out.push((e.name.clone(), p.name.clone()));
+                }
+            }
+        }
+        for o in &self.ocalls {
+            for p in &o.params {
+                if p.is_user_check() {
+                    out.push((o.name.clone(), p.name.clone()));
+                }
+            }
+        }
+        out
+    }
+}
+
+fn convert_params(decl: &FunctionDecl) -> Result<Vec<ParamSpec>, EdlError> {
+    decl.params
+        .iter()
+        .map(|p| {
+            let pointer = if p.pointer_depth > 0 {
+                let dir = match (p.is_in(), p.is_out(), p.is_user_check()) {
+                    (_, _, true) if p.is_in() || p.is_out() => {
+                        return Err(EdlError::new(
+                            p.pos,
+                            format!(
+                                "parameter `{}` combines user_check with in/out",
+                                p.name
+                            ),
+                        ))
+                    }
+                    (_, _, true) => PointerDir::UserCheck,
+                    (true, true, _) => PointerDir::InOut,
+                    (true, false, _) => PointerDir::In,
+                    (false, true, _) => PointerDir::Out,
+                    (false, false, false) => {
+                        return Err(EdlError::new(
+                            p.pos,
+                            format!(
+                                "pointer parameter `{}` needs in/out/user_check",
+                                p.name
+                            ),
+                        ))
+                    }
+                };
+                Some(dir)
+            } else {
+                None
+            };
+            let static_bytes = p.attrs.iter().find_map(|a| match a {
+                Attr::Size(SizeExpr::Literal(n)) | Attr::Count(SizeExpr::Literal(n)) => Some(*n),
+                _ => None,
+            });
+            Ok(ParamSpec {
+                name: p.name.clone(),
+                ty: p.base_type.clone(),
+                pointer,
+                static_bytes,
+            })
+        })
+        .collect()
+}
+
+/// Programmatic construction of an [`InterfaceSpec`], for workloads that
+/// prefer code over EDL text.
+#[derive(Debug, Default)]
+pub struct InterfaceBuilder {
+    ecalls: Vec<(String, bool, Vec<ParamSpec>)>,
+    ocalls: Vec<(String, Vec<ParamSpec>, Vec<String>)>,
+}
+
+impl InterfaceBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> InterfaceBuilder {
+        InterfaceBuilder::default()
+    }
+
+    /// Adds a public ecall.
+    pub fn public_ecall(mut self, name: &str, params: Vec<ParamSpec>) -> Self {
+        self.ecalls.push((name.to_string(), true, params));
+        self
+    }
+
+    /// Adds a private ecall (callable only from allowed ocalls).
+    pub fn private_ecall(mut self, name: &str, params: Vec<ParamSpec>) -> Self {
+        self.ecalls.push((name.to_string(), false, params));
+        self
+    }
+
+    /// Adds an ocall with no allowed re-entries.
+    pub fn ocall(self, name: &str, params: Vec<ParamSpec>) -> Self {
+        self.ocall_allowing(name, params, &[])
+    }
+
+    /// Adds an ocall allowing re-entry through the named ecalls.
+    pub fn ocall_allowing(
+        mut self,
+        name: &str,
+        params: Vec<ParamSpec>,
+        allowed: &[&str],
+    ) -> Self {
+        self.ocalls.push((
+            name.to_string(),
+            params,
+            allowed.iter().map(|s| s.to_string()).collect(),
+        ));
+        self
+    }
+
+    /// Validates and produces the interface.
+    ///
+    /// # Errors
+    ///
+    /// Same semantic checks as [`crate::parse`]: duplicate names, unknown
+    /// `allow` targets, unreachable private ecalls.
+    pub fn build(self) -> Result<InterfaceSpec, EdlError> {
+        let ecalls: Vec<EcallSpec> = self
+            .ecalls
+            .into_iter()
+            .enumerate()
+            .map(|(index, (name, public, params))| EcallSpec {
+                index,
+                name,
+                public,
+                params,
+            })
+            .collect();
+        let ocalls_raw = self.ocalls;
+        let ocalls: Vec<OcallSpec> = ocalls_raw
+            .iter()
+            .enumerate()
+            .map(|(index, (name, params, _))| OcallSpec {
+                index,
+                name: name.clone(),
+                allowed_ecalls: Vec::new(),
+                params: params.clone(),
+            })
+            .collect();
+        let mut spec = InterfaceSpec::assemble(ecalls, ocalls)?;
+        for (index, (_, _, allowed_names)) in ocalls_raw.iter().enumerate() {
+            let mut allowed = Vec::new();
+            for name in allowed_names {
+                let idx = spec.ecall_names.get(name).copied().ok_or_else(|| {
+                    EdlError::new(
+                        Pos::START,
+                        format!("allow() references unknown ecall `{name}`"),
+                    )
+                })?;
+                allowed.push(idx);
+            }
+            spec.ocalls[index].allowed_ecalls = allowed;
+        }
+        for ecall in &spec.ecalls {
+            if !ecall.public
+                && !spec
+                    .ocalls
+                    .iter()
+                    .any(|o| o.allowed_ecalls.contains(&ecall.index))
+            {
+                return Err(EdlError::new(
+                    Pos::START,
+                    format!(
+                        "private ecall `{}` is not allowed by any ocall and can never be called",
+                        ecall.name
+                    ),
+                ));
+            }
+        }
+        Ok(spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn indexes_follow_declaration_order() {
+        let spec = parse(
+            "enclave { trusted { public void a(); public void b(); };
+                       untrusted { void x(); void y(); }; };",
+        )
+        .unwrap();
+        assert_eq!(spec.ecall_by_name("a").unwrap().index, 0);
+        assert_eq!(spec.ecall_by_name("b").unwrap().index, 1);
+        assert_eq!(spec.ocall_by_name("y").unwrap().index, 1);
+    }
+
+    #[test]
+    fn allow_lists_resolve_to_indexes() {
+        let spec = parse(
+            "enclave { trusted { public void a(); void b(); };
+                       untrusted { void x() allow(b); }; };",
+        )
+        .unwrap();
+        let x = spec.ocall_by_name("x").unwrap();
+        assert_eq!(x.allowed_ecalls, vec![1]);
+        assert!(spec.is_ecall_allowed_from(1, 0));
+        assert!(!spec.is_ecall_allowed_from(0, 0));
+    }
+
+    #[test]
+    fn unknown_allow_target_rejected() {
+        let err = parse("enclave { untrusted { void x() allow(nope); }; };").unwrap_err();
+        assert!(err.message.contains("unknown ecall"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_ecall_rejected() {
+        let err =
+            parse("enclave { trusted { public void a(); public void a(); }; };").unwrap_err();
+        assert!(err.message.contains("duplicate"), "{err}");
+    }
+
+    #[test]
+    fn unreachable_private_ecall_rejected() {
+        let err = parse("enclave { trusted { void lonely(); }; };").unwrap_err();
+        assert!(err.message.contains("never be called"), "{err}");
+    }
+
+    #[test]
+    fn pointer_without_direction_rejected() {
+        let err =
+            parse("enclave { trusted { public void e(char* p); }; };").unwrap_err();
+        assert!(err.message.contains("in/out/user_check"), "{err}");
+    }
+
+    #[test]
+    fn user_check_with_in_rejected() {
+        let err = parse(
+            "enclave { trusted { public void e([in, user_check, size=4] char* p); }; };",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("combines"), "{err}");
+    }
+
+    #[test]
+    fn user_check_params_collected_across_interface() {
+        let spec = parse(
+            "enclave { trusted { public void e([user_check] void* p); };
+                       untrusted { void o([user_check] void* q); }; };",
+        )
+        .unwrap();
+        assert_eq!(
+            spec.user_check_params(),
+            vec![
+                ("e".to_string(), "p".to_string()),
+                ("o".to_string(), "q".to_string())
+            ]
+        );
+    }
+
+    #[test]
+    fn static_bytes_from_literal_size() {
+        let spec =
+            parse("enclave { untrusted { void o([out, size=4096] char* page); }; };").unwrap();
+        assert_eq!(spec.ocalls()[0].params[0].static_bytes, Some(4096));
+    }
+
+    #[test]
+    fn in_out_combination_maps_to_inout() {
+        let spec = parse(
+            "enclave { trusted { public void e([in, out, size=8] char* buf); }; };",
+        )
+        .unwrap();
+        assert_eq!(
+            spec.ecalls()[0].params[0].pointer,
+            Some(PointerDir::InOut)
+        );
+    }
+
+    #[test]
+    fn builder_matches_parser_semantics() {
+        let spec = InterfaceBuilder::new()
+            .public_ecall("a", vec![])
+            .private_ecall("b", vec![])
+            .ocall_allowing("x", vec![], &["b"])
+            .build()
+            .unwrap();
+        assert!(spec.is_ecall_allowed_from(1, 0));
+        let err = InterfaceBuilder::new()
+            .private_ecall("b", vec![])
+            .build()
+            .unwrap_err();
+        assert!(err.message.contains("never be called"));
+    }
+
+    #[test]
+    fn builder_rejects_duplicates() {
+        let err = InterfaceBuilder::new()
+            .public_ecall("a", vec![])
+            .public_ecall("a", vec![])
+            .build()
+            .unwrap_err();
+        assert!(err.message.contains("duplicate"));
+    }
+}

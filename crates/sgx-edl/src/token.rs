@@ -1,0 +1,308 @@
+//! EDL tokeniser.
+
+use std::fmt;
+
+use crate::EdlError;
+
+/// A 1-based source position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Pos {
+    /// Line number, starting at 1.
+    pub line: u32,
+    /// Column number, starting at 1.
+    pub col: u32,
+}
+
+impl Pos {
+    /// The start of the file.
+    pub const START: Pos = Pos { line: 1, col: 1 };
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`enclave`, `trusted`, `public`, names, types).
+    Ident(String),
+    /// Integer literal (used by `size=4096` style attributes).
+    Int(u64),
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `=`
+    Eq,
+    /// `*`
+    Star,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "`{s}`"),
+            TokenKind::Int(n) => write!(f, "`{n}`"),
+            TokenKind::LBrace => write!(f, "`{{`"),
+            TokenKind::RBrace => write!(f, "`}}`"),
+            TokenKind::LParen => write!(f, "`(`"),
+            TokenKind::RParen => write!(f, "`)`"),
+            TokenKind::LBracket => write!(f, "`[`"),
+            TokenKind::RBracket => write!(f, "`]`"),
+            TokenKind::Semi => write!(f, "`;`"),
+            TokenKind::Comma => write!(f, "`,`"),
+            TokenKind::Eq => write!(f, "`=`"),
+            TokenKind::Star => write!(f, "`*`"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokenKind,
+    /// Where it starts.
+    pub pos: Pos,
+}
+
+/// Tokenises EDL source. Supports `//` line comments and `/* */` block
+/// comments.
+///
+/// # Errors
+///
+/// Returns an error on any byte that cannot start a token and on unclosed
+/// block comments.
+pub fn lex(source: &str) -> Result<Vec<Token>, EdlError> {
+    let mut tokens = Vec::new();
+    let mut chars = source.chars().peekable();
+    let mut line: u32 = 1;
+    let mut col: u32 = 1;
+
+    macro_rules! bump {
+        () => {{
+            let c = chars.next();
+            if let Some(c) = c {
+                if c == '\n' {
+                    line += 1;
+                    col = 1;
+                } else {
+                    col += 1;
+                }
+            }
+            c
+        }};
+    }
+
+    loop {
+        let pos = Pos { line, col };
+        let Some(&c) = chars.peek() else { break };
+        match c {
+            c if c.is_whitespace() => {
+                bump!();
+            }
+            '/' => {
+                bump!();
+                match chars.peek() {
+                    Some('/') => {
+                        while let Some(&c) = chars.peek() {
+                            if c == '\n' {
+                                break;
+                            }
+                            bump!();
+                        }
+                    }
+                    Some('*') => {
+                        bump!();
+                        let mut closed = false;
+                        while let Some(c) = bump!() {
+                            if c == '*' {
+                                if let Some('/') = chars.peek() {
+                                    bump!();
+                                    closed = true;
+                                    break;
+                                }
+                            }
+                        }
+                        if !closed {
+                            return Err(EdlError::new(pos, "unclosed block comment"));
+                        }
+                    }
+                    _ => return Err(EdlError::new(pos, "unexpected `/`")),
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut ident = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_alphanumeric() || c == '_' {
+                        ident.push(c);
+                        bump!();
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident(ident),
+                    pos,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let mut value: u64 = 0;
+                while let Some(&c) = chars.peek() {
+                    if let Some(d) = c.to_digit(10) {
+                        value = value
+                            .checked_mul(10)
+                            .and_then(|v| v.checked_add(d as u64))
+                            .ok_or_else(|| EdlError::new(pos, "integer literal overflow"))?;
+                        bump!();
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Int(value),
+                    pos,
+                });
+            }
+            _ => {
+                let kind = match c {
+                    '{' => TokenKind::LBrace,
+                    '}' => TokenKind::RBrace,
+                    '(' => TokenKind::LParen,
+                    ')' => TokenKind::RParen,
+                    '[' => TokenKind::LBracket,
+                    ']' => TokenKind::RBracket,
+                    ';' => TokenKind::Semi,
+                    ',' => TokenKind::Comma,
+                    '=' => TokenKind::Eq,
+                    '*' => TokenKind::Star,
+                    other => {
+                        return Err(EdlError::new(pos, format!("unexpected character `{other}`")))
+                    }
+                };
+                bump!();
+                tokens.push(Token { kind, pos });
+            }
+        }
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        pos: Pos { line, col },
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_punctuation_and_idents() {
+        let got = kinds("enclave { };");
+        assert_eq!(
+            got,
+            vec![
+                TokenKind::Ident("enclave".into()),
+                TokenKind::LBrace,
+                TokenKind::RBrace,
+                TokenKind::Semi,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_pointer_declaration() {
+        let got = kinds("[in, size=len] char* buf");
+        assert_eq!(
+            got,
+            vec![
+                TokenKind::LBracket,
+                TokenKind::Ident("in".into()),
+                TokenKind::Comma,
+                TokenKind::Ident("size".into()),
+                TokenKind::Eq,
+                TokenKind::Ident("len".into()),
+                TokenKind::RBracket,
+                TokenKind::Ident("char".into()),
+                TokenKind::Star,
+                TokenKind::Ident("buf".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_integers() {
+        assert_eq!(
+            kinds("size=4096"),
+            vec![
+                TokenKind::Ident("size".into()),
+                TokenKind::Eq,
+                TokenKind::Int(4096),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_line_and_block_comments() {
+        let got = kinds("a // comment\n/* block\nspanning */ b");
+        assert_eq!(
+            got,
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Ident("b".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn tracks_positions_across_lines() {
+        let toks = lex("a\n  b").unwrap();
+        assert_eq!(toks[0].pos, Pos { line: 1, col: 1 });
+        assert_eq!(toks[1].pos, Pos { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn rejects_unknown_character() {
+        let err = lex("a @ b").unwrap_err();
+        assert!(err.message.contains('@'), "{err}");
+        assert_eq!(err.pos, Pos { line: 1, col: 3 });
+    }
+
+    #[test]
+    fn rejects_unclosed_block_comment() {
+        let err = lex("/* never closed").unwrap_err();
+        assert!(err.message.contains("unclosed"));
+    }
+
+    #[test]
+    fn rejects_integer_overflow() {
+        let err = lex("99999999999999999999999").unwrap_err();
+        assert!(err.message.contains("overflow"));
+    }
+}

@@ -1,0 +1,80 @@
+//! Marshalled call arguments.
+
+/// The marshalled argument frame of an ecall or ocall.
+///
+/// The real `sgx_edger8r` generates one struct per call holding by-value
+/// arguments and pointers plus buffer sizes; the URTS/TRTS copy `[in]`
+/// buffers across the boundary before the call and `[out]` buffers after.
+/// The simulation keeps the same *shape* without real payloads: scalar
+/// arguments travel in [`CallData::scalar`]/[`CallData::aux`], and buffer
+/// sizes drive the boundary-copy cost model.
+///
+/// # Examples
+///
+/// ```
+/// use sgx_sdk::CallData;
+///
+/// // An ecall passing a 4 KiB input buffer and expecting a 256 B reply.
+/// let data = CallData::new(0).with_in_bytes(4096).with_out_bytes(256);
+/// assert_eq!(data.in_bytes, 4096);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CallData {
+    /// Primary by-value argument (e.g. a length, fd, or packed flags).
+    pub scalar: u64,
+    /// Additional by-value arguments (e.g. thread lists for the
+    /// wake-multiple sync ocall).
+    pub aux: Vec<u64>,
+    /// Bytes of `[in]` buffers copied toward the callee before the call.
+    pub in_bytes: usize,
+    /// Bytes of `[out]` buffers copied back after the call.
+    pub out_bytes: usize,
+    /// Return value produced by the callee.
+    pub ret: u64,
+}
+
+impl CallData {
+    /// Creates call data with a scalar argument.
+    pub fn new(scalar: u64) -> CallData {
+        CallData {
+            scalar,
+            ..CallData::default()
+        }
+    }
+
+    /// Sets the `[in]` buffer size.
+    pub fn with_in_bytes(mut self, bytes: usize) -> CallData {
+        self.in_bytes = bytes;
+        self
+    }
+
+    /// Sets the `[out]` buffer size.
+    pub fn with_out_bytes(mut self, bytes: usize) -> CallData {
+        self.out_bytes = bytes;
+        self
+    }
+
+    /// Sets auxiliary scalar arguments.
+    pub fn with_aux(mut self, aux: Vec<u64>) -> CallData {
+        self.aux = aux;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chain() {
+        let d = CallData::new(7)
+            .with_in_bytes(10)
+            .with_out_bytes(20)
+            .with_aux(vec![1, 2]);
+        assert_eq!(d.scalar, 7);
+        assert_eq!(d.in_bytes, 10);
+        assert_eq!(d.out_bytes, 20);
+        assert_eq!(d.aux, vec![1, 2]);
+        assert_eq!(d.ret, 0);
+    }
+}

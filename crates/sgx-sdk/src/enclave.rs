@@ -1,0 +1,357 @@
+//! The enclave object and its trusted execution context (TRTS side).
+
+use std::collections::HashMap;
+use std::fmt;
+use std::ops::Range;
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+use sgx_edl::InterfaceSpec;
+use sgx_sim::{AccessKind, EnclaveId, Machine, ThreadToken, TouchStats};
+use sim_core::Nanos;
+
+use crate::args::CallData;
+use crate::error::{SdkError, SdkResult};
+use crate::ocall::HostCtx;
+use crate::thread_ctx::ThreadCtx;
+use crate::urts::Urts;
+
+/// A trusted function body.
+pub type EcallFn =
+    Arc<dyn Fn(&mut EcallCtx<'_>, &mut CallData) -> SdkResult<()> + Send + Sync>;
+
+/// One frame of a thread's enclave call stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Frame {
+    /// An ecall with the given index is executing.
+    Ecall(usize),
+    /// An ocall with the given index is in progress.
+    Ocall(usize),
+}
+
+#[derive(Debug)]
+struct BoundThread {
+    tcs_index: usize,
+    frames: Vec<Frame>,
+}
+
+#[derive(Debug)]
+struct ThreadState {
+    free_tcs: Vec<usize>,
+    bound: HashMap<ThreadToken, BoundThread>,
+}
+
+/// A loaded enclave: interface, registered trusted functions, TCS pool and
+/// per-thread call stacks.
+///
+/// Created through [`Runtime::create_enclave`](crate::Runtime::create_enclave).
+pub struct Enclave {
+    id: EnclaveId,
+    spec: InterfaceSpec,
+    machine: Arc<Machine>,
+    ecalls: RwLock<Vec<Option<EcallFn>>>,
+    threads: Mutex<ThreadState>,
+}
+
+impl Enclave {
+    /// The machine this enclave lives on.
+    pub fn machine(&self) -> &Arc<Machine> {
+        &self.machine
+    }
+}
+
+impl fmt::Debug for Enclave {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Enclave")
+            .field("id", &self.id)
+            .field("ecalls", &self.spec.ecalls().len())
+            .field("ocalls", &self.spec.ocalls().len())
+            .finish()
+    }
+}
+
+impl Enclave {
+    pub(crate) fn new(
+        id: EnclaveId,
+        spec: InterfaceSpec,
+        machine: Arc<Machine>,
+        tcs_count: usize,
+    ) -> Enclave {
+        let ecall_count = spec.ecalls().len();
+        Enclave {
+            id,
+            spec,
+            machine,
+            ecalls: RwLock::new(vec![None; ecall_count]),
+            threads: Mutex::new(ThreadState {
+                free_tcs: (0..tcs_count).rev().collect(),
+                bound: HashMap::new(),
+            }),
+        }
+    }
+
+    /// The enclave id.
+    pub fn id(&self) -> EnclaveId {
+        self.id
+    }
+
+    /// The (effective) enclave interface, including the implicitly imported
+    /// synchronisation ocalls.
+    pub fn spec(&self) -> &InterfaceSpec {
+        &self.spec
+    }
+
+    /// Registers the trusted implementation of a declared ecall.
+    ///
+    /// # Errors
+    ///
+    /// [`SdkError::BadEcall`] if the interface declares no such ecall.
+    pub fn register_ecall(
+        &self,
+        name: &str,
+        f: impl Fn(&mut EcallCtx<'_>, &mut CallData) -> SdkResult<()> + Send + Sync + 'static,
+    ) -> SdkResult<()> {
+        let index = self
+            .spec
+            .ecall_by_name(name)
+            .ok_or_else(|| SdkError::BadEcall(name.to_string()))?
+            .index;
+        self.ecalls.write()[index] = Some(Arc::new(f));
+        Ok(())
+    }
+
+    pub(crate) fn ecall_impl(&self, index: usize) -> SdkResult<EcallFn> {
+        let name = || {
+            self.spec
+                .ecalls()
+                .get(index)
+                .map(|e| e.name.clone())
+                .unwrap_or_else(|| format!("#{index}"))
+        };
+        self.ecalls
+            .read()
+            .get(index)
+            .ok_or_else(|| SdkError::BadEcall(name()))?
+            .clone()
+            .ok_or_else(|| SdkError::UnregisteredEcall(name()))
+    }
+
+    /// The calling thread's current call stack (empty if it is not inside
+    /// the enclave).
+    pub fn frames_of(&self, token: ThreadToken) -> Vec<Frame> {
+        self.threads
+            .lock()
+            .bound
+            .get(&token)
+            .map(|b| b.frames.clone())
+            .unwrap_or_default()
+    }
+
+    /// Binds the thread to a TCS (reusing an existing binding for nested
+    /// calls) and returns the TCS index.
+    pub(crate) fn bind_tcs(&self, token: ThreadToken) -> SdkResult<usize> {
+        let mut st = self.threads.lock();
+        if let Some(bound) = st.bound.get(&token) {
+            return Ok(bound.tcs_index);
+        }
+        let tcs_index = st.free_tcs.pop().ok_or(SdkError::OutOfTcs(self.id))?;
+        st.bound.insert(
+            token,
+            BoundThread {
+                tcs_index,
+                frames: Vec::new(),
+            },
+        );
+        Ok(tcs_index)
+    }
+
+    pub(crate) fn push_frame(&self, token: ThreadToken, frame: Frame) {
+        let mut st = self.threads.lock();
+        st.bound
+            .get_mut(&token)
+            .expect("push_frame on unbound thread")
+            .frames
+            .push(frame);
+    }
+
+    pub(crate) fn pop_frame(&self, token: ThreadToken) {
+        let mut st = self.threads.lock();
+        let release = {
+            let bound = st
+                .bound
+                .get_mut(&token)
+                .expect("pop_frame on unbound thread");
+            bound.frames.pop();
+            bound.frames.is_empty()
+        };
+        if release {
+            let bound = st.bound.remove(&token).expect("checked above");
+            st.free_tcs.push(bound.tcs_index);
+        }
+    }
+}
+
+/// The trusted execution context handed to every ecall body.
+///
+/// Gives trusted code the operations real enclave code has: CPU time
+/// ([`EcallCtx::compute`], subject to AEX injection), enclave memory
+/// accesses ([`EcallCtx::touch`], subject to EPC paging), and ocalls
+/// ([`EcallCtx::ocall`], dispatched through the ocall table saved in the
+/// URTS — so a logger-substituted table sees them).
+pub struct EcallCtx<'a> {
+    pub(crate) enclave: &'a Arc<Enclave>,
+    pub(crate) urts: &'a Arc<Urts>,
+    pub(crate) thread: ThreadCtx<'a>,
+    pub(crate) tcs_index: usize,
+}
+
+impl fmt::Debug for EcallCtx<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EcallCtx")
+            .field("enclave", &self.enclave.id())
+            .field("thread", &self.thread.token)
+            .field("tcs", &self.tcs_index)
+            .finish()
+    }
+}
+
+impl<'a> EcallCtx<'a> {
+    /// The enclave this code runs in.
+    pub fn enclave(&self) -> &Enclave {
+        self.enclave
+    }
+
+    /// The calling thread's token.
+    pub fn thread_token(&self) -> ThreadToken {
+        self.thread.token
+    }
+
+    /// The thread context (for spawning nested work, sync primitives).
+    pub fn thread(&self) -> &ThreadCtx<'a> {
+        &self.thread
+    }
+
+    /// The TCS index this thread entered on.
+    pub fn tcs_index(&self) -> usize {
+        self.tcs_index
+    }
+
+    /// Performs `dur` of trusted computation. Timer interrupts crossing the
+    /// execution cause AEXs; returns how many were taken.
+    ///
+    /// # Errors
+    ///
+    /// Propagates hardware-layer failures.
+    pub fn compute(&self, dur: Nanos) -> SdkResult<u64> {
+        self.urts
+            .machine()
+            .execute_in_enclave(self.enclave.id(), self.thread.token, dur)
+            .map_err(SdkError::from)
+    }
+
+    /// Accesses a range of enclave pages (EPC paging and MMU faults apply).
+    ///
+    /// # Errors
+    ///
+    /// Propagates hardware-layer failures (segfaults, unhandled faults).
+    pub fn touch(&self, pages: Range<usize>, access: AccessKind) -> SdkResult<TouchStats> {
+        self.urts
+            .machine()
+            .touch(self.enclave.id(), self.thread.token, pages, access)
+            .map_err(SdkError::from)
+    }
+
+    /// The enclave's heap page range, for [`EcallCtx::touch`].
+    pub fn heap_range(&self) -> SdkResult<Range<usize>> {
+        self.urts
+            .machine()
+            .heap_range(self.enclave.id())
+            .map_err(SdkError::from)
+    }
+
+    /// The enclave's code page range, for [`EcallCtx::touch`].
+    pub fn code_range(&self) -> SdkResult<Range<usize>> {
+        self.urts
+            .machine()
+            .code_range(self.enclave.id())
+            .map_err(SdkError::from)
+    }
+
+    /// Grows the enclave heap by `pages` using SGX v2 dynamic memory
+    /// (`EAUG`+`EACCEPT`) — the trusted allocator's sbrk. Returns the new
+    /// pages' index range, immediately usable with [`EcallCtx::touch`].
+    ///
+    /// # Errors
+    ///
+    /// [`SdkError::Sim`] wrapping [`RequiresSgxV2`](sgx_sim::SimError) on
+    /// v1 machines, or `OutOfEnclaveSpace` when the reserve is exhausted.
+    pub fn sbrk(&mut self, pages: usize) -> SdkResult<Range<usize>> {
+        self.urts
+            .machine()
+            .extend_heap(self.enclave.id(), pages)
+            .map_err(SdkError::from)
+    }
+
+    /// Issues an ocall by name.
+    ///
+    /// # Errors
+    ///
+    /// [`SdkError::BadOcall`] for unknown names, plus anything the
+    /// untrusted implementation returns.
+    pub fn ocall(&mut self, name: &str, data: &mut CallData) -> SdkResult<()> {
+        let index = self
+            .enclave
+            .spec()
+            .ocall_by_name(name)
+            .ok_or_else(|| SdkError::BadOcall(name.to_string()))?
+            .index;
+        self.ocall_index(index, data)
+    }
+
+    /// Issues an ocall by index — the `sgx_ocall` path of the TRTS: leave
+    /// the enclave, look up the function pointer in the ocall table saved
+    /// in the URTS, run it, re-enter.
+    ///
+    /// # Errors
+    ///
+    /// [`SdkError::BadOcall`] if the saved table has no such index, plus
+    /// anything the untrusted implementation returns.
+    pub fn ocall_index(&mut self, index: usize, data: &mut CallData) -> SdkResult<()> {
+        let machine = self.urts.machine();
+        let cm = machine.cost_model();
+        let table = self.urts.saved_table(self.enclave.id())?;
+        let entry = table
+            .entry(index)
+            .ok_or_else(|| SdkError::BadOcall(format!("#{index}")))?
+            .clone();
+        self.enclave
+            .push_frame(self.thread.token, Frame::Ocall(index));
+        // EEXIT + dispatch + marshalling of [in] buffers out of the enclave.
+        machine
+            .clock()
+            .advance(cm.eexit + cm.ocall_dispatch + cm.copy_cost(data.in_bytes));
+        let mut host = HostCtx {
+            machine,
+            urts: self.urts,
+            enclave_id: self.enclave.id(),
+            thread: self.thread,
+        };
+        let result = (entry.func)(&mut host, data);
+        // Return transition + marshalling of [out] buffers back in.
+        machine
+            .clock()
+            .advance(cm.eenter + cm.copy_cost(data.out_bytes));
+        self.enclave.pop_frame(self.thread.token);
+        result
+    }
+
+    /// One spin iteration for hybrid locking: a short in-enclave busy wait
+    /// followed by a scheduling yield so the lock holder can progress.
+    pub fn spin_wait(&self) -> SdkResult<()> {
+        self.compute(Nanos::from_nanos(50))?;
+        if let Some(sim) = self.thread.sim {
+            sim.yield_now();
+        }
+        Ok(())
+    }
+}

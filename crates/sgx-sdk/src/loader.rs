@@ -1,0 +1,101 @@
+//! The dynamic-loader model with `LD_PRELOAD`-style interposition.
+//!
+//! On a real system the sgx-perf logger is a shared library preloaded via
+//! `LD_PRELOAD`; the dynamic linker then resolves the application's calls
+//! to `sgx_ecall` (and to `signal`/`sigaction`) to the logger's shadow
+//! implementations, which forward to the real URTS (Figure 2). [`Loader`]
+//! reproduces that resolution step: the application always calls
+//! [`Loader::sgx_ecall`]; [`Loader::preload`] pushes an interposing
+//! [`EcallDispatcher`] on top of the chain.
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use sgx_sim::EnclaveId;
+
+use crate::args::CallData;
+use crate::error::SdkResult;
+use crate::ocall::OcallTable;
+use crate::signals::SignalRegistry;
+use crate::thread_ctx::ThreadCtx;
+use crate::urts::Urts;
+
+/// Anything that can stand in the `sgx_ecall` resolution chain: the real
+/// URTS at the bottom, interposition libraries above it.
+pub trait EcallDispatcher: Send + Sync {
+    /// Dispatches an ecall. Interposers record what they need and forward
+    /// to the next dispatcher in the chain.
+    fn sgx_ecall(
+        &self,
+        tcx: &ThreadCtx<'_>,
+        eid: EnclaveId,
+        index: usize,
+        table: &Arc<OcallTable>,
+        data: &mut CallData,
+    ) -> SdkResult<()>;
+}
+
+/// The process's symbol-resolution state for the SDK entry points.
+pub struct Loader {
+    urts: Arc<Urts>,
+    top: RwLock<Arc<dyn EcallDispatcher>>,
+    signals: SignalRegistry,
+}
+
+impl std::fmt::Debug for Loader {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Loader").finish_non_exhaustive()
+    }
+}
+
+impl Loader {
+    pub(crate) fn new(urts: Arc<Urts>) -> Loader {
+        Loader {
+            top: RwLock::new(Arc::clone(&urts) as Arc<dyn EcallDispatcher>),
+            urts,
+            signals: SignalRegistry::new(),
+        }
+    }
+
+    /// The real URTS at the bottom of the chain.
+    pub fn urts_arc(&self) -> Arc<Urts> {
+        Arc::clone(&self.urts)
+    }
+
+    /// Preloads an interposition library: `wrap` receives the current top
+    /// of the chain (what `dlsym(RTLD_NEXT, "sgx_ecall")` would return) and
+    /// produces the new top.
+    pub fn preload(
+        &self,
+        wrap: impl FnOnce(Arc<dyn EcallDispatcher>) -> Arc<dyn EcallDispatcher>,
+    ) {
+        let mut top = self.top.write();
+        let next = Arc::clone(&*top);
+        *top = wrap(next);
+    }
+
+    /// The application-facing `sgx_ecall` symbol: resolves to the top of
+    /// the preload chain.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the dispatch chain returns (unknown enclave, interface
+    /// violations, hardware errors, ...).
+    pub fn sgx_ecall(
+        &self,
+        tcx: &ThreadCtx<'_>,
+        eid: EnclaveId,
+        index: usize,
+        table: &Arc<OcallTable>,
+        data: &mut CallData,
+    ) -> SdkResult<()> {
+        let top = Arc::clone(&*self.top.read());
+        top.sgx_ecall(tcx, eid, index, table, data)
+    }
+
+    /// The process signal registry (also interposable — the logger shadows
+    /// `signal`/`sigaction` to keep other handlers alive behind its own).
+    pub fn signals(&self) -> &SignalRegistry {
+        &self.signals
+    }
+}

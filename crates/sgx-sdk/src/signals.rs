@@ -1,0 +1,124 @@
+//! Process signal registration, shadowable like `signal`/`sigaction`.
+//!
+//! The sgx-perf logger overloads the handler-registering functions so that
+//! handlers registered by the application are saved and called *after* the
+//! logger has processed the signal itself (§4) — important for tracing
+//! e.g. JVM-hosted enclaves where the runtime uses signals internally.
+//! This module models that registration surface.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// A signal handler.
+pub type SignalHandler = Arc<dyn Fn(i32) + Send + Sync>;
+
+/// Common signal numbers used in the simulation.
+pub mod signum {
+    /// Segmentation fault — what stripped page permissions raise.
+    pub const SIGSEGV: i32 = 11;
+    /// Bus error.
+    pub const SIGBUS: i32 = 7;
+    /// User-defined signal 1 (used by managed runtimes for thread control).
+    pub const SIGUSR1: i32 = 10;
+}
+
+/// The process's signal-handler table, with `signal(2)` semantics: each
+/// registration returns the previously installed handler so an interposer
+/// can chain to it.
+#[derive(Default)]
+pub struct SignalRegistry {
+    handlers: Mutex<HashMap<i32, SignalHandler>>,
+}
+
+impl fmt::Debug for SignalRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "SignalRegistry({} handlers)",
+            self.handlers.lock().len()
+        )
+    }
+}
+
+impl SignalRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> SignalRegistry {
+        SignalRegistry::default()
+    }
+
+    /// Installs `handler` for `sig`, returning the previous handler (the
+    /// `signal(2)` contract an interposer relies on).
+    pub fn register(&self, sig: i32, handler: SignalHandler) -> Option<SignalHandler> {
+        self.handlers.lock().insert(sig, handler)
+    }
+
+    /// Removes the handler for `sig`.
+    pub fn unregister(&self, sig: i32) -> Option<SignalHandler> {
+        self.handlers.lock().remove(&sig)
+    }
+
+    /// Delivers `sig`; returns whether a handler ran.
+    pub fn raise(&self, sig: i32) -> bool {
+        let handler = self.handlers.lock().get(&sig).cloned();
+        match handler {
+            Some(h) => {
+                h(sig);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn register_and_raise() {
+        let reg = SignalRegistry::new();
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = Arc::clone(&hits);
+        reg.register(signum::SIGUSR1, Arc::new(move |_| {
+            h.fetch_add(1, Ordering::SeqCst);
+        }));
+        assert!(reg.raise(signum::SIGUSR1));
+        assert!(!reg.raise(signum::SIGSEGV));
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn interposition_chains_to_previous_handler() {
+        // The logger pattern: wrap the existing handler and call it after
+        // doing its own processing.
+        let reg = SignalRegistry::new();
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let o1 = Arc::clone(&order);
+        reg.register(signum::SIGSEGV, Arc::new(move |_| o1.lock().push("app")));
+        let prev = reg
+            .register(signum::SIGSEGV, Arc::new(|_| {}))
+            .expect("previous handler");
+        let o2 = Arc::clone(&order);
+        reg.register(
+            signum::SIGSEGV,
+            Arc::new(move |sig| {
+                o2.lock().push("logger");
+                prev(sig);
+            }),
+        );
+        reg.raise(signum::SIGSEGV);
+        assert_eq!(order.lock().as_slice(), &["logger", "app"]);
+    }
+
+    #[test]
+    fn unregister_removes_handler() {
+        let reg = SignalRegistry::new();
+        reg.register(signum::SIGBUS, Arc::new(|_| {}));
+        assert!(reg.unregister(signum::SIGBUS).is_some());
+        assert!(!reg.raise(signum::SIGBUS));
+    }
+}

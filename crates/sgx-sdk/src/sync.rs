@@ -1,0 +1,265 @@
+//! In-enclave synchronisation primitives (§2.3.2).
+//!
+//! Enclaves cannot sleep — `futex` is a syscall — so the SDK's trusted
+//! mutex sleeps *outside* the enclave through ocalls:
+//!
+//! * locking an uncontended mutex succeeds entirely inside the enclave,
+//! * locking a contended mutex enqueues the thread and issues the sleep
+//!   ocall ([`sync_ocalls::WAIT`]),
+//! * unlocking with waiters issues the wake ocall, so **a single contended
+//!   lock/unlock pair costs two enclave transitions** — the Short
+//!   Synchronisation Calls problem of §3.4.
+//!
+//! [`SgxHybridMutex`] implements the paper's recommended mitigation: spin
+//! inside the enclave a bounded number of times before sleeping.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use parking_lot::Mutex;
+use sgx_sim::ThreadToken;
+
+use crate::args::CallData;
+use crate::enclave::EcallCtx;
+use crate::error::SdkResult;
+use crate::sync_ocalls;
+
+/// How a lock acquisition completed — exposed for the hybrid-lock ablation
+/// experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockPath {
+    /// The mutex was free; no ocall was needed.
+    Uncontended,
+    /// Acquired after in-enclave spinning (hybrid mutex only).
+    Spun(u32),
+    /// Acquired after sleeping outside the enclave; carries the number of
+    /// sleep ocalls issued.
+    Slept(u32),
+}
+
+#[derive(Debug, Default)]
+struct MutexState {
+    owner: Option<ThreadToken>,
+    waiters: VecDeque<ThreadToken>,
+}
+
+/// The SDK's trusted mutex (`sgx_thread_mutex_*`).
+#[derive(Default)]
+pub struct SgxThreadMutex {
+    state: Mutex<MutexState>,
+}
+
+impl fmt::Debug for SgxThreadMutex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let st = self.state.lock();
+        f.debug_struct("SgxThreadMutex")
+            .field("owner", &st.owner)
+            .field("waiters", &st.waiters.len())
+            .finish()
+    }
+}
+
+impl SgxThreadMutex {
+    /// Creates an unlocked mutex.
+    pub fn new() -> SgxThreadMutex {
+        SgxThreadMutex::default()
+    }
+
+    /// Attempts to take the lock without ever leaving the enclave.
+    pub fn try_lock(&self, ctx: &EcallCtx<'_>) -> bool {
+        let mut st = self.state.lock();
+        if st.owner.is_none() {
+            st.owner = Some(ctx.thread_token());
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Locks the mutex; sleeps outside the enclave while contended.
+    ///
+    /// # Errors
+    ///
+    /// Propagates ocall failures (e.g. running outside a simulation when
+    /// contended).
+    pub fn lock(&self, ctx: &mut EcallCtx<'_>) -> SdkResult<LockPath> {
+        let me = ctx.thread_token();
+        let mut sleeps = 0u32;
+        loop {
+            {
+                let mut st = self.state.lock();
+                if st.owner.is_none() {
+                    st.owner = Some(me);
+                    return Ok(if sleeps == 0 {
+                        LockPath::Uncontended
+                    } else {
+                        LockPath::Slept(sleeps)
+                    });
+                }
+                if !st.waiters.contains(&me) {
+                    st.waiters.push_back(me);
+                }
+            }
+            // Sleep outside the enclave until the owner wakes us.
+            ctx.ocall(sync_ocalls::WAIT, &mut CallData::default())?;
+            sleeps += 1;
+        }
+    }
+
+    /// Unlocks the mutex, waking the first waiter (an ocall) if any.
+    ///
+    /// # Errors
+    ///
+    /// Propagates ocall failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the calling thread does not own the mutex.
+    pub fn unlock(&self, ctx: &mut EcallCtx<'_>) -> SdkResult<()> {
+        if let Some(next) = self.unlock_internal(ctx.thread_token()) {
+            ctx.ocall(sync_ocalls::SET, &mut CallData::new(next.0 as u64))?;
+        }
+        Ok(())
+    }
+
+    /// Releases ownership and pops the next waiter without issuing the
+    /// wake ocall (used by condition variables to fuse wake+sleep).
+    pub(crate) fn unlock_internal(&self, me: ThreadToken) -> Option<ThreadToken> {
+        let mut st = self.state.lock();
+        assert_eq!(
+            st.owner,
+            Some(me),
+            "unlock by non-owner {me} (owner: {:?})",
+            st.owner
+        );
+        st.owner = None;
+        st.waiters.pop_front()
+    }
+}
+
+/// The paper's recommended hybrid lock (§3.4): spin inside the enclave up
+/// to `spin_budget` times before falling back to the sleep ocall.
+pub struct SgxHybridMutex {
+    inner: SgxThreadMutex,
+    spin_budget: u32,
+}
+
+impl fmt::Debug for SgxHybridMutex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SgxHybridMutex")
+            .field("spin_budget", &self.spin_budget)
+            .field("inner", &self.inner)
+            .finish()
+    }
+}
+
+impl SgxHybridMutex {
+    /// Creates a hybrid mutex that spins up to `spin_budget` iterations.
+    pub fn new(spin_budget: u32) -> SgxHybridMutex {
+        SgxHybridMutex {
+            inner: SgxThreadMutex::new(),
+            spin_budget,
+        }
+    }
+
+    /// Locks, preferring bounded spinning over transitions.
+    ///
+    /// # Errors
+    ///
+    /// Propagates ocall failures from the sleep fallback.
+    pub fn lock(&self, ctx: &mut EcallCtx<'_>) -> SdkResult<LockPath> {
+        if self.inner.try_lock(ctx) {
+            return Ok(LockPath::Uncontended);
+        }
+        for spin in 1..=self.spin_budget {
+            ctx.spin_wait()?;
+            if self.inner.try_lock(ctx) {
+                return Ok(LockPath::Spun(spin));
+            }
+        }
+        self.inner.lock(ctx)
+    }
+
+    /// Unlocks; wakes a sleeper only if one actually slept.
+    ///
+    /// # Errors
+    ///
+    /// Propagates ocall failures.
+    pub fn unlock(&self, ctx: &mut EcallCtx<'_>) -> SdkResult<()> {
+        self.inner.unlock(ctx)
+    }
+}
+
+/// The SDK's trusted condition variable (`sgx_thread_cond_*`).
+#[derive(Default)]
+pub struct SgxCondvar {
+    waiters: Mutex<VecDeque<ThreadToken>>,
+}
+
+impl fmt::Debug for SgxCondvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SgxCondvar({} waiters)", self.waiters.lock().len())
+    }
+}
+
+impl SgxCondvar {
+    /// Creates a condition variable with no waiters.
+    pub fn new() -> SgxCondvar {
+        SgxCondvar::default()
+    }
+
+    /// Releases `mutex`, sleeps until signalled, re-acquires `mutex`.
+    /// When releasing the mutex needs to wake a waiter, the wake and the
+    /// sleep are fused into the single "setwait" ocall (§4.1.3, call
+    /// type iv).
+    ///
+    /// # Errors
+    ///
+    /// Propagates ocall failures.
+    pub fn wait(&self, ctx: &mut EcallCtx<'_>, mutex: &SgxThreadMutex) -> SdkResult<()> {
+        let me = ctx.thread_token();
+        self.waiters.lock().push_back(me);
+        match mutex.unlock_internal(me) {
+            Some(next) => {
+                ctx.ocall(
+                    sync_ocalls::SETWAIT,
+                    &mut CallData::new(next.0 as u64),
+                )?;
+            }
+            None => {
+                ctx.ocall(sync_ocalls::WAIT, &mut CallData::default())?;
+            }
+        }
+        mutex.lock(ctx)?;
+        Ok(())
+    }
+
+    /// Wakes one waiter, if any (one ocall).
+    ///
+    /// # Errors
+    ///
+    /// Propagates ocall failures.
+    pub fn signal(&self, ctx: &mut EcallCtx<'_>) -> SdkResult<()> {
+        let next = self.waiters.lock().pop_front();
+        if let Some(next) = next {
+            ctx.ocall(sync_ocalls::SET, &mut CallData::new(next.0 as u64))?;
+        }
+        Ok(())
+    }
+
+    /// Wakes all waiters with a single "set multiple" ocall.
+    ///
+    /// # Errors
+    ///
+    /// Propagates ocall failures.
+    pub fn broadcast(&self, ctx: &mut EcallCtx<'_>) -> SdkResult<()> {
+        let all: Vec<u64> = self.waiters.lock().drain(..).map(|t| t.0 as u64).collect();
+        if !all.is_empty() {
+            ctx.ocall(
+                sync_ocalls::SET_MULTIPLE,
+                &mut CallData::default().with_aux(all),
+            )?;
+        }
+        Ok(())
+    }
+}

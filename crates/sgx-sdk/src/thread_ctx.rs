@@ -1,0 +1,49 @@
+//! Per-call thread context.
+
+use sgx_sim::ThreadToken;
+use sim_threads::SimCtx;
+
+/// Identifies the calling thread and, when running under the deterministic
+/// scheduler, carries its scheduling handle (needed by the sleep/wake
+/// synchronisation ocalls).
+///
+/// `ThreadCtx` is passed by reference down the whole call chain — exactly
+/// like the implicit "current OS thread" of the real SDK.
+#[derive(Debug, Clone, Copy)]
+pub struct ThreadCtx<'a> {
+    /// Stable identifier recorded in trace events.
+    pub token: ThreadToken,
+    /// Scheduling handle, if under `sim_threads`.
+    pub sim: Option<&'a SimCtx>,
+}
+
+impl<'a> ThreadCtx<'a> {
+    /// The implicit main thread of a single-threaded workload.
+    pub fn main() -> ThreadCtx<'static> {
+        ThreadCtx {
+            token: ThreadToken::MAIN,
+            sim: None,
+        }
+    }
+
+    /// A context for a logical thread of a [`sim_threads::Simulation`]; its
+    /// token is the logical thread id.
+    pub fn from_sim(sim: &'a SimCtx) -> ThreadCtx<'a> {
+        ThreadCtx {
+            token: ThreadToken(sim.id().0),
+            sim: Some(sim),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn main_thread_is_token_zero() {
+        let tcx = ThreadCtx::main();
+        assert_eq!(tcx.token, ThreadToken::MAIN);
+        assert!(tcx.sim.is_none());
+    }
+}

@@ -1,0 +1,201 @@
+//! The Untrusted Runtime System.
+//!
+//! Owns the enclave registry, the saved per-enclave ocall tables
+//! (Figure 3: "the pointer to the table is saved inside the URTS for later
+//! use") and implements the real `sgx_ecall` — TCS lookup, transition cost
+//! accounting, TRTS trampoline dispatch.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Arc, OnceLock, Weak};
+
+use parking_lot::{Mutex, RwLock};
+use sgx_sim::{AccessKind, EnclaveId, Machine};
+
+use crate::args::CallData;
+use crate::enclave::{EcallCtx, Enclave, Frame};
+use crate::error::{SdkError, SdkResult};
+use crate::loader::{EcallDispatcher, Loader};
+use crate::ocall::OcallTable;
+use crate::thread_ctx::ThreadCtx;
+
+/// The URTS: enclave registry + the base implementation of `sgx_ecall`.
+pub struct Urts {
+    machine: Arc<Machine>,
+    enclaves: RwLock<HashMap<u32, Arc<Enclave>>>,
+    saved_tables: Mutex<HashMap<u32, Arc<OcallTable>>>,
+    loader: OnceLock<Weak<Loader>>,
+}
+
+impl fmt::Debug for Urts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Urts")
+            .field("enclaves", &self.enclaves.read().len())
+            .finish()
+    }
+}
+
+impl Urts {
+    pub(crate) fn new(machine: Arc<Machine>) -> Urts {
+        Urts {
+            machine,
+            enclaves: RwLock::new(HashMap::new()),
+            saved_tables: Mutex::new(HashMap::new()),
+            loader: OnceLock::new(),
+        }
+    }
+
+    /// The machine this URTS drives.
+    pub fn machine(&self) -> &Arc<Machine> {
+        &self.machine
+    }
+
+    pub(crate) fn set_loader(&self, loader: Weak<Loader>) {
+        let _ = self.loader.set(loader);
+    }
+
+    pub(crate) fn loader(&self) -> SdkResult<Arc<Loader>> {
+        self.loader
+            .get()
+            .and_then(Weak::upgrade)
+            .ok_or_else(|| SdkError::Interface("runtime loader torn down".to_string()))
+    }
+
+    pub(crate) fn register_enclave(&self, enclave: Arc<Enclave>) {
+        self.enclaves.write().insert(enclave.id().0, enclave);
+    }
+
+    pub(crate) fn unregister_enclave(&self, eid: EnclaveId) -> SdkResult<()> {
+        self.saved_tables.lock().remove(&eid.0);
+        self.enclaves
+            .write()
+            .remove(&eid.0)
+            .map(|_| ())
+            .ok_or(SdkError::UnknownEnclave(eid))
+    }
+
+    /// Looks up a loaded enclave.
+    pub fn enclave(&self, eid: EnclaveId) -> SdkResult<Arc<Enclave>> {
+        self.enclaves
+            .read()
+            .get(&eid.0)
+            .cloned()
+            .ok_or(SdkError::UnknownEnclave(eid))
+    }
+
+    /// The ocall table most recently passed to `sgx_ecall` for `eid`.
+    pub fn saved_table(&self, eid: EnclaveId) -> SdkResult<Arc<OcallTable>> {
+        self.saved_tables
+            .lock()
+            .get(&eid.0)
+            .cloned()
+            .ok_or_else(|| {
+                SdkError::OcallOutsideEcall(format!("no ocall table saved for {eid}"))
+            })
+    }
+}
+
+impl EcallDispatcher for Urts {
+    /// The real `sgx_ecall`: saves the ocall table, enforces the public/
+    /// private and `allow()` rules, finds a TCS, charges URTS dispatch +
+    /// `EENTER`, runs the TRTS trampoline and the trusted function, charges
+    /// `EEXIT`.
+    fn sgx_ecall(
+        &self,
+        tcx: &ThreadCtx<'_>,
+        eid: EnclaveId,
+        index: usize,
+        table: &Arc<OcallTable>,
+        data: &mut CallData,
+    ) -> SdkResult<()> {
+        let enclave = self.enclave(eid)?;
+        // Save the table pointer "for later use" — every call replaces it,
+        // which is what lets a preloaded logger substitute its own.
+        self.saved_tables.lock().insert(eid.0, Arc::clone(table));
+
+        let spec_ecall = enclave
+            .spec()
+            .ecalls()
+            .get(index)
+            .ok_or_else(|| SdkError::BadEcall(format!("#{index}")))?
+            .clone();
+
+        // Interface security rules (§3.6): private ecalls only during an
+        // ocall, and only if that ocall's allow() list permits them.
+        let frames = enclave.frames_of(tcx.token);
+        match frames.last() {
+            Some(Frame::Ocall(ocall_idx)) => {
+                if !enclave.spec().is_ecall_allowed_from(index, *ocall_idx) {
+                    let ocall_name = enclave.spec().ocalls()[*ocall_idx].name.clone();
+                    return Err(SdkError::EcallNotAllowed {
+                        ecall: spec_ecall.name,
+                        ocall: ocall_name,
+                    });
+                }
+            }
+            _ => {
+                if !spec_ecall.public {
+                    return Err(SdkError::PrivateEcall(spec_ecall.name));
+                }
+            }
+        }
+
+        let body = enclave.ecall_impl(index)?;
+        let tcs_index = enclave.bind_tcs(tcx.token)?;
+        enclave.push_frame(tcx.token, Frame::Ecall(index));
+
+        let cm = self.machine.cost_model();
+        // URTS: find free TCS, set up the call frame; then EENTER and
+        // marshalling of [in] buffers into the enclave.
+        self.machine
+            .clock()
+            .advance(cm.urts_dispatch + cm.eenter + cm.copy_cost(data.in_bytes));
+
+        // Entering touches the TCS page and the top of the thread's stack —
+        // this is what makes those pages show up in working-set estimates.
+        let touch_result = self.touch_entry_pages(eid, tcx, tcs_index);
+
+        // TRTS trampoline: resolve the numeric id to the trusted function.
+        self.machine.clock().advance(cm.trts_dispatch);
+
+        let result = touch_result.and_then(|()| {
+            let urts_arc = self.loader()?.urts_arc();
+            let mut ctx = EcallCtx {
+                enclave: &enclave,
+                urts: &urts_arc,
+                thread: *tcx,
+                tcs_index,
+            };
+            body(&mut ctx, data)
+        });
+
+        // EEXIT + marshalling of [out] buffers back to the application.
+        self.machine
+            .clock()
+            .advance(cm.eexit + cm.copy_cost(data.out_bytes));
+        enclave.pop_frame(tcx.token);
+        result
+    }
+}
+
+impl Urts {
+    fn touch_entry_pages(
+        &self,
+        eid: EnclaveId,
+        tcx: &ThreadCtx<'_>,
+        tcs_index: usize,
+    ) -> SdkResult<()> {
+        let info = self.machine.enclave_info(eid)?;
+        if tcs_index >= info.tcs_count {
+            return Err(SdkError::OutOfTcs(eid));
+        }
+        // The TCS page and the first stack page of this thread.
+        let stack = self.machine.stack_range(eid, tcs_index)?;
+        let tcs_page = self.machine.tcs_page(eid, tcs_index)?;
+        self.machine
+            .touch(eid, tcx.token, tcs_page..tcs_page + 1, AccessKind::Read)?;
+        self.machine
+            .touch(eid, tcx.token, stack.start..stack.start + 1, AccessKind::Write)?;
+        Ok(())
+    }
+}

@@ -1,0 +1,281 @@
+//! Tests of the trusted synchronisation primitives: condition variables
+//! (fused setwait, broadcast via set-multiple) and the hybrid mutex.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use sgx_sdk::{
+    CallData, OcallTableBuilder, Runtime, SgxCondvar, SgxHybridMutex, SgxThreadMutex, ThreadCtx,
+};
+use sgx_sim::{EnclaveConfig, Machine};
+use sim_core::{Clock, HwProfile, Nanos};
+use sim_threads::Simulation;
+
+struct SyncApp {
+    rt: Arc<Runtime>,
+    enclave: Arc<sgx_sdk::Enclave>,
+    sync_ocalls: Arc<Mutex<Vec<String>>>,
+}
+
+/// Builds an enclave whose ocall table records every sync ocall by name.
+fn sync_app(tcs: usize, edl: &str) -> (SyncApp, Arc<sgx_sdk::OcallTable>) {
+    let machine = Arc::new(Machine::new(Clock::new(), HwProfile::Unpatched));
+    let rt = Runtime::new(machine);
+    let spec = sgx_edl::parse(edl).unwrap();
+    let enclave = rt
+        .create_enclave(
+            &spec,
+            &EnclaveConfig {
+                tcs_count: tcs,
+                ..EnclaveConfig::default()
+            },
+        )
+        .unwrap();
+    let base = OcallTableBuilder::new(enclave.spec()).build().unwrap();
+    let seen: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+    let seen2 = Arc::clone(&seen);
+    let table = Arc::new(base.wrap(move |_, name, orig| {
+        let seen = Arc::clone(&seen2);
+        let name = name.to_string();
+        Arc::new(move |host, data| {
+            if sgx_sdk::sync_ocalls::is_sync_ocall(&name) {
+                seen.lock().push(name.clone());
+            }
+            orig(host, data)
+        })
+    }));
+    (
+        SyncApp {
+            rt,
+            enclave,
+            sync_ocalls: seen,
+        },
+        table,
+    )
+}
+
+/// A bounded queue guarded by the SDK mutex + condvar: the producer blocks
+/// the consumer until items exist; waking uses the fused "setwait" ocall
+/// when the mutex has a waiter, otherwise the plain wait/set pair.
+#[test]
+fn condvar_producer_consumer() {
+    let (app, table) = sync_app(
+        2,
+        "enclave { trusted {
+            public void ecall_produce(uint64_t n);
+            public uint64_t ecall_consume(uint64_t n);
+        }; };",
+    );
+    let queue: Arc<Mutex<VecDeque<u64>>> = Arc::new(Mutex::new(VecDeque::new()));
+    let mutex = Arc::new(SgxThreadMutex::new());
+    let not_empty = Arc::new(SgxCondvar::new());
+
+    {
+        let queue = Arc::clone(&queue);
+        let mutex = Arc::clone(&mutex);
+        let not_empty = Arc::clone(&not_empty);
+        app.enclave
+            .register_ecall("ecall_produce", move |ctx, data| {
+                mutex.lock(ctx)?;
+                queue.lock().push_back(data.scalar);
+                ctx.compute(Nanos::from_nanos(500))?;
+                not_empty.signal(ctx)?;
+                mutex.unlock(ctx)?;
+                Ok(())
+            })
+            .unwrap();
+    }
+    {
+        let queue = Arc::clone(&queue);
+        let mutex = Arc::clone(&mutex);
+        let not_empty = Arc::clone(&not_empty);
+        app.enclave
+            .register_ecall("ecall_consume", move |ctx, data| {
+                mutex.lock(ctx)?;
+                loop {
+                    if let Some(v) = queue.lock().pop_front() {
+                        data.ret = v;
+                        break;
+                    }
+                    not_empty.wait(ctx, &mutex)?;
+                }
+                mutex.unlock(ctx)?;
+                Ok(())
+            })
+            .unwrap();
+    }
+
+    let sim = Simulation::new(app.rt.machine().clock().clone());
+    let consumed: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+    {
+        let rt = Arc::clone(&app.rt);
+        let table = Arc::clone(&table);
+        let eid = app.enclave.id();
+        let consumed = Arc::clone(&consumed);
+        sim.spawn("consumer", move |ctx| {
+            let tcx = ThreadCtx::from_sim(ctx);
+            for _ in 0..8 {
+                let mut data = CallData::default();
+                rt.ecall(&tcx, eid, "ecall_consume", &table, &mut data)
+                    .unwrap();
+                consumed.lock().push(data.ret);
+            }
+        });
+    }
+    {
+        let rt = Arc::clone(&app.rt);
+        let table = Arc::clone(&table);
+        let eid = app.enclave.id();
+        sim.spawn("producer", move |ctx| {
+            let tcx = ThreadCtx::from_sim(ctx);
+            for i in 0..8u64 {
+                rt.ecall(&tcx, eid, "ecall_produce", &table, &mut CallData::new(i))
+                    .unwrap();
+                ctx.sleep(Nanos::from_micros(50));
+            }
+        });
+    }
+    sim.run();
+
+    // All items arrive in order.
+    assert_eq!(consumed.lock().clone(), (0..8).collect::<Vec<u64>>());
+    // The consumer slept at least once, and the producer woke it.
+    let names = app.sync_ocalls.lock().clone();
+    let sleeps = names
+        .iter()
+        .filter(|n| *n == sgx_sdk::sync_ocalls::WAIT)
+        .count();
+    assert!(sleeps >= 1, "{names:?}");
+    let wakes = names
+        .iter()
+        .filter(|n| {
+            *n == sgx_sdk::sync_ocalls::SET || *n == sgx_sdk::sync_ocalls::SETWAIT
+        })
+        .count();
+    assert!(wakes >= sleeps, "{names:?}");
+}
+
+/// Broadcast wakes every waiter with a single "set multiple" ocall.
+#[test]
+fn condvar_broadcast_uses_set_multiple() {
+    let (app, table) = sync_app(
+        4,
+        "enclave { trusted {
+            public void ecall_wait_for_go();
+            public void ecall_go();
+        }; };",
+    );
+    let mutex = Arc::new(SgxThreadMutex::new());
+    let go = Arc::new(SgxCondvar::new());
+    let released = Arc::new(AtomicUsize::new(0));
+    let flag = Arc::new(AtomicUsize::new(0));
+    {
+        let mutex = Arc::clone(&mutex);
+        let go = Arc::clone(&go);
+        let released = Arc::clone(&released);
+        let flag = Arc::clone(&flag);
+        app.enclave
+            .register_ecall("ecall_wait_for_go", move |ctx, _| {
+                mutex.lock(ctx)?;
+                while flag.load(Ordering::SeqCst) == 0 {
+                    go.wait(ctx, &mutex)?;
+                }
+                released.fetch_add(1, Ordering::SeqCst);
+                mutex.unlock(ctx)?;
+                Ok(())
+            })
+            .unwrap();
+    }
+    {
+        let mutex = Arc::clone(&mutex);
+        let go = Arc::clone(&go);
+        let flag = Arc::clone(&flag);
+        app.enclave
+            .register_ecall("ecall_go", move |ctx, _| {
+                mutex.lock(ctx)?;
+                flag.store(1, Ordering::SeqCst);
+                go.broadcast(ctx)?;
+                mutex.unlock(ctx)?;
+                Ok(())
+            })
+            .unwrap();
+    }
+
+    let sim = Simulation::new(app.rt.machine().clock().clone());
+    for i in 0..3 {
+        let rt = Arc::clone(&app.rt);
+        let table = Arc::clone(&table);
+        let eid = app.enclave.id();
+        sim.spawn(&format!("waiter-{i}"), move |ctx| {
+            let tcx = ThreadCtx::from_sim(ctx);
+            rt.ecall(&tcx, eid, "ecall_wait_for_go", &table, &mut CallData::default())
+                .unwrap();
+        });
+    }
+    {
+        let rt = Arc::clone(&app.rt);
+        let table = Arc::clone(&table);
+        let eid = app.enclave.id();
+        sim.spawn("broadcaster", move |ctx| {
+            // Let all waiters park first.
+            ctx.sleep(Nanos::from_millis(1));
+            let tcx = ThreadCtx::from_sim(ctx);
+            rt.ecall(&tcx, eid, "ecall_go", &table, &mut CallData::default())
+                .unwrap();
+        });
+    }
+    sim.run();
+    assert_eq!(released.load(Ordering::SeqCst), 3);
+    let names = app.sync_ocalls.lock().clone();
+    assert!(
+        names.iter().any(|n| n == sgx_sdk::sync_ocalls::SET_MULTIPLE),
+        "{names:?}"
+    );
+}
+
+/// The hybrid mutex's uncontended fast path never leaves the enclave, and
+/// its spin path absorbs yield-length contention without ocalls.
+#[test]
+fn hybrid_mutex_avoids_ocalls() {
+    let (app, table) = sync_app(
+        2,
+        "enclave { trusted { public void ecall_hybrid_op(uint64_t i); }; };",
+    );
+    let lock = Arc::new(SgxHybridMutex::new(8));
+    {
+        let lock = Arc::clone(&lock);
+        app.enclave
+            .register_ecall("ecall_hybrid_op", move |ctx, _| {
+                lock.lock(ctx)?;
+                if let Some(sim) = ctx.thread().sim {
+                    sim.yield_now();
+                }
+                ctx.compute(Nanos::from_nanos(200))?;
+                lock.unlock(ctx)?;
+                Ok(())
+            })
+            .unwrap();
+    }
+    let sim = Simulation::new(app.rt.machine().clock().clone());
+    for _ in 0..2 {
+        let rt = Arc::clone(&app.rt);
+        let table = Arc::clone(&table);
+        let eid = app.enclave.id();
+        sim.spawn("worker", move |ctx| {
+            let tcx = ThreadCtx::from_sim(ctx);
+            for i in 0..50 {
+                rt.ecall(&tcx, eid, "ecall_hybrid_op", &table, &mut CallData::new(i))
+                    .unwrap();
+                ctx.yield_now();
+            }
+        });
+    }
+    sim.run();
+    assert!(
+        app.sync_ocalls.lock().is_empty(),
+        "{:?}",
+        app.sync_ocalls.lock()
+    );
+}

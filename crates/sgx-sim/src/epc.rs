@@ -1,0 +1,214 @@
+//! The Enclave Page Cache.
+//!
+//! Current SGX implementations reserve 128 MiB of system memory for the EPC
+//! of which ≈93 MiB are usable for enclave pages; the rest holds integrity
+//! metadata (§2.3.3). The EPC is shared between *all* running enclaves.
+//! When it is full, the driver evicts pages to untrusted memory, which is
+//! expensive (re-encryption + extra transitions).
+//!
+//! This module models only occupancy and the eviction decision; costs and
+//! event delivery live in [`machine`](crate::machine).
+
+use std::collections::{BTreeMap, HashMap};
+
+use crate::machine::EnclaveId;
+
+/// Usable EPC capacity in pages: 93 MiB / 4 KiB.
+pub const DEFAULT_EPC_PAGES: usize = 93 * 256;
+
+/// Which page the driver evicts when the EPC is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum EvictionPolicy {
+    /// Evict the page that has been resident longest (insertion order) —
+    /// approximates the Linux SGX driver's simple reclaim behaviour.
+    #[default]
+    Fifo,
+    /// Evict the least recently *accessed* page.
+    Lru,
+}
+
+pub(crate) type PageKey = (EnclaveId, usize);
+
+/// Occupancy tracker for the EPC.
+#[derive(Debug)]
+pub(crate) struct Epc {
+    capacity: usize,
+    policy: EvictionPolicy,
+    /// stamp -> page, ordered oldest first.
+    by_stamp: BTreeMap<u64, PageKey>,
+    /// page -> stamp.
+    stamps: HashMap<PageKey, u64>,
+    next_stamp: u64,
+}
+
+impl Epc {
+    pub fn new(capacity: usize, policy: EvictionPolicy) -> Epc {
+        assert!(capacity > 0, "EPC capacity must be positive");
+        Epc {
+            capacity,
+            policy,
+            by_stamp: BTreeMap::new(),
+            stamps: HashMap::new(),
+            next_stamp: 0,
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub fn resident_count(&self) -> usize {
+        self.stamps.len()
+    }
+
+    pub fn contains(&self, key: PageKey) -> bool {
+        self.stamps.contains_key(&key)
+    }
+
+    /// Makes `key` resident. If the EPC is full, returns the victim that
+    /// must be evicted first (the caller performs the eviction bookkeeping
+    /// and then calls `insert` again — by then there is room).
+    ///
+    /// Returns `None` once the page is resident.
+    pub fn insert(&mut self, key: PageKey) -> Option<PageKey> {
+        if self.stamps.contains_key(&key) {
+            return None;
+        }
+        if self.stamps.len() >= self.capacity {
+            let (&stamp, &victim) = self
+                .by_stamp
+                .iter()
+                .next()
+                .expect("EPC full implies non-empty");
+            self.by_stamp.remove(&stamp);
+            self.stamps.remove(&victim);
+            // Caller records the eviction, then the new page goes in below.
+            self.insert_fresh(key);
+            return Some(victim);
+        }
+        self.insert_fresh(key);
+        None
+    }
+
+    fn insert_fresh(&mut self, key: PageKey) {
+        let stamp = self.next_stamp;
+        self.next_stamp += 1;
+        self.by_stamp.insert(stamp, key);
+        self.stamps.insert(key, stamp);
+    }
+
+    /// Records an access for LRU bookkeeping. No-op under FIFO.
+    pub fn touch(&mut self, key: PageKey) {
+        if self.policy != EvictionPolicy::Lru {
+            return;
+        }
+        if let Some(stamp) = self.stamps.get(&key).copied() {
+            self.by_stamp.remove(&stamp);
+            self.insert_fresh(key);
+        }
+    }
+
+    /// Removes a single page (e.g. explicit eviction).
+    pub fn remove(&mut self, key: PageKey) -> bool {
+        match self.stamps.remove(&key) {
+            Some(stamp) => {
+                self.by_stamp.remove(&stamp);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Removes every page of an enclave; returns how many were resident.
+    pub fn remove_enclave(&mut self, enclave: EnclaveId) -> usize {
+        let keys: Vec<PageKey> = self
+            .stamps
+            .keys()
+            .filter(|(eid, _)| *eid == enclave)
+            .copied()
+            .collect();
+        for key in &keys {
+            self.remove(*key);
+        }
+        keys.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eid(n: u32) -> EnclaveId {
+        EnclaveId(n)
+    }
+
+    #[test]
+    fn fills_to_capacity_without_eviction() {
+        let mut epc = Epc::new(4, EvictionPolicy::Fifo);
+        for i in 0..4 {
+            assert_eq!(epc.insert((eid(1), i)), None);
+        }
+        assert_eq!(epc.resident_count(), 4);
+    }
+
+    #[test]
+    fn fifo_evicts_oldest() {
+        let mut epc = Epc::new(2, EvictionPolicy::Fifo);
+        epc.insert((eid(1), 0));
+        epc.insert((eid(1), 1));
+        // Access page 0 — FIFO must ignore it.
+        epc.touch((eid(1), 0));
+        let victim = epc.insert((eid(1), 2));
+        assert_eq!(victim, Some((eid(1), 0)));
+        assert!(epc.contains((eid(1), 2)));
+        assert!(!epc.contains((eid(1), 0)));
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut epc = Epc::new(2, EvictionPolicy::Lru);
+        epc.insert((eid(1), 0));
+        epc.insert((eid(1), 1));
+        epc.touch((eid(1), 0)); // page 1 is now the LRU victim
+        let victim = epc.insert((eid(1), 2));
+        assert_eq!(victim, Some((eid(1), 1)));
+    }
+
+    #[test]
+    fn double_insert_is_idempotent() {
+        let mut epc = Epc::new(2, EvictionPolicy::Fifo);
+        assert_eq!(epc.insert((eid(1), 0)), None);
+        assert_eq!(epc.insert((eid(1), 0)), None);
+        assert_eq!(epc.resident_count(), 1);
+    }
+
+    #[test]
+    fn remove_enclave_clears_only_that_enclave() {
+        let mut epc = Epc::new(8, EvictionPolicy::Fifo);
+        for i in 0..3 {
+            epc.insert((eid(1), i));
+        }
+        epc.insert((eid(2), 0));
+        assert_eq!(epc.remove_enclave(eid(1)), 3);
+        assert_eq!(epc.resident_count(), 1);
+        assert!(epc.contains((eid(2), 0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        let _ = Epc::new(0, EvictionPolicy::Fifo);
+    }
+
+    #[test]
+    fn eviction_pressure_across_enclaves() {
+        // Two enclaves sharing a tiny EPC evict each other's pages — the
+        // multi-tenant scenario from §3.5.
+        let mut epc = Epc::new(3, EvictionPolicy::Fifo);
+        epc.insert((eid(1), 0));
+        epc.insert((eid(1), 1));
+        epc.insert((eid(2), 0));
+        assert_eq!(epc.insert((eid(2), 1)), Some((eid(1), 0)));
+        assert_eq!(epc.insert((eid(1), 0)), Some((eid(1), 1)));
+    }
+}

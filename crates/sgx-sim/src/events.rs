@@ -1,0 +1,112 @@
+//! Observable hardware/driver events.
+//!
+//! These are the event types sgx-perf's logger subscribes to: AEXs via the
+//! patched AEP (§4.1.4), paging via kprobe-style driver hooks (§4.1.5) and
+//! MMU access faults via the working-set estimator's fault handler (§4.2).
+
+use sim_core::Nanos;
+
+use crate::machine::{EnclaveId, ThreadToken};
+
+/// Why an asynchronous enclave exit happened.
+///
+/// SGX v1 cannot report the AEX cause to user space (§4.1.4); the simulated
+/// machine knows it, and exposes it so tests can verify behaviour, but the
+/// logger deliberately ignores it for v1 fidelity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AexCause {
+    /// Timer interrupt hit while executing inside the enclave.
+    Interrupt,
+    /// EPC page fault (page had been evicted).
+    PageFault,
+    /// MMU access fault (permissions stripped, e.g. by the working-set
+    /// estimator).
+    AccessFault,
+}
+
+/// One asynchronous enclave exit, delivered to the AEP observer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AexEvent {
+    /// Enclave that was interrupted.
+    pub enclave: EnclaveId,
+    /// Logical thread executing inside the enclave.
+    pub thread: ThreadToken,
+    /// Virtual time of the exit.
+    pub time: Nanos,
+    /// The cause (not observable on real SGX v1 hardware).
+    pub cause: AexCause,
+}
+
+/// Direction of an EPC paging operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PagingDirection {
+    /// Page evicted from the EPC to untrusted memory (`EWB`).
+    Out,
+    /// Page loaded back into the EPC (`ELDU`).
+    In,
+}
+
+/// Kernel-driver events — what a kprobe on the SGX driver's paging functions
+/// would observe, plus enclave lifecycle for bookkeeping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DriverEvent {
+    /// A page crossed the EPC boundary.
+    Paging {
+        /// Direction of travel.
+        direction: PagingDirection,
+        /// Owning enclave.
+        enclave: EnclaveId,
+        /// Virtual address of the page.
+        vaddr: u64,
+        /// Virtual time of the operation.
+        time: Nanos,
+    },
+    /// An enclave was created (`ECREATE`+`EADD`+`EINIT`).
+    EnclaveCreated {
+        /// New enclave id.
+        enclave: EnclaveId,
+        /// Total size in pages (power of two).
+        pages: usize,
+        /// Virtual time of creation.
+        time: Nanos,
+    },
+    /// An enclave was destroyed and its EPC pages freed.
+    EnclaveDestroyed {
+        /// Destroyed enclave id.
+        enclave: EnclaveId,
+        /// Virtual time of destruction.
+        time: Nanos,
+    },
+}
+
+/// An MMU access fault caused by stripped page permissions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MmuFault {
+    /// Faulting enclave.
+    pub enclave: EnclaveId,
+    /// Logical thread that faulted.
+    pub thread: ThreadToken,
+    /// Index of the faulting page within the enclave.
+    pub page_index: usize,
+    /// Virtual address of the faulting page.
+    pub vaddr: u64,
+    /// Virtual time of the fault.
+    pub time: Nanos,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_are_value_types() {
+        let e = DriverEvent::Paging {
+            direction: PagingDirection::Out,
+            enclave: EnclaveId(1),
+            vaddr: 0x1000,
+            time: Nanos::from_nanos(7),
+        };
+        let copy = e;
+        assert_eq!(e, copy);
+    }
+}

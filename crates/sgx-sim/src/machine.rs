@@ -1,0 +1,1327 @@
+//! The simulated SGX machine: enclaves, EPC, AEX injection, MMU faults.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::ops::Range;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use sim_core::{Clock, CostModel, HwProfile, Nanos};
+
+use crate::epc::{Epc, EvictionPolicy, DEFAULT_EPC_PAGES};
+use crate::events::{AexCause, AexEvent, DriverEvent, MmuFault, PagingDirection};
+use crate::layout::{EnclaveConfig, EnclaveLayout, PageKind, PAGE_SIZE};
+use crate::page::{PageState, Perms};
+
+/// Identifier of an enclave on a [`Machine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EnclaveId(pub u32);
+
+impl fmt::Display for EnclaveId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "enclave#{}", self.0)
+    }
+}
+
+/// Identifier of the logical thread currently executing; assigned by the
+/// runtime layer (`sgx-sdk`) from `sim-threads` ids, or `ThreadToken::MAIN`
+/// for single-threaded workloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ThreadToken(pub usize);
+
+impl ThreadToken {
+    /// The implicit main thread of single-threaded workloads.
+    pub const MAIN: ThreadToken = ThreadToken(0);
+}
+
+impl fmt::Display for ThreadToken {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Kind of memory access for [`Machine::touch`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// Data read.
+    Read,
+    /// Data write.
+    Write,
+    /// Instruction fetch.
+    Execute,
+}
+
+impl AccessKind {
+    fn required_perms(self) -> Perms {
+        match self {
+            AccessKind::Read => Perms::READ,
+            AccessKind::Write => Perms::WRITE,
+            AccessKind::Execute => Perms::EXEC,
+        }
+    }
+}
+
+/// Errors returned by [`Machine`] operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The operation needs SGX v2 (`EAUG`) but the machine is v1.
+    RequiresSgxV2,
+    /// A dynamic-memory request exceeded the enclave's padding reserve.
+    OutOfEnclaveSpace {
+        /// Offending enclave.
+        enclave: EnclaveId,
+        /// Pages requested.
+        requested: usize,
+        /// Padding pages still available.
+        available: usize,
+    },
+    /// The enclave id does not exist (or was destroyed).
+    UnknownEnclave(EnclaveId),
+    /// A page index was outside the enclave.
+    PageOutOfRange {
+        /// Offending enclave.
+        enclave: EnclaveId,
+        /// The out-of-range page index.
+        page: usize,
+        /// The enclave's size in pages.
+        total: usize,
+    },
+    /// An access hit a page that is never accessible (guard/padding/
+    /// metadata) — a simulated segmentation fault.
+    Segfault {
+        /// Offending enclave.
+        enclave: EnclaveId,
+        /// The faulting page index.
+        page: usize,
+        /// The page's kind.
+        kind: PageKind,
+    },
+    /// Permissions were stripped but no MMU fault handler is installed.
+    UnhandledMmuFault {
+        /// Offending enclave.
+        enclave: EnclaveId,
+        /// The faulting page index.
+        page: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::RequiresSgxV2 => {
+                write!(f, "dynamic enclave memory (EAUG) requires SGX v2")
+            }
+            SimError::OutOfEnclaveSpace {
+                enclave,
+                requested,
+                available,
+            } => write!(
+                f,
+                "{enclave} cannot grow by {requested} page(s); only {available} padding page(s) left"
+            ),
+            SimError::UnknownEnclave(eid) => write!(f, "unknown or destroyed {eid}"),
+            SimError::PageOutOfRange {
+                enclave,
+                page,
+                total,
+            } => write!(f, "page {page} out of range for {enclave} ({total} pages)"),
+            SimError::Segfault {
+                enclave,
+                page,
+                kind,
+            } => write!(
+                f,
+                "segmentation fault: access to {kind:?} page {page} of {enclave}"
+            ),
+            SimError::UnhandledMmuFault { enclave, page } => write!(
+                f,
+                "access fault on page {page} of {enclave} with no fault handler installed"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Summary of one [`Machine::touch`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TouchStats {
+    /// MMU access faults taken (pages whose permissions were stripped).
+    pub mmu_faults: usize,
+    /// EPC page faults taken (pages that had to be loaded back).
+    pub page_faults: usize,
+    /// Pages evicted to make room.
+    pub evictions: usize,
+}
+
+/// Static information about an enclave.
+#[derive(Debug, Clone)]
+pub struct EnclaveInfo {
+    /// The enclave id.
+    pub id: EnclaveId,
+    /// Base virtual address.
+    pub base_vaddr: u64,
+    /// Total pages (power of two).
+    pub total_pages: usize,
+    /// Pages that are legitimately accessible.
+    pub accessible_pages: usize,
+    /// Pages currently resident in the EPC.
+    pub resident_pages: usize,
+    /// Number of TCSs.
+    pub tcs_count: usize,
+    /// The enclave measurement.
+    pub measurement: u64,
+    /// Whether this is a debug enclave.
+    pub debug: bool,
+}
+
+/// Which SGX architecture revision the machine implements.
+///
+/// The paper targets SGX v1 but discusses two v2 capabilities: recording
+/// the AEX exit type so the logger can attribute exits (§4.1.4), and
+/// dynamic enclave memory (`EAUG`) so enclaves can start small and grow
+/// on demand (§2.3.3). Both are implemented behind this switch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SgxVersion {
+    /// SGX v1: fixed enclave memory, opaque AEX causes.
+    #[default]
+    V1,
+    /// SGX v2: `EAUG` dynamic memory; AEX causes readable from debug
+    /// enclaves.
+    V2,
+}
+
+/// Tunable costs that belong to the machine rather than the CPU profile.
+#[derive(Debug, Clone)]
+pub struct MachineParams {
+    /// EPC capacity in pages (default: 93 MiB usable).
+    pub epc_pages: usize,
+    /// Eviction policy.
+    pub eviction: EvictionPolicy,
+    /// Cost of `EADD`+`EEXTEND` per page at enclave creation.
+    pub eadd_page: Nanos,
+    /// Cost of `EINIT`.
+    pub einit: Nanos,
+    /// Kernel-side cost of delivering one MMU access fault to the handler.
+    pub mmu_fault_delivery: Nanos,
+    /// SGX architecture revision.
+    pub sgx_version: SgxVersion,
+    /// Cost of `EAUG`+`EACCEPT` per dynamically added page (v2 only).
+    pub eaug_page: Nanos,
+}
+
+impl Default for MachineParams {
+    fn default() -> Self {
+        MachineParams {
+            epc_pages: DEFAULT_EPC_PAGES,
+            eviction: EvictionPolicy::Fifo,
+            eadd_page: Nanos::from_nanos(1_200),
+            einit: Nanos::from_micros(50),
+            mmu_fault_delivery: Nanos::from_micros(2),
+            sgx_version: SgxVersion::V1,
+            eaug_page: Nanos::from_micros(2),
+        }
+    }
+}
+
+struct EnclaveState {
+    layout: EnclaveLayout,
+    pages: Vec<PageState>,
+    base: u64,
+    debug: bool,
+}
+
+struct Inner {
+    epc: Epc,
+    enclaves: HashMap<u32, EnclaveState>,
+    next_eid: u32,
+}
+
+type DriverHook = Arc<dyn Fn(&DriverEvent) + Send + Sync>;
+type AepObserver = Arc<dyn Fn(&AexEvent) + Send + Sync>;
+type FaultHandler = Arc<dyn Fn(&MmuFault) + Send + Sync>;
+
+#[derive(Default)]
+struct Hooks {
+    driver: Vec<DriverHook>,
+    aep: Option<AepObserver>,
+    mmu_fault: Option<FaultHandler>,
+}
+
+/// A simulated SGX-capable machine: shared virtual clock, one EPC, any
+/// number of enclaves, and the hook points sgx-perf instruments.
+///
+/// The machine is `Send + Sync`; under the deterministic scheduler only one
+/// logical thread calls into it at a time.
+///
+/// # Examples
+///
+/// ```
+/// use sgx_sim::{AccessKind, EnclaveConfig, Machine, ThreadToken};
+/// use sim_core::{Clock, HwProfile, Nanos};
+///
+/// let machine = Machine::new(Clock::new(), HwProfile::Unpatched);
+/// let eid = machine.create_enclave(&EnclaveConfig::default())?;
+/// // Touch the whole heap: everything is resident, so no faults.
+/// let heap = machine.heap_range(eid)?;
+/// let stats = machine.touch(eid, ThreadToken::MAIN, heap, AccessKind::Write)?;
+/// assert_eq!(stats.page_faults, 0);
+/// # Ok::<(), sgx_sim::SimError>(())
+/// ```
+pub struct Machine {
+    clock: Clock,
+    cost: CostModel,
+    params: MachineParams,
+    inner: Mutex<Inner>,
+    hooks: Mutex<Hooks>,
+}
+
+impl fmt::Debug for Machine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("Machine")
+            .field("profile", &self.cost.profile)
+            .field("enclaves", &inner.enclaves.len())
+            .field("epc_resident", &inner.epc.resident_count())
+            .finish()
+    }
+}
+
+impl Machine {
+    /// Creates a machine with default parameters for the given hardware
+    /// profile.
+    pub fn new(clock: Clock, profile: HwProfile) -> Machine {
+        Machine::with_params(clock, profile, MachineParams::default())
+    }
+
+    /// Creates a machine with explicit parameters (EPC size, eviction
+    /// policy, creation costs).
+    pub fn with_params(clock: Clock, profile: HwProfile, params: MachineParams) -> Machine {
+        Machine {
+            clock,
+            cost: profile.cost_model(),
+            inner: Mutex::new(Inner {
+                epc: Epc::new(params.epc_pages, params.eviction),
+                enclaves: HashMap::new(),
+                next_eid: 1,
+            }),
+            params,
+            hooks: Mutex::new(Hooks::default()),
+        }
+    }
+
+    /// The machine's virtual clock.
+    pub fn clock(&self) -> &Clock {
+        &self.clock
+    }
+
+    /// The CPU cost model in effect.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// The machine parameters in effect.
+    pub fn params(&self) -> &MachineParams {
+        &self.params
+    }
+
+    /// Total EPC capacity in pages.
+    pub fn epc_capacity(&self) -> usize {
+        self.inner.lock().epc.capacity()
+    }
+
+    /// Pages currently resident in the EPC across all enclaves.
+    pub fn epc_resident(&self) -> usize {
+        self.inner.lock().epc.resident_count()
+    }
+
+    /// Whether a specific enclave page is currently resident.
+    pub fn is_resident(&self, eid: EnclaveId, page: usize) -> Result<bool, SimError> {
+        let inner = self.inner.lock();
+        Self::state(&inner, eid)?;
+        Ok(inner.epc.contains((eid, page)))
+    }
+
+    // ------------------------------------------------------------------
+    // Enclave lifecycle
+    // ------------------------------------------------------------------
+
+    /// Creates and initialises an enclave (`ECREATE` + `EADD`/`EEXTEND` per
+    /// page + `EINIT`), loading all its pages into the EPC. Charges creation
+    /// time and may evict pages of other enclaves if the EPC is full.
+    pub fn create_enclave(&self, config: &EnclaveConfig) -> Result<EnclaveId, SimError> {
+        let layout = EnclaveLayout::new(config);
+        let mut events = Vec::new();
+        let eid = {
+            let mut inner = self.inner.lock();
+            let raw = inner.next_eid;
+            inner.next_eid += 1;
+            let eid = EnclaveId(raw);
+            let base = (raw as u64 + 1) << 36;
+            let mut pages: Vec<PageState> =
+                layout.iter().map(PageState::new).collect();
+            for idx in 0..pages.len() {
+                if let Some(victim) = inner.epc.insert((eid, idx)) {
+                    if victim.0 == eid {
+                        // The enclave under construction evicted one of its
+                        // own earlier pages (it is larger than the EPC); it
+                        // is not registered yet, so fix up locally.
+                        pages[victim.1].resident = false;
+                        events.push(DriverEvent::Paging {
+                            direction: PagingDirection::Out,
+                            enclave: eid,
+                            vaddr: base + (victim.1 * PAGE_SIZE) as u64,
+                            time: self.clock.now(),
+                        });
+                    } else {
+                        Self::mark_evicted(&mut inner.enclaves, victim);
+                        events.push(self.paging_event(
+                            PagingDirection::Out,
+                            victim,
+                            &inner.enclaves,
+                        ));
+                    }
+                }
+                pages[idx].resident = true;
+            }
+            inner.enclaves.insert(
+                raw,
+                EnclaveState {
+                    layout: layout.clone(),
+                    pages,
+                    base,
+                    debug: config.debug,
+                },
+            );
+            events.push(DriverEvent::EnclaveCreated {
+                enclave: eid,
+                pages: layout.total_pages(),
+                time: self.clock.now(),
+            });
+            eid
+        };
+        self.clock
+            .advance(self.params.eadd_page * layout.total_pages() as u64 + self.params.einit);
+        self.emit_driver_events(&events);
+        Ok(eid)
+    }
+
+    /// Destroys an enclave and frees its EPC pages.
+    pub fn destroy_enclave(&self, eid: EnclaveId) -> Result<(), SimError> {
+        {
+            let mut inner = self.inner.lock();
+            if inner.enclaves.remove(&eid.0).is_none() {
+                return Err(SimError::UnknownEnclave(eid));
+            }
+            inner.epc.remove_enclave(eid);
+        }
+        self.emit_driver_events(&[DriverEvent::EnclaveDestroyed {
+            enclave: eid,
+            time: self.clock.now(),
+        }]);
+        Ok(())
+    }
+
+    /// Static and residency information about an enclave.
+    pub fn enclave_info(&self, eid: EnclaveId) -> Result<EnclaveInfo, SimError> {
+        let inner = self.inner.lock();
+        let st = Self::state(&inner, eid)?;
+        Ok(EnclaveInfo {
+            id: eid,
+            base_vaddr: st.base,
+            total_pages: st.layout.total_pages(),
+            accessible_pages: st.layout.accessible_pages(),
+            resident_pages: st.pages.iter().filter(|p| p.resident).count(),
+            tcs_count: st.layout.tcs_count(),
+            measurement: st.layout.measurement(),
+            debug: st.debug,
+        })
+    }
+
+    /// The enclave's heap page range.
+    pub fn heap_range(&self, eid: EnclaveId) -> Result<Range<usize>, SimError> {
+        let inner = self.inner.lock();
+        Ok(Self::state(&inner, eid)?.layout.heap_range())
+    }
+
+    /// The enclave's code page range.
+    pub fn code_range(&self, eid: EnclaveId) -> Result<Range<usize>, SimError> {
+        let inner = self.inner.lock();
+        Ok(Self::state(&inner, eid)?.layout.code_range())
+    }
+
+    /// The page index of thread `tcs_index`'s TCS.
+    pub fn tcs_page(&self, eid: EnclaveId, tcs_index: usize) -> Result<usize, SimError> {
+        let inner = self.inner.lock();
+        let st = Self::state(&inner, eid)?;
+        st.layout
+            .thread_pages()
+            .get(tcs_index)
+            .map(|t| t.tcs)
+            .ok_or(SimError::PageOutOfRange {
+                enclave: eid,
+                page: tcs_index,
+                total: st.layout.tcs_count(),
+            })
+    }
+
+    /// The stack page range of enclave thread `tcs_index`.
+    pub fn stack_range(&self, eid: EnclaveId, tcs_index: usize) -> Result<Range<usize>, SimError> {
+        let inner = self.inner.lock();
+        let st = Self::state(&inner, eid)?;
+        st.layout
+            .thread_pages()
+            .get(tcs_index)
+            .map(|t| t.stack.clone())
+            .ok_or(SimError::PageOutOfRange {
+                enclave: eid,
+                page: tcs_index,
+                total: st.layout.tcs_count(),
+            })
+    }
+
+    /// Virtual address of page `index` inside the enclave.
+    pub fn page_vaddr(&self, eid: EnclaveId, index: usize) -> Result<u64, SimError> {
+        let inner = self.inner.lock();
+        let st = Self::state(&inner, eid)?;
+        if index >= st.layout.total_pages() {
+            return Err(SimError::PageOutOfRange {
+                enclave: eid,
+                page: index,
+                total: st.layout.total_pages(),
+            });
+        }
+        Ok(st.base + (index * PAGE_SIZE) as u64)
+    }
+
+    /// Maps a virtual address back to (enclave, page index), if it belongs
+    /// to a live enclave.
+    pub fn vaddr_to_page(&self, vaddr: u64) -> Option<(EnclaveId, usize)> {
+        let inner = self.inner.lock();
+        for (raw, st) in &inner.enclaves {
+            let size = (st.layout.total_pages() * PAGE_SIZE) as u64;
+            if vaddr >= st.base && vaddr < st.base + size {
+                return Some((EnclaveId(*raw), ((vaddr - st.base) as usize) / PAGE_SIZE));
+            }
+        }
+        None
+    }
+
+    // ------------------------------------------------------------------
+    // Hooks (what sgx-perf instruments)
+    // ------------------------------------------------------------------
+
+    /// Registers a kernel-driver hook (the kprobe stand-in). Hooks receive
+    /// paging and lifecycle events.
+    pub fn add_driver_hook(&self, hook: DriverHook) {
+        self.hooks.lock().driver.push(hook);
+    }
+
+    /// Patches the Asynchronous Exit Pointer: `observer` runs on every AEX
+    /// before `ERESUME`. Pass `None` to restore the plain AEP.
+    pub fn set_aep_observer(&self, observer: Option<AepObserver>) {
+        self.hooks.lock().aep = observer;
+    }
+
+    /// Installs the MMU access-fault handler used by the working-set
+    /// estimator. After the handler runs the machine restores the page's
+    /// natural permissions and retries the access.
+    pub fn set_mmu_fault_handler(&self, handler: Option<FaultHandler>) {
+        self.hooks.lock().mmu_fault = handler;
+    }
+
+    /// Strips all MMU permissions from every accessible page of the
+    /// enclave. Subsequent accesses fault into the registered handler.
+    pub fn strip_mmu_perms(&self, eid: EnclaveId) -> Result<usize, SimError> {
+        let mut inner = self.inner.lock();
+        let st = Self::state_mut(&mut inner, eid)?;
+        let mut stripped = 0;
+        for page in st.pages.iter_mut() {
+            if page.kind.is_accessible() && !page.mmu_perms.is_none() {
+                page.mmu_perms = Perms::NONE;
+                stripped += 1;
+            }
+        }
+        Ok(stripped)
+    }
+
+    /// Restores natural MMU permissions on every page of the enclave.
+    pub fn restore_mmu_perms(&self, eid: EnclaveId) -> Result<(), SimError> {
+        let mut inner = self.inner.lock();
+        let st = Self::state_mut(&mut inner, eid)?;
+        for page in st.pages.iter_mut() {
+            page.mmu_perms = page.natural_perms;
+        }
+        Ok(())
+    }
+
+    /// Per-page access counts since enclave creation, indexed by page.
+    pub fn access_counts(&self, eid: EnclaveId) -> Result<Vec<u64>, SimError> {
+        let inner = self.inner.lock();
+        let st = Self::state(&inner, eid)?;
+        Ok(st.pages.iter().map(|p| p.access_count).collect())
+    }
+
+    // ------------------------------------------------------------------
+    // Execution
+    // ------------------------------------------------------------------
+
+    /// Runs `dur` of in-enclave computation, injecting a timer-interrupt
+    /// AEX each time the virtual clock crosses a timer quantum boundary.
+    /// Returns the number of AEXs taken.
+    pub fn execute_in_enclave(
+        &self,
+        eid: EnclaveId,
+        thread: ThreadToken,
+        dur: Nanos,
+    ) -> Result<u64, SimError> {
+        {
+            let inner = self.inner.lock();
+            Self::state(&inner, eid)?;
+        }
+        let quantum = self.cost.timer_quantum.as_nanos();
+        let mut remaining = dur.as_nanos();
+        let mut aex_count = 0;
+        while remaining > 0 {
+            let now = self.clock.now().as_nanos();
+            let next_tick = (now / quantum + 1) * quantum;
+            let until_tick = next_tick - now;
+            if remaining < until_tick {
+                self.clock.advance(Nanos::from_nanos(remaining));
+                break;
+            }
+            self.clock.advance(Nanos::from_nanos(until_tick));
+            remaining -= until_tick;
+            self.deliver_aex(eid, thread, AexCause::Interrupt);
+            aex_count += 1;
+        }
+        Ok(aex_count)
+    }
+
+    /// Accesses a range of enclave pages, taking MMU access faults and EPC
+    /// page faults as needed. Returns fault statistics.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::Segfault`] if the range includes guard, padding or
+    ///   metadata pages.
+    /// * [`SimError::UnhandledMmuFault`] if permissions were stripped but no
+    ///   fault handler is installed.
+    pub fn touch(
+        &self,
+        eid: EnclaveId,
+        thread: ThreadToken,
+        pages: Range<usize>,
+        access: AccessKind,
+    ) -> Result<TouchStats, SimError> {
+        let mut stats = TouchStats::default();
+        for index in pages {
+            self.touch_page(eid, thread, index, access, &mut stats)?;
+        }
+        Ok(stats)
+    }
+
+    fn touch_page(
+        &self,
+        eid: EnclaveId,
+        thread: ThreadToken,
+        index: usize,
+        access: AccessKind,
+        stats: &mut TouchStats,
+    ) -> Result<(), SimError> {
+        // Phase 1: examine under lock.
+        let (needs_mmu_fault, vaddr) = {
+            let mut inner = self.inner.lock();
+            let st = Self::state_mut(&mut inner, eid)?;
+            let total = st.layout.total_pages();
+            if index >= total {
+                return Err(SimError::PageOutOfRange {
+                    enclave: eid,
+                    page: index,
+                    total,
+                });
+            }
+            let page = &st.pages[index];
+            if !page.kind.is_accessible() {
+                return Err(SimError::Segfault {
+                    enclave: eid,
+                    page: index,
+                    kind: page.kind,
+                });
+            }
+            let vaddr = st.base + (index * PAGE_SIZE) as u64;
+            // The MMU permissions are checked before the SGX (EPCM) ones
+            // (§4.2); a stripped page faults even if resident.
+            let needs_fault = !page.mmu_perms.allows(access.required_perms());
+            (needs_fault, vaddr)
+        };
+
+        if needs_mmu_fault {
+            self.handle_mmu_fault(eid, thread, index, vaddr)?;
+            stats.mmu_faults += 1;
+        }
+
+        // Phase 2: residency (EPC) check.
+        let (fault, mut events) = {
+            let mut inner = self.inner.lock();
+            let mut events = Vec::new();
+            let resident = {
+                let st = Self::state(&inner, eid)?;
+                st.pages[index].resident
+            };
+            let fault = if resident {
+                inner.epc.touch((eid, index));
+                false
+            } else {
+                // EPC page fault: page the page back in, evicting if needed.
+                if let Some(victim) = inner.epc.insert((eid, index)) {
+                    Self::mark_evicted(&mut inner.enclaves, victim);
+                    events.push(self.paging_event(PagingDirection::Out, victim, &inner.enclaves));
+                    stats.evictions += 1;
+                }
+                let st = Self::state_mut(&mut inner, eid)?;
+                st.pages[index].resident = true;
+                events.push(DriverEvent::Paging {
+                    direction: PagingDirection::In,
+                    enclave: eid,
+                    vaddr,
+                    time: self.clock.now(),
+                });
+                true
+            };
+            let st = Self::state_mut(&mut inner, eid)?;
+            st.pages[index].access_count += 1;
+            (fault, events)
+        };
+        if fault {
+            stats.page_faults += 1;
+            // The fault exits the enclave asynchronously, the driver does
+            // the (costly) paging work, then the enclave resumes.
+            self.deliver_aex(eid, thread, AexCause::PageFault);
+            let mut cost = self.cost.page_in;
+            if stats.evictions > 0 {
+                cost += self.cost.page_out;
+            }
+            self.clock.advance(cost);
+            // Stamp events after the cost so timestamps reflect completion.
+            for ev in &mut events {
+                if let DriverEvent::Paging { time, .. } = ev {
+                    *time = self.clock.now();
+                }
+            }
+        }
+        self.emit_driver_events(&events);
+        Ok(())
+    }
+
+    /// Whether the AEX cause is observable by tooling for this enclave:
+    /// SGX v2 records the exit type, readable when the enclave is a debug
+    /// enclave (§4.1.4).
+    pub fn aex_cause_visible(&self, eid: EnclaveId) -> bool {
+        if self.params.sgx_version != SgxVersion::V2 {
+            return false;
+        }
+        let inner = self.inner.lock();
+        Self::state(&inner, eid).map(|st| st.debug).unwrap_or(false)
+    }
+
+    /// SGX v2 dynamic memory (`EAUG`+`EACCEPT`): converts up to `pages`
+    /// of the enclave's padding reserve into usable heap, returning the
+    /// new pages' index range. The enclave's measured size is unchanged —
+    /// only pre-reserved address space is populated (§2.3.3: "the enclave
+    /// can be created small and ... new pages may be added on-demand").
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::RequiresSgxV2`] on a v1 machine;
+    /// [`SimError::OutOfEnclaveSpace`] when the padding reserve is too
+    /// small.
+    pub fn extend_heap(
+        &self,
+        eid: EnclaveId,
+        pages: usize,
+    ) -> Result<Range<usize>, SimError> {
+        if self.params.sgx_version != SgxVersion::V2 {
+            return Err(SimError::RequiresSgxV2);
+        }
+        let mut events = Vec::new();
+        let range = {
+            let mut inner = self.inner.lock();
+            {
+                let st = Self::state(&inner, eid)?;
+                let padding: Vec<usize> = st
+                    .pages
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, p)| p.kind == PageKind::Padding)
+                    .map(|(i, _)| i)
+                    .take(pages + 1)
+                    .collect();
+                if padding.len() < pages {
+                    return Err(SimError::OutOfEnclaveSpace {
+                        enclave: eid,
+                        requested: pages,
+                        available: padding.len(),
+                    });
+                }
+            }
+            // Convert the first `pages` padding pages (they are contiguous
+            // by construction) and make them resident.
+            let mut first = None;
+            let mut converted = 0;
+            let total = Self::state(&inner, eid)?.layout.total_pages();
+            for idx in 0..total {
+                if converted == pages {
+                    break;
+                }
+                let is_padding = {
+                    let st = Self::state(&inner, eid)?;
+                    st.pages[idx].kind == PageKind::Padding
+                };
+                if !is_padding {
+                    continue;
+                }
+                first.get_or_insert(idx);
+                if let Some(victim) = inner.epc.insert((eid, idx)) {
+                    Self::mark_evicted(&mut inner.enclaves, victim);
+                    events.push(self.paging_event(PagingDirection::Out, victim, &inner.enclaves));
+                }
+                let st = Self::state_mut(&mut inner, eid)?;
+                let page = &mut st.pages[idx];
+                page.kind = PageKind::Heap;
+                page.natural_perms = PageKind::Heap.natural_perms();
+                page.mmu_perms = page.natural_perms;
+                page.resident = true;
+                converted += 1;
+            }
+            let first = first.expect("checked padding availability");
+            first..first + pages
+        };
+        self.clock.advance(self.params.eaug_page * pages as u64);
+        self.emit_driver_events(&events);
+        Ok(range)
+    }
+
+    /// Loads a range of enclave pages into the EPC from *outside* enclave
+    /// execution (the §3.5(ii) mitigation: "load pages before the ecall").
+    /// Unlike [`Machine::touch`], faults taken here cost no AEX — the
+    /// processor is not inside the enclave — and MMU permissions are not
+    /// consulted (the driver populates the EPC directly). Returns how many
+    /// pages were paged in.
+    pub fn prefetch(
+        &self,
+        eid: EnclaveId,
+        pages: Range<usize>,
+    ) -> Result<usize, SimError> {
+        let mut paged_in = 0;
+        for index in pages {
+            let (faulted, events) = {
+                let mut inner = self.inner.lock();
+                let st = Self::state(&inner, eid)?;
+                let total = st.layout.total_pages();
+                if index >= total {
+                    return Err(SimError::PageOutOfRange {
+                        enclave: eid,
+                        page: index,
+                        total,
+                    });
+                }
+                if st.pages[index].resident {
+                    inner.epc.touch((eid, index));
+                    (false, Vec::new())
+                } else {
+                    let mut events = Vec::new();
+                    let mut evicted = false;
+                    if let Some(victim) = inner.epc.insert((eid, index)) {
+                        Self::mark_evicted(&mut inner.enclaves, victim);
+                        events.push(self.paging_event(
+                            PagingDirection::Out,
+                            victim,
+                            &inner.enclaves,
+                        ));
+                        evicted = true;
+                    }
+                    let st = Self::state_mut(&mut inner, eid)?;
+                    st.pages[index].resident = true;
+                    let vaddr = st.base + (index * PAGE_SIZE) as u64;
+                    let mut cost = self.cost.page_in;
+                    if evicted {
+                        cost += self.cost.page_out;
+                    }
+                    self.clock.advance(cost);
+                    events.push(DriverEvent::Paging {
+                        direction: PagingDirection::In,
+                        enclave: eid,
+                        vaddr,
+                        time: self.clock.now(),
+                    });
+                    (true, events)
+                }
+            };
+            if faulted {
+                paged_in += 1;
+            }
+            self.emit_driver_events(&events);
+        }
+        Ok(paged_in)
+    }
+
+    /// Forces eviction of every resident page of the enclave (used by
+    /// experiments to start from a cold EPC without destroying the
+    /// enclave). Charges no time: models the driver reclaiming pages while
+    /// the enclave is idle.
+    pub fn evict_all(&self, eid: EnclaveId) -> Result<usize, SimError> {
+        let mut events = Vec::new();
+        let count = {
+            let mut inner = self.inner.lock();
+            Self::state(&inner, eid)?;
+            let mut count = 0;
+            let st = inner.enclaves.get_mut(&eid.0).expect("checked above");
+            let total = st.layout.total_pages();
+            for index in 0..total {
+                if st.pages[index].resident {
+                    st.pages[index].resident = false;
+                    count += 1;
+                    events.push(DriverEvent::Paging {
+                        direction: PagingDirection::Out,
+                        enclave: eid,
+                        vaddr: st.base + (index * PAGE_SIZE) as u64,
+                        time: self.clock.now(),
+                    });
+                }
+            }
+            for index in 0..total {
+                inner.epc.remove((eid, index));
+            }
+            count
+        };
+        self.emit_driver_events(&events);
+        Ok(count)
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    fn state(inner: &Inner, eid: EnclaveId) -> Result<&EnclaveState, SimError> {
+        inner
+            .enclaves
+            .get(&eid.0)
+            .ok_or(SimError::UnknownEnclave(eid))
+    }
+
+    fn state_mut(
+        inner: &mut Inner,
+        eid: EnclaveId,
+    ) -> Result<&mut EnclaveState, SimError> {
+        inner
+            .enclaves
+            .get_mut(&eid.0)
+            .ok_or(SimError::UnknownEnclave(eid))
+    }
+
+    fn mark_evicted(enclaves: &mut HashMap<u32, EnclaveState>, victim: (EnclaveId, usize)) {
+        if let Some(st) = enclaves.get_mut(&victim.0 .0) {
+            st.pages[victim.1].resident = false;
+        }
+    }
+
+    fn paging_event(
+        &self,
+        direction: PagingDirection,
+        key: (EnclaveId, usize),
+        enclaves: &HashMap<u32, EnclaveState>,
+    ) -> DriverEvent {
+        let vaddr = enclaves
+            .get(&key.0 .0)
+            .map(|st| st.base + (key.1 * PAGE_SIZE) as u64)
+            .unwrap_or(0);
+        DriverEvent::Paging {
+            direction,
+            enclave: key.0,
+            vaddr,
+            time: self.clock.now(),
+        }
+    }
+
+    fn emit_driver_events(&self, events: &[DriverEvent]) {
+        if events.is_empty() {
+            return;
+        }
+        let hooks: Vec<DriverHook> = self.hooks.lock().driver.clone();
+        for hook in hooks {
+            for ev in events {
+                hook(ev);
+            }
+        }
+    }
+
+    /// Delivers one AEX: charges the exit, runs the AEP observer (the
+    /// logger's patch point), charges the resume.
+    fn deliver_aex(&self, eid: EnclaveId, thread: ThreadToken, cause: AexCause) {
+        self.clock.advance(self.cost.aex_exit);
+        let observer = self.hooks.lock().aep.clone();
+        if let Some(observer) = observer {
+            observer(&AexEvent {
+                enclave: eid,
+                thread,
+                time: self.clock.now(),
+                cause,
+            });
+        }
+        self.clock.advance(self.cost.eresume);
+    }
+
+    fn handle_mmu_fault(
+        &self,
+        eid: EnclaveId,
+        thread: ThreadToken,
+        index: usize,
+        vaddr: u64,
+    ) -> Result<(), SimError> {
+        let handler = self.hooks.lock().mmu_fault.clone();
+        let Some(handler) = handler else {
+            return Err(SimError::UnhandledMmuFault {
+                enclave: eid,
+                page: index,
+            });
+        };
+        // Faulting inside the enclave causes an AEX before the kernel can
+        // deliver the signal.
+        self.deliver_aex(eid, thread, AexCause::AccessFault);
+        self.clock.advance(self.params.mmu_fault_delivery);
+        handler(&MmuFault {
+            enclave: eid,
+            thread,
+            page_index: index,
+            vaddr,
+            time: self.clock.now(),
+        });
+        // The handler (working-set estimator) restores permissions so the
+        // access can proceed; the machine performs the actual restore.
+        let mut inner = self.inner.lock();
+        let st = Self::state_mut(&mut inner, eid)?;
+        st.pages[index].mmu_perms = st.pages[index].natural_perms;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn machine() -> Machine {
+        Machine::new(Clock::new(), HwProfile::Unpatched)
+    }
+
+    fn tiny_machine(epc_pages: usize) -> Machine {
+        Machine::with_params(
+            Clock::new(),
+            HwProfile::Unpatched,
+            MachineParams {
+                epc_pages,
+                ..MachineParams::default()
+            },
+        )
+    }
+
+    #[test]
+    fn create_enclave_loads_all_pages() {
+        let m = machine();
+        let eid = m.create_enclave(&EnclaveConfig::default()).unwrap();
+        let info = m.enclave_info(eid).unwrap();
+        assert_eq!(info.resident_pages, info.total_pages);
+        assert!(info.total_pages.is_power_of_two());
+    }
+
+    #[test]
+    fn creation_charges_time() {
+        let m = machine();
+        let before = m.clock().now();
+        m.create_enclave(&EnclaveConfig::default()).unwrap();
+        assert!(m.clock().now() > before);
+    }
+
+    #[test]
+    fn destroy_frees_epc() {
+        let m = machine();
+        let eid = m.create_enclave(&EnclaveConfig::default()).unwrap();
+        m.destroy_enclave(eid).unwrap();
+        assert!(matches!(
+            m.enclave_info(eid),
+            Err(SimError::UnknownEnclave(_))
+        ));
+    }
+
+    #[test]
+    fn touch_resident_pages_is_fault_free() {
+        let m = machine();
+        let eid = m.create_enclave(&EnclaveConfig::default()).unwrap();
+        let heap = m.heap_range(eid).unwrap();
+        let stats = m.touch(eid, ThreadToken::MAIN, heap, AccessKind::Write).unwrap();
+        assert_eq!(stats, TouchStats::default());
+    }
+
+    #[test]
+    fn touching_guard_page_segfaults() {
+        let m = machine();
+        let eid = m.create_enclave(&EnclaveConfig::default()).unwrap();
+        // The page right before the first stack is a guard page.
+        let info = m.enclave_info(eid).unwrap();
+        // Skip page 0 (metadata, also inaccessible) to find a real guard.
+        let guard = (1..info.total_pages)
+            .find(|&i| {
+                matches!(
+                    m.touch(eid, ThreadToken::MAIN, i..i + 1, AccessKind::Read),
+                    Err(SimError::Segfault { .. })
+                )
+            })
+            .expect("layout contains a guard/padding page");
+        assert!(guard > 0);
+    }
+
+    #[test]
+    fn page_fault_after_eviction_costs_time_and_emits_events() {
+        let m = machine();
+        let eid = m.create_enclave(&EnclaveConfig::default()).unwrap();
+        m.evict_all(eid).unwrap();
+        let seen = Arc::new(AtomicUsize::new(0));
+        let seen2 = Arc::clone(&seen);
+        m.add_driver_hook(Arc::new(move |ev| {
+            if let DriverEvent::Paging {
+                direction: PagingDirection::In,
+                ..
+            } = ev
+            {
+                seen2.fetch_add(1, Ordering::SeqCst);
+            }
+        }));
+        let heap = m.heap_range(eid).unwrap();
+        let pages = heap.len();
+        let before = m.clock().now();
+        let stats = m
+            .touch(eid, ThreadToken::MAIN, heap, AccessKind::Read)
+            .unwrap();
+        assert_eq!(stats.page_faults, pages);
+        assert_eq!(seen.load(Ordering::SeqCst), pages);
+        let elapsed = m.clock().now() - before;
+        assert!(elapsed >= m.cost_model().page_in * pages as u64);
+    }
+
+    #[test]
+    fn enclave_larger_than_epc_self_evicts_at_creation() {
+        // Regression: pages evicted during the enclave's *own* creation
+        // must be marked non-resident so later touches fault them back in.
+        let m = tiny_machine(96);
+        let eid = m
+            .create_enclave(&EnclaveConfig {
+                heap_kib: 1_024, // enclave ends up 512 pages, EPC holds 96
+                ..EnclaveConfig::default()
+            })
+            .unwrap();
+        let info = m.enclave_info(eid).unwrap();
+        assert_eq!(info.resident_pages, 96);
+        // Touching an early heap page must page-fault.
+        let heap = m.heap_range(eid).unwrap();
+        let stats = m
+            .touch(eid, ThreadToken::MAIN, heap.start..heap.start + 1, AccessKind::Read)
+            .unwrap();
+        assert_eq!(stats.page_faults, 1);
+    }
+
+    #[test]
+    fn epc_pressure_between_enclaves_causes_paging() {
+        // EPC fits one default enclave but not two.
+        let one = EnclaveLayout::new(&EnclaveConfig::default()).total_pages();
+        let m = tiny_machine(one + one / 2);
+        let a = m.create_enclave(&EnclaveConfig::default()).unwrap();
+        let _b = m.create_enclave(&EnclaveConfig::default()).unwrap();
+        // Creating b evicted some of a's pages.
+        let info_a = m.enclave_info(a).unwrap();
+        assert!(info_a.resident_pages < info_a.total_pages);
+    }
+
+    #[test]
+    fn timer_aex_injection_matches_quantum() {
+        let m = machine();
+        let eid = m.create_enclave(&EnclaveConfig::default()).unwrap();
+        let aex_seen = Arc::new(AtomicUsize::new(0));
+        let a2 = Arc::clone(&aex_seen);
+        m.set_aep_observer(Some(Arc::new(move |ev: &AexEvent| {
+            assert_eq!(ev.cause, AexCause::Interrupt);
+            a2.fetch_add(1, Ordering::SeqCst);
+        })));
+        // Table 2 experiment (3): a 45,377 us ecall sees ~11.5 AEXs.
+        let n = m
+            .execute_in_enclave(eid, ThreadToken::MAIN, Nanos::from_micros(45_377))
+            .unwrap();
+        assert_eq!(n as usize, aex_seen.load(Ordering::SeqCst));
+        assert!((11..=12).contains(&n), "AEX count {n}");
+    }
+
+    #[test]
+    fn short_execution_takes_no_aex() {
+        let m = machine();
+        let eid = m.create_enclave(&EnclaveConfig::default()).unwrap();
+        let n = m
+            .execute_in_enclave(eid, ThreadToken::MAIN, Nanos::from_micros(10))
+            .unwrap();
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn stripped_perms_fault_into_handler_and_restore() {
+        let m = machine();
+        let eid = m.create_enclave(&EnclaveConfig::default()).unwrap();
+        let stripped = m.strip_mmu_perms(eid).unwrap();
+        assert!(stripped > 0);
+        let faults = Arc::new(Mutex::new(Vec::new()));
+        let f2 = Arc::clone(&faults);
+        m.set_mmu_fault_handler(Some(Arc::new(move |fault: &MmuFault| {
+            f2.lock().push(fault.page_index);
+        })));
+        let heap = m.heap_range(eid).unwrap();
+        let first = heap.start;
+        // First touch faults...
+        let s1 = m
+            .touch(eid, ThreadToken::MAIN, first..first + 1, AccessKind::Read)
+            .unwrap();
+        assert_eq!(s1.mmu_faults, 1);
+        // ...second touch doesn't (perms restored).
+        let s2 = m
+            .touch(eid, ThreadToken::MAIN, first..first + 1, AccessKind::Read)
+            .unwrap();
+        assert_eq!(s2.mmu_faults, 0);
+        assert_eq!(faults.lock().as_slice(), &[first]);
+    }
+
+    #[test]
+    fn stripped_perms_without_handler_error() {
+        let m = machine();
+        let eid = m.create_enclave(&EnclaveConfig::default()).unwrap();
+        m.strip_mmu_perms(eid).unwrap();
+        let heap = m.heap_range(eid).unwrap();
+        let err = m
+            .touch(eid, ThreadToken::MAIN, heap.start..heap.start + 1, AccessKind::Read)
+            .unwrap_err();
+        assert!(matches!(err, SimError::UnhandledMmuFault { .. }));
+    }
+
+    #[test]
+    fn vaddr_mapping_roundtrips() {
+        let m = machine();
+        let eid = m.create_enclave(&EnclaveConfig::default()).unwrap();
+        let va = m.page_vaddr(eid, 5).unwrap();
+        assert_eq!(m.vaddr_to_page(va), Some((eid, 5)));
+        assert_eq!(m.vaddr_to_page(0xdead), None);
+    }
+
+    #[test]
+    fn access_counts_accumulate() {
+        let m = machine();
+        let eid = m.create_enclave(&EnclaveConfig::default()).unwrap();
+        let heap = m.heap_range(eid).unwrap();
+        let p = heap.start;
+        for _ in 0..3 {
+            m.touch(eid, ThreadToken::MAIN, p..p + 1, AccessKind::Read)
+                .unwrap();
+        }
+        let counts = m.access_counts(eid).unwrap();
+        assert_eq!(counts[p], 3);
+    }
+
+    fn v2_machine() -> Machine {
+        Machine::with_params(
+            Clock::new(),
+            HwProfile::Unpatched,
+            MachineParams {
+                sgx_version: SgxVersion::V2,
+                ..MachineParams::default()
+            },
+        )
+    }
+
+    #[test]
+    fn eaug_requires_v2() {
+        let m = machine();
+        let eid = m.create_enclave(&EnclaveConfig::default()).unwrap();
+        assert_eq!(m.extend_heap(eid, 4), Err(SimError::RequiresSgxV2));
+    }
+
+    #[test]
+    fn eaug_converts_padding_into_usable_heap() {
+        let m = v2_machine();
+        let eid = m.create_enclave(&EnclaveConfig::default()).unwrap();
+        let info_before = m.enclave_info(eid).unwrap();
+        let range = m.extend_heap(eid, 8).unwrap();
+        assert_eq!(range.len(), 8);
+        // The new pages are immediately usable.
+        let stats = m
+            .touch(eid, ThreadToken::MAIN, range.clone(), AccessKind::Write)
+            .unwrap();
+        assert_eq!(stats, TouchStats::default());
+        // Measured size unchanged; accessible pages grew.
+        let info_after = m.enclave_info(eid).unwrap();
+        assert_eq!(info_after.total_pages, info_before.total_pages);
+        assert_eq!(
+            info_after.accessible_pages,
+            info_before.accessible_pages // layout-derived, creation-time
+        );
+        assert_eq!(info_after.measurement, info_before.measurement);
+        // Before the conversion, touching the same pages segfaulted.
+        let m2 = v2_machine();
+        let eid2 = m2.create_enclave(&EnclaveConfig::default()).unwrap();
+        let err = m2
+            .touch(eid2, ThreadToken::MAIN, range, AccessKind::Write)
+            .unwrap_err();
+        assert!(matches!(err, SimError::Segfault { .. }));
+    }
+
+    #[test]
+    fn eaug_exhausts_padding_reserve() {
+        let m = v2_machine();
+        let eid = m.create_enclave(&EnclaveConfig::default()).unwrap();
+        let err = m.extend_heap(eid, 1_000_000).unwrap_err();
+        assert!(matches!(err, SimError::OutOfEnclaveSpace { .. }));
+    }
+
+    #[test]
+    fn eaug_charges_time() {
+        let m = v2_machine();
+        let eid = m.create_enclave(&EnclaveConfig::default()).unwrap();
+        let before = m.clock().now();
+        m.extend_heap(eid, 4).unwrap();
+        assert_eq!(m.clock().now() - before, m.params().eaug_page * 4);
+    }
+
+    #[test]
+    fn aex_cause_visible_only_on_v2_debug_enclaves() {
+        let v1 = machine();
+        let eid1 = v1.create_enclave(&EnclaveConfig::default()).unwrap();
+        assert!(!v1.aex_cause_visible(eid1));
+
+        let v2 = v2_machine();
+        let debug = v2.create_enclave(&EnclaveConfig::default()).unwrap();
+        assert!(v2.aex_cause_visible(debug));
+        let release = v2
+            .create_enclave(&EnclaveConfig {
+                debug: false,
+                ..EnclaveConfig::default()
+            })
+            .unwrap();
+        assert!(!v2.aex_cause_visible(release));
+    }
+
+    #[test]
+    fn out_of_range_page_rejected() {
+        let m = machine();
+        let eid = m.create_enclave(&EnclaveConfig::default()).unwrap();
+        let total = m.enclave_info(eid).unwrap().total_pages;
+        let err = m
+            .touch(eid, ThreadToken::MAIN, total..total + 1, AccessKind::Read)
+            .unwrap_err();
+        assert!(matches!(err, SimError::PageOutOfRange { .. }));
+    }
+}

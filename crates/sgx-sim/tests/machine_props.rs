@@ -1,0 +1,166 @@
+//! Property tests of the machine's EPC bookkeeping: under arbitrary
+//! sequences of enclave lifecycle and memory operations, the per-page
+//! residency flags and the EPC occupancy map must never disagree.
+//!
+//! (This invariant is exactly what a real bug in enclave creation once
+//! violated: pages evicted during their own enclave's creation stayed
+//! flagged resident.)
+
+use proptest::prelude::*;
+use sgx_sim::{
+    AccessKind, EnclaveConfig, EnclaveId, EvictionPolicy, Machine, MachineParams, SgxVersion,
+    ThreadToken,
+};
+use sim_core::{Clock, HwProfile};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Create { heap_kib: usize },
+    TouchHeap { enclave: usize, offset: usize, len: usize },
+    Prefetch { enclave: usize, offset: usize, len: usize },
+    EvictAll { enclave: usize },
+    ExtendHeap { enclave: usize, pages: usize },
+    Destroy { enclave: usize },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (8usize..256).prop_map(|heap_kib| Op::Create { heap_kib }),
+        (any::<usize>(), 0usize..64, 1usize..16)
+            .prop_map(|(enclave, offset, len)| Op::TouchHeap { enclave, offset, len }),
+        (any::<usize>(), 0usize..64, 1usize..16)
+            .prop_map(|(enclave, offset, len)| Op::Prefetch { enclave, offset, len }),
+        any::<usize>().prop_map(|enclave| Op::EvictAll { enclave }),
+        (any::<usize>(), 1usize..8).prop_map(|(enclave, pages)| Op::ExtendHeap { enclave, pages }),
+        any::<usize>().prop_map(|enclave| Op::Destroy { enclave }),
+    ]
+}
+
+fn check_invariants(machine: &Machine, live: &[EnclaveId]) {
+    // 1. EPC never over-full.
+    assert!(machine.epc_resident() <= machine.epc_capacity());
+    // 2. Per-page flags agree with the EPC occupancy map, page by page
+    //    and in total.
+    let mut flagged_total = 0;
+    for &eid in live {
+        let info = machine.enclave_info(eid).expect("live enclave");
+        flagged_total += info.resident_pages;
+        let mut in_epc = 0;
+        for page in 0..info.total_pages {
+            if machine.is_resident(eid, page).expect("valid page") {
+                in_epc += 1;
+            }
+        }
+        assert_eq!(
+            info.resident_pages, in_epc,
+            "{eid}: flags say {} resident, EPC holds {in_epc}",
+            info.resident_pages
+        );
+    }
+    assert_eq!(flagged_total, machine.epc_resident());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn epc_and_page_flags_never_disagree(
+        ops in proptest::collection::vec(arb_op(), 1..40),
+        epc_pages in 64usize..512,
+        lru in any::<bool>(),
+    ) {
+        let machine = Machine::with_params(
+            Clock::new(),
+            HwProfile::Unpatched,
+            MachineParams {
+                epc_pages,
+                eviction: if lru { EvictionPolicy::Lru } else { EvictionPolicy::Fifo },
+                sgx_version: SgxVersion::V2,
+                ..MachineParams::default()
+            },
+        );
+        let mut live: Vec<EnclaveId> = Vec::new();
+        for op in ops {
+            match op {
+                Op::Create { heap_kib } => {
+                    let eid = machine
+                        .create_enclave(&EnclaveConfig {
+                            heap_kib,
+                            ..EnclaveConfig::default()
+                        })
+                        .unwrap();
+                    live.push(eid);
+                }
+                Op::TouchHeap { enclave, offset, len } if !live.is_empty() => {
+                    let eid = live[enclave % live.len()];
+                    let heap = machine.heap_range(eid).unwrap();
+                    let start = heap.start + offset.min(heap.len().saturating_sub(1));
+                    let end = (start + len).min(heap.end);
+                    if start < end {
+                        machine
+                            .touch(eid, ThreadToken::MAIN, start..end, AccessKind::Write)
+                            .unwrap();
+                    }
+                }
+                Op::Prefetch { enclave, offset, len } if !live.is_empty() => {
+                    let eid = live[enclave % live.len()];
+                    let heap = machine.heap_range(eid).unwrap();
+                    let start = heap.start + offset.min(heap.len().saturating_sub(1));
+                    let end = (start + len).min(heap.end);
+                    if start < end {
+                        machine.prefetch(eid, start..end).unwrap();
+                    }
+                }
+                Op::EvictAll { enclave } if !live.is_empty() => {
+                    let eid = live[enclave % live.len()];
+                    machine.evict_all(eid).unwrap();
+                }
+                Op::ExtendHeap { enclave, pages } if !live.is_empty() => {
+                    let eid = live[enclave % live.len()];
+                    // May legitimately run out of padding reserve.
+                    let _ = machine.extend_heap(eid, pages);
+                }
+                Op::Destroy { enclave } if !live.is_empty() => {
+                    let eid = live.remove(enclave % live.len());
+                    machine.destroy_enclave(eid).unwrap();
+                }
+                _ => {}
+            }
+            check_invariants(&machine, &live);
+        }
+    }
+
+    /// Touching any accessible page always leaves it resident, regardless
+    /// of prior eviction history.
+    #[test]
+    fn touched_pages_end_up_resident(
+        epc_pages in 48usize..128,
+        touches in proptest::collection::vec((0usize..64, 1usize..8), 1..20),
+    ) {
+        let machine = Machine::with_params(
+            Clock::new(),
+            HwProfile::Unpatched,
+            MachineParams {
+                epc_pages,
+                ..MachineParams::default()
+            },
+        );
+        let eid = machine
+            .create_enclave(&EnclaveConfig {
+                heap_kib: 512, // bigger than any tested EPC
+                ..EnclaveConfig::default()
+            })
+            .unwrap();
+        let heap = machine.heap_range(eid).unwrap();
+        for (offset, len) in touches {
+            let start = heap.start + offset.min(heap.len() - 1);
+            let end = (start + len).min(heap.end);
+            machine
+                .touch(eid, ThreadToken::MAIN, start..end, AccessKind::Read)
+                .unwrap();
+            for page in start..end {
+                prop_assert!(machine.is_resident(eid, page).unwrap());
+            }
+        }
+    }
+}

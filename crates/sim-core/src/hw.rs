@@ -1,0 +1,258 @@
+//! Hardware cost profiles.
+//!
+//! The paper measures enclave transition round-trips in three hardware
+//! settings (§2.3.1):
+//!
+//! | setting | cycles | time |
+//! |---|---|---|
+//! | unmodified SGX CPU | ≈5,850 | ≈2,130 ns |
+//! | + Spectre SDK & microcode updates | ≈10,170 | ≈3,850 ns |
+//! | + Foreshadow (L1TF) microcode update | ≈13,100 | ≈4,890 ns |
+//!
+//! [`CostModel`] carries these plus the SDK software dispatch costs derived
+//! from Table 2 (an empty SDK ecall costs 4,205 ns end-to-end on the
+//! unpatched testbed; an additional empty ocall costs 3,808 ns) and paging
+//! costs. The whole simulation charges virtual time through this table.
+
+use crate::time::{Cycles, Nanos};
+
+/// Which microcode/SDK mitigation level the simulated machine runs.
+///
+/// # Examples
+///
+/// ```
+/// use sim_core::HwProfile;
+///
+/// // Transitions get monotonically more expensive with each mitigation.
+/// let base = HwProfile::Unpatched.cost_model().transition_roundtrip();
+/// let spectre = HwProfile::Spectre.cost_model().transition_roundtrip();
+/// let l1tf = HwProfile::Foreshadow.cost_model().transition_roundtrip();
+/// assert!(base < spectre && spectre < l1tf);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum HwProfile {
+    /// Unmodified Intel SGX-capable processor (no Spectre/L1TF mitigations).
+    #[default]
+    Unpatched,
+    /// SDK and microcode updates mitigating Spectre applied.
+    Spectre,
+    /// Additionally the Foreshadow (L1 Terminal Fault) microcode update.
+    Foreshadow,
+}
+
+impl HwProfile {
+    /// All profiles, in mitigation order.
+    pub const ALL: [HwProfile; 3] = [
+        HwProfile::Unpatched,
+        HwProfile::Spectre,
+        HwProfile::Foreshadow,
+    ];
+
+    /// The cost table for this profile.
+    pub fn cost_model(self) -> CostModel {
+        CostModel::for_profile(self)
+    }
+
+    /// Human-readable label used in reports and benches.
+    pub fn label(self) -> &'static str {
+        match self {
+            HwProfile::Unpatched => "unpatched",
+            HwProfile::Spectre => "+Spectre",
+            HwProfile::Foreshadow => "+Spectre+L1TF",
+        }
+    }
+}
+
+impl std::fmt::Display for HwProfile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The complete virtual-time cost table of a simulated SGX machine.
+///
+/// All fields are public so experiments can build ablated variants; use
+/// [`CostModel::for_profile`] for the calibrated defaults.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostModel {
+    /// Which profile this table was derived from.
+    pub profile: HwProfile,
+    /// Nominal core frequency in GHz (Xeon E3-1230 v5 @ 3.40 GHz).
+    pub cpu_ghz: f64,
+    /// Cost of the `EENTER` instruction path (entering the enclave).
+    pub eenter: Nanos,
+    /// Cost of the `EEXIT` instruction path (leaving the enclave).
+    pub eexit: Nanos,
+    /// Cost of an asynchronous enclave exit (state save + exit).
+    pub aex_exit: Nanos,
+    /// Cost of `ERESUME` after an AEX.
+    pub eresume: Nanos,
+    /// URTS software overhead per ecall (TCS lookup, argument setup).
+    pub urts_dispatch: Nanos,
+    /// TRTS software overhead per ecall (trampoline dispatch).
+    pub trts_dispatch: Nanos,
+    /// Software overhead per ocall beyond the raw transition (table lookup,
+    /// frame setup on the untrusted stack).
+    pub ocall_dispatch: Nanos,
+    /// Interval between timer interrupts; each one hitting an in-enclave
+    /// computation causes one AEX. Calibrated so a 45.4 ms ecall sees
+    /// ≈11.5 AEXs (Table 2).
+    pub timer_quantum: Nanos,
+    /// Cost to evict one EPC page (`EWB`: re-encryption + version tree).
+    pub page_out: Nanos,
+    /// Cost to load one page back into the EPC (`ELDU`: decrypt + verify).
+    pub page_in: Nanos,
+    /// Marshalling cost per byte copied across the enclave boundary for
+    /// `in`/`out` pointer parameters, in tenths of a nanosecond.
+    pub copy_tenth_ns_per_byte: u64,
+    /// Transition round-trip as reported by the paper, in cycles. Kept
+    /// verbatim (the paper's cycle and ns figures imply a TSC rate below the
+    /// nominal 3.4 GHz; we treat the ns figures as ground truth).
+    pub reported_roundtrip_cycles: Cycles,
+}
+
+impl CostModel {
+    /// The calibrated cost table for `profile`.
+    pub fn for_profile(profile: HwProfile) -> CostModel {
+        let (roundtrip_ns, cycles) = match profile {
+            HwProfile::Unpatched => (2_130, 5_850),
+            HwProfile::Spectre => (3_850, 10_170),
+            HwProfile::Foreshadow => (4_890, 13_100),
+        };
+        // Split the measured round-trip across entry (55%) and exit (45%);
+        // only the sum is observable in any experiment.
+        let eenter = Nanos::from_nanos(roundtrip_ns * 55 / 100);
+        let eexit = Nanos::from_nanos(roundtrip_ns - roundtrip_ns * 55 / 100);
+        CostModel {
+            profile,
+            cpu_ghz: 3.4,
+            eenter,
+            eexit,
+            // AEX + ERESUME round-trips cost about the same as a synchronous
+            // transition round-trip on the same mitigation level.
+            aex_exit: eexit,
+            eresume: eenter,
+            // Table 2: empty SDK ecall = 4,205 ns total on the unpatched
+            // testbed => 2,075 ns of software dispatch on top of the raw
+            // 2,130 ns transition. The software share is mitigation-
+            // independent.
+            urts_dispatch: Nanos::from_nanos(1_200),
+            trts_dispatch: Nanos::from_nanos(875),
+            // Table 2: ecall+ocall = 8,013 ns => the ocall adds 3,808 ns =
+            // raw round-trip (2,130) + 1,678 ns dispatch.
+            ocall_dispatch: Nanos::from_nanos(1_678),
+            // 45,377 us / 11.51 AEXs ≈ 3.94 ms between timer interrupts.
+            timer_quantum: Nanos::from_micros(3_943),
+            page_out: Nanos::from_micros(12),
+            page_in: Nanos::from_micros(12),
+            copy_tenth_ns_per_byte: 1, // 0.1 ns/B ≈ 10 GB/s boundary copies
+            reported_roundtrip_cycles: Cycles::new(cycles),
+        }
+    }
+
+    /// Raw `EENTER`+`EEXIT` round-trip — what §2.3.1 measures directly.
+    pub fn transition_roundtrip(&self) -> Nanos {
+        self.eenter + self.eexit
+    }
+
+    /// End-to-end cost of an empty SDK ecall: raw transition plus URTS and
+    /// TRTS dispatch. 4,205 ns on the unpatched profile (Table 2, "Native").
+    pub fn sdk_ecall_overhead(&self) -> Nanos {
+        self.transition_roundtrip() + self.urts_dispatch + self.trts_dispatch
+    }
+
+    /// Cost an empty ocall adds to its surrounding ecall: one raw transition
+    /// round-trip plus ocall dispatch. 3,808 ns on the unpatched profile.
+    pub fn sdk_ocall_overhead(&self) -> Nanos {
+        self.transition_roundtrip() + self.ocall_dispatch
+    }
+
+    /// Cost of one AEX + ERESUME round-trip.
+    pub fn aex_roundtrip(&self) -> Nanos {
+        self.aex_exit + self.eresume
+    }
+
+    /// Marshalling cost for copying `bytes` across the enclave boundary.
+    pub fn copy_cost(&self, bytes: usize) -> Nanos {
+        Nanos::from_nanos(bytes as u64 * self.copy_tenth_ns_per_byte / 10)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_match_paper() {
+        assert_eq!(
+            HwProfile::Unpatched.cost_model().transition_roundtrip(),
+            Nanos::from_nanos(2_130)
+        );
+        assert_eq!(
+            HwProfile::Spectre.cost_model().transition_roundtrip(),
+            Nanos::from_nanos(3_850)
+        );
+        assert_eq!(
+            HwProfile::Foreshadow.cost_model().transition_roundtrip(),
+            Nanos::from_nanos(4_890)
+        );
+    }
+
+    #[test]
+    fn spectre_ratio_is_about_1_74x() {
+        let base = HwProfile::Unpatched.cost_model().transition_roundtrip();
+        let spectre = HwProfile::Spectre.cost_model().transition_roundtrip();
+        let ratio = spectre.as_nanos() as f64 / base.as_nanos() as f64;
+        assert!((ratio - 1.74).abs() < 0.1, "ratio {ratio}");
+    }
+
+    #[test]
+    fn l1tf_ratio_is_about_2_24x() {
+        let base = HwProfile::Unpatched.cost_model().transition_roundtrip();
+        let l1tf = HwProfile::Foreshadow.cost_model().transition_roundtrip();
+        let ratio = l1tf.as_nanos() as f64 / base.as_nanos() as f64;
+        assert!((ratio - 2.24).abs() < 0.1, "ratio {ratio}");
+    }
+
+    #[test]
+    fn empty_sdk_ecall_is_4205ns_unpatched() {
+        // Table 2, experiment (1), "Native" row.
+        let cm = HwProfile::Unpatched.cost_model();
+        assert_eq!(cm.sdk_ecall_overhead(), Nanos::from_nanos(4_205));
+    }
+
+    #[test]
+    fn ecall_plus_ocall_is_8013ns_unpatched() {
+        // Table 2, experiment (2), "Native" row.
+        let cm = HwProfile::Unpatched.cost_model();
+        assert_eq!(
+            cm.sdk_ecall_overhead() + cm.sdk_ocall_overhead(),
+            Nanos::from_nanos(8_013)
+        );
+    }
+
+    #[test]
+    fn timer_quantum_yields_11_5_aex_per_45ms() {
+        let cm = HwProfile::Unpatched.cost_model();
+        let aex = Nanos::from_micros(45_377).as_nanos() / cm.timer_quantum.as_nanos();
+        assert!((11..=12).contains(&aex), "aex count {aex}");
+    }
+
+    #[test]
+    fn copy_cost_scales_with_size() {
+        let cm = HwProfile::Unpatched.cost_model();
+        assert_eq!(cm.copy_cost(0), Nanos::ZERO);
+        assert_eq!(cm.copy_cost(10_240).as_nanos(), 1_024);
+    }
+
+    #[test]
+    fn reported_cycles_match() {
+        assert_eq!(
+            HwProfile::Foreshadow
+                .cost_model()
+                .reported_roundtrip_cycles
+                .get(),
+            13_100
+        );
+    }
+}

@@ -1,0 +1,107 @@
+//! Deterministic randomness helpers.
+//!
+//! All workload jitter comes from explicitly seeded [`StdRng`] instances so
+//! every experiment is reproducible. A small approximate-Gaussian sampler is
+//! provided for execution-time jitter without pulling in `rand_distr`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::time::Nanos;
+
+/// Creates a deterministic RNG from a seed.
+///
+/// # Examples
+///
+/// ```
+/// use rand::Rng;
+///
+/// let mut a = sim_core::rng::seeded(42);
+/// let mut b = sim_core::rng::seeded(42);
+/// assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+/// ```
+pub fn seeded(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Samples an approximately normal value with the given mean and standard
+/// deviation using the Irwin–Hall construction (sum of 12 uniforms).
+///
+/// The result is clamped to `[mean - 3*sd, mean + 3*sd]`.
+pub fn approx_normal(rng: &mut StdRng, mean: f64, sd: f64) -> f64 {
+    let z: f64 = (0..12).map(|_| rng.gen::<f64>()).sum::<f64>() - 6.0;
+    (mean + z * sd).clamp(mean - 3.0 * sd, mean + 3.0 * sd)
+}
+
+/// Samples a jittered duration around `mean` with relative standard
+/// deviation `rel_sd` (e.g. `0.1` = 10%). Never returns less than one
+/// quarter of the mean, so modelled work cannot collapse to zero.
+///
+/// # Examples
+///
+/// ```
+/// use sim_core::Nanos;
+///
+/// let mut rng = sim_core::rng::seeded(7);
+/// let d = sim_core::rng::jitter(&mut rng, Nanos::from_micros(10), 0.1);
+/// assert!(d >= Nanos::from_nanos(2_500));
+/// ```
+pub fn jitter(rng: &mut StdRng, mean: Nanos, rel_sd: f64) -> Nanos {
+    let m = mean.as_nanos() as f64;
+    let sampled = approx_normal(rng, m, m * rel_sd);
+    Nanos::from_nanos(sampled.max(m / 4.0).round() as u64)
+}
+
+/// Samples a heavy-tailed duration: with probability `tail_p` the value is
+/// drawn around `tail_mean`, otherwise around `mean` (both with 10% relative
+/// jitter). Useful for modelling occasional slow calls (e.g. fsync hitting
+/// the device, long TLS handshakes).
+pub fn bimodal(rng: &mut StdRng, mean: Nanos, tail_mean: Nanos, tail_p: f64) -> Nanos {
+    if rng.gen::<f64>() < tail_p {
+        jitter(rng, tail_mean, 0.1)
+    } else {
+        jitter(rng, mean, 0.1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_is_deterministic() {
+        let mut a = seeded(123);
+        let mut b = seeded(123);
+        for _ in 0..64 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn approx_normal_has_roughly_right_mean() {
+        let mut rng = seeded(1);
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| approx_normal(&mut rng, 100.0, 10.0)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 100.0).abs() < 1.0, "mean {mean}");
+    }
+
+    #[test]
+    fn jitter_never_collapses() {
+        let mut rng = seeded(2);
+        for _ in 0..10_000 {
+            let d = jitter(&mut rng, Nanos::from_nanos(1_000), 0.5);
+            assert!(d.as_nanos() >= 250);
+        }
+    }
+
+    #[test]
+    fn bimodal_hits_both_modes() {
+        let mut rng = seeded(3);
+        let fast = Nanos::from_micros(1);
+        let slow = Nanos::from_micros(100);
+        let samples: Vec<Nanos> = (0..1_000).map(|_| bimodal(&mut rng, fast, slow, 0.1)).collect();
+        let slow_count = samples.iter().filter(|d| d.as_micros() > 50).count();
+        assert!((50..200).contains(&slow_count), "slow count {slow_count}");
+    }
+}

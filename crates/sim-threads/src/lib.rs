@@ -1,0 +1,578 @@
+//! Deterministic cooperative logical threads.
+//!
+//! Multi-threaded SGX workloads (e.g. SecureKeeper's client handlers
+//! contending on an in-enclave mutex) need real concurrency *semantics* —
+//! parking, waking, interleaving — but the reproduction must stay
+//! bit-deterministic. This crate provides logical threads backed by OS
+//! threads that are token-scheduled: **exactly one logical thread runs at a
+//! time**, and scheduling decisions are pure round-robin over a FIFO run
+//! queue, so the interleaving is a deterministic function of the program.
+//!
+//! Logical threads cooperate through explicit scheduling points:
+//! [`SimCtx::yield_now`], [`SimCtx::park`]/[`SimCtx::unpark`] and
+//! [`SimCtx::sleep`]. Sleeping integrates with the shared virtual
+//! [`Clock`]: when every runnable thread is asleep, the
+//! scheduler advances the clock to the earliest deadline.
+//!
+//! # Examples
+//!
+//! ```
+//! use sim_core::{Clock, Nanos};
+//! use sim_threads::Simulation;
+//! use std::sync::atomic::{AtomicU32, Ordering};
+//! use std::sync::Arc;
+//!
+//! let clock = Clock::new();
+//! let sim = Simulation::new(clock.clone());
+//! let counter = Arc::new(AtomicU32::new(0));
+//! for _ in 0..3 {
+//!     let counter = Arc::clone(&counter);
+//!     sim.spawn("worker", move |ctx| {
+//!         for _ in 0..10 {
+//!             counter.fetch_add(1, Ordering::SeqCst);
+//!             ctx.yield_now();
+//!         }
+//!     });
+//! }
+//! sim.run();
+//! assert_eq!(counter.load(Ordering::SeqCst), 30);
+//! ```
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::{Condvar, Mutex};
+use sim_core::{Clock, Nanos};
+
+/// Identifier of a logical thread within one [`Simulation`].
+///
+/// Ids are dense, assigned in spawn order starting from 0, and are what the
+/// SGX SDK simulation records as the "thread id" in trace events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LogicalThreadId(pub usize);
+
+impl fmt::Display for LogicalThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lt{}", self.0)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    /// Waiting in the run queue.
+    Runnable,
+    /// Currently holding the execution token.
+    Running,
+    /// Parked until another thread unparks it.
+    Parked,
+    /// Sleeping until the virtual clock reaches the deadline.
+    Sleeping(Nanos),
+    /// Finished (normally or by panic).
+    Done,
+}
+
+struct ThreadEntry {
+    name: String,
+    status: Status,
+    /// Pending unpark permit (like `std::thread::park`'s token) so that an
+    /// unpark delivered before the park is not lost.
+    permit: bool,
+}
+
+struct SchedState {
+    threads: Vec<ThreadEntry>,
+    run_queue: VecDeque<usize>,
+    current: Option<usize>,
+    started: bool,
+    panic: Option<String>,
+}
+
+struct Shared {
+    state: Mutex<SchedState>,
+    cond: Condvar,
+    clock: Clock,
+}
+
+impl Shared {
+    /// Picks the next thread to run. Must be called with the lock held and
+    /// `current` already vacated. Wakes sleepers by advancing the clock when
+    /// the run queue is empty.
+    ///
+    /// Returns `false` if nothing is left to run (all done, or deadlock —
+    /// which is recorded as a panic message).
+    fn dispatch_next(&self, st: &mut SchedState) -> bool {
+        loop {
+            if let Some(next) = st.run_queue.pop_front() {
+                st.threads[next].status = Status::Running;
+                st.current = Some(next);
+                self.cond.notify_all();
+                return true;
+            }
+            // Run queue empty: try waking sleepers by advancing time.
+            let earliest = st
+                .threads
+                .iter()
+                .enumerate()
+                .filter_map(|(i, t)| match t.status {
+                    Status::Sleeping(dl) => Some((dl, i)),
+                    _ => None,
+                })
+                .min();
+            match earliest {
+                Some((deadline, _)) => {
+                    self.clock.advance_to(deadline);
+                    let now = self.clock.now();
+                    // Wake all sleepers whose deadline has passed, in id
+                    // order, to keep scheduling deterministic.
+                    for i in 0..st.threads.len() {
+                        if let Status::Sleeping(dl) = st.threads[i].status {
+                            if dl <= now {
+                                st.threads[i].status = Status::Runnable;
+                                st.run_queue.push_back(i);
+                            }
+                        }
+                    }
+                }
+                None => {
+                    st.current = None;
+                    let stuck: Vec<&str> = st
+                        .threads
+                        .iter()
+                        .filter(|t| t.status == Status::Parked)
+                        .map(|t| t.name.as_str())
+                        .collect();
+                    if !stuck.is_empty() && st.panic.is_none() {
+                        st.panic = Some(format!(
+                            "deadlock: all runnable threads exhausted while {stuck:?} remain parked"
+                        ));
+                    }
+                    self.cond.notify_all();
+                    return false;
+                }
+            }
+        }
+    }
+}
+
+/// A deterministic multi-threaded simulation.
+///
+/// Spawn logical threads with [`Simulation::spawn`], then drive them to
+/// completion with [`Simulation::run`]. See the [crate docs](crate) for the
+/// scheduling model.
+pub struct Simulation {
+    shared: Arc<Shared>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let st = self.shared.state.lock();
+        f.debug_struct("Simulation")
+            .field("threads", &st.threads.len())
+            .field("started", &st.started)
+            .finish()
+    }
+}
+
+impl Simulation {
+    /// Creates a simulation driven by the given virtual clock.
+    pub fn new(clock: Clock) -> Self {
+        Simulation {
+            shared: Arc::new(Shared {
+                state: Mutex::new(SchedState {
+                    threads: Vec::new(),
+                    run_queue: VecDeque::new(),
+                    current: None,
+                    started: false,
+                    panic: None,
+                }),
+                cond: Condvar::new(),
+                clock,
+            }),
+            handles: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The clock this simulation advances.
+    pub fn clock(&self) -> &Clock {
+        &self.shared.clock
+    }
+
+    /// Spawns a logical thread. The closure receives a [`SimCtx`] giving it
+    /// access to scheduling operations; it begins executing only once
+    /// [`Simulation::run`] dispatches it (threads may also be spawned from
+    /// inside a running logical thread).
+    pub fn spawn<F>(&self, name: &str, f: F) -> LogicalThreadId
+    where
+        F: FnOnce(&SimCtx) + Send + 'static,
+    {
+        let shared = Arc::clone(&self.shared);
+        let index = {
+            let mut st = shared.state.lock();
+            let index = st.threads.len();
+            st.threads.push(ThreadEntry {
+                name: name.to_string(),
+                status: Status::Runnable,
+                permit: false,
+            });
+            st.run_queue.push_back(index);
+            index
+        };
+        let thread_shared = Arc::clone(&self.shared);
+        let handle = std::thread::Builder::new()
+            .name(name.to_string())
+            .spawn(move || {
+                let ctx = SimCtx {
+                    shared: thread_shared,
+                    index,
+                };
+                // Wait for our first dispatch.
+                {
+                    let mut st = ctx.shared.state.lock();
+                    while st.current != Some(index) {
+                        if st.panic.is_some() {
+                            // Simulation is tearing down before we ever ran.
+                            st.threads[index].status = Status::Done;
+                            ctx.shared.cond.notify_all();
+                            return;
+                        }
+                        ctx.shared.cond.wait(&mut st);
+                    }
+                }
+                let result = panic::catch_unwind(AssertUnwindSafe(|| f(&ctx)));
+                let mut st = ctx.shared.state.lock();
+                st.threads[index].status = Status::Done;
+                if let Err(payload) = result {
+                    let msg = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "logical thread panicked".to_string());
+                    if st.panic.is_none() {
+                        st.panic = Some(msg);
+                    }
+                }
+                st.current = None;
+                ctx.shared.dispatch_next(&mut st);
+            })
+            .expect("failed to spawn OS thread backing a logical thread");
+        self.handles.lock().push(handle);
+        LogicalThreadId(index)
+    }
+
+    /// Runs all spawned logical threads to completion under round-robin
+    /// scheduling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any logical thread panicked, or if the simulation
+    /// deadlocked (every remaining thread parked with nobody to unpark it).
+    pub fn run(&self) {
+        {
+            let mut st = self.shared.state.lock();
+            assert!(!st.started, "Simulation::run called twice");
+            st.started = true;
+            if !self.shared.dispatch_next(&mut st) {
+                // No threads were spawned.
+            }
+        }
+        // Wait for completion: all threads Done.
+        {
+            let mut st = self.shared.state.lock();
+            while !st.threads.iter().all(|t| t.status == Status::Done) {
+                if st.panic.is_some()
+                    && st.current.is_none()
+                    && st.run_queue.is_empty()
+                    && !st
+                        .threads
+                        .iter()
+                        .any(|t| matches!(t.status, Status::Sleeping(_)))
+                {
+                    break; // deadlock: remaining threads will never finish
+                }
+                self.shared.cond.wait(&mut st);
+            }
+        }
+        let panic_msg = self.shared.state.lock().panic.clone();
+        if let Some(msg) = panic_msg {
+            // Let parked threads exit before propagating.
+            self.shared.cond.notify_all();
+            for h in self.handles.lock().drain(..) {
+                let _ = h.join();
+            }
+            panic!("simulation failed: {msg}");
+        }
+        for h in self.handles.lock().drain(..) {
+            h.join().expect("logical thread OS join failed");
+        }
+    }
+}
+
+/// Handle passed to each logical thread giving it scheduling operations.
+///
+/// All methods are *scheduling points*: control may transfer to another
+/// logical thread and only return here later (at a later virtual time).
+pub struct SimCtx {
+    shared: Arc<Shared>,
+    index: usize,
+}
+
+impl fmt::Debug for SimCtx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SimCtx({})", self.id())
+    }
+}
+
+impl SimCtx {
+    /// This logical thread's id.
+    pub fn id(&self) -> LogicalThreadId {
+        LogicalThreadId(self.index)
+    }
+
+    /// The simulation's virtual clock.
+    pub fn clock(&self) -> &Clock {
+        &self.shared.clock
+    }
+
+    /// Re-enqueues this thread and lets the next runnable thread execute.
+    pub fn yield_now(&self) {
+        let mut st = self.shared.state.lock();
+        st.threads[self.index].status = Status::Runnable;
+        st.run_queue.push_back(self.index);
+        st.current = None;
+        self.shared.dispatch_next(&mut st);
+        self.wait_for_token(st);
+    }
+
+    /// Blocks this thread until another thread [`unpark`](SimCtx::unpark)s
+    /// it. If an unpark permit is already pending, returns immediately
+    /// (consuming the permit) without a context switch.
+    pub fn park(&self) {
+        let mut st = self.shared.state.lock();
+        if st.threads[self.index].permit {
+            st.threads[self.index].permit = false;
+            return;
+        }
+        st.threads[self.index].status = Status::Parked;
+        st.current = None;
+        self.shared.dispatch_next(&mut st);
+        self.wait_for_token(st);
+        // Consumed implicitly: the unparker moved us to the run queue.
+    }
+
+    /// Makes `target` runnable again (or leaves a permit if it is not
+    /// currently parked). Does not switch control.
+    pub fn unpark(&self, target: LogicalThreadId) {
+        let mut st = self.shared.state.lock();
+        let entry = st
+            .threads
+            .get(target.0)
+            .unwrap_or_else(|| panic!("unpark of unknown thread {target}"));
+        match entry.status {
+            Status::Parked => {
+                st.threads[target.0].status = Status::Runnable;
+                st.run_queue.push_back(target.0);
+            }
+            Status::Done => {}
+            _ => st.threads[target.0].permit = true,
+        }
+    }
+
+    /// Sleeps until the virtual clock reaches `deadline`.
+    pub fn sleep_until(&self, deadline: Nanos) {
+        let mut st = self.shared.state.lock();
+        if self.shared.clock.now() >= deadline {
+            return;
+        }
+        st.threads[self.index].status = Status::Sleeping(deadline);
+        st.current = None;
+        self.shared.dispatch_next(&mut st);
+        self.wait_for_token(st);
+    }
+
+    /// Sleeps for `dur` of virtual time.
+    pub fn sleep(&self, dur: Nanos) {
+        let deadline = self.shared.clock.now() + dur;
+        self.sleep_until(deadline);
+    }
+
+    fn wait_for_token(&self, mut st: parking_lot::MutexGuard<'_, SchedState>) {
+        while st.current != Some(self.index) {
+            if st.panic.is_some() && st.current.is_none() && st.run_queue.is_empty() {
+                // Simulation is dead; unwind this thread quietly.
+                drop(st);
+                panic!("simulation aborted");
+            }
+            self.shared.cond.wait(&mut st);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn sim() -> Simulation {
+        Simulation::new(Clock::new())
+    }
+
+    #[test]
+    fn single_thread_runs_to_completion() {
+        let s = sim();
+        let ran = Arc::new(AtomicUsize::new(0));
+        let r = Arc::clone(&ran);
+        s.spawn("t", move |_| {
+            r.store(1, Ordering::SeqCst);
+        });
+        s.run();
+        assert_eq!(ran.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn round_robin_interleaving_is_deterministic() {
+        // Two threads each append their id at every yield; the interleaving
+        // must be strictly alternating and identical across runs.
+        fn trace() -> Vec<usize> {
+            let s = sim();
+            let log = Arc::new(Mutex::new(Vec::new()));
+            for id in 0..2 {
+                let log = Arc::clone(&log);
+                s.spawn("t", move |ctx| {
+                    for _ in 0..5 {
+                        log.lock().push(id);
+                        ctx.yield_now();
+                    }
+                });
+            }
+            s.run();
+            let guard = log.lock();
+            guard.clone()
+        }
+        let a = trace();
+        let b = trace();
+        assert_eq!(a, b);
+        assert_eq!(a, vec![0, 1, 0, 1, 0, 1, 0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn park_unpark_handoff() {
+        let s = sim();
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let o1 = Arc::clone(&order);
+        let waiter = s.spawn("waiter", move |ctx| {
+            o1.lock().push("before park");
+            ctx.park();
+            o1.lock().push("after park");
+        });
+        let o2 = Arc::clone(&order);
+        s.spawn("waker", move |ctx| {
+            o2.lock().push("waking");
+            ctx.unpark(waiter);
+        });
+        s.run();
+        let got = order.lock().clone();
+        assert_eq!(got, vec!["before park", "waking", "after park"]);
+    }
+
+    #[test]
+    fn unpark_before_park_leaves_permit() {
+        let s = sim();
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = Arc::clone(&hits);
+        // Thread 0 parks *after* thread 1 has already unparked it.
+        let t0 = s.spawn("t0", move |ctx| {
+            ctx.yield_now(); // let t1 run first
+            ctx.park(); // permit pending: must not block
+            h.store(1, Ordering::SeqCst);
+        });
+        s.spawn("t1", move |ctx| {
+            ctx.unpark(t0);
+        });
+        s.run();
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn sleep_advances_virtual_clock() {
+        let clock = Clock::new();
+        let s = Simulation::new(clock.clone());
+        s.spawn("sleeper", move |ctx| {
+            ctx.sleep(Nanos::from_millis(5));
+        });
+        s.run();
+        assert_eq!(clock.now(), Nanos::from_millis(5));
+    }
+
+    #[test]
+    fn sleepers_wake_in_deadline_order() {
+        let clock = Clock::new();
+        let s = Simulation::new(clock.clone());
+        let log = Arc::new(Mutex::new(Vec::new()));
+        for (name, ms) in [("late", 10u64), ("early", 2)] {
+            let log = Arc::clone(&log);
+            let c = clock.clone();
+            s.spawn(name, move |ctx| {
+                ctx.sleep(Nanos::from_millis(ms));
+                log.lock().push((name, c.now().as_millis_f64() as u64));
+            });
+        }
+        s.run();
+        let got = log.lock().clone();
+        assert_eq!(got, vec![("early", 2), ("late", 10)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn deadlock_is_detected() {
+        let s = sim();
+        s.spawn("stuck", |ctx| ctx.park());
+        s.run();
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn thread_panic_propagates() {
+        let s = sim();
+        s.spawn("bad", |_| panic!("boom"));
+        s.run();
+    }
+
+    #[test]
+    fn spawn_from_running_thread() {
+        let s = Arc::new(sim());
+        let s2 = Arc::clone(&s);
+        let count = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&count);
+        s.spawn("parent", move |ctx| {
+            let c2 = Arc::clone(&c);
+            s2.spawn("child", move |_| {
+                c2.fetch_add(10, Ordering::SeqCst);
+            });
+            c.fetch_add(1, Ordering::SeqCst);
+            ctx.yield_now();
+        });
+        s.run();
+        assert_eq!(count.load(Ordering::SeqCst), 11);
+    }
+
+    #[test]
+    fn many_threads_complete() {
+        let s = sim();
+        let count = Arc::new(AtomicUsize::new(0));
+        for _ in 0..32 {
+            let c = Arc::clone(&count);
+            s.spawn("w", move |ctx| {
+                for _ in 0..8 {
+                    c.fetch_add(1, Ordering::SeqCst);
+                    ctx.yield_now();
+                }
+            });
+        }
+        s.run();
+        assert_eq!(count.load(Ordering::SeqCst), 32 * 8);
+    }
+}

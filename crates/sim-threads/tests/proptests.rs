@@ -1,0 +1,104 @@
+//! Property tests of the deterministic scheduler: arbitrary programs of
+//! yields/sleeps/computes always terminate, always produce the same
+//! interleaving, and never lose work.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use proptest::prelude::*;
+use sim_core::{Clock, Nanos};
+use sim_threads::Simulation;
+
+/// One scheduling-relevant action a logical thread can take.
+#[derive(Debug, Clone, Copy)]
+enum Action {
+    Yield,
+    Sleep(u64),
+    Compute(u64),
+}
+
+fn arb_program() -> impl Strategy<Value = Vec<Vec<Action>>> {
+    let action = prop_oneof![
+        Just(Action::Yield),
+        (1u64..5_000).prop_map(Action::Sleep),
+        (1u64..2_000).prop_map(Action::Compute),
+    ];
+    proptest::collection::vec(proptest::collection::vec(action, 0..12), 1..5)
+}
+
+/// Runs a program; returns (interleaving trace, final clock, work done).
+fn execute(program: &[Vec<Action>]) -> (Vec<usize>, u64, u64) {
+    let clock = Clock::new();
+    let sim = Simulation::new(clock.clone());
+    let trace: Arc<Mutex<Vec<usize>>> = Arc::new(Mutex::new(Vec::new()));
+    let work = Arc::new(AtomicU64::new(0));
+    for (id, actions) in program.iter().enumerate() {
+        let actions = actions.clone();
+        let trace = Arc::clone(&trace);
+        let work = Arc::clone(&work);
+        sim.spawn(&format!("t{id}"), move |ctx| {
+            for a in actions {
+                trace.lock().push(id);
+                match a {
+                    Action::Yield => ctx.yield_now(),
+                    Action::Sleep(ns) => ctx.sleep(Nanos::from_nanos(ns)),
+                    Action::Compute(ns) => {
+                        ctx.clock().advance(Nanos::from_nanos(ns));
+                        work.fetch_add(ns, Ordering::SeqCst);
+                    }
+                }
+            }
+        });
+    }
+    sim.run();
+    let t = trace.lock().clone();
+    (t, clock.now().as_nanos(), work.load(Ordering::SeqCst))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Same program => identical interleaving, clock and work.
+    #[test]
+    fn scheduling_is_deterministic(program in arb_program()) {
+        let a = execute(&program);
+        let b = execute(&program);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Every step of every thread executes exactly once, and the clock
+    /// advances by at least the total computed time.
+    #[test]
+    fn no_work_is_lost(program in arb_program()) {
+        let (trace, clock_ns, work) = execute(&program);
+        let expected_steps: usize = program.iter().map(Vec::len).sum();
+        prop_assert_eq!(trace.len(), expected_steps);
+        for (id, actions) in program.iter().enumerate() {
+            let steps = trace.iter().filter(|&&t| t == id).count();
+            prop_assert_eq!(steps, actions.len());
+        }
+        prop_assert!(clock_ns >= work);
+    }
+
+    /// Sleeps never deadlock: the scheduler advances the clock past every
+    /// deadline, so the final time covers the longest sleeping thread's
+    /// serialized sleep time.
+    #[test]
+    fn sleeps_complete(program in arb_program()) {
+        let (_, clock_ns, _) = execute(&program);
+        let max_thread_sleep: u64 = program
+            .iter()
+            .map(|acts| {
+                acts.iter()
+                    .map(|a| match a {
+                        Action::Sleep(ns) => *ns,
+                        _ => 0,
+                    })
+                    .sum()
+            })
+            .max()
+            .unwrap_or(0);
+        prop_assert!(clock_ns >= max_thread_sleep);
+    }
+}

@@ -1,0 +1,357 @@
+//! One micro-workload per Table 1 problem class.
+//!
+//! Each function drives a minimal enclave exhibiting exactly one of the
+//! paper's anti-patterns — Short Identical Successive Calls, Short
+//! Different Successive Calls, Short Nested Calls, Short Synchronisation
+//! Calls, paging, and a permissive interface — so the analyzer's detectors
+//! can be validated (and benchmarked) in isolation. Attach an
+//! [`sgx_perf::Logger`] to the harness runtime before calling.
+
+use std::sync::Arc;
+
+use sgx_sdk::{CallData, OcallTableBuilder, SdkResult, SgxThreadMutex, ThreadCtx};
+use sgx_sim::{AccessKind, EnclaveConfig, EnclaveId};
+use sim_core::Nanos;
+use sim_threads::Simulation;
+
+use crate::harness::Harness;
+
+/// §3.1 SISC: the same sub-transition-time ecall issued hundreds of times
+/// in a tight loop (the `bn_sub_part_words` shape).
+///
+/// # Errors
+///
+/// Propagates SDK failures.
+pub fn sisc(harness: &Harness, iterations: u64) -> SdkResult<EnclaveId> {
+    let spec = sgx_edl::parse(
+        "enclave { trusted { public void ecall_tiny_step(uint64_t i); }; };",
+    )
+    .expect("static EDL");
+    let rt = harness.runtime();
+    let enclave = rt.create_enclave(&spec, &EnclaveConfig::default())?;
+    enclave.register_ecall("ecall_tiny_step", |ctx, _| {
+        ctx.compute(Nanos::from_nanos(400))?;
+        Ok(())
+    })?;
+    let table = Arc::new(OcallTableBuilder::new(enclave.spec()).build()?);
+    let tcx = ThreadCtx::main();
+    for i in 0..iterations {
+        rt.ecall(&tcx, enclave.id(), "ecall_tiny_step", &table, &mut CallData::new(i))?;
+    }
+    Ok(enclave.id())
+}
+
+/// §3.2 SDSC: two *different* short calls always issued back-to-back (the
+/// `lseek`-then-`write` shape, expressed as successive ecalls).
+///
+/// # Errors
+///
+/// Propagates SDK failures.
+pub fn sdsc(harness: &Harness, iterations: u64) -> SdkResult<EnclaveId> {
+    let spec = sgx_edl::parse(
+        "enclave { trusted {
+            public void ecall_seek(uint64_t off);
+            public void ecall_write(uint64_t len);
+        }; };",
+    )
+    .expect("static EDL");
+    let rt = harness.runtime();
+    let enclave = rt.create_enclave(&spec, &EnclaveConfig::default())?;
+    enclave.register_ecall("ecall_seek", |ctx, _| {
+        ctx.compute(Nanos::from_nanos(500))?;
+        Ok(())
+    })?;
+    enclave.register_ecall("ecall_write", |ctx, _| {
+        ctx.compute(Nanos::from_micros(2))?;
+        Ok(())
+    })?;
+    let table = Arc::new(OcallTableBuilder::new(enclave.spec()).build()?);
+    let tcx = ThreadCtx::main();
+    for i in 0..iterations {
+        rt.ecall(&tcx, enclave.id(), "ecall_seek", &table, &mut CallData::new(i))?;
+        rt.ecall(&tcx, enclave.id(), "ecall_write", &table, &mut CallData::new(i))?;
+    }
+    Ok(enclave.id())
+}
+
+/// §3.3 SNC: a long ecall that issues a short allocation ocall right at
+/// its start — the reorder-before-parent opportunity.
+///
+/// # Errors
+///
+/// Propagates SDK failures.
+pub fn snc(harness: &Harness, iterations: u64) -> SdkResult<EnclaveId> {
+    let spec = sgx_edl::parse(
+        "enclave { trusted { public void ecall_process(uint64_t n); };
+                   untrusted { void ocall_alloc_result(uint64_t size); }; };",
+    )
+    .expect("static EDL");
+    let rt = harness.runtime();
+    let enclave = rt.create_enclave(&spec, &EnclaveConfig::default())?;
+    enclave.register_ecall("ecall_process", |ctx, _| {
+        // Allocate the result buffer outside — *during* the ecall.
+        ctx.ocall("ocall_alloc_result", &mut CallData::new(4_096))?;
+        ctx.compute(Nanos::from_micros(120))?;
+        Ok(())
+    })?;
+    let mut builder = OcallTableBuilder::new(enclave.spec());
+    builder.register("ocall_alloc_result", |h, _| {
+        h.compute(Nanos::from_nanos(600));
+        Ok(())
+    })?;
+    let table = Arc::new(builder.build()?);
+    let tcx = ThreadCtx::main();
+    for i in 0..iterations {
+        rt.ecall(&tcx, enclave.id(), "ecall_process", &table, &mut CallData::new(i))?;
+    }
+    Ok(enclave.id())
+}
+
+/// §3.4 SSC: two threads ping-ponging a mutex with a hold time far below
+/// the transition cost — every contention round-trip burns two ocalls.
+///
+/// # Errors
+///
+/// Propagates SDK failures.
+pub fn ssc(harness: &Harness, rounds: u64) -> SdkResult<EnclaveId> {
+    let spec = sgx_edl::parse(
+        "enclave { trusted { public void ecall_locked_op(uint64_t i); }; };",
+    )
+    .expect("static EDL");
+    let rt = harness.runtime();
+    let enclave = rt.create_enclave(
+        &spec,
+        &EnclaveConfig {
+            tcs_count: 2,
+            ..EnclaveConfig::default()
+        },
+    )?;
+    let mutex = Arc::new(SgxThreadMutex::new());
+    let m = Arc::clone(&mutex);
+    enclave.register_ecall("ecall_locked_op", move |ctx, _| {
+        m.lock(ctx)?;
+        if let Some(sim) = ctx.thread().sim {
+            sim.yield_now(); // guarantee overlap with the other thread
+        }
+        ctx.compute(Nanos::from_nanos(300))?; // tiny critical section
+        m.unlock(ctx)?;
+        Ok(())
+    })?;
+    let table = Arc::new(OcallTableBuilder::new(enclave.spec()).build()?);
+    let sim = Simulation::new(harness.clock().clone());
+    for t in 0..2 {
+        let rt = Arc::clone(rt);
+        let table = Arc::clone(&table);
+        let eid = enclave.id();
+        sim.spawn(&format!("locker-{t}"), move |ctx| {
+            let tcx = ThreadCtx::from_sim(ctx);
+            for i in 0..rounds {
+                rt.ecall(&tcx, eid, "ecall_locked_op", &table, &mut CallData::new(i))
+                    .expect("locked op");
+            }
+        });
+    }
+    sim.run();
+    Ok(enclave.id())
+}
+
+/// §3.5 paging: an enclave whose touched working set exceeds the
+/// (deliberately tiny) EPC, causing continuous evictions. Build the
+/// harness with [`MachineParams::epc_pages`](sgx_sim::MachineParams) below
+/// the enclave size.
+///
+/// # Errors
+///
+/// Propagates SDK failures.
+pub fn paging(harness: &Harness, sweeps: u64) -> SdkResult<EnclaveId> {
+    let spec = sgx_edl::parse(
+        "enclave { trusted { public void ecall_scan(uint64_t pass); }; };",
+    )
+    .expect("static EDL");
+    let rt = harness.runtime();
+    let enclave = rt.create_enclave(
+        &spec,
+        &EnclaveConfig {
+            heap_kib: 2_048, // 512 heap pages
+            ..EnclaveConfig::default()
+        },
+    )?;
+    let heap = harness.machine().heap_range(enclave.id())?;
+    enclave.register_ecall("ecall_scan", move |ctx, _| {
+        // Stream over the whole heap: with a small EPC every pass evicts.
+        ctx.touch(heap.clone(), AccessKind::Write)?;
+        ctx.compute(Nanos::from_micros(50))?;
+        Ok(())
+    })?;
+    let table = Arc::new(OcallTableBuilder::new(enclave.spec()).build()?);
+    let tcx = ThreadCtx::main();
+    for pass in 0..sweeps {
+        rt.ecall(&tcx, enclave.id(), "ecall_scan", &table, &mut CallData::new(pass))?;
+    }
+    Ok(enclave.id())
+}
+
+/// §3.6 permissive interface: a public ecall that is only ever reached
+/// from an ocall (private candidate), an over-broad `allow()` list, and a
+/// `user_check` pointer.
+///
+/// # Errors
+///
+/// Propagates SDK failures.
+pub fn permissive_interface(harness: &Harness, iterations: u64) -> SdkResult<EnclaveId> {
+    let spec = sgx_edl::parse(
+        "enclave {
+            trusted {
+                public void ecall_entry(uint64_t i);
+                public void ecall_callback(uint64_t i);
+                public void ecall_never_nested([user_check] void* p);
+            };
+            untrusted {
+                void ocall_helper(uint64_t i)
+                    allow(ecall_callback, ecall_never_nested);
+            };
+        };",
+    )
+    .expect("static EDL");
+    let rt = harness.runtime();
+    let enclave = rt.create_enclave(&spec, &EnclaveConfig::default())?;
+    enclave.register_ecall("ecall_entry", |ctx, _| {
+        ctx.compute(Nanos::from_micros(30))?;
+        ctx.ocall("ocall_helper", &mut CallData::default())?;
+        Ok(())
+    })?;
+    enclave.register_ecall("ecall_callback", |ctx, _| {
+        ctx.compute(Nanos::from_micros(15))?;
+        Ok(())
+    })?;
+    enclave.register_ecall("ecall_never_nested", |ctx, _| {
+        ctx.compute(Nanos::from_micros(15))?;
+        Ok(())
+    })?;
+    let mut builder = OcallTableBuilder::new(enclave.spec());
+    builder.register("ocall_helper", |host, _| {
+        // Always re-enters through ecall_callback; never through
+        // ecall_never_nested despite the allow() list.
+        host.ecall("ecall_callback", &mut CallData::default())
+    })?;
+    let table = Arc::new(builder.build()?);
+    let tcx = ThreadCtx::main();
+    for i in 0..iterations {
+        rt.ecall(&tcx, enclave.id(), "ecall_entry", &table, &mut CallData::new(i))?;
+    }
+    Ok(enclave.id())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgx_perf::{Analyzer, Logger, LoggerConfig, Recommendation};
+    use sgx_sim::MachineParams;
+    use sim_core::HwProfile;
+
+    fn analyze(harness: &Harness, logger: &Logger) -> sgx_perf::Report {
+        let trace = logger.finish();
+        Analyzer::new(&trace, harness.profile().cost_model()).analyze()
+    }
+
+    #[test]
+    fn sisc_detected() {
+        let h = Harness::new(HwProfile::Unpatched);
+        let logger = Logger::attach(h.runtime(), LoggerConfig::default());
+        sisc(&h, 200).unwrap();
+        let report = analyze(&h, &logger);
+        assert!(report
+            .detections
+            .iter()
+            .any(|d| matches!(d.recommendation, Recommendation::BatchCalls { .. })
+                && d.name == "ecall_tiny_step"));
+    }
+
+    #[test]
+    fn sdsc_detected() {
+        let h = Harness::new(HwProfile::Unpatched);
+        let logger = Logger::attach(h.runtime(), LoggerConfig::default());
+        sdsc(&h, 200).unwrap();
+        let report = analyze(&h, &logger);
+        assert!(
+            report
+                .detections
+                .iter()
+                .any(|d| matches!(&d.recommendation, Recommendation::MergeCalls { with }
+                    if with == "ecall_seek")),
+            "{:?}",
+            report.detections
+        );
+    }
+
+    #[test]
+    fn snc_detected() {
+        let h = Harness::new(HwProfile::Unpatched);
+        let logger = Logger::attach(h.runtime(), LoggerConfig::default());
+        snc(&h, 100).unwrap();
+        let report = analyze(&h, &logger);
+        assert!(report
+            .detections
+            .iter()
+            .any(|d| d.recommendation == Recommendation::ReorderBeforeParent
+                && d.name == "ocall_alloc_result"));
+    }
+
+    #[test]
+    fn ssc_detected() {
+        let h = Harness::new(HwProfile::Unpatched);
+        let logger = Logger::attach(h.runtime(), LoggerConfig::default());
+        ssc(&h, 120).unwrap();
+        let report = analyze(&h, &logger);
+        assert!(
+            report
+                .detections
+                .iter()
+                .any(|d| d.recommendation == Recommendation::HybridSynchronisation),
+            "{:?}",
+            report.detections
+        );
+    }
+
+    #[test]
+    fn paging_detected() {
+        let h = Harness::with_machine_params(
+            HwProfile::Unpatched,
+            MachineParams {
+                epc_pages: 256, // far below the 1024-page enclave
+                ..MachineParams::default()
+            },
+        );
+        let logger = Logger::attach(h.runtime(), LoggerConfig::default());
+        paging(&h, 4).unwrap();
+        let report = analyze(&h, &logger);
+        assert!(report.totals.page_outs > 0);
+        assert!(report
+            .detections
+            .iter()
+            .any(|d| d.recommendation == Recommendation::MitigatePaging));
+    }
+
+    #[test]
+    fn permissive_interface_findings() {
+        let h = Harness::new(HwProfile::Unpatched);
+        let logger = Logger::attach(h.runtime(), LoggerConfig::default());
+        permissive_interface(&h, 50).unwrap();
+        let report = analyze(&h, &logger);
+        // ecall_callback can be made private.
+        assert!(report.detections.iter().any(
+            |d| matches!(&d.recommendation, Recommendation::MakePrivate { allow_from }
+                if d.name == "ecall_callback" && allow_from == &vec!["ocall_helper".to_string()])
+        ));
+        // ecall_never_nested should leave the allow() list.
+        assert!(report.detections.iter().any(
+            |d| matches!(&d.recommendation, Recommendation::RestrictAllowedEcalls { remove }
+                if remove == &vec!["ecall_never_nested".to_string()])
+        ));
+        // The user_check pointer is highlighted.
+        assert!(report
+            .detections
+            .iter()
+            .any(|d| matches!(&d.recommendation, Recommendation::ReviewUserCheck { .. })));
+    }
+}

@@ -1,0 +1,209 @@
+//! Multi-precision arithmetic with the OpenSSL recursion structure.
+//!
+//! The arithmetic is real (little-endian `u64` limbs, genuine borrows and
+//! carries); the *call structure* mirrors OpenSSL's `bn_mul_recursive`:
+//! each Karatsuba node computes two partial-word subtractions
+//! (`bn_sub_part_words`) and recurses three times until the comba
+//! multiplication leaf. In the Glamdring partitioning the subtractions are
+//! ecalls while the recursion driver stays untrusted — reproduced here via
+//! the [`MulOps`] trait.
+
+use sgx_sdk::SdkResult;
+
+/// Subtracts `b` from `a` limb-wise into `r`, returning the final borrow —
+/// the computational core of `bn_sub_part_words`.
+///
+/// # Panics
+///
+/// Panics unless `r`, `a` and `b` have equal lengths.
+pub fn sub_words(r: &mut [u64], a: &[u64], b: &[u64]) -> u64 {
+    assert!(
+        r.len() == a.len() && a.len() == b.len(),
+        "limb length mismatch"
+    );
+    let mut borrow = 0u64;
+    for i in 0..r.len() {
+        let (d1, b1) = a[i].overflowing_sub(b[i]);
+        let (d2, b2) = d1.overflowing_sub(borrow);
+        r[i] = d2;
+        borrow = u64::from(b1) + u64::from(b2);
+    }
+    borrow
+}
+
+/// Schoolbook ("comba") multiplication of two `n`-limb numbers into a
+/// `2n`-limb result — the recursion leaf.
+///
+/// # Panics
+///
+/// Panics unless `r.len() == a.len() + b.len()` and `a.len() == b.len()`.
+pub fn mul_comba(r: &mut [u64], a: &[u64], b: &[u64]) {
+    assert_eq!(a.len(), b.len(), "comba operands must match");
+    assert_eq!(r.len(), a.len() + b.len(), "result must be 2n limbs");
+    r.fill(0);
+    for (i, &ai) in a.iter().enumerate() {
+        let mut carry: u128 = 0;
+        for (j, &bj) in b.iter().enumerate() {
+            let acc = ai as u128 * bj as u128 + r[i + j] as u128 + carry;
+            r[i + j] = acc as u64;
+            carry = acc >> 64;
+        }
+        r[i + b.len()] = carry as u64;
+    }
+}
+
+/// The operations a Karatsuba node needs, abstracted over where they
+/// execute:
+///
+/// * native — plain function calls,
+/// * Glamdring-partitioned — `sub_part_words` is an **ecall**,
+/// * optimised — the whole recursion runs inside one ecall.
+pub trait MulOps {
+    /// `bn_sub_part_words` over `n` limbs (called twice per node).
+    ///
+    /// # Errors
+    ///
+    /// Propagates dispatch failures in the partitioned variant.
+    fn sub_part_words(&mut self, n: usize) -> SdkResult<()>;
+
+    /// The comba leaf multiplication over `n` limbs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates dispatch failures.
+    fn leaf_mul(&mut self, n: usize) -> SdkResult<()>;
+
+    /// Untrusted recursion bookkeeping per node (case analysis, pointer
+    /// arithmetic).
+    ///
+    /// # Errors
+    ///
+    /// Propagates dispatch failures.
+    fn node_overhead(&mut self) -> SdkResult<()>;
+}
+
+/// Drives the OpenSSL-style recursion over `n` limbs: two partial-word
+/// subtractions per node, then three recursive half-size multiplications,
+/// bottoming out in the comba leaf at `leaf_n` limbs.
+///
+/// Returns the number of `sub_part_words` invocations (for call-count
+/// assertions).
+///
+/// # Errors
+///
+/// Propagates failures from `ops`.
+pub fn mul_recursive(ops: &mut dyn MulOps, n: usize, leaf_n: usize) -> SdkResult<u64> {
+    if n <= leaf_n {
+        ops.leaf_mul(n)?;
+        return Ok(0);
+    }
+    ops.node_overhead()?;
+    // The two bn_sub_part_words calls of the switch in bn_mul_recursive.
+    ops.sub_part_words(n / 2)?;
+    ops.sub_part_words(n / 2)?;
+    let mut subs = 2;
+    // Karatsuba: three half-size products.
+    for _ in 0..3 {
+        subs += mul_recursive(ops, n / 2, leaf_n)?;
+    }
+    Ok(subs)
+}
+
+/// Number of `sub_part_words` calls `mul_recursive` makes for given sizes.
+pub fn subs_per_mul(n: usize, leaf_n: usize) -> u64 {
+    if n <= leaf_n {
+        return 0;
+    }
+    2 + 3 * subs_per_mul(n / 2, leaf_n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct CountingOps {
+        subs: u64,
+        leaves: u64,
+        nodes: u64,
+    }
+
+    impl MulOps for CountingOps {
+        fn sub_part_words(&mut self, _n: usize) -> SdkResult<()> {
+            self.subs += 1;
+            Ok(())
+        }
+        fn leaf_mul(&mut self, _n: usize) -> SdkResult<()> {
+            self.leaves += 1;
+            Ok(())
+        }
+        fn node_overhead(&mut self) -> SdkResult<()> {
+            self.nodes += 1;
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn sub_words_computes_real_differences() {
+        let a = [10u64, 20, 30];
+        let b = [3u64, 5, 7];
+        let mut r = [0u64; 3];
+        assert_eq!(sub_words(&mut r, &a, &b), 0);
+        assert_eq!(r, [7, 15, 23]);
+    }
+
+    #[test]
+    fn sub_words_borrows_across_limbs() {
+        let a = [0u64, 1];
+        let b = [1u64, 0];
+        let mut r = [0u64; 2];
+        assert_eq!(sub_words(&mut r, &a, &b), 0);
+        assert_eq!(r, [u64::MAX, 0]);
+        // Underflow overall produces a final borrow.
+        let mut r2 = [0u64; 2];
+        assert_eq!(sub_words(&mut r2, &b, &a), 1);
+    }
+
+    #[test]
+    fn comba_matches_u128_for_single_limbs() {
+        let a = [0xffff_ffff_ffff_fffbu64];
+        let b = [0x1_0001u64];
+        let mut r = [0u64; 2];
+        mul_comba(&mut r, &a, &b);
+        let expected = a[0] as u128 * b[0] as u128;
+        assert_eq!(r[0], expected as u64);
+        assert_eq!(r[1], (expected >> 64) as u64);
+    }
+
+    #[test]
+    fn comba_is_commutative() {
+        let a = [3u64, 9, 27, 81];
+        let b = [5u64, 25, 125, 625];
+        let mut r1 = [0u64; 8];
+        let mut r2 = [0u64; 8];
+        mul_comba(&mut r1, &a, &b);
+        mul_comba(&mut r2, &b, &a);
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn recursion_counts_match_closed_form() {
+        for (n, leaf) in [(32usize, 4usize), (16, 4), (64, 8)] {
+            let mut ops = CountingOps {
+                subs: 0,
+                leaves: 0,
+                nodes: 0,
+            };
+            let subs = mul_recursive(&mut ops, n, leaf).unwrap();
+            assert_eq!(subs, ops.subs);
+            assert_eq!(subs, subs_per_mul(n, leaf));
+            // Every internal node does exactly 2 subs.
+            assert_eq!(ops.subs, ops.nodes * 2);
+        }
+    }
+
+    #[test]
+    fn recursion_depth_32_over_4_gives_26_subs() {
+        // 32 -> 16 -> 8 -> leaf(4): nodes 1 + 3 + 9 = 13, subs 26.
+        assert_eq!(subs_per_mul(32, 4), 26);
+    }
+}

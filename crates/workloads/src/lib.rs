@@ -1,0 +1,33 @@
+//! The four SGX applications analysed in §5 of the sgx-perf paper,
+//! reproduced against the simulated SGX stack:
+//!
+//! * [`talos`] — TaLoS, an enclavised LibreSSL exposing the OpenSSL API as
+//!   its ecall interface, driven by an nginx-like host serving 1000 HTTP
+//!   GET requests (§5.2.1, Figure 5),
+//! * [`sqlitedb`] — a small embedded SQL-ish storage engine running inside
+//!   an enclave with lseek/write/fsync implemented naïvely as ocalls, plus
+//!   the merged-ocall optimisation sgx-perf recommends (§5.2.2, Figure 6),
+//! * [`glamdring`] — a Glamdring-partitioned LibreSSL signing benchmark
+//!   whose hot `bn_sub_part_words` ecall dominates, plus the
+//!   move-into-enclave optimisation (§5.2.3, Figure 6),
+//! * [`securekeeper`] — a SecureKeeper-style encrypting ZooKeeper proxy
+//!   with per-client enclaves and SDK mutex contention during the connect
+//!   phase (§5.2.4, Figures 7 and 8),
+//!
+//! plus [`antipatterns`] — one micro-workload per Table 1 problem class,
+//! used to validate the analyzer's detectors.
+//!
+//! Each workload supports the three execution variants of Figure 6
+//! ([`Variant`]): native (no enclave), enclavised, and optimised per the
+//! sgx-perf recommendations. All timing flows through the shared virtual
+//! clock, so attaching the sgx-perf [`Logger`](sgx_perf::Logger) before a
+//! run yields the traces the paper analyses.
+
+pub mod antipatterns;
+pub mod glamdring;
+pub mod harness;
+pub mod securekeeper;
+pub mod sqlitedb;
+pub mod talos;
+
+pub use harness::{Harness, RunStats, Variant};

@@ -1,0 +1,99 @@
+//! The proxy's payload cipher: a keystream cipher in the spirit of
+//! AES-CTR, implemented for real (deterministic, invertible) so the proxy
+//! actually transforms bytes, with the CPU cost charged to virtual time by
+//! the caller.
+
+/// A little-endian 64-bit block keystream generator (xorshift-based —
+/// *not* cryptographically secure, a stand-in for AES-CTR's shape: one
+/// keystream block per 8 payload bytes, XORed in).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Keystream {
+    key: u64,
+    nonce: u64,
+}
+
+impl Keystream {
+    /// Creates a keystream for a key/nonce pair.
+    pub fn new(key: u64, nonce: u64) -> Keystream {
+        Keystream { key, nonce }
+    }
+
+    fn block(&self, counter: u64) -> u64 {
+        let mut x = self.key ^ self.nonce.rotate_left(17) ^ counter.wrapping_mul(0x9e3779b97f4a7c15);
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xbf58476d1ce4e5b9);
+        x ^= x >> 27;
+        x = x.wrapping_mul(0x94d049bb133111eb);
+        x ^ (x >> 31)
+    }
+
+    /// XORs the keystream over `data` in place. Applying it twice with the
+    /// same parameters restores the original (CTR-mode involution).
+    pub fn apply(&self, data: &mut [u8]) {
+        for (i, chunk) in data.chunks_mut(8).enumerate() {
+            let ks = self.block(i as u64).to_le_bytes();
+            for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+                *b ^= k;
+            }
+        }
+    }
+}
+
+/// Encrypts a ZooKeeper path component-wise (the proxy keeps `/` visible
+/// so ZooKeeper's hierarchy still works, encrypting only the names).
+pub fn encrypt_path(ks: &Keystream, path: &str) -> String {
+    path.split('/')
+        .map(|component| {
+            if component.is_empty() {
+                String::new()
+            } else {
+                let mut bytes = component.as_bytes().to_vec();
+                ks.apply(&mut bytes);
+                bytes.iter().map(|b| format!("{b:02x}")).collect()
+            }
+        })
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apply_twice_is_identity() {
+        let ks = Keystream::new(0xdead_beef, 42);
+        let original: Vec<u8> = (0..=255).collect();
+        let mut data = original.clone();
+        ks.apply(&mut data);
+        assert_ne!(data, original);
+        ks.apply(&mut data);
+        assert_eq!(data, original);
+    }
+
+    #[test]
+    fn different_nonces_differ() {
+        let a = Keystream::new(1, 1);
+        let b = Keystream::new(1, 2);
+        let mut da = vec![0u8; 64];
+        let mut db = vec![0u8; 64];
+        a.apply(&mut da);
+        b.apply(&mut db);
+        assert_ne!(da, db);
+    }
+
+    #[test]
+    fn path_encryption_preserves_hierarchy() {
+        let ks = Keystream::new(7, 9);
+        let enc = encrypt_path(&ks, "/app/config/node1");
+        assert_eq!(enc.matches('/').count(), 3);
+        assert!(enc.starts_with('/'));
+        assert!(!enc.contains("app"));
+    }
+
+    #[test]
+    fn empty_path_components_survive() {
+        let ks = Keystream::new(7, 9);
+        assert_eq!(encrypt_path(&ks, "/"), "/");
+    }
+}

@@ -1,0 +1,18 @@
+//! The TaLoS + nginx workload (§5.2.1, Figure 5).
+//!
+//! TaLoS is an enclavised LibreSSL exposing the **OpenSSL API as its ecall
+//! interface** so it can be a drop-in replacement: 207 ecalls and 61
+//! ocalls. Driven by an nginx-like host serving 1000 HTTPS GET requests,
+//! the paper observes 27,631 ecall and 28,969 ocall events, with 60.78% of
+//! ecalls and 73.69% of ocalls shorter than 10 µs — the error-queue
+//! (`ERR_*`) calls and the per-chunk read/write ocalls being the main
+//! offenders. The conclusion: the OpenSSL interface is unsuitable as an
+//! enclave interface.
+//!
+//! [`tls`] implements the enclave side (session state machine, error
+//! queue, chunked record I/O); [`run`] drives the host.
+
+pub mod nginx;
+pub mod tls;
+
+pub use nginx::{run, TalosConfig, TalosResult};

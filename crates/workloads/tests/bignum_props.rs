@@ -1,0 +1,107 @@
+//! Property tests of the Glamdring bignum arithmetic: the real math under
+//! the call-pattern reproduction must actually be correct.
+
+use proptest::prelude::*;
+use workloads::glamdring::bignum::{mul_comba, mul_recursive, sub_words, subs_per_mul, MulOps};
+
+/// Reference subtraction via u128 chains.
+fn reference_sub(a: &[u64], b: &[u64]) -> (Vec<u64>, u64) {
+    let mut out = vec![0u64; a.len()];
+    let mut borrow = 0u64;
+    for i in 0..a.len() {
+        let lhs = a[i] as u128;
+        let rhs = b[i] as u128 + borrow as u128;
+        if lhs >= rhs {
+            out[i] = (lhs - rhs) as u64;
+            borrow = 0;
+        } else {
+            out[i] = ((1u128 << 64) + lhs - rhs) as u64;
+            borrow = 1;
+        }
+    }
+    (out, borrow)
+}
+
+/// Reference schoolbook multiplication using u128 accumulation per digit.
+fn reference_mul(a: &[u64], b: &[u64]) -> Vec<u64> {
+    let mut out = vec![0u64; a.len() + b.len()];
+    for (i, &ai) in a.iter().enumerate() {
+        let mut carry: u128 = 0;
+        for (j, &bj) in b.iter().enumerate() {
+            let acc = ai as u128 * bj as u128 + out[i + j] as u128 + carry;
+            out[i + j] = acc as u64;
+            carry = acc >> 64;
+        }
+        out[i + b.len()] = carry as u64;
+    }
+    out
+}
+
+fn limbs(n: usize) -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(any::<u64>(), n..=n)
+}
+
+proptest! {
+    #[test]
+    fn sub_words_matches_reference(n in 1usize..12, seed in any::<u64>()) {
+        use rand::Rng;
+        let mut rng = sim_core::rng::seeded(seed);
+        let a: Vec<u64> = (0..n).map(|_| rng.gen()).collect();
+        let b: Vec<u64> = (0..n).map(|_| rng.gen()).collect();
+        let mut got = vec![0u64; n];
+        let borrow = sub_words(&mut got, &a, &b);
+        let (want, want_borrow) = reference_sub(&a, &b);
+        prop_assert_eq!(got, want);
+        prop_assert_eq!(borrow, want_borrow);
+    }
+
+    #[test]
+    fn comba_matches_reference(a in limbs(4), b in limbs(4)) {
+        let mut got = vec![0u64; 8];
+        mul_comba(&mut got, &a, &b);
+        prop_assert_eq!(got, reference_mul(&a, &b));
+    }
+
+    #[test]
+    fn sub_then_add_roundtrips(a in limbs(6), b in limbs(6)) {
+        // (a - b) + b == a (mod 2^384), checked limb-wise with carries.
+        let mut diff = vec![0u64; 6];
+        sub_words(&mut diff, &a, &b);
+        let mut sum = vec![0u64; 6];
+        let mut carry = 0u64;
+        for i in 0..6 {
+            let (s1, c1) = diff[i].overflowing_add(b[i]);
+            let (s2, c2) = s1.overflowing_add(carry);
+            sum[i] = s2;
+            carry = u64::from(c1) + u64::from(c2);
+        }
+        prop_assert_eq!(sum, a);
+    }
+
+    /// The recursion's sub-call count follows the closed form for any
+    /// power-of-two geometry.
+    #[test]
+    fn recursion_count_closed_form(depth in 1u32..6, leaf_pow in 0u32..3) {
+        let leaf = 1usize << leaf_pow;
+        let n = leaf << depth;
+        struct Count(u64);
+        impl MulOps for Count {
+            fn sub_part_words(&mut self, _n: usize) -> sgx_sdk::SdkResult<()> {
+                self.0 += 1;
+                Ok(())
+            }
+            fn leaf_mul(&mut self, _n: usize) -> sgx_sdk::SdkResult<()> {
+                Ok(())
+            }
+            fn node_overhead(&mut self) -> sgx_sdk::SdkResult<()> {
+                Ok(())
+            }
+        }
+        let mut ops = Count(0);
+        let subs = mul_recursive(&mut ops, n, leaf).unwrap();
+        prop_assert_eq!(subs, ops.0);
+        prop_assert_eq!(subs, subs_per_mul(n, leaf));
+        // Closed form: 2 * (3^depth - 1) / 2 = 3^depth - 1.
+        prop_assert_eq!(subs, 3u64.pow(depth) - 1);
+    }
+}

@@ -1,0 +1,25 @@
+//! Regenerates the golden codegen modules from `tests/src/demo.edl`.
+//!
+//! ```sh
+//! cargo run -p integration-tests --bin generate_demo
+//! ```
+//!
+//! The outputs are committed (`generated_demo_u.rs` / `generated_demo_t.rs`)
+//! so they are compile-checked; `tests/codegen_golden.rs` fails if they
+//! drift from the EDL.
+
+fn main() {
+    let edl = std::fs::read_to_string("tests/src/demo.edl").expect("read tests/src/demo.edl");
+    let spec = sgx_edl::parse(&edl).expect("demo.edl parses");
+    std::fs::write(
+        "tests/src/generated_demo_u.rs",
+        sgx_edl::codegen::generate_untrusted(&spec, "demo"),
+    )
+    .expect("write untrusted module");
+    std::fs::write(
+        "tests/src/generated_demo_t.rs",
+        sgx_edl::codegen::generate_trusted(&spec, "demo"),
+    )
+    .expect("write trusted module");
+    println!("regenerated tests/src/generated_demo_{{u,t}}.rs");
+}

@@ -1,0 +1,94 @@
+//! Shared helpers for the workspace integration tests.
+
+/// Golden output of `sgx_edl::codegen::generate_untrusted` over
+/// `src/demo.edl` — checked in so the generated code is compile-checked;
+/// regenerate with `cargo run -p integration-tests --bin generate_demo`.
+pub mod generated_demo_u;
+/// Golden output of `generate_trusted` over the same EDL.
+pub mod generated_demo_t;
+
+use std::sync::Arc;
+
+use sgx_sdk::{CallData, OcallTableBuilder, Runtime, ThreadCtx};
+use sgx_sim::{EnclaveConfig, EnclaveId, Machine};
+use sim_core::{Clock, HwProfile, Nanos};
+
+/// A minimal ready-to-call enclave application used by several tests:
+/// `ecall_work(ns)` computes, `ecall_io` performs one `ocall_io` that
+/// burns 1 µs outside.
+pub struct TestApp {
+    /// The runtime (loader, URTS).
+    pub rt: Arc<Runtime>,
+    /// The enclave id.
+    pub eid: EnclaveId,
+    /// The application's ocall table.
+    pub table: Arc<sgx_sdk::OcallTable>,
+}
+
+impl TestApp {
+    /// Builds the app on a fresh machine with the given profile.
+    pub fn new(profile: HwProfile) -> TestApp {
+        let machine = Arc::new(Machine::new(Clock::new(), profile));
+        let rt = Runtime::new(machine);
+        let spec = sgx_edl::parse(
+            "enclave { trusted {
+                public void ecall_work(uint64_t ns);
+                public void ecall_io();
+            }; untrusted { void ocall_io(); }; };",
+        )
+        .expect("static EDL");
+        let enclave = rt
+            .create_enclave(&spec, &EnclaveConfig::default())
+            .expect("create enclave");
+        enclave
+            .register_ecall("ecall_work", |ctx, data| {
+                ctx.compute(Nanos::from_nanos(data.scalar))?;
+                Ok(())
+            })
+            .expect("register");
+        enclave
+            .register_ecall("ecall_io", |ctx, _| {
+                ctx.ocall("ocall_io", &mut CallData::default())
+            })
+            .expect("register");
+        let mut builder = OcallTableBuilder::new(enclave.spec());
+        builder
+            .register("ocall_io", |host, _| {
+                host.compute(Nanos::from_micros(1));
+                Ok(())
+            })
+            .expect("register ocall");
+        let table = Arc::new(builder.build().expect("table"));
+        TestApp {
+            eid: enclave.id(),
+            rt,
+            table,
+        }
+    }
+
+    /// Issues `ecall_work(ns)` from the main thread.
+    pub fn work(&self, ns: u64) {
+        self.rt
+            .ecall(
+                &ThreadCtx::main(),
+                self.eid,
+                "ecall_work",
+                &self.table,
+                &mut CallData::new(ns),
+            )
+            .expect("ecall_work");
+    }
+
+    /// Issues `ecall_io` from the main thread.
+    pub fn io(&self) {
+        self.rt
+            .ecall(
+                &ThreadCtx::main(),
+                self.eid,
+                "ecall_io",
+                &self.table,
+                &mut CallData::default(),
+            )
+            .expect("ecall_io");
+    }
+}

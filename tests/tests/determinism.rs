@@ -1,0 +1,104 @@
+//! Bit-reproducibility: every experiment is a deterministic function of
+//! its seed — the property that makes the whole evaluation regenerable.
+
+use sgx_perf::{Logger, LoggerConfig};
+use sim_core::{HwProfile, Nanos};
+use workloads::{Harness, Variant};
+
+fn sqlite_trace_bytes(seed: u64) -> Vec<u8> {
+    let harness = Harness::new(HwProfile::Unpatched);
+    let logger = Logger::attach(harness.runtime(), LoggerConfig::default());
+    workloads::sqlitedb::run(
+        &harness,
+        &workloads::sqlitedb::SqliteConfig {
+            inserts: 400,
+            seed,
+            variant: Variant::Enclave,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    logger.finish().to_bytes()
+}
+
+#[test]
+fn sqlite_traces_are_bit_identical_across_runs() {
+    assert_eq!(sqlite_trace_bytes(7), sqlite_trace_bytes(7));
+}
+
+#[test]
+fn sqlite_traces_differ_across_seeds() {
+    assert_ne!(sqlite_trace_bytes(7), sqlite_trace_bytes(8));
+}
+
+fn securekeeper_trace_bytes() -> Vec<u8> {
+    let harness = Harness::new(HwProfile::Unpatched);
+    let logger = Logger::attach(harness.runtime(), LoggerConfig::default());
+    workloads::securekeeper::run(
+        &harness,
+        &workloads::securekeeper::SecureKeeperConfig {
+            clients: 6,
+            duration: Nanos::from_millis(80),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    logger.finish().to_bytes()
+}
+
+/// The multi-threaded workload is deterministic too: the round-robin
+/// scheduler makes the interleaving (and therefore the trace) a pure
+/// function of the program.
+#[test]
+fn multithreaded_traces_are_bit_identical() {
+    assert_eq!(securekeeper_trace_bytes(), securekeeper_trace_bytes());
+}
+
+fn glamdring_trace_bytes(profile: HwProfile) -> Vec<u8> {
+    let harness = Harness::new(profile);
+    let logger = Logger::attach(harness.runtime(), LoggerConfig::default());
+    workloads::glamdring::run(
+        &harness,
+        &workloads::glamdring::GlamdringConfig {
+            duration: Nanos::from_millis(40),
+            variant: Variant::Enclave,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    logger.finish().to_bytes()
+}
+
+#[test]
+fn glamdring_traces_are_bit_identical() {
+    assert_eq!(
+        glamdring_trace_bytes(HwProfile::Unpatched),
+        glamdring_trace_bytes(HwProfile::Unpatched)
+    );
+}
+
+#[test]
+fn hardware_profile_changes_the_trace() {
+    assert_ne!(
+        glamdring_trace_bytes(HwProfile::Unpatched),
+        glamdring_trace_bytes(HwProfile::Foreshadow)
+    );
+}
+
+#[test]
+fn talos_runs_are_deterministic() {
+    let elapsed = || {
+        let harness = Harness::new(HwProfile::Unpatched);
+        workloads::talos::run(
+            &harness,
+            &workloads::talos::TalosConfig {
+                requests: 80,
+                ..Default::default()
+            },
+        )
+        .unwrap()
+        .stats
+        .elapsed
+    };
+    assert_eq!(elapsed(), elapsed());
+}
