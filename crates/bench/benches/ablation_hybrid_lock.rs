@@ -10,9 +10,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use sgx_perf_bench::{banner, row, scaled_count};
-use sgx_sdk::{
-    CallData, OcallTableBuilder, Runtime, SgxHybridMutex, SgxThreadMutex, ThreadCtx,
-};
+use sgx_sdk::{CallData, OcallTableBuilder, Runtime, SgxHybridMutex, SgxThreadMutex, ThreadCtx};
 use sgx_sim::{EnclaveConfig, Machine};
 use sim_core::{Clock, HwProfile, Nanos};
 use sim_threads::Simulation;
@@ -25,8 +23,8 @@ enum Lock {
 fn contend(threads: usize, rounds: u64, lock: Lock) -> (Nanos, usize) {
     let machine = Arc::new(Machine::new(Clock::new(), HwProfile::Unpatched));
     let rt = Runtime::new(machine);
-    let spec = sgx_edl::parse("enclave { trusted { public void ecall_op(uint64_t i); }; };")
-        .unwrap();
+    let spec =
+        sgx_edl::parse("enclave { trusted { public void ecall_op(uint64_t i); }; };").unwrap();
     let enclave = rt
         .create_enclave(
             &spec,
@@ -106,7 +104,10 @@ fn main() {
     );
     let threads = 4;
     let rounds = scaled_count(2_000, 200);
-    row("threads / lock-ops per thread", format!("{threads} / {rounds}"));
+    row(
+        "threads / lock-ops per thread",
+        format!("{threads} / {rounds}"),
+    );
     println!(
         "\n  {:<28} {:>14} {:>14} {:>16}",
         "lock", "elapsed", "sync ocalls", "ocalls per op"

@@ -9,17 +9,10 @@ use sim_core::{Clock, HwProfile, Nanos};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use rand::Rng;
-
 /// Runs a skewed random-access workload (90% of touches hit a 64-page hot
 /// set, 10% roam a 256-page heap) against a constrained EPC. Returns
 /// (virtual time, page-ins).
-fn scan_run(
-    epc_pages: usize,
-    policy: EvictionPolicy,
-    calls: u64,
-    preload: bool,
-) -> (Nanos, usize) {
+fn scan_run(epc_pages: usize, policy: EvictionPolicy, calls: u64, preload: bool) -> (Nanos, usize) {
     let machine = Arc::new(Machine::with_params(
         Clock::new(),
         HwProfile::Unpatched,
@@ -41,10 +34,8 @@ fn scan_run(
         }
     }));
     let rt = Runtime::new(Arc::clone(&machine));
-    let spec = sgx_edl::parse(
-        "enclave { trusted { public void ecall_lookup(uint64_t key); }; };",
-    )
-    .unwrap();
+    let spec = sgx_edl::parse("enclave { trusted { public void ecall_lookup(uint64_t key); }; };")
+        .unwrap();
     let enclave = rt
         .create_enclave(
             &spec,
@@ -90,10 +81,19 @@ fn scan_run(
                 machine.prefetch(enclave.id(), page..page + 1).unwrap();
             }
         }
-        rt.ecall(&tcx, enclave.id(), "ecall_lookup", &table, &mut CallData::new(key))
-            .unwrap();
+        rt.ecall(
+            &tcx,
+            enclave.id(),
+            "ecall_lookup",
+            &table,
+            &mut CallData::new(key),
+        )
+        .unwrap();
     }
-    (machine.clock().now() - before, page_ins.load(Ordering::SeqCst))
+    (
+        machine.clock().now() - before,
+        page_ins.load(Ordering::SeqCst),
+    )
 }
 
 fn main() {

@@ -25,9 +25,13 @@ fn app() -> App {
     )
     .unwrap();
     let enclave = rt.create_enclave(&spec, &EnclaveConfig::default()).unwrap();
-    enclave.register_ecall("ecall_empty", |_, _| Ok(())).unwrap();
     enclave
-        .register_ecall("ecall_io", |ctx, _| ctx.ocall("ocall_empty", &mut CallData::default()))
+        .register_ecall("ecall_empty", |_, _| Ok(()))
+        .unwrap();
+    enclave
+        .register_ecall("ecall_io", |ctx, _| {
+            ctx.ocall("ocall_empty", &mut CallData::default())
+        })
         .unwrap();
     let mut builder = OcallTableBuilder::new(enclave.spec());
     builder.register("ocall_empty", |_, _| Ok(())).unwrap();
@@ -47,8 +51,14 @@ fn bench_dispatch(c: &mut Criterion) {
     let tcx = ThreadCtx::main();
     group.bench_function("sdk_ecall_dispatch", |b| {
         b.iter(|| {
-            a.rt.ecall(&tcx, a.eid, "ecall_empty", &a.table, &mut CallData::default())
-                .unwrap()
+            a.rt.ecall(
+                &tcx,
+                a.eid,
+                "ecall_empty",
+                &a.table,
+                &mut CallData::default(),
+            )
+            .unwrap()
         })
     });
 
@@ -74,7 +84,11 @@ fn bench_dispatch(c: &mut Criterion) {
         b.iter(|| {
             let machine = a.rt.machine();
             machine
-                .execute_in_enclave(a.eid, sgx_sim::ThreadToken::MAIN, Nanos::from_micros(45_377))
+                .execute_in_enclave(
+                    a.eid,
+                    sgx_sim::ThreadToken::MAIN,
+                    Nanos::from_micros(45_377),
+                )
                 .unwrap()
         })
     });
@@ -126,9 +140,7 @@ fn bench_analyzer(c: &mut Criterion) {
         t += 10_000;
     }
     group.bench_function("full_analysis_50k_events", |b| {
-        b.iter(|| {
-            Analyzer::new(&trace, HwProfile::Unpatched.cost_model()).analyze()
-        })
+        b.iter(|| Analyzer::new(&trace, HwProfile::Unpatched.cost_model()).analyze())
     });
     group.finish();
 }

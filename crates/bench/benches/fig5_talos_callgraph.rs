@@ -61,13 +61,20 @@ fn main() {
 
     // Interface-tax breakdown: how much traced time the error-queue
     // ecalls (the paper's main complaint) and the socket ocalls eat.
-    let err_share: f64 = ["ecall_SSL_get_error", "ecall_ERR_peek_error", "ecall_ERR_clear_error"]
-        .iter()
-        .filter_map(|n| report.time_share(n))
-        .sum();
+    let err_share: f64 = [
+        "ecall_SSL_get_error",
+        "ecall_ERR_peek_error",
+        "ecall_ERR_clear_error",
+    ]
+    .iter()
+    .filter_map(|n| report.time_share(n))
+    .sum();
     row(
         "error-queue ecalls' share of ecall time",
-        format!("{:.1}% across 12k+ pure-overhead transitions", err_share * 100.0),
+        format!(
+            "{:.1}% across 12k+ pure-overhead transitions",
+            err_share * 100.0
+        ),
     );
     let io_share: f64 = ["enclave_ocall_read", "enclave_ocall_write"]
         .iter()
@@ -86,7 +93,15 @@ fn main() {
         let _ = std::fs::create_dir_all(parent);
     }
     std::fs::write(out, &dot).expect("write DOT file");
-    row("call graph", format!("{} nodes, {} edges -> {}", graph.nodes.len(), graph.edges.len(), out.display()));
+    row(
+        "call graph",
+        format!(
+            "{} nodes, {} edges -> {}",
+            graph.nodes.len(),
+            graph.edges.len(),
+            out.display()
+        ),
+    );
 
     // The paper's headline edges: error-queue traffic and socket I/O.
     println!("\n  main call-graph edges (direct parents, by count):");

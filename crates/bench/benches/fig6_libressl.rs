@@ -97,10 +97,7 @@ fn main() {
     );
     row(
         "ocall events",
-        format!(
-            "{} (paper: 110,511 over 30s)",
-            report.totals.ocall_events
-        ),
+        format!("{} (paper: 110,511 over 30s)", report.totals.ocall_events),
     );
     let sisc = report
         .detections

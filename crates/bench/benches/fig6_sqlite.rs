@@ -23,7 +23,10 @@ fn throughput(profile: HwProfile, variant: Variant, inserts: u64) -> f64 {
 }
 
 fn main() {
-    banner("E4", "SQLite inserts: native / enclave / optimised (Figure 6)");
+    banner(
+        "E4",
+        "SQLite inserts: native / enclave / optimised (Figure 6)",
+    );
     let inserts = scaled_count(10_000, 1_000);
 
     println!(

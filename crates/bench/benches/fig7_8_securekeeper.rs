@@ -15,7 +15,10 @@ use workloads::securekeeper::{run, working_set_probe, SecureKeeperConfig};
 use workloads::Harness;
 
 fn main() {
-    banner("E6", "SecureKeeper proxy under full load (Figures 7+8, §5.2.4)");
+    banner(
+        "E6",
+        "SecureKeeper proxy under full load (Figures 7+8, §5.2.4)",
+    );
     let harness = Harness::new(HwProfile::Unpatched);
     let logger = Logger::attach(harness.runtime(), LoggerConfig::default());
     let config = SecureKeeperConfig {

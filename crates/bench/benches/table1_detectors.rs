@@ -8,11 +8,7 @@ use sgx_sim::MachineParams;
 use sim_core::HwProfile;
 use workloads::{antipatterns, Harness};
 
-fn detect(
-    harness: &Harness,
-    logger: &Logger,
-    expect: Problem,
-) -> Vec<String> {
+fn detect(harness: &Harness, logger: &Logger, expect: Problem) -> Vec<String> {
     let trace = logger.finish();
     let report = Analyzer::new(&trace, harness.profile().cost_model()).analyze();
     let mut recs: Vec<String> = report
@@ -45,25 +41,37 @@ fn main() {
         let h = Harness::new(HwProfile::Unpatched);
         let logger = Logger::attach(h.runtime(), LoggerConfig::default());
         antipatterns::sisc(&h, n).unwrap();
-        print("SISC (tight identical ecall loop)", &detect(&h, &logger, Problem::Sisc));
+        print(
+            "SISC (tight identical ecall loop)",
+            &detect(&h, &logger, Problem::Sisc),
+        );
     }
     {
         let h = Harness::new(HwProfile::Unpatched);
         let logger = Logger::attach(h.runtime(), LoggerConfig::default());
         antipatterns::sdsc(&h, n).unwrap();
-        print("SDSC (alternating seek/write ecalls)", &detect(&h, &logger, Problem::Sdsc));
+        print(
+            "SDSC (alternating seek/write ecalls)",
+            &detect(&h, &logger, Problem::Sdsc),
+        );
     }
     {
         let h = Harness::new(HwProfile::Unpatched);
         let logger = Logger::attach(h.runtime(), LoggerConfig::default());
         antipatterns::snc(&h, n).unwrap();
-        print("SNC (alloc ocall at ecall start)", &detect(&h, &logger, Problem::Snc));
+        print(
+            "SNC (alloc ocall at ecall start)",
+            &detect(&h, &logger, Problem::Snc),
+        );
     }
     {
         let h = Harness::new(HwProfile::Unpatched);
         let logger = Logger::attach(h.runtime(), LoggerConfig::default());
         antipatterns::ssc(&h, n).unwrap();
-        print("SSC (contended short critical section)", &detect(&h, &logger, Problem::Ssc));
+        print(
+            "SSC (contended short critical section)",
+            &detect(&h, &logger, Problem::Ssc),
+        );
     }
     {
         let h = Harness::with_machine_params(
@@ -75,7 +83,10 @@ fn main() {
         );
         let logger = Logger::attach(h.runtime(), LoggerConfig::default());
         antipatterns::paging(&h, 4).unwrap();
-        print("Paging (working set > EPC)", &detect(&h, &logger, Problem::Paging));
+        print(
+            "Paging (working set > EPC)",
+            &detect(&h, &logger, Problem::Paging),
+        );
     }
     {
         let h = Harness::new(HwProfile::Unpatched);

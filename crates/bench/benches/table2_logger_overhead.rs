@@ -34,7 +34,9 @@ fn setup() -> Bench {
     )
     .unwrap();
     let enclave = rt.create_enclave(&spec, &EnclaveConfig::default()).unwrap();
-    enclave.register_ecall("ecall_empty", |_, _| Ok(())).unwrap();
+    enclave
+        .register_ecall("ecall_empty", |_, _| Ok(()))
+        .unwrap();
     enclave
         .register_ecall("ecall_with_ocall", |ctx, _| {
             ctx.ocall("ocall_empty", &mut CallData::default())
@@ -85,12 +87,13 @@ fn main() {
     // (1) and (2): with logging.
     let logged = setup();
     let _logger = Logger::attach(&logged.rt, LoggerConfig::default());
-    let logged_single = timed_real("experiment 1+2", || {
-        mean_call(&logged, "ecall_empty", 0, n)
-    });
+    let logged_single = timed_real("experiment 1+2", || mean_call(&logged, "ecall_empty", 0, n));
     let logged_ocall = mean_call(&logged, "ecall_with_ocall", 0, n);
 
-    println!("  {:<26} {:>14} {:>18}", "", "(1) single ecall", "(2) ecall+ocall");
+    println!(
+        "  {:<26} {:>14} {:>18}",
+        "", "(1) single ecall", "(2) ecall+ocall"
+    );
     println!(
         "  {:<26} {:>14} {:>18}",
         "native",

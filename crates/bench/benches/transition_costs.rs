@@ -16,18 +16,32 @@ fn measure_roundtrip(profile: HwProfile, iterations: u64) -> (Nanos, Nanos) {
     let rt = Runtime::new(machine);
     let spec = sgx_edl::parse("enclave { trusted { public void ecall_empty(); }; };").unwrap();
     let enclave = rt.create_enclave(&spec, &EnclaveConfig::default()).unwrap();
-    enclave.register_ecall("ecall_empty", |_, _| Ok(())).unwrap();
+    enclave
+        .register_ecall("ecall_empty", |_, _| Ok(()))
+        .unwrap();
     let table = Arc::new(OcallTableBuilder::new(enclave.spec()).build().unwrap());
     let tcx = ThreadCtx::main();
     // Warm up (the paper uses warm caches).
     for _ in 0..100 {
-        rt.ecall(&tcx, enclave.id(), "ecall_empty", &table, &mut CallData::default())
-            .unwrap();
+        rt.ecall(
+            &tcx,
+            enclave.id(),
+            "ecall_empty",
+            &table,
+            &mut CallData::default(),
+        )
+        .unwrap();
     }
     let before = rt.machine().clock().now();
     for _ in 0..iterations {
-        rt.ecall(&tcx, enclave.id(), "ecall_empty", &table, &mut CallData::default())
-            .unwrap();
+        rt.ecall(
+            &tcx,
+            enclave.id(),
+            "ecall_empty",
+            &table,
+            &mut CallData::default(),
+        )
+        .unwrap();
     }
     let per_call = (rt.machine().clock().now() - before) / iterations;
     let raw = rt.machine().cost_model().transition_roundtrip();

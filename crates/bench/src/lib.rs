@@ -45,7 +45,10 @@ pub fn row(label: &str, value: impl std::fmt::Display) {
 pub fn timed_real<T>(label: &str, f: impl FnOnce() -> T) -> T {
     let start = Instant::now();
     let value = f();
-    println!("  [{label}: {:.1}s real time]", start.elapsed().as_secs_f64());
+    println!(
+        "  [{label}: {:.1}s real time]",
+        start.elapsed().as_secs_f64()
+    );
     value
 }
 

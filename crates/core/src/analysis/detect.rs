@@ -109,9 +109,9 @@ impl fmt::Display for Recommendation {
             Recommendation::DuplicateInsideEnclave => {
                 f.write_str("duplicate the functionality inside the enclave (grows TCB)")
             }
-            Recommendation::HybridSynchronisation => f.write_str(
-                "use hybrid spin-then-sleep locks or lock-free data structures",
-            ),
+            Recommendation::HybridSynchronisation => {
+                f.write_str("use hybrid spin-then-sleep locks or lock-free data structures")
+            }
             Recommendation::MitigatePaging => f.write_str(
                 "reduce enclave memory usage, pre-load pages before ecalls, or manage memory \
                  inside the enclave instead of relying on SGX paging",
@@ -313,10 +313,10 @@ fn detect_reorder(analyzer: &Analyzer<'_>, instances: &Instances) -> Vec<Detecti
             continue;
         }
         let total = acc.total as f64;
-        let score_start =
-            acc.start_10 as f64 / total * w.reorder_alpha + acc.start_20 as f64 / total * w.reorder_beta;
-        let score_end =
-            acc.end_10 as f64 / total * w.reorder_alpha + acc.end_20 as f64 / total * w.reorder_beta;
+        let score_start = acc.start_10 as f64 / total * w.reorder_alpha
+            + acc.start_20 as f64 / total * w.reorder_beta;
+        let score_end = acc.end_10 as f64 / total * w.reorder_alpha
+            + acc.end_20 as f64 / total * w.reorder_beta;
         let name = symbol_name(analyzer.trace(), call);
         if score_start >= w.reorder_gamma {
             out.push(Detection {
@@ -563,7 +563,11 @@ mod tests {
             t += 5_200;
         }
         let a = analyzer(&trace);
-        let report_detections = detect_all(&a, &a.instances(), &super::super::stats::per_call_stats(&a.instances()));
+        let report_detections = detect_all(
+            &a,
+            &a.instances(),
+            &super::super::stats::per_call_stats(&a.instances()),
+        );
         let batch = report_detections
             .iter()
             .find(|d| matches!(d.recommendation, Recommendation::BatchCalls { .. }));
@@ -703,7 +707,12 @@ mod tests {
     #[test]
     fn ssc_detected_for_short_sleeps() {
         let mut trace = TraceDb::default();
-        symbol(&mut trace, false, 0, "sgx_thread_wait_untrusted_event_ocall");
+        symbol(
+            &mut trace,
+            false,
+            0,
+            "sgx_thread_wait_untrusted_event_ocall",
+        );
         let mut t = 0;
         for i in 0..20 {
             let row = trace.ocalls.insert(OcallRow {

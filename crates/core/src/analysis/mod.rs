@@ -10,6 +10,7 @@
 pub mod aex;
 pub mod detect;
 pub mod graph;
+pub mod lint;
 pub mod parents;
 pub mod report;
 pub mod security;
@@ -99,6 +100,7 @@ pub struct Analyzer<'t> {
     cost: CostModel,
     weights: Weights,
     edl: Option<sgx_edl::InterfaceSpec>,
+    lint: Vec<sgx_edl::Diagnostic>,
 }
 
 impl<'t> Analyzer<'t> {
@@ -112,6 +114,7 @@ impl<'t> Analyzer<'t> {
             cost,
             weights: Weights::default(),
             edl: None,
+            lint: Vec::new(),
         }
     }
 
@@ -125,6 +128,14 @@ impl<'t> Analyzer<'t> {
     /// declared `allow()` lists against the observed calls (§4.3.2).
     pub fn with_edl(mut self, spec: sgx_edl::InterfaceSpec) -> Self {
         self.edl = Some(spec);
+        self
+    }
+
+    /// Supplies pre-computed EDL lint diagnostics (see
+    /// [`lint::lint_interface`]) so the report can show them alongside the
+    /// trace-derived findings.
+    pub fn with_lint(mut self, diagnostics: Vec<sgx_edl::Diagnostic>) -> Self {
+        self.lint = diagnostics;
         self
     }
 
@@ -155,7 +166,9 @@ impl<'t> Analyzer<'t> {
         let mut detections = detect::detect_all(self, &instances, &call_stats);
         detections.extend(security::analyze(self, &instances));
         detections.sort_by_key(|d| (d.priority, d.target));
-        Report::assemble(self.trace, call_stats, detections)
+        let mut report = Report::assemble(self.trace, call_stats, detections);
+        report.lint = self.lint.clone();
+        report
     }
 
     /// Builds the call graph (Figure 5).

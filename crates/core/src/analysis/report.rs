@@ -63,6 +63,9 @@ pub struct Report {
     /// Thread wake dependencies, sorted by descending count — dense edges
     /// indicate high-contention synchronisation.
     pub wake_edges: Vec<WakeEdge>,
+    /// EDL lint diagnostics (populated when the analyzer was given an EDL
+    /// file; see `analysis::lint`).
+    pub lint: Vec<sgx_edl::Diagnostic>,
 }
 
 impl Report {
@@ -115,6 +118,7 @@ impl Report {
             detections,
             totals,
             wake_edges,
+            lint: Vec::new(),
         }
     }
 
@@ -221,6 +225,15 @@ impl Report {
         }
         for d in &self.detections {
             out.push_str(&format!("{d}\n"));
+        }
+        if !self.lint.is_empty() {
+            out.push_str("\n-- edl lint findings (run `sgxperf lint` for source excerpts) --\n");
+            for d in &self.lint {
+                out.push_str(&format!(
+                    "{}[{}] {}:{}: {}\n",
+                    d.severity, d.code, d.span.start.line, d.span.start.col, d.message
+                ));
+            }
         }
         out
     }
@@ -344,7 +357,11 @@ mod tests {
         let report = Analyzer::new(&trace, HwProfile::Unpatched.cost_model()).analyze();
         assert_eq!(report.wake_edges.len(), 2);
         assert_eq!(
-            (report.wake_edges[0].waker, report.wake_edges[0].sleeper, report.wake_edges[0].count),
+            (
+                report.wake_edges[0].waker,
+                report.wake_edges[0].sleeper,
+                report.wake_edges[0].count
+            ),
             (0, 2, 3)
         );
         assert!(report.render().contains("t0 -> t2: 3 wake(s)"));

@@ -80,7 +80,10 @@ fn allow_list_minimisation(analyzer: &Analyzer<'_>, instances: &Instances) -> Ve
         }
         if let Some((CallKind::Ocall, row)) = i.direct_parent {
             if let Some(parent) = instances.by_row(CallKind::Ocall, row) {
-                observed.entry(parent.call).or_default().insert(i.call.index);
+                observed
+                    .entry(parent.call)
+                    .or_default()
+                    .insert(i.call.index);
             }
         }
     }
@@ -234,8 +237,10 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         // `front` ran top-level: not a candidate.
-        assert!(!findings.iter().any(|d| d.name == "front"
-            && matches!(d.recommendation, Recommendation::MakePrivate { .. })));
+        assert!(!findings
+            .iter()
+            .any(|d| d.name == "front"
+                && matches!(d.recommendation, Recommendation::MakePrivate { .. })));
     }
 
     #[test]
@@ -267,7 +272,12 @@ mod tests {
         let findings = analyze(&a, &a.instances());
         let restrict = findings
             .iter()
-            .find(|d| matches!(&d.recommendation, Recommendation::RestrictAllowedEcalls { .. }))
+            .find(|d| {
+                matches!(
+                    &d.recommendation,
+                    Recommendation::RestrictAllowedEcalls { .. }
+                )
+            })
             .expect("restrict finding");
         match &restrict.recommendation {
             Recommendation::RestrictAllowedEcalls { remove } => {

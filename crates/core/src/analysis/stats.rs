@@ -152,11 +152,7 @@ impl Histogram {
         }
         // Re-bucket into at most `rows` groups.
         let group = self.bins.len().div_ceil(rows);
-        let grouped: Vec<u64> = self
-            .bins
-            .chunks(group)
-            .map(|c| c.iter().sum())
-            .collect();
+        let grouped: Vec<u64> = self.bins.chunks(group).map(|c| c.iter().sum()).collect();
         let max = grouped.iter().copied().max().unwrap_or(1).max(1);
         let mut out = String::new();
         for (i, count) in grouped.iter().enumerate() {

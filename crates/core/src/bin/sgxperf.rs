@@ -4,21 +4,31 @@
 //!
 //! ```text
 //! sgxperf report  <trace.evdb> [--profile unpatched|spectre|l1tf] [--edl <file.edl>]
+//! sgxperf lint    <file.edl> [--trace <trace.evdb>] [--deny <code,...>] [--max-public N] [--large-copy BYTES]
 //! sgxperf dot     <trace.evdb> [-o <out.dot>]
 //! sgxperf hist    <trace.evdb> <call-name> [--bins N]
 //! sgxperf scatter <trace.evdb> <call-name>
 //! sgxperf info    <trace.evdb>
 //! ```
+//!
+//! `lint` runs the static interface analyzer (EDL-W001...) and renders
+//! rustc-style diagnostics. With `--trace`, findings are cross-checked
+//! against the recorded events: exercised `user_check` pointers escalate
+//! to errors and never-called public ecalls are reported (EDL-W009).
+//! `--deny` makes the listed codes (or `all`) fail the run with exit
+//! code 1 — the CI-gate mode.
 
 use std::process::ExitCode;
 
+use sgx_edl::lint::LintConfig;
+use sgx_perf::analysis::lint::lint_interface;
 use sgx_perf::analysis::stats::{scatter, scatter_csv, Histogram};
 use sgx_perf::{Analyzer, TraceDb};
 use sim_core::HwProfile;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  sgxperf report  <trace.evdb> [--profile unpatched|spectre|l1tf] [--edl <file.edl>]\n  sgxperf dot     <trace.evdb> [-o <out.dot>]\n  sgxperf hist    <trace.evdb> <call-name> [--bins N]\n  sgxperf scatter <trace.evdb> <call-name>\n  sgxperf info    <trace.evdb>"
+        "usage:\n  sgxperf report  <trace.evdb> [--profile unpatched|spectre|l1tf] [--edl <file.edl>]\n  sgxperf lint    <file.edl> [--trace <trace.evdb>] [--deny <code,...>] [--max-public N] [--large-copy BYTES]\n  sgxperf dot     <trace.evdb> [-o <out.dot>]\n  sgxperf hist    <trace.evdb> <call-name> [--bins N]\n  sgxperf scatter <trace.evdb> <call-name>\n  sgxperf info    <trace.evdb>"
     );
     ExitCode::from(2)
 }
@@ -32,10 +42,7 @@ fn parse_profile(s: &str) -> Option<HwProfile> {
     }
 }
 
-fn find_call(
-    analyzer: &Analyzer<'_>,
-    name: &str,
-) -> Option<sgx_perf::CallRef> {
+fn find_call(analyzer: &Analyzer<'_>, name: &str) -> Option<sgx_perf::CallRef> {
     let report = analyzer.analyze();
     report
         .call_names
@@ -44,14 +51,89 @@ fn find_call(
         .map(|i| report.call_stats[i].0)
 }
 
-fn run() -> Result<(), String> {
+/// `sgxperf lint` — the EDL file replaces the trace as the primary input,
+/// so it is dispatched before the shared trace-loading path.
+///
+/// Exit status: 1 when any produced diagnostic's code is in the `--deny`
+/// set (`--deny all` denies every code), 0 otherwise.
+fn run_lint(rest: &[String]) -> Result<ExitCode, String> {
+    let (path, opts) = rest.split_first().ok_or("missing EDL file")?;
+    let source = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let file = sgx_edl::parse_file(&source).map_err(|e| format!("{path}: {e}"))?;
+
+    let mut config = LintConfig::default();
+    let mut trace: Option<TraceDb> = None;
+    let mut deny: Vec<String> = Vec::new();
+    let mut it = opts.iter();
+    while let Some(opt) = it.next() {
+        match opt.as_str() {
+            "--trace" => {
+                let v = it.next().ok_or("--trace needs a file")?;
+                trace = Some(TraceDb::load(v).map_err(|e| format!("cannot load {v}: {e}"))?);
+            }
+            "--deny" => {
+                let v = it.next().ok_or("--deny needs a code list")?;
+                deny.extend(v.split(',').map(|c| c.trim().to_string()));
+            }
+            "--max-public" => {
+                config.max_public_ecalls = it
+                    .next()
+                    .ok_or("--max-public needs a number")?
+                    .parse()
+                    .map_err(|e| format!("--max-public: {e}"))?;
+            }
+            "--large-copy" => {
+                config.large_copy_bytes = it
+                    .next()
+                    .ok_or("--large-copy needs a byte count")?
+                    .parse()
+                    .map_err(|e| format!("--large-copy: {e}"))?;
+            }
+            other => return Err(format!("unknown lint option `{other}`")),
+        }
+    }
+
+    let diags = lint_interface(&file, &config, trace.as_ref());
+    for d in &diags {
+        println!("{}", d.render(&source, path));
+    }
+    let denied: Vec<&str> = diags
+        .iter()
+        .map(|d| d.code)
+        .filter(|c| deny.iter().any(|d| d == c || d == "all"))
+        .collect();
+    let errors = diags
+        .iter()
+        .filter(|d| d.severity == sgx_edl::Severity::Error)
+        .count();
+    let warnings = diags
+        .iter()
+        .filter(|d| d.severity == sgx_edl::Severity::Warning)
+        .count();
+    println!(
+        "{path}: {} diagnostic(s) ({errors} error(s), {warnings} warning(s))",
+        diags.len()
+    );
+    if denied.is_empty() {
+        Ok(ExitCode::SUCCESS)
+    } else {
+        eprintln!("sgxperf: denied lint(s) present: {}", denied.join(", "));
+        Ok(ExitCode::FAILURE)
+    }
+}
+
+fn run() -> Result<ExitCode, String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (cmd, rest) = args.split_first().ok_or("missing command")?;
+    if cmd == "lint" {
+        return run_lint(rest);
+    }
     let (path, opts) = rest.split_first().ok_or("missing trace file")?;
     let trace = TraceDb::load(path).map_err(|e| format!("cannot load {path}: {e}"))?;
 
     let mut profile = HwProfile::Unpatched;
     let mut edl: Option<sgx_edl::InterfaceSpec> = None;
+    let mut edl_lint: Vec<sgx_edl::Diagnostic> = Vec::new();
     let mut out: Option<String> = None;
     let mut bins = 100usize;
     let mut positional = Vec::new();
@@ -66,7 +148,12 @@ fn run() -> Result<(), String> {
                 let v = it.next().ok_or("--edl needs a file")?;
                 let src =
                     std::fs::read_to_string(v).map_err(|e| format!("cannot read {v}: {e}"))?;
-                edl = Some(sgx_edl::parse(&src).map_err(|e| format!("{v}: {e}"))?);
+                let file = sgx_edl::parse_file(&src).map_err(|e| format!("{v}: {e}"))?;
+                edl_lint = lint_interface(&file, &LintConfig::default(), Some(&trace));
+                edl = Some(
+                    sgx_edl::spec::InterfaceSpec::from_ast(&file)
+                        .map_err(|e| format!("{v}: {e}"))?,
+                );
             }
             "-o" => out = Some(it.next().ok_or("-o needs a file")?.clone()),
             "--bins" => {
@@ -82,7 +169,7 @@ fn run() -> Result<(), String> {
 
     let mut analyzer = Analyzer::new(&trace, profile.cost_model());
     if let Some(spec) = edl {
-        analyzer = analyzer.with_edl(spec);
+        analyzer = analyzer.with_edl(spec).with_lint(edl_lint);
     }
 
     match cmd.as_str() {
@@ -135,7 +222,7 @@ fn run() -> Result<(), String> {
         }
         other => return Err(format!("unknown command `{other}`")),
     }
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }
 
 fn main() -> ExitCode {
@@ -143,7 +230,7 @@ fn main() -> ExitCode {
         return usage();
     }
     match run() {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(msg) => {
             eprintln!("sgxperf: {msg}");
             ExitCode::FAILURE

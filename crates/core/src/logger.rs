@@ -17,9 +17,9 @@ use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Weak};
 
-use parking_lot::Mutex;
 use sgx_sdk::{CallData, EcallDispatcher, OcallTable, Runtime, SdkResult, ThreadCtx, Urts};
 use sgx_sim::{AexEvent, DriverEvent, EnclaveId, Machine, PagingDirection};
+use sim_core::sync::Mutex;
 use sim_core::Nanos;
 
 use crate::events::{
@@ -337,14 +337,13 @@ impl Logger {
         let stub = Arc::new(table.wrap(|index, name, orig| {
             let logger = Weak::clone(&logger);
             let name = name.to_string();
-            Arc::new(move |host, data: &mut CallData| {
-                match logger.upgrade() {
-                    Some(l) if l.is_enabled() => l.traced_ocall(eid, index, &name, &orig, host, data),
-                    _ => orig(host, data),
-                }
+            Arc::new(move |host, data: &mut CallData| match logger.upgrade() {
+                Some(l) if l.is_enabled() => l.traced_ocall(eid, index, &name, &orig, host, data),
+                _ => orig(host, data),
             })
         }));
-        st.stub_cache.push((Arc::downgrade(table), Arc::clone(&stub)));
+        st.stub_cache
+            .push((Arc::downgrade(table), Arc::clone(&stub)));
         stub
     }
 

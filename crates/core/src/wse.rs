@@ -15,8 +15,8 @@
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
 use sgx_sim::{EnclaveId, Machine, MmuFault, SimError};
+use sim_core::sync::Mutex;
 
 /// A working-set measurement between two marks.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -180,10 +180,20 @@ mod tests {
         let heap = machine.heap_range(eid).unwrap();
         // Touch 5 heap pages, two of them twice.
         machine
-            .touch(eid, ThreadToken::MAIN, heap.start..heap.start + 5, AccessKind::Write)
+            .touch(
+                eid,
+                ThreadToken::MAIN,
+                heap.start..heap.start + 5,
+                AccessKind::Write,
+            )
             .unwrap();
         machine
-            .touch(eid, ThreadToken::MAIN, heap.start..heap.start + 2, AccessKind::Read)
+            .touch(
+                eid,
+                ThreadToken::MAIN,
+                heap.start..heap.start + 2,
+                AccessKind::Read,
+            )
             .unwrap();
         let ws = wse.mark().unwrap();
         assert_eq!(ws.pages, 5);
@@ -196,12 +206,22 @@ mod tests {
         let wse = WorkingSetEstimator::attach(&machine, eid).unwrap();
         let heap = machine.heap_range(eid).unwrap();
         machine
-            .touch(eid, ThreadToken::MAIN, heap.start..heap.start + 3, AccessKind::Write)
+            .touch(
+                eid,
+                ThreadToken::MAIN,
+                heap.start..heap.start + 3,
+                AccessKind::Write,
+            )
             .unwrap();
         let first = wse.mark().unwrap();
         // Touch 2 pages in the second interval: 1 old, 1 new.
         machine
-            .touch(eid, ThreadToken::MAIN, heap.start + 2..heap.start + 4, AccessKind::Write)
+            .touch(
+                eid,
+                ThreadToken::MAIN,
+                heap.start + 2..heap.start + 4,
+                AccessKind::Write,
+            )
             .unwrap();
         let second = wse.mark().unwrap();
         assert_eq!(first.pages, 3);
@@ -217,7 +237,12 @@ mod tests {
         // pages must not fault.
         let heap = machine.heap_range(eid).unwrap();
         let stats = machine
-            .touch(eid, ThreadToken::MAIN, heap.start..heap.start + 1, AccessKind::Write)
+            .touch(
+                eid,
+                ThreadToken::MAIN,
+                heap.start..heap.start + 1,
+                AccessKind::Write,
+            )
             .unwrap();
         assert_eq!(stats.mmu_faults, 0);
     }
@@ -229,7 +254,12 @@ mod tests {
         assert_eq!(wse.touched_so_far(), 0);
         let heap = machine.heap_range(eid).unwrap();
         machine
-            .touch(eid, ThreadToken::MAIN, heap.start..heap.start + 2, AccessKind::Write)
+            .touch(
+                eid,
+                ThreadToken::MAIN,
+                heap.start..heap.start + 2,
+                AccessKind::Write,
+            )
             .unwrap();
         assert_eq!(wse.touched_so_far(), 2);
     }

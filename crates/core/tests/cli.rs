@@ -36,8 +36,14 @@ fn record_trace(tag: &str) -> std::path::PathBuf {
     let logger = Logger::attach(&rt, LoggerConfig::default());
     let tcx = ThreadCtx::main();
     for i in 0..64 {
-        rt.ecall(&tcx, enclave.id(), "ecall_step", &table, &mut CallData::new(i))
-            .unwrap();
+        rt.ecall(
+            &tcx,
+            enclave.id(),
+            "ecall_step",
+            &table,
+            &mut CallData::new(i),
+        )
+        .unwrap();
     }
     let dir = std::env::temp_dir().join("sgxperf-cli-test");
     std::fs::create_dir_all(&dir).unwrap();
@@ -66,7 +72,10 @@ fn report_command_prints_findings() {
     assert!(stdout.contains("sgx-perf analysis report"), "{stdout}");
     assert!(stdout.contains("ecall_step"), "{stdout}");
     // The 1 us ecall in a tight loop must be flagged.
-    assert!(stdout.contains("SISC") || stdout.contains("batch"), "{stdout}");
+    assert!(
+        stdout.contains("SISC") || stdout.contains("batch"),
+        "{stdout}"
+    );
 }
 
 #[test]
@@ -102,6 +111,125 @@ fn info_command_counts_tables() {
     assert!(ok);
     assert!(stdout.contains("ecalls: 64"), "{stdout}");
     assert!(stdout.contains("ocalls: 64"), "{stdout}");
+}
+
+/// EDL with one exercised `user_check` ecall and one dead public ecall —
+/// the cross-check scenario. Returned paths: (edl file, trace file).
+fn record_lint_scenario(tag: &str) -> (std::path::PathBuf, std::path::PathBuf) {
+    const EDL: &str = "enclave {
+    trusted {
+        public void ecall_step([user_check] void* p);
+        public void ecall_never();
+    };
+    untrusted {
+        void ocall_note(uint64_t i);
+    };
+};\n";
+    let machine = Arc::new(Machine::new(Clock::new(), HwProfile::Unpatched));
+    let rt = Runtime::new(machine);
+    let spec = sgx_edl::parse(EDL).unwrap();
+    let enclave = rt.create_enclave(&spec, &EnclaveConfig::default()).unwrap();
+    enclave
+        .register_ecall("ecall_step", |ctx, data| {
+            ctx.compute(Nanos::from_micros(1))?;
+            ctx.ocall("ocall_note", &mut CallData::new(data.scalar))
+        })
+        .unwrap();
+    let mut builder = OcallTableBuilder::new(enclave.spec());
+    builder
+        .register("ocall_note", |h, _| {
+            h.compute(Nanos::from_nanos(300));
+            Ok(())
+        })
+        .unwrap();
+    let table = Arc::new(builder.build().unwrap());
+    let logger = Logger::attach(&rt, LoggerConfig::default());
+    let tcx = ThreadCtx::main();
+    for i in 0..16 {
+        rt.ecall(
+            &tcx,
+            enclave.id(),
+            "ecall_step",
+            &table,
+            &mut CallData::new(i),
+        )
+        .unwrap();
+    }
+    let dir = std::env::temp_dir().join("sgxperf-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let edl_path = dir.join(format!("{tag}.edl"));
+    std::fs::write(&edl_path, EDL).unwrap();
+    let trace_path = dir.join(format!("{tag}.evdb"));
+    logger.finish().save(&trace_path).unwrap();
+    (edl_path, trace_path)
+}
+
+#[test]
+fn lint_command_renders_rustc_style_diagnostics() {
+    let (edl, _) = record_lint_scenario("lint-static");
+    let (stdout, _, ok) = sgxperf(&["lint", edl.to_str().unwrap()]);
+    assert!(ok);
+    // Static pass: user_check is a warning, with excerpt and carets.
+    assert!(stdout.contains("warning[EDL-W001]"), "{stdout}");
+    assert!(stdout.contains("--> "), "{stdout}");
+    assert!(stdout.contains("^^^^^^^^^^"), "{stdout}");
+    assert!(stdout.contains("= help:"), "{stdout}");
+    assert!(stdout.contains("diagnostic(s)"), "{stdout}");
+    // No trace: the dead public ecall cannot be detected.
+    assert!(!stdout.contains("EDL-W009"), "{stdout}");
+}
+
+#[test]
+fn lint_trace_cross_check_escalates_and_finds_dead_ecalls() {
+    let (edl, trace) = record_lint_scenario("lint-trace");
+    let (stdout, _, ok) = sgxperf(&[
+        "lint",
+        edl.to_str().unwrap(),
+        "--trace",
+        trace.to_str().unwrap(),
+    ]);
+    assert!(ok);
+    // The exercised user_check pointer is now an error...
+    assert!(stdout.contains("error[EDL-W001]"), "{stdout}");
+    assert!(
+        stdout.contains("exercises `ecall_step` 16 time(s)"),
+        "{stdout}"
+    );
+    // ...and the never-called public ecall is reported.
+    assert!(stdout.contains("note[EDL-W009]"), "{stdout}");
+    assert!(stdout.contains("ecall_never"), "{stdout}");
+}
+
+#[test]
+fn lint_deny_returns_nonzero_exit() {
+    let (edl, _) = record_lint_scenario("lint-deny");
+    let (_, stderr, ok) = sgxperf(&["lint", edl.to_str().unwrap(), "--deny", "EDL-W001"]);
+    assert!(!ok);
+    assert!(
+        stderr.contains("denied lint(s) present: EDL-W001"),
+        "{stderr}"
+    );
+    // Denying a code that does not fire passes.
+    let (_, _, ok) = sgxperf(&["lint", edl.to_str().unwrap(), "--deny", "EDL-W008"]);
+    assert!(ok);
+    // `--deny all` fails on any diagnostic.
+    let (_, _, ok) = sgxperf(&["lint", edl.to_str().unwrap(), "--deny", "all"]);
+    assert!(!ok);
+}
+
+#[test]
+fn report_with_edl_includes_lint_findings() {
+    let (edl, trace) = record_lint_scenario("lint-report");
+    let (stdout, _, ok) = sgxperf(&[
+        "report",
+        trace.to_str().unwrap(),
+        "--edl",
+        edl.to_str().unwrap(),
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("edl lint findings"), "{stdout}");
+    assert!(stdout.contains("EDL-W001"), "{stdout}");
+    assert!(stdout.contains("EDL-W009"), "{stdout}");
 }
 
 #[test]

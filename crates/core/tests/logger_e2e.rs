@@ -47,7 +47,9 @@ fn app(profile: HwProfile) -> App {
         })
         .unwrap();
     enclave
-        .register_ecall("ecall_io", |ctx, _| ctx.ocall("ocall_io", &mut CallData::default()))
+        .register_ecall("ecall_io", |ctx, _| {
+            ctx.ocall("ocall_io", &mut CallData::default())
+        })
         .unwrap();
     let mut builder = OcallTableBuilder::new(enclave.spec());
     builder
@@ -68,7 +70,13 @@ fn logged_empty_ecall_costs_5572ns() {
     let tcx = ThreadCtx::main();
     let before = app.rt.machine().clock().now();
     app.rt
-        .ecall(&tcx, app.enclave.id(), "ecall_work", &app.table, &mut CallData::new(0))
+        .ecall(
+            &tcx,
+            app.enclave.id(),
+            "ecall_work",
+            &app.table,
+            &mut CallData::new(0),
+        )
         .unwrap();
     let elapsed = app.rt.machine().clock().now() - before;
     assert_eq!(elapsed, Nanos::from_nanos(5_571)); // paper: 5,572 (rounding)
@@ -88,7 +96,9 @@ fn logged_ecall_plus_ocall_costs_10699ns() {
     .unwrap();
     let enclave = rt.create_enclave(&spec, &EnclaveConfig::default()).unwrap();
     enclave
-        .register_ecall("ecall_io", |ctx, _| ctx.ocall("ocall_empty", &mut CallData::default()))
+        .register_ecall("ecall_io", |ctx, _| {
+            ctx.ocall("ocall_empty", &mut CallData::default())
+        })
         .unwrap();
     let mut builder = OcallTableBuilder::new(enclave.spec());
     builder.register("ocall_empty", |_, _| Ok(())).unwrap();
@@ -119,11 +129,23 @@ fn ocall_duration_excludes_transition_ecall_includes_it() {
     let tcx = ThreadCtx::main();
     // ecall doing 1 us of in-enclave work.
     app.rt
-        .ecall(&tcx, app.enclave.id(), "ecall_work", &app.table, &mut CallData::new(1_000))
+        .ecall(
+            &tcx,
+            app.enclave.id(),
+            "ecall_work",
+            &app.table,
+            &mut CallData::new(1_000),
+        )
         .unwrap();
     // ecall performing the 1 us ocall.
     app.rt
-        .ecall(&tcx, app.enclave.id(), "ecall_io", &app.table, &mut CallData::default())
+        .ecall(
+            &tcx,
+            app.enclave.id(),
+            "ecall_io",
+            &app.table,
+            &mut CallData::default(),
+        )
         .unwrap();
     let trace = logger.finish();
     let work = trace.ecalls.iter().next().unwrap();
@@ -142,7 +164,13 @@ fn direct_parents_are_recorded() {
     let logger = Logger::attach(&app.rt, LoggerConfig::default());
     let tcx = ThreadCtx::main();
     app.rt
-        .ecall(&tcx, app.enclave.id(), "ecall_io", &app.table, &mut CallData::default())
+        .ecall(
+            &tcx,
+            app.enclave.id(),
+            "ecall_io",
+            &app.table,
+            &mut CallData::default(),
+        )
         .unwrap();
     let trace = logger.finish();
     let ocall = trace.ocalls.iter().next().unwrap();
@@ -190,7 +218,13 @@ fn paging_events_are_traced() {
     app.rt.machine().evict_all(app.enclave.id()).unwrap();
     let tcx = ThreadCtx::main();
     app.rt
-        .ecall(&tcx, app.enclave.id(), "ecall_work", &app.table, &mut CallData::new(0))
+        .ecall(
+            &tcx,
+            app.enclave.id(),
+            "ecall_work",
+            &app.table,
+            &mut CallData::new(0),
+        )
         .unwrap();
     let trace = logger.finish();
     let ins = trace.paging.iter().filter(|p| !p.out).count();
@@ -268,7 +302,13 @@ fn symbols_are_captured_once_per_enclave() {
     let tcx = ThreadCtx::main();
     for _ in 0..3 {
         app.rt
-            .ecall(&tcx, app.enclave.id(), "ecall_work", &app.table, &mut CallData::new(0))
+            .ecall(
+                &tcx,
+                app.enclave.id(),
+                "ecall_work",
+                &app.table,
+                &mut CallData::new(0),
+            )
             .unwrap();
     }
     let trace = logger.finish();
@@ -288,7 +328,13 @@ fn disabled_logger_is_pass_through() {
     let tcx = ThreadCtx::main();
     let before = app.rt.machine().clock().now();
     app.rt
-        .ecall(&tcx, app.enclave.id(), "ecall_work", &app.table, &mut CallData::new(0))
+        .ecall(
+            &tcx,
+            app.enclave.id(),
+            "ecall_work",
+            &app.table,
+            &mut CallData::new(0),
+        )
         .unwrap();
     let elapsed = app.rt.machine().clock().now() - before;
     // Native cost, no logging overhead, nothing recorded.
@@ -303,7 +349,13 @@ fn trace_roundtrips_through_file() {
     let tcx = ThreadCtx::main();
     for i in 0..10 {
         app.rt
-            .ecall(&tcx, app.enclave.id(), "ecall_work", &app.table, &mut CallData::new(i * 100))
+            .ecall(
+                &tcx,
+                app.enclave.id(),
+                "ecall_work",
+                &app.table,
+                &mut CallData::new(i * 100),
+            )
             .unwrap();
     }
     let trace = logger.finish();
@@ -329,7 +381,13 @@ fn stub_table_created_once_per_ocall_table() {
     for _ in 0..5 {
         let before = app.rt.machine().clock().now();
         app.rt
-            .ecall(&tcx, app.enclave.id(), "ecall_io", &app.table, &mut CallData::default())
+            .ecall(
+                &tcx,
+                app.enclave.id(),
+                "ecall_io",
+                &app.table,
+                &mut CallData::default(),
+            )
             .unwrap();
         costs.push((app.rt.machine().clock().now() - before).as_nanos());
     }

@@ -50,15 +50,18 @@ fn run_plan(plan: &Plan) -> TraceDb {
     let f_ocall = Arc::clone(&fanouts);
     let mut builder = OcallTableBuilder::new(enclave.spec());
     builder
-        .register("ocall_node", move |host: &mut HostCtx<'_>, data| -> SdkResult<()> {
-            let depth = data.scalar as usize;
-            host.compute(Nanos::from_nanos(250));
-            let children = f_ocall.get(depth).copied().unwrap_or(0);
-            for _ in 0..children {
-                host.ecall("ecall_node", &mut CallData::new(depth as u64 + 1))?;
-            }
-            Ok(())
-        })
+        .register(
+            "ocall_node",
+            move |host: &mut HostCtx<'_>, data| -> SdkResult<()> {
+                let depth = data.scalar as usize;
+                host.compute(Nanos::from_nanos(250));
+                let children = f_ocall.get(depth).copied().unwrap_or(0);
+                for _ in 0..children {
+                    host.ecall("ecall_node", &mut CallData::new(depth as u64 + 1))?;
+                }
+                Ok(())
+            },
+        )
         .unwrap();
     let table = Arc::new(builder.build().unwrap());
 
@@ -66,8 +69,14 @@ fn run_plan(plan: &Plan) -> TraceDb {
     let tcx = ThreadCtx::main();
     // Three top-level roots so indirect parents exist too.
     for _ in 0..3 {
-        rt.ecall(&tcx, enclave.id(), "ecall_node", &table, &mut CallData::new(0))
-            .unwrap();
+        rt.ecall(
+            &tcx,
+            enclave.id(),
+            "ecall_node",
+            &table,
+            &mut CallData::new(0),
+        )
+        .unwrap();
     }
     logger.finish()
 }

@@ -93,7 +93,10 @@ impl<R> Table<R> {
     }
 
     /// Rows matching a predicate, in insertion order.
-    pub fn scan<'a>(&'a self, mut pred: impl FnMut(&R) -> bool + 'a) -> impl Iterator<Item = &'a R> {
+    pub fn scan<'a>(
+        &'a self,
+        mut pred: impl FnMut(&R) -> bool + 'a,
+    ) -> impl Iterator<Item = &'a R> {
         self.rows.iter().filter(move |r| pred(r))
     }
 }
@@ -202,17 +205,38 @@ mod tests {
 
     fn sample() -> Table<Row> {
         let mut t = Table::new();
-        t.insert(Row { k: 3, s: "c".into() });
-        t.insert(Row { k: 1, s: "a".into() });
-        t.insert(Row { k: 2, s: "b".into() });
+        t.insert(Row {
+            k: 3,
+            s: "c".into(),
+        });
+        t.insert(Row {
+            k: 1,
+            s: "a".into(),
+        });
+        t.insert(Row {
+            k: 2,
+            s: "b".into(),
+        });
         t
     }
 
     #[test]
     fn insert_returns_dense_ids() {
         let mut t = Table::new();
-        assert_eq!(t.insert(Row { k: 0, s: String::new() }), RowId(0));
-        assert_eq!(t.insert(Row { k: 1, s: String::new() }), RowId(1));
+        assert_eq!(
+            t.insert(Row {
+                k: 0,
+                s: String::new()
+            }),
+            RowId(0)
+        );
+        assert_eq!(
+            t.insert(Row {
+                k: 1,
+                s: String::new()
+            }),
+            RowId(1)
+        );
         assert_eq!(t.get(RowId(1)).unwrap().k, 1);
         assert_eq!(t.get(RowId(9)), None);
     }
@@ -265,8 +289,16 @@ mod tests {
 
     #[test]
     fn collect_and_extend() {
-        let mut t: Table<Row> = vec![Row { k: 1, s: "x".into() }].into_iter().collect();
-        t.extend(vec![Row { k: 2, s: "y".into() }]);
+        let mut t: Table<Row> = vec![Row {
+            k: 1,
+            s: "x".into(),
+        }]
+        .into_iter()
+        .collect();
+        t.extend(vec![Row {
+            k: 2,
+            s: "y".into(),
+        }]);
         assert_eq!(t.len(), 2);
     }
 }

@@ -1,6 +1,11 @@
 //! Abstract syntax tree for EDL files.
+//!
+//! Every node carries the [`Span`] of the source text it was parsed from,
+//! so downstream consumers — the [`crate::lint`] pass in particular — can
+//! point diagnostics at the exact declaration, parameter, attribute or
+//! `allow()` entry involved.
 
-use crate::token::Pos;
+use crate::token::Span;
 
 /// A parsed EDL file: the `trusted` and `untrusted` sections.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -24,9 +29,21 @@ pub struct FunctionDecl {
     /// as in the SDK).
     pub public: bool,
     /// `allow(...)` ecall list (untrusted section only).
-    pub allowed_ecalls: Vec<String>,
-    /// Where the declaration starts.
-    pub pos: Pos,
+    pub allowed_ecalls: Vec<AllowEntry>,
+    /// The whole declaration, `public` through `;`.
+    pub span: Span,
+    /// Just the function name.
+    pub name_span: Span,
+}
+
+/// One name inside an `allow(...)` list, with its own span so lints can
+/// underline the specific entry rather than the whole declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// The referenced ecall name.
+    pub name: String,
+    /// The identifier inside the `allow(...)` parentheses.
+    pub span: Span,
 }
 
 /// One declared parameter.
@@ -41,13 +58,23 @@ pub struct ParamDecl {
     pub pointer_depth: u8,
     /// Attributes from the leading `[...]` group.
     pub attrs: Vec<Attr>,
-    /// Where the parameter starts.
-    pub pos: Pos,
+    /// The whole parameter: attribute group through name.
+    pub span: Span,
 }
 
-/// One attribute inside `[...]`.
+/// One attribute inside `[...]`, with the span of exactly that attribute
+/// (for `size=len` the span covers all three tokens).
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub enum Attr {
+pub struct Attr {
+    /// What the attribute is.
+    pub kind: AttrKind,
+    /// The attribute's own source region.
+    pub span: Span,
+}
+
+/// The meaning of an attribute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AttrKind {
     /// `in` — copy into the callee's side before the call.
     In,
     /// `out` — copy back after the call.
@@ -74,18 +101,54 @@ pub enum SizeExpr {
 }
 
 impl ParamDecl {
+    /// Returns the attribute of the given discriminant, if present.
+    fn find(&self, pred: impl Fn(&AttrKind) -> bool) -> Option<&Attr> {
+        self.attrs.iter().find(|a| pred(&a.kind))
+    }
+
+    /// The `user_check` attribute, if present.
+    pub fn user_check_attr(&self) -> Option<&Attr> {
+        self.find(|k| matches!(k, AttrKind::UserCheck))
+    }
+
+    /// The `string` attribute, if present.
+    pub fn string_attr(&self) -> Option<&Attr> {
+        self.find(|k| matches!(k, AttrKind::String))
+    }
+
+    /// The `size=`/`count=` attribute, if present.
+    pub fn size_attr(&self) -> Option<&Attr> {
+        self.find(|k| matches!(k, AttrKind::Size(_) | AttrKind::Count(_)))
+    }
+
     /// Whether the parameter carries the `user_check` attribute.
     pub fn is_user_check(&self) -> bool {
-        self.attrs.iter().any(|a| matches!(a, Attr::UserCheck))
+        self.user_check_attr().is_some()
     }
 
     /// Whether the parameter is copied in (`in` present).
     pub fn is_in(&self) -> bool {
-        self.attrs.iter().any(|a| matches!(a, Attr::In))
+        self.find(|k| matches!(k, AttrKind::In)).is_some()
     }
 
     /// Whether the parameter is copied out (`out` present).
     pub fn is_out(&self) -> bool {
-        self.attrs.iter().any(|a| matches!(a, Attr::Out))
+        self.find(|k| matches!(k, AttrKind::Out)).is_some()
+    }
+
+    /// Whether the parameter has `string` semantics.
+    pub fn is_string(&self) -> bool {
+        self.string_attr().is_some()
+    }
+
+    /// The statically-known buffer size in bytes, when `size=`/`count=`
+    /// used a literal.
+    pub fn static_bytes(&self) -> Option<u64> {
+        self.attrs.iter().find_map(|a| match &a.kind {
+            AttrKind::Size(SizeExpr::Literal(n)) | AttrKind::Count(SizeExpr::Literal(n)) => {
+                Some(*n)
+            }
+            _ => None,
+        })
     }
 }

@@ -6,11 +6,14 @@
 //! how pointer arguments cross the boundary (`in`, `out`, `user_check`,
 //! `string`, `size=`, `count=`). This crate implements that language:
 //!
-//! * [`lex`](token::lex) — tokeniser with source positions,
+//! * [`lex`](token::lex) — tokeniser with source spans,
 //! * [`parse`] — recursive-descent parser producing an [`ast::EdlFile`],
 //! * [`InterfaceSpec`] — the validated, index-assigned interface model the
 //!   simulated SDK registers at enclave load and the sgx-perf analyzer
-//!   consumes for its security analysis (§3.6, §4.3.2).
+//!   consumes for its security analysis (§3.6, §4.3.2),
+//! * [`lint`] — a static analyzer over the AST producing span-accurate
+//!   [`Diagnostic`]s with rustc-style rendering (see the module docs for
+//!   the full lint-code table, EDL-W001…).
 //!
 //! # Examples
 //!
@@ -35,37 +38,49 @@
 
 pub mod ast;
 pub mod codegen;
+pub mod lint;
 pub mod parser;
 pub mod spec;
 pub mod token;
 
+pub use lint::{Diagnostic, LintConfig, Severity};
 pub use parser::parse_file;
 pub use spec::{EcallSpec, InterfaceBuilder, InterfaceSpec, OcallSpec, ParamSpec, PointerDir};
-pub use token::Pos;
+pub use token::{Pos, Span};
 
 use std::fmt;
 
 /// Errors produced while lexing, parsing or validating EDL.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EdlError {
-    /// Source position (1-based line and column) where the error occurred.
-    pub pos: Pos,
+    /// Source region (1-based, end-exclusive) where the error occurred.
+    /// Errors without a meaningful extent use a zero-width span.
+    pub span: Span,
     /// Human-readable description.
     pub message: String,
 }
 
 impl EdlError {
-    pub(crate) fn new(pos: Pos, message: impl Into<String>) -> EdlError {
+    pub(crate) fn new(span: impl Into<Span>, message: impl Into<String>) -> EdlError {
         EdlError {
-            pos,
+            span: span.into(),
             message: message.into(),
         }
+    }
+
+    /// Where the error starts.
+    pub fn pos(&self) -> Pos {
+        self.span.start
     }
 }
 
 impl fmt::Display for EdlError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}:{}: {}", self.pos.line, self.pos.col, self.message)
+        write!(
+            f,
+            "{}:{}: {}",
+            self.span.start.line, self.span.start.col, self.message
+        )
     }
 }
 
@@ -78,7 +93,7 @@ impl std::error::Error for EdlError {}
 ///
 /// # Errors
 ///
-/// Returns an [`EdlError`] with a source position on any lexical, syntactic
+/// Returns an [`EdlError`] with a source span on any lexical, syntactic
 /// or semantic problem (e.g. an `allow()` naming an unknown ecall).
 pub fn parse(source: &str) -> Result<InterfaceSpec, EdlError> {
     let file = parser::parse_file(source)?;

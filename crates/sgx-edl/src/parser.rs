@@ -14,9 +14,14 @@
 //!            | ("size" | "count") "=" (ident | int)
 //! type      := ("const")? ident ("unsigned"-style multiword supported)
 //! ```
+//!
+//! Every AST node records the [`Span`] of the tokens it was built from:
+//! declarations span `public` through `;`, parameters span their attribute
+//! group through the parameter name, attributes span exactly their own
+//! tokens (`size=len` covers all three).
 
-use crate::ast::{Attr, EdlFile, FunctionDecl, ParamDecl, SizeExpr};
-use crate::token::{lex, Pos, Token, TokenKind};
+use crate::ast::{AllowEntry, Attr, AttrKind, EdlFile, FunctionDecl, ParamDecl, SizeExpr};
+use crate::token::{lex, Span, Token, TokenKind};
 use crate::EdlError;
 
 /// Parses EDL source into an AST. See [`crate::parse`] for the validated
@@ -37,8 +42,8 @@ impl Parser {
         &self.tokens[self.index]
     }
 
-    fn pos(&self) -> Pos {
-        self.peek().pos
+    fn span(&self) -> Span {
+        self.peek().span
     }
 
     fn advance(&mut self) -> Token {
@@ -54,7 +59,7 @@ impl Parser {
             Ok(self.advance())
         } else {
             Err(EdlError::new(
-                self.pos(),
+                self.span(),
                 format!("expected {kind}, found {}", self.peek().kind),
             ))
         }
@@ -67,7 +72,7 @@ impl Parser {
                 Ok(())
             }
             other => Err(EdlError::new(
-                self.pos(),
+                self.span(),
                 format!("expected `{kw}`, found {other}"),
             )),
         }
@@ -81,14 +86,18 @@ impl Parser {
     }
 
     fn ident(&mut self) -> Result<String, EdlError> {
+        Ok(self.ident_spanned()?.0)
+    }
+
+    fn ident_spanned(&mut self) -> Result<(String, Span), EdlError> {
         match &self.peek().kind {
             TokenKind::Ident(s) => {
                 let s = s.clone();
-                self.advance();
-                Ok(s)
+                let tok = self.advance();
+                Ok((s, tok.span))
             }
             other => Err(EdlError::new(
-                self.pos(),
+                self.span(),
                 format!("expected identifier, found {other}"),
             )),
         }
@@ -114,7 +123,7 @@ impl Parser {
                 }
                 other => {
                     return Err(EdlError::new(
-                        self.pos(),
+                        self.span(),
                         format!("expected `trusted`, `untrusted` or `}}`, found {other}"),
                     ))
                 }
@@ -150,16 +159,16 @@ impl Parser {
     }
 
     fn decl(&mut self, trusted: bool) -> Result<FunctionDecl, EdlError> {
-        let pos = self.pos();
+        let start = self.span();
         let public = self.eat_keyword("public");
         if public && !trusted {
             return Err(EdlError::new(
-                pos,
+                start,
                 "`public` is only meaningful on trusted functions (ecalls)",
             ));
         }
         let return_type = self.type_name()?;
-        let name = self.ident()?;
+        let (name, name_span) = self.ident_spanned()?;
         self.expect(&TokenKind::LParen)?;
         let params = self.params()?;
         self.expect(&TokenKind::RParen)?;
@@ -167,27 +176,29 @@ impl Parser {
         if self.eat_keyword("allow") {
             if trusted {
                 return Err(EdlError::new(
-                    pos,
+                    start,
                     "`allow` is only meaningful on untrusted functions (ocalls)",
                 ));
             }
             self.expect(&TokenKind::LParen)?;
             loop {
-                allowed_ecalls.push(self.ident()?);
+                let (entry, span) = self.ident_spanned()?;
+                allowed_ecalls.push(AllowEntry { name: entry, span });
                 if !self.eat(&TokenKind::Comma) {
                     break;
                 }
             }
             self.expect(&TokenKind::RParen)?;
         }
-        self.expect(&TokenKind::Semi)?;
+        let semi = self.expect(&TokenKind::Semi)?;
         Ok(FunctionDecl {
             name,
             return_type,
             params,
             public,
             allowed_ecalls,
-            pos,
+            span: start.to(semi.span),
+            name_span,
         })
     }
 
@@ -229,7 +240,7 @@ impl Parser {
     }
 
     fn param(&mut self) -> Result<ParamDecl, EdlError> {
-        let pos = self.pos();
+        let start = self.span();
         let mut attrs = Vec::new();
         if self.eat(&TokenKind::LBracket) {
             loop {
@@ -245,52 +256,61 @@ impl Parser {
         while self.eat(&TokenKind::Star) {
             pointer_depth += 1;
         }
-        let name = self.ident()?;
+        let (name, name_span) = self.ident_spanned()?;
         Ok(ParamDecl {
             name,
             base_type,
             pointer_depth,
             attrs,
-            pos,
+            span: start.to(name_span),
         })
     }
 
     fn attr(&mut self) -> Result<Attr, EdlError> {
-        let pos = self.pos();
-        let word = self.ident()?;
+        let (word, word_span) = self.ident_spanned()?;
+        let simple = |kind: AttrKind| Attr {
+            kind,
+            span: word_span,
+        };
         match word.as_str() {
-            "in" => Ok(Attr::In),
-            "out" => Ok(Attr::Out),
-            "user_check" => Ok(Attr::UserCheck),
-            "string" => Ok(Attr::String),
-            "isptr" => Ok(Attr::IsPtr),
+            "in" => Ok(simple(AttrKind::In)),
+            "out" => Ok(simple(AttrKind::Out)),
+            "user_check" => Ok(simple(AttrKind::UserCheck)),
+            "string" => Ok(simple(AttrKind::String)),
+            "isptr" => Ok(simple(AttrKind::IsPtr)),
             "size" | "count" => {
                 self.expect(&TokenKind::Eq)?;
-                let expr = match &self.peek().kind {
+                let (expr, value_span) = match &self.peek().kind {
                     TokenKind::Ident(s) => {
                         let s = s.clone();
-                        self.advance();
-                        SizeExpr::Param(s)
+                        let tok = self.advance();
+                        (SizeExpr::Param(s), tok.span)
                     }
                     TokenKind::Int(n) => {
                         let n = *n;
-                        self.advance();
-                        SizeExpr::Literal(n)
+                        let tok = self.advance();
+                        (SizeExpr::Literal(n), tok.span)
                     }
                     other => {
                         return Err(EdlError::new(
-                            self.pos(),
+                            self.span(),
                             format!("expected parameter name or integer, found {other}"),
                         ))
                     }
                 };
-                Ok(if word == "size" {
-                    Attr::Size(expr)
-                } else {
-                    Attr::Count(expr)
+                Ok(Attr {
+                    kind: if word == "size" {
+                        AttrKind::Size(expr)
+                    } else {
+                        AttrKind::Count(expr)
+                    },
+                    span: word_span.to(value_span),
                 })
             }
-            other => Err(EdlError::new(pos, format!("unknown attribute `{other}`"))),
+            other => Err(EdlError::new(
+                word_span,
+                format!("unknown attribute `{other}`"),
+            )),
         }
     }
 }
@@ -298,6 +318,7 @@ impl Parser {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::token::Pos;
 
     const SAMPLE: &str = r#"
         enclave {
@@ -321,10 +342,12 @@ mod tests {
         assert_eq!(file.untrusted.len(), 2);
         assert!(file.trusted[0].public);
         assert!(!file.trusted[1].public);
-        assert_eq!(
-            file.untrusted[1].allowed_ecalls,
-            vec!["ecall_notify", "ecall_store"]
-        );
+        let allowed: Vec<&str> = file.untrusted[1]
+            .allowed_ecalls
+            .iter()
+            .map(|a| a.name.as_str())
+            .collect();
+        assert_eq!(allowed, vec!["ecall_notify", "ecall_store"]);
     }
 
     #[test]
@@ -335,11 +358,51 @@ mod tests {
         assert!(!store.params[0].is_out());
         assert_eq!(store.params[0].pointer_depth, 1);
         assert_eq!(
-            store.params[0].attrs[1],
-            Attr::Size(SizeExpr::Param("len".into()))
+            store.params[0].attrs[1].kind,
+            AttrKind::Size(SizeExpr::Param("len".into()))
         );
         let unsafe_ecall = &file.trusted[2];
         assert!(unsafe_ecall.params[0].is_user_check());
+    }
+
+    #[test]
+    fn decl_spans_cover_public_through_semicolon() {
+        let src = "enclave { trusted {\n  public void e();\n}; };";
+        let file = parse_file(src).unwrap();
+        let decl = &file.trusted[0];
+        // `public void e();` occupies line 2, columns 3-19 (end exclusive).
+        assert_eq!(decl.span.start, Pos { line: 2, col: 3 });
+        assert_eq!(decl.span.end, Pos { line: 2, col: 19 });
+        // The name span covers exactly `e`.
+        assert_eq!(decl.name_span.start, Pos { line: 2, col: 15 });
+        assert_eq!(decl.name_span.end, Pos { line: 2, col: 16 });
+    }
+
+    #[test]
+    fn param_and_attr_spans_are_exact() {
+        let src = "enclave { trusted { public void e([in, size=len] char* buf, size_t len); }; };";
+        let file = parse_file(src).unwrap();
+        let param = &file.trusted[0].params[0];
+        // `[in, size=len] char* buf` spans columns 35-59.
+        assert_eq!(param.span.start, Pos { line: 1, col: 35 });
+        assert_eq!(param.span.end, Pos { line: 1, col: 59 });
+        // `in` at 36-37, `size=len` at 40-48 (end exclusive).
+        assert_eq!(param.attrs[0].span.start, Pos { line: 1, col: 36 });
+        assert_eq!(param.attrs[0].span.end, Pos { line: 1, col: 38 });
+        assert_eq!(param.attrs[1].span.start, Pos { line: 1, col: 40 });
+        assert_eq!(param.attrs[1].span.end, Pos { line: 1, col: 48 });
+    }
+
+    #[test]
+    fn allow_entries_carry_their_own_spans() {
+        let src = "enclave { trusted { void h(); };\n  untrusted { void o() allow(h, h); }; };";
+        let file = parse_file(src).unwrap();
+        let o = &file.untrusted[0];
+        assert_eq!(o.allowed_ecalls.len(), 2);
+        // Line 2: `void o() allow(h, h);` — entries at cols 30 and 33.
+        assert_eq!(o.allowed_ecalls[0].span.start, Pos { line: 2, col: 30 });
+        assert_eq!(o.allowed_ecalls[1].span.start, Pos { line: 2, col: 33 });
+        assert_ne!(o.allowed_ecalls[0].span, o.allowed_ecalls[1].span);
     }
 
     #[test]
@@ -357,23 +420,21 @@ mod tests {
 
     #[test]
     fn parses_multiword_types() {
-        let file =
-            parse_file("enclave { trusted { public unsigned long e(unsigned int x); }; };")
-                .unwrap();
+        let file = parse_file("enclave { trusted { public unsigned long e(unsigned int x); }; };")
+            .unwrap();
         assert_eq!(file.trusted[0].return_type, "unsigned long");
         assert_eq!(file.trusted[0].params[0].base_type, "unsigned int");
     }
 
     #[test]
     fn parses_literal_size() {
-        let file = parse_file(
-            "enclave { untrusted { void o([out, size=4096] char* page); }; };",
-        )
-        .unwrap();
+        let file =
+            parse_file("enclave { untrusted { void o([out, size=4096] char* page); }; };").unwrap();
         assert_eq!(
-            file.untrusted[0].params[0].attrs[1],
-            Attr::Size(SizeExpr::Literal(4096))
+            file.untrusted[0].params[0].attrs[1].kind,
+            AttrKind::Size(SizeExpr::Literal(4096))
         );
+        assert_eq!(file.untrusted[0].params[0].static_bytes(), Some(4096));
     }
 
     #[test]
@@ -384,8 +445,7 @@ mod tests {
 
     #[test]
     fn rejects_allow_on_ecall() {
-        let err =
-            parse_file("enclave { trusted { public void e() allow(x); }; };").unwrap_err();
+        let err = parse_file("enclave { trusted { public void e() allow(x); }; };").unwrap_err();
         assert!(err.message.contains("allow"), "{err}");
     }
 
@@ -399,7 +459,7 @@ mod tests {
     #[test]
     fn error_positions_point_at_problem() {
         let err = parse_file("enclave {\n  bogus {\n").unwrap_err();
-        assert_eq!(err.pos.line, 2);
+        assert_eq!(err.span.start.line, 2);
     }
 
     #[test]

@@ -5,7 +5,7 @@
 
 use std::collections::HashMap;
 
-use crate::ast::{Attr, EdlFile, FunctionDecl, SizeExpr};
+use crate::ast::{EdlFile, FunctionDecl};
 use crate::token::Pos;
 use crate::EdlError;
 
@@ -127,7 +127,6 @@ impl InterfaceSpec {
         let mut ocalls = Vec::with_capacity(file.untrusted.len());
         for (index, decl) in file.untrusted.iter().enumerate() {
             ocalls.push((
-                decl.pos,
                 OcallSpec {
                     index,
                     name: decl.name.clone(),
@@ -137,20 +136,23 @@ impl InterfaceSpec {
                 decl.allowed_ecalls.clone(),
             ));
         }
-        let mut spec = InterfaceSpec::assemble(
-            ecalls,
-            ocalls.iter().map(|(_, o, _)| o.clone()).collect(),
-        )?;
-        // Resolve allow() lists.
-        for (pos, ocall, allowed_names) in &ocalls {
-            let mut allowed = Vec::with_capacity(allowed_names.len());
-            for name in allowed_names {
+        let mut spec =
+            InterfaceSpec::assemble(ecalls, ocalls.iter().map(|(o, _)| o.clone()).collect())?;
+        // Resolve allow() lists. Each entry carries its own span, so errors
+        // point at the offending name rather than the whole declaration.
+        for (ocall, allowed_entries) in &ocalls {
+            let mut allowed = Vec::with_capacity(allowed_entries.len());
+            for entry in allowed_entries {
+                let name = &entry.name;
                 let idx = spec.ecall_names.get(name).copied().ok_or_else(|| {
-                    EdlError::new(*pos, format!("allow() references unknown ecall `{name}`"))
+                    EdlError::new(
+                        entry.span,
+                        format!("allow() references unknown ecall `{name}`"),
+                    )
                 })?;
                 if allowed.contains(&idx) {
                     return Err(EdlError::new(
-                        *pos,
+                        entry.span,
                         format!("allow() lists ecall `{name}` twice"),
                     ));
                 }
@@ -178,10 +180,7 @@ impl InterfaceSpec {
         Ok(spec)
     }
 
-    fn assemble(
-        ecalls: Vec<EcallSpec>,
-        ocalls: Vec<OcallSpec>,
-    ) -> Result<InterfaceSpec, EdlError> {
+    fn assemble(ecalls: Vec<EcallSpec>, ocalls: Vec<OcallSpec>) -> Result<InterfaceSpec, EdlError> {
         let mut ecall_names = HashMap::new();
         for e in &ecalls {
             if ecall_names.insert(e.name.clone(), e.index).is_some() {
@@ -265,11 +264,8 @@ fn convert_params(decl: &FunctionDecl) -> Result<Vec<ParamSpec>, EdlError> {
                 let dir = match (p.is_in(), p.is_out(), p.is_user_check()) {
                     (_, _, true) if p.is_in() || p.is_out() => {
                         return Err(EdlError::new(
-                            p.pos,
-                            format!(
-                                "parameter `{}` combines user_check with in/out",
-                                p.name
-                            ),
+                            p.span,
+                            format!("parameter `{}` combines user_check with in/out", p.name),
                         ))
                     }
                     (_, _, true) => PointerDir::UserCheck,
@@ -278,11 +274,8 @@ fn convert_params(decl: &FunctionDecl) -> Result<Vec<ParamSpec>, EdlError> {
                     (false, true, _) => PointerDir::Out,
                     (false, false, false) => {
                         return Err(EdlError::new(
-                            p.pos,
-                            format!(
-                                "pointer parameter `{}` needs in/out/user_check",
-                                p.name
-                            ),
+                            p.span,
+                            format!("pointer parameter `{}` needs in/out/user_check", p.name),
                         ))
                     }
                 };
@@ -290,10 +283,7 @@ fn convert_params(decl: &FunctionDecl) -> Result<Vec<ParamSpec>, EdlError> {
             } else {
                 None
             };
-            let static_bytes = p.attrs.iter().find_map(|a| match a {
-                Attr::Size(SizeExpr::Literal(n)) | Attr::Count(SizeExpr::Literal(n)) => Some(*n),
-                _ => None,
-            });
+            let static_bytes = p.static_bytes();
             Ok(ParamSpec {
                 name: p.name.clone(),
                 ty: p.base_type.clone(),
@@ -336,12 +326,7 @@ impl InterfaceBuilder {
     }
 
     /// Adds an ocall allowing re-entry through the named ecalls.
-    pub fn ocall_allowing(
-        mut self,
-        name: &str,
-        params: Vec<ParamSpec>,
-        allowed: &[&str],
-    ) -> Self {
+    pub fn ocall_allowing(mut self, name: &str, params: Vec<ParamSpec>, allowed: &[&str]) -> Self {
         self.ocalls.push((
             name.to_string(),
             params,
@@ -451,8 +436,7 @@ mod tests {
 
     #[test]
     fn duplicate_ecall_rejected() {
-        let err =
-            parse("enclave { trusted { public void a(); public void a(); }; };").unwrap_err();
+        let err = parse("enclave { trusted { public void a(); public void a(); }; };").unwrap_err();
         assert!(err.message.contains("duplicate"), "{err}");
     }
 
@@ -464,17 +448,15 @@ mod tests {
 
     #[test]
     fn pointer_without_direction_rejected() {
-        let err =
-            parse("enclave { trusted { public void e(char* p); }; };").unwrap_err();
+        let err = parse("enclave { trusted { public void e(char* p); }; };").unwrap_err();
         assert!(err.message.contains("in/out/user_check"), "{err}");
     }
 
     #[test]
     fn user_check_with_in_rejected() {
-        let err = parse(
-            "enclave { trusted { public void e([in, user_check, size=4] char* p); }; };",
-        )
-        .unwrap_err();
+        let err =
+            parse("enclave { trusted { public void e([in, user_check, size=4] char* p); }; };")
+                .unwrap_err();
         assert!(err.message.contains("combines"), "{err}");
     }
 
@@ -503,14 +485,9 @@ mod tests {
 
     #[test]
     fn in_out_combination_maps_to_inout() {
-        let spec = parse(
-            "enclave { trusted { public void e([in, out, size=8] char* buf); }; };",
-        )
-        .unwrap();
-        assert_eq!(
-            spec.ecalls()[0].params[0].pointer,
-            Some(PointerDir::InOut)
-        );
+        let spec =
+            parse("enclave { trusted { public void e([in, out, size=8] char* buf); }; };").unwrap();
+        assert_eq!(spec.ecalls()[0].params[0].pointer, Some(PointerDir::InOut));
     }
 
     #[test]

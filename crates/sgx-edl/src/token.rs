@@ -24,6 +24,62 @@ impl fmt::Display for Pos {
     }
 }
 
+/// A half-open source region: `start` is the first character, `end` is one
+/// past the last (so a single-character token at 1:5 spans `1:5..1:6`).
+///
+/// Every token, declaration, parameter and attribute carries one of these,
+/// which is what lets [`crate::lint`] underline the exact offending text
+/// instead of pointing at a single position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Span {
+    /// First character of the region.
+    pub start: Pos,
+    /// One past the last character of the region.
+    pub end: Pos,
+}
+
+impl Span {
+    /// A span covering the region between two positions.
+    pub fn new(start: Pos, end: Pos) -> Span {
+        Span { start, end }
+    }
+
+    /// A zero-width span at a single position.
+    pub fn point(pos: Pos) -> Span {
+        Span {
+            start: pos,
+            end: pos,
+        }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn to(self, other: Span) -> Span {
+        let start = if (other.start.line, other.start.col) < (self.start.line, self.start.col) {
+            other.start
+        } else {
+            self.start
+        };
+        let end = if (other.end.line, other.end.col) > (self.end.line, self.end.col) {
+            other.end
+        } else {
+            self.end
+        };
+        Span { start, end }
+    }
+}
+
+impl From<Pos> for Span {
+    fn from(pos: Pos) -> Span {
+        Span::point(pos)
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.start)
+    }
+}
+
 /// One lexical token.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TokenKind {
@@ -75,17 +131,25 @@ impl fmt::Display for TokenKind {
     }
 }
 
-/// A token with its source position.
+/// A token with its source span.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Token {
     /// What the token is.
     pub kind: TokenKind,
-    /// Where it starts.
-    pub pos: Pos,
+    /// The region of source it covers (`start` inclusive, `end` exclusive).
+    pub span: Span,
+}
+
+impl Token {
+    /// Where the token starts.
+    pub fn pos(&self) -> Pos {
+        self.span.start
+    }
 }
 
 /// Tokenises EDL source. Supports `//` line comments and `/* */` block
-/// comments.
+/// comments (including comments spanning multiple lines — positions keep
+/// tracking correctly across the embedded newlines).
 ///
 /// # Errors
 ///
@@ -112,8 +176,16 @@ pub fn lex(source: &str) -> Result<Vec<Token>, EdlError> {
         }};
     }
 
+    // After lexing a token, `(line, col)` sits one past its final character,
+    // so the exclusive span end is simply the current position.
+    macro_rules! span_from {
+        ($start:expr) => {
+            Span::new($start, Pos { line, col })
+        };
+    }
+
     loop {
-        let pos = Pos { line, col };
+        let start = Pos { line, col };
         let Some(&c) = chars.peek() else { break };
         match c {
             c if c.is_whitespace() => {
@@ -143,10 +215,10 @@ pub fn lex(source: &str) -> Result<Vec<Token>, EdlError> {
                             }
                         }
                         if !closed {
-                            return Err(EdlError::new(pos, "unclosed block comment"));
+                            return Err(EdlError::new(start, "unclosed block comment"));
                         }
                     }
-                    _ => return Err(EdlError::new(pos, "unexpected `/`")),
+                    _ => return Err(EdlError::new(start, "unexpected `/`")),
                 }
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
@@ -161,7 +233,7 @@ pub fn lex(source: &str) -> Result<Vec<Token>, EdlError> {
                 }
                 tokens.push(Token {
                     kind: TokenKind::Ident(ident),
-                    pos,
+                    span: span_from!(start),
                 });
             }
             c if c.is_ascii_digit() => {
@@ -171,7 +243,7 @@ pub fn lex(source: &str) -> Result<Vec<Token>, EdlError> {
                         value = value
                             .checked_mul(10)
                             .and_then(|v| v.checked_add(d as u64))
-                            .ok_or_else(|| EdlError::new(pos, "integer literal overflow"))?;
+                            .ok_or_else(|| EdlError::new(start, "integer literal overflow"))?;
                         bump!();
                     } else {
                         break;
@@ -179,7 +251,7 @@ pub fn lex(source: &str) -> Result<Vec<Token>, EdlError> {
                 }
                 tokens.push(Token {
                     kind: TokenKind::Int(value),
-                    pos,
+                    span: span_from!(start),
                 });
             }
             _ => {
@@ -195,17 +267,23 @@ pub fn lex(source: &str) -> Result<Vec<Token>, EdlError> {
                     '=' => TokenKind::Eq,
                     '*' => TokenKind::Star,
                     other => {
-                        return Err(EdlError::new(pos, format!("unexpected character `{other}`")))
+                        return Err(EdlError::new(
+                            start,
+                            format!("unexpected character `{other}`"),
+                        ))
                     }
                 };
                 bump!();
-                tokens.push(Token { kind, pos });
+                tokens.push(Token {
+                    kind,
+                    span: span_from!(start),
+                });
             }
         }
     }
     tokens.push(Token {
         kind: TokenKind::Eof,
-        pos: Pos { line, col },
+        span: Span::point(Pos { line, col }),
     });
     Ok(tokens)
 }
@@ -283,21 +361,69 @@ mod tests {
     #[test]
     fn tracks_positions_across_lines() {
         let toks = lex("a\n  b").unwrap();
-        assert_eq!(toks[0].pos, Pos { line: 1, col: 1 });
-        assert_eq!(toks[1].pos, Pos { line: 2, col: 3 });
+        assert_eq!(toks[0].span.start, Pos { line: 1, col: 1 });
+        assert_eq!(toks[1].span.start, Pos { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn spans_cover_whole_tokens() {
+        let toks = lex("enclave 4096 ;").unwrap();
+        // `enclave` occupies columns 1-7; end is exclusive.
+        assert_eq!(toks[0].span.start, Pos { line: 1, col: 1 });
+        assert_eq!(toks[0].span.end, Pos { line: 1, col: 8 });
+        // `4096` occupies columns 9-12.
+        assert_eq!(toks[1].span.start, Pos { line: 1, col: 9 });
+        assert_eq!(toks[1].span.end, Pos { line: 1, col: 13 });
+        // `;` is a single column.
+        assert_eq!(toks[2].span.start, Pos { line: 1, col: 14 });
+        assert_eq!(toks[2].span.end, Pos { line: 1, col: 15 });
+    }
+
+    /// Regression test: tokens following a `/* ... */` comment that spans
+    /// multiple lines must report the position they actually occupy on the
+    /// line the comment ends on (the column counter restarts at each
+    /// newline *inside* the comment too).
+    #[test]
+    fn positions_after_multiline_block_comments() {
+        // Line 2 is `bb */ x`: `x` sits at column 7.
+        let toks = lex("/* a\nbb */ x").unwrap();
+        assert_eq!(toks[0].span.start, Pos { line: 2, col: 7 });
+        assert_eq!(toks[0].span.end, Pos { line: 2, col: 8 });
+
+        // Line 2 is `y */ b /* p */ c`: `b` at column 6, `c` at column 16,
+        // with a second (single-line) comment in between.
+        let toks = lex("a /* x\ny */ b /* p */ c").unwrap();
+        assert_eq!(toks[1].span.start, Pos { line: 2, col: 6 });
+        assert_eq!(toks[2].span.start, Pos { line: 2, col: 16 });
+
+        // A comment spanning three lines, with the token flush against
+        // the terminator: line 3 is `end */tok`, `tok` at column 7.
+        let toks = lex("/* one\ntwo\nend */tok").unwrap();
+        assert_eq!(toks[0].span.start, Pos { line: 3, col: 7 });
+    }
+
+    #[test]
+    fn span_join_orders_endpoints() {
+        let a = Span::new(Pos { line: 2, col: 4 }, Pos { line: 2, col: 9 });
+        let b = Span::new(Pos { line: 1, col: 7 }, Pos { line: 2, col: 5 });
+        let joined = a.to(b);
+        assert_eq!(joined.start, Pos { line: 1, col: 7 });
+        assert_eq!(joined.end, Pos { line: 2, col: 9 });
+        assert_eq!(joined, b.to(a));
     }
 
     #[test]
     fn rejects_unknown_character() {
         let err = lex("a @ b").unwrap_err();
         assert!(err.message.contains('@'), "{err}");
-        assert_eq!(err.pos, Pos { line: 1, col: 3 });
+        assert_eq!(err.span.start, Pos { line: 1, col: 3 });
     }
 
     #[test]
     fn rejects_unclosed_block_comment() {
         let err = lex("/* never closed").unwrap_err();
         assert!(err.message.contains("unclosed"));
+        assert_eq!(err.span.start, Pos { line: 1, col: 1 });
     }
 
     #[test]

@@ -1,0 +1,138 @@
+//! Fixture-driven lint tests: one `.edl` file per lint code, each
+//! asserting the expected codes, anchor spans and rendered caret output.
+
+use sgx_edl::lint::{lint_source, LintConfig};
+use sgx_edl::{Diagnostic, Pos, Severity};
+
+const W001: &str = include_str!("fixtures/w001_user_check.edl");
+const W002: &str = include_str!("fixtures/w002_missing_size.edl");
+const W003: &str = include_str!("fixtures/w003_conflicting_attrs.edl");
+const W004: &str = include_str!("fixtures/w004_reentrancy.edl");
+const W005: &str = include_str!("fixtures/w005_allow_public.edl");
+const W006: &str = include_str!("fixtures/w006_wide_surface.edl");
+const W007: &str = include_str!("fixtures/w007_duplicate_allow.edl");
+const W008: &str = include_str!("fixtures/w008_large_copy.edl");
+
+fn lint(src: &str) -> Vec<Diagnostic> {
+    lint_source(src, &LintConfig::default()).expect("fixture parses")
+}
+
+fn codes(diags: &[Diagnostic]) -> Vec<&'static str> {
+    let mut c: Vec<&'static str> = diags.iter().map(|d| d.code).collect();
+    c.dedup();
+    c
+}
+
+#[test]
+fn w001_fixture_flags_user_check_at_exact_span() {
+    let diags = lint(W001);
+    assert_eq!(codes(&diags), vec!["EDL-W001"]);
+    let d = &diags[0];
+    // `user_check` on line 3, inside the bracket group.
+    assert_eq!(d.span.start, Pos { line: 3, col: 35 });
+    assert_eq!(d.span.end, Pos { line: 3, col: 45 });
+    assert_eq!(d.function.as_deref(), Some("ecall_process"));
+}
+
+#[test]
+fn w002_fixture_flags_unsized_out_pointer() {
+    let diags = lint(W002);
+    assert_eq!(codes(&diags), vec!["EDL-W002"]);
+    assert_eq!(diags[0].span.start.line, 3);
+    assert!(
+        diags[0].message.contains("no size=/count="),
+        "{:?}",
+        diags[0]
+    );
+}
+
+#[test]
+fn w003_fixture_flags_both_conflicts_as_errors() {
+    let diags = lint(W003);
+    let w3: Vec<&Diagnostic> = diags.iter().filter(|d| d.code == "EDL-W003").collect();
+    assert_eq!(w3.len(), 2, "{diags:?}");
+    assert!(w3.iter().all(|d| d.severity == Severity::Error));
+    assert_eq!(w3[0].span.start.line, 3); // string + user_check
+    assert_eq!(w3[1].span.start.line, 4); // out + string
+}
+
+#[test]
+fn w004_fixture_finds_reentrancy_cycle() {
+    let diags = lint(W004);
+    assert_eq!(codes(&diags), vec!["EDL-W004"]);
+    let d = &diags[0];
+    // Anchored at the `ecall_resume` entry inside allow(...), line 7.
+    assert_eq!(d.span.start.line, 7);
+    assert!(d.message.contains("ocall_wait"), "{d:?}");
+}
+
+#[test]
+fn w005_fixture_flags_public_allow_entry() {
+    let diags = lint(W005);
+    let w5 = diags.iter().find(|d| d.code == "EDL-W005").expect("W005");
+    assert_eq!(w5.span.start.line, 6);
+    assert!(w5.message.contains("public ecall `ecall_handle`"), "{w5:?}");
+}
+
+#[test]
+fn w006_fixture_flags_wide_surface_at_ninth_ecall() {
+    let diags = lint(W006);
+    assert_eq!(codes(&diags), vec!["EDL-W006"]);
+    let d = &diags[0];
+    assert!(d.message.contains("9 public ecalls"), "{d:?}");
+    assert_eq!(d.function.as_deref(), Some("ecall_i"));
+    assert_eq!(d.span.start.line, 11);
+}
+
+#[test]
+fn w007_fixture_flags_second_duplicate_entry() {
+    let diags = lint(W007);
+    let w7 = diags.iter().find(|d| d.code == "EDL-W007").expect("W007");
+    assert_eq!(w7.severity, Severity::Error);
+    // Second `ecall_cb` on line 6; the first is at column 37.
+    assert_eq!(w7.span.start.line, 6);
+    assert!(w7.message.contains("first at 6:37"), "{w7:?}");
+}
+
+#[test]
+fn w008_fixture_prices_the_megabyte_copy() {
+    let diags = lint(W008);
+    assert_eq!(codes(&diags), vec!["EDL-W008"]);
+    let d = &diags[0];
+    assert!(d.message.contains("1048576 bytes"), "{d:?}");
+    // 1 MiB at 0.1 ns/B = 104857 ns.
+    assert!(d.message.contains("104857 ns"), "{d:?}");
+}
+
+#[test]
+fn fixtures_cover_eight_distinct_codes() {
+    let mut all: Vec<&'static str> = [W001, W002, W003, W004, W005, W006, W007, W008]
+        .iter()
+        .flat_map(|src| lint(src))
+        .map(|d| d.code)
+        .collect();
+    all.sort_unstable();
+    all.dedup();
+    assert_eq!(
+        all,
+        vec![
+            "EDL-W001", "EDL-W002", "EDL-W003", "EDL-W004", "EDL-W005", "EDL-W006", "EDL-W007",
+            "EDL-W008"
+        ]
+    );
+}
+
+#[test]
+fn rendered_fixture_output_matches_rustc_shape() {
+    let diags = lint(W001);
+    let rendered = diags[0].render(W001, "w001_user_check.edl");
+    let expected = "\
+warning[EDL-W001]: `user_check` pointer `shared` on `ecall_process` crosses the enclave boundary unchecked
+ --> w001_user_check.edl:3:35
+  |
+3 |         public int ecall_process([user_check] void* shared);
+  |                                   ^^^^^^^^^^
+  = help: validate the pointer inside the enclave, or use [in]/[out] with size=/count=
+";
+    assert_eq!(rendered, expected);
+}

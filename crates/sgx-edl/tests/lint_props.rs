@@ -1,0 +1,134 @@
+//! Property tests: the lint pass must never panic on any input the
+//! parser accepts, and must tolerate arbitrary text (where the parser is
+//! expected to reject gracefully, not crash).
+
+use proptest::prelude::*;
+
+use sgx_edl::lint::{lint_file, lint_source, LintConfig};
+use sgx_edl::parse_file;
+
+/// Attribute groups the generator draws from — valid, conflicting and
+/// degenerate combinations alike.
+const ATTRS: &[&str] = &[
+    "",
+    "[in]",
+    "[out]",
+    "[in, out]",
+    "[user_check]",
+    "[in, string]",
+    "[out, string]",
+    "[string, user_check]",
+    "[in, user_check]",
+    "[in, size=len]",
+    "[in, size=1048576]",
+    "[in, count=4096]",
+];
+
+const TYPES: &[&str] = &["char", "void", "int", "size_t", "unsigned long", "uint64_t"];
+
+type ParamGen = (usize, usize);
+type EcallGen = (bool, Vec<ParamGen>);
+type OcallGen = (Vec<ParamGen>, Vec<usize>);
+
+fn render_params(params: &[ParamGen]) -> String {
+    let mut parts: Vec<String> = params
+        .iter()
+        .enumerate()
+        .map(|(i, &(attr, ty))| {
+            let attr = ATTRS[attr % ATTRS.len()];
+            let ty = TYPES[ty % TYPES.len()];
+            // Attribute groups imply a pointer parameter.
+            if attr.is_empty() {
+                format!("{ty} p{i}")
+            } else {
+                format!("{attr} {ty}* p{i}")
+            }
+        })
+        .collect();
+    if !parts.is_empty() {
+        // Targets for size=len / size=n references.
+        parts.push("size_t len".to_string());
+        parts.push("size_t n".to_string());
+    }
+    parts.join(", ")
+}
+
+/// Renders a syntactically-valid EDL file from generator output. Allow
+/// entries may reference nonexistent ecalls — the parser accepts that,
+/// only the validator rejects it, and the lint must cope.
+fn build_edl(ecalls: &[EcallGen], ocalls: &[OcallGen]) -> String {
+    let mut src = String::from("enclave {\n    trusted {\n");
+    for (i, (public, params)) in ecalls.iter().enumerate() {
+        let vis = if *public { "public " } else { "" };
+        src.push_str(&format!(
+            "        {vis}void ecall_{i}({});\n",
+            render_params(params)
+        ));
+    }
+    src.push_str("    };\n    untrusted {\n");
+    for (i, (params, allowed)) in ocalls.iter().enumerate() {
+        let allow = if allowed.is_empty() {
+            String::new()
+        } else {
+            let names: Vec<String> = allowed.iter().map(|&k| format!("ecall_{k}")).collect();
+            format!(" allow({})", names.join(", "))
+        };
+        src.push_str(&format!(
+            "        void ocall_{i}({}){allow};\n",
+            render_params(params)
+        ));
+    }
+    src.push_str("    };\n};\n");
+    src
+}
+
+proptest! {
+    #[test]
+    fn lint_never_panics_on_parser_accepted_input(
+        ecalls in proptest::collection::vec(
+            (any::<bool>(), proptest::collection::vec((0..24usize, 0..12usize), 0..4)),
+            0..5,
+        ),
+        ocalls in proptest::collection::vec(
+            (proptest::collection::vec((0..24usize, 0..12usize), 0..3),
+             proptest::collection::vec(0..6usize, 0..4)),
+            0..4,
+        ),
+    ) {
+        let src = build_edl(&ecalls, &ocalls);
+        let file = parse_file(&src);
+        prop_assert!(file.is_ok(), "generator must emit valid EDL: {src}");
+        let diags = lint_file(&file.unwrap(), &LintConfig::default());
+        // Spans must stay inside the generated source and be well-formed.
+        let lines = src.lines().count() as u32;
+        for d in &diags {
+            prop_assert!(d.span.start.line >= 1 && d.span.end.line <= lines, "{d:?}");
+            prop_assert!(
+                (d.span.start.line, d.span.start.col) <= (d.span.end.line, d.span.end.col),
+                "{d:?}"
+            );
+            // Rendering must not panic either.
+            let _ = d.render(&src, "gen.edl");
+        }
+    }
+
+    #[test]
+    fn lint_never_panics_on_arbitrary_text(s in "\\PC{0,120}") {
+        // Almost always a parse error; either way, no panic.
+        let _ = lint_source(&s, &LintConfig::default());
+    }
+
+    #[test]
+    fn lint_is_deterministic(
+        ecalls in proptest::collection::vec(
+            (any::<bool>(), proptest::collection::vec((0..24usize, 0..12usize), 0..3)),
+            0..4,
+        ),
+    ) {
+        let src = build_edl(&ecalls, &[]);
+        let file = parse_file(&src).unwrap();
+        let a = lint_file(&file, &LintConfig::default());
+        let b = lint_file(&file, &LintConfig::default());
+        prop_assert_eq!(a, b);
+    }
+}

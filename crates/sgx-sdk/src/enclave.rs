@@ -5,9 +5,9 @@ use std::fmt;
 use std::ops::Range;
 use std::sync::Arc;
 
-use parking_lot::{Mutex, RwLock};
 use sgx_edl::InterfaceSpec;
 use sgx_sim::{AccessKind, EnclaveId, Machine, ThreadToken, TouchStats};
+use sim_core::sync::{Mutex, RwLock};
 use sim_core::Nanos;
 
 use crate::args::CallData;
@@ -17,8 +17,7 @@ use crate::thread_ctx::ThreadCtx;
 use crate::urts::Urts;
 
 /// A trusted function body.
-pub type EcallFn =
-    Arc<dyn Fn(&mut EcallCtx<'_>, &mut CallData) -> SdkResult<()> + Send + Sync>;
+pub type EcallFn = Arc<dyn Fn(&mut EcallCtx<'_>, &mut CallData) -> SdkResult<()> + Send + Sync>;
 
 /// One frame of a thread's enclave call stack.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

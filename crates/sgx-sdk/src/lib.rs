@@ -54,7 +54,7 @@ pub mod thread_ctx;
 pub mod urts;
 
 pub use args::CallData;
-pub use enclave::{Enclave, EcallCtx};
+pub use enclave::{EcallCtx, Enclave};
 pub use error::{SdkError, SdkResult};
 pub use loader::{EcallDispatcher, Loader};
 pub use ocall::{HostCtx, OcallTable, OcallTableBuilder};

@@ -10,8 +10,8 @@
 
 use std::sync::Arc;
 
-use parking_lot::RwLock;
 use sgx_sim::EnclaveId;
+use sim_core::sync::RwLock;
 
 use crate::args::CallData;
 use crate::error::SdkResult;
@@ -65,10 +65,7 @@ impl Loader {
     /// Preloads an interposition library: `wrap` receives the current top
     /// of the chain (what `dlsym(RTLD_NEXT, "sgx_ecall")` would return) and
     /// produces the new top.
-    pub fn preload(
-        &self,
-        wrap: impl FnOnce(Arc<dyn EcallDispatcher>) -> Arc<dyn EcallDispatcher>,
-    ) {
+    pub fn preload(&self, wrap: impl FnOnce(Arc<dyn EcallDispatcher>) -> Arc<dyn EcallDispatcher>) {
         let mut top = self.top.write();
         let next = Arc::clone(&*top);
         *top = wrap(next);

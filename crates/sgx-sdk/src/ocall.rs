@@ -112,10 +112,7 @@ impl OcallTableBuilder {
     /// get their default implementations immediately.
     pub fn new(spec: &InterfaceSpec) -> OcallTableBuilder {
         let names: Vec<String> = spec.ocalls().iter().map(|o| o.name.clone()).collect();
-        let impls = names
-            .iter()
-            .map(|name| default_sync_impl(name))
-            .collect();
+        let impls = names.iter().map(|name| default_sync_impl(name)).collect();
         OcallTableBuilder { names, impls }
     }
 

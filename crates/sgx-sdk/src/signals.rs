@@ -10,7 +10,7 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use sim_core::sync::Mutex;
 
 /// A signal handler.
 pub type SignalHandler = Arc<dyn Fn(i32) + Send + Sync>;
@@ -35,11 +35,7 @@ pub struct SignalRegistry {
 
 impl fmt::Debug for SignalRegistry {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "SignalRegistry({} handlers)",
-            self.handlers.lock().len()
-        )
+        write!(f, "SignalRegistry({} handlers)", self.handlers.lock().len())
     }
 }
 
@@ -83,9 +79,12 @@ mod tests {
         let reg = SignalRegistry::new();
         let hits = Arc::new(AtomicUsize::new(0));
         let h = Arc::clone(&hits);
-        reg.register(signum::SIGUSR1, Arc::new(move |_| {
-            h.fetch_add(1, Ordering::SeqCst);
-        }));
+        reg.register(
+            signum::SIGUSR1,
+            Arc::new(move |_| {
+                h.fetch_add(1, Ordering::SeqCst);
+            }),
+        );
         assert!(reg.raise(signum::SIGUSR1));
         assert!(!reg.raise(signum::SIGSEGV));
         assert_eq!(hits.load(Ordering::SeqCst), 1);

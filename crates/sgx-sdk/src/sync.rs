@@ -16,8 +16,8 @@
 use std::collections::VecDeque;
 use std::fmt;
 
-use parking_lot::Mutex;
 use sgx_sim::ThreadToken;
+use sim_core::sync::Mutex;
 
 use crate::args::CallData;
 use crate::enclave::EcallCtx;
@@ -221,10 +221,7 @@ impl SgxCondvar {
         self.waiters.lock().push_back(me);
         match mutex.unlock_internal(me) {
             Some(next) => {
-                ctx.ocall(
-                    sync_ocalls::SETWAIT,
-                    &mut CallData::new(next.0 as u64),
-                )?;
+                ctx.ocall(sync_ocalls::SETWAIT, &mut CallData::new(next.0 as u64))?;
             }
             None => {
                 ctx.ocall(sync_ocalls::WAIT, &mut CallData::default())?;

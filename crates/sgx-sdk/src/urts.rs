@@ -9,8 +9,8 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::{Arc, OnceLock, Weak};
 
-use parking_lot::{Mutex, RwLock};
 use sgx_sim::{AccessKind, EnclaveId, Machine};
+use sim_core::sync::{Mutex, RwLock};
 
 use crate::args::CallData;
 use crate::enclave::{EcallCtx, Enclave, Frame};
@@ -89,9 +89,7 @@ impl Urts {
             .lock()
             .get(&eid.0)
             .cloned()
-            .ok_or_else(|| {
-                SdkError::OcallOutsideEcall(format!("no ocall table saved for {eid}"))
-            })
+            .ok_or_else(|| SdkError::OcallOutsideEcall(format!("no ocall table saved for {eid}")))
     }
 }
 
@@ -194,8 +192,12 @@ impl Urts {
         let tcs_page = self.machine.tcs_page(eid, tcs_index)?;
         self.machine
             .touch(eid, tcx.token, tcs_page..tcs_page + 1, AccessKind::Read)?;
-        self.machine
-            .touch(eid, tcx.token, stack.start..stack.start + 1, AccessKind::Write)?;
+        self.machine.touch(
+            eid,
+            tcx.token,
+            stack.start..stack.start + 1,
+            AccessKind::Write,
+        )?;
         Ok(())
     }
 }

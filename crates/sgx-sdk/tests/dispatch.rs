@@ -3,12 +3,12 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
 use sgx_sdk::{
     CallData, EcallDispatcher, OcallTable, OcallTableBuilder, Runtime, SdkError, SgxThreadMutex,
     ThreadCtx,
 };
 use sgx_sim::{EnclaveConfig, EnclaveId, Machine};
+use sim_core::sync::Mutex;
 use sim_core::{Clock, HwProfile, Nanos};
 use sim_threads::Simulation;
 
@@ -23,13 +23,21 @@ fn empty_ecall_costs_4205ns() {
     let rt = runtime();
     let spec = sgx_edl::parse("enclave { trusted { public void ecall_empty(); }; };").unwrap();
     let enclave = rt.create_enclave(&spec, &EnclaveConfig::default()).unwrap();
-    enclave.register_ecall("ecall_empty", |_, _| Ok(())).unwrap();
+    enclave
+        .register_ecall("ecall_empty", |_, _| Ok(()))
+        .unwrap();
     let table = Arc::new(OcallTableBuilder::new(enclave.spec()).build().unwrap());
     let tcx = ThreadCtx::main();
 
     let before = rt.machine().clock().now();
-    rt.ecall(&tcx, enclave.id(), "ecall_empty", &table, &mut CallData::default())
-        .unwrap();
+    rt.ecall(
+        &tcx,
+        enclave.id(),
+        "ecall_empty",
+        &table,
+        &mut CallData::default(),
+    )
+    .unwrap();
     let elapsed = rt.machine().clock().now() - before;
     assert_eq!(elapsed, Nanos::from_nanos(4_205));
 }
@@ -55,8 +63,14 @@ fn ecall_with_one_ocall_costs_8013ns() {
     let tcx = ThreadCtx::main();
 
     let before = rt.machine().clock().now();
-    rt.ecall(&tcx, enclave.id(), "ecall_outer", &table, &mut CallData::default())
-        .unwrap();
+    rt.ecall(
+        &tcx,
+        enclave.id(),
+        "ecall_outer",
+        &table,
+        &mut CallData::default(),
+    )
+    .unwrap();
     let elapsed = rt.machine().clock().now() - before;
     assert_eq!(elapsed, Nanos::from_nanos(8_013));
 }
@@ -67,10 +81,11 @@ fn transition_costs_scale_with_hw_profile() {
     for profile in HwProfile::ALL {
         let machine = Arc::new(Machine::new(Clock::new(), profile));
         let rt = Runtime::new(machine);
-        let spec =
-            sgx_edl::parse("enclave { trusted { public void ecall_empty(); }; };").unwrap();
+        let spec = sgx_edl::parse("enclave { trusted { public void ecall_empty(); }; };").unwrap();
         let enclave = rt.create_enclave(&spec, &EnclaveConfig::default()).unwrap();
-        enclave.register_ecall("ecall_empty", |_, _| Ok(())).unwrap();
+        enclave
+            .register_ecall("ecall_empty", |_, _| Ok(()))
+            .unwrap();
         let table = Arc::new(OcallTableBuilder::new(enclave.spec()).build().unwrap());
         let before = rt.machine().clock().now();
         rt.ecall(
@@ -99,8 +114,14 @@ fn marshalling_cost_scales_with_buffer_size() {
     let tcx = ThreadCtx::main();
 
     let t0 = rt.machine().clock().now();
-    rt.ecall(&tcx, enclave.id(), "ecall_buf", &table, &mut CallData::default())
-        .unwrap();
+    rt.ecall(
+        &tcx,
+        enclave.id(),
+        "ecall_buf",
+        &table,
+        &mut CallData::default(),
+    )
+    .unwrap();
     let small = rt.machine().clock().now() - t0;
     let t1 = rt.machine().clock().now();
     rt.ecall(
@@ -154,7 +175,9 @@ fn private_ecall_allowed_from_allowing_ocall() {
     let secret_ran = Arc::new(AtomicUsize::new(0));
     let sr = Arc::clone(&secret_ran);
     enclave
-        .register_ecall("front", |ctx, _| ctx.ocall("helper", &mut CallData::default()))
+        .register_ecall("front", |ctx, _| {
+            ctx.ocall("helper", &mut CallData::default())
+        })
         .unwrap();
     enclave
         .register_ecall("secret", move |_, _| {
@@ -164,7 +187,9 @@ fn private_ecall_allowed_from_allowing_ocall() {
         .unwrap();
     let mut builder = OcallTableBuilder::new(enclave.spec());
     builder
-        .register("helper", |host, _| host.ecall("secret", &mut CallData::default()))
+        .register("helper", |host, _| {
+            host.ecall("secret", &mut CallData::default())
+        })
         .unwrap();
     let table = Arc::new(builder.build().unwrap());
     rt.ecall(
@@ -188,12 +213,16 @@ fn nested_ecall_outside_allow_list_rejected() {
     .unwrap();
     let enclave = rt.create_enclave(&spec, &EnclaveConfig::default()).unwrap();
     enclave
-        .register_ecall("front", |ctx, _| ctx.ocall("helper", &mut CallData::default()))
+        .register_ecall("front", |ctx, _| {
+            ctx.ocall("helper", &mut CallData::default())
+        })
         .unwrap();
     enclave.register_ecall("other", |_, _| Ok(())).unwrap();
     let mut builder = OcallTableBuilder::new(enclave.spec());
     builder
-        .register("helper", |host, _| host.ecall("other", &mut CallData::default()))
+        .register("helper", |host, _| {
+            host.ecall("other", &mut CallData::default())
+        })
         .unwrap();
     let table = Arc::new(builder.build().unwrap());
     let err = rt
@@ -255,8 +284,7 @@ fn tcs_exhaustion_reported() {
         let eid = enclave.id();
         sim.spawn("caller", move |ctx| {
             let tcx = ThreadCtx::from_sim(ctx);
-            if let Err(e) = rt.ecall(&tcx, eid, "ecall_block", &table, &mut CallData::default())
-            {
+            if let Err(e) = rt.ecall(&tcx, eid, "ecall_block", &table, &mut CallData::default()) {
                 errors.lock().push(e);
             }
         });
@@ -352,14 +380,19 @@ fn preloaded_interposer_sees_every_ecall() {
 
     let count = Arc::new(AtomicUsize::new(0));
     let c2 = Arc::clone(&count);
-    rt.loader().preload(move |next| {
-        Arc::new(CountingShim { next, count: c2 })
-    });
+    rt.loader()
+        .preload(move |next| Arc::new(CountingShim { next, count: c2 }));
 
     let tcx = ThreadCtx::main();
     for _ in 0..5 {
-        rt.ecall(&tcx, enclave.id(), "ecall_x", &table, &mut CallData::default())
-            .unwrap();
+        rt.ecall(
+            &tcx,
+            enclave.id(),
+            "ecall_x",
+            &table,
+            &mut CallData::default(),
+        )
+        .unwrap();
     }
     assert_eq!(count.load(Ordering::SeqCst), 5);
 }
@@ -461,9 +494,8 @@ fn multiple_preloads_stack_in_lifo_order() {
     let log: Arc<Mutex<Vec<&'static str>>> = Arc::new(Mutex::new(Vec::new()));
     for tag in ["first", "second"] {
         let log = Arc::clone(&log);
-        rt.loader().preload(move |next| {
-            Arc::new(TagShim { next, tag, log })
-        });
+        rt.loader()
+            .preload(move |next| Arc::new(TagShim { next, tag, log }));
     }
     rt.ecall(
         &ThreadCtx::main(),

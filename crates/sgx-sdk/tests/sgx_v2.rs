@@ -50,14 +50,26 @@ fn trusted_code_grows_heap_on_v2() {
     let rt = runtime(SgxVersion::V2);
     let (eid, table) = setup(&rt);
     let mut data = CallData::new(16);
-    rt.ecall(&ThreadCtx::main(), eid, "ecall_grow_and_use", &table, &mut data)
-        .unwrap();
+    rt.ecall(
+        &ThreadCtx::main(),
+        eid,
+        "ecall_grow_and_use",
+        &table,
+        &mut data,
+    )
+    .unwrap();
     assert_eq!(data.ret, 16);
     // Growth persists across calls: a second grow takes the last of the
     // 18-page padding reserve...
     let mut data2 = CallData::new(2);
-    rt.ecall(&ThreadCtx::main(), eid, "ecall_grow_and_use", &table, &mut data2)
-        .unwrap();
+    rt.ecall(
+        &ThreadCtx::main(),
+        eid,
+        "ecall_grow_and_use",
+        &table,
+        &mut data2,
+    )
+    .unwrap();
     assert_eq!(data2.ret, 2);
     // ...after which the reserve is exhausted.
     let err = rt

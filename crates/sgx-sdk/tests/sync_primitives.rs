@@ -5,11 +5,11 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
 use sgx_sdk::{
     CallData, OcallTableBuilder, Runtime, SgxCondvar, SgxHybridMutex, SgxThreadMutex, ThreadCtx,
 };
 use sgx_sim::{EnclaveConfig, Machine};
+use sim_core::sync::Mutex;
 use sim_core::{Clock, HwProfile, Nanos};
 use sim_threads::Simulation;
 
@@ -150,9 +150,7 @@ fn condvar_producer_consumer() {
     assert!(sleeps >= 1, "{names:?}");
     let wakes = names
         .iter()
-        .filter(|n| {
-            *n == sgx_sdk::sync_ocalls::SET || *n == sgx_sdk::sync_ocalls::SETWAIT
-        })
+        .filter(|n| *n == sgx_sdk::sync_ocalls::SET || *n == sgx_sdk::sync_ocalls::SETWAIT)
         .count();
     assert!(wakes >= sleeps, "{names:?}");
 }
@@ -210,8 +208,14 @@ fn condvar_broadcast_uses_set_multiple() {
         let eid = app.enclave.id();
         sim.spawn(&format!("waiter-{i}"), move |ctx| {
             let tcx = ThreadCtx::from_sim(ctx);
-            rt.ecall(&tcx, eid, "ecall_wait_for_go", &table, &mut CallData::default())
-                .unwrap();
+            rt.ecall(
+                &tcx,
+                eid,
+                "ecall_wait_for_go",
+                &table,
+                &mut CallData::default(),
+            )
+            .unwrap();
         });
     }
     {
@@ -230,7 +234,9 @@ fn condvar_broadcast_uses_set_multiple() {
     assert_eq!(released.load(Ordering::SeqCst), 3);
     let names = app.sync_ocalls.lock().clone();
     assert!(
-        names.iter().any(|n| n == sgx_sdk::sync_ocalls::SET_MULTIPLE),
+        names
+            .iter()
+            .any(|n| n == sgx_sdk::sync_ocalls::SET_MULTIPLE),
         "{names:?}"
     );
 }

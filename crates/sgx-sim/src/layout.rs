@@ -162,17 +162,32 @@ impl EnclaveLayout {
             kinds.extend(std::iter::repeat_n(kind, n));
             start..kinds.len()
         };
-        let code = push_range(&mut kinds, PageKind::Code, EnclaveConfig::pages(config.code_kib));
-        let data = push_range(&mut kinds, PageKind::Data, EnclaveConfig::pages(config.data_kib));
-        let heap = push_range(&mut kinds, PageKind::Heap, EnclaveConfig::pages(config.heap_kib));
+        let code = push_range(
+            &mut kinds,
+            PageKind::Code,
+            EnclaveConfig::pages(config.code_kib),
+        );
+        let data = push_range(
+            &mut kinds,
+            PageKind::Data,
+            EnclaveConfig::pages(config.data_kib),
+        );
+        let heap = push_range(
+            &mut kinds,
+            PageKind::Heap,
+            EnclaveConfig::pages(config.heap_kib),
+        );
         let mut threads = Vec::with_capacity(config.tcs_count);
         for _ in 0..config.tcs_count {
             let tcs = kinds.len();
             kinds.push(PageKind::Tcs);
             let ssa = push_range(&mut kinds, PageKind::Ssa, SSA_PAGES_PER_THREAD);
             kinds.push(PageKind::Guard);
-            let stack =
-                push_range(&mut kinds, PageKind::Stack, EnclaveConfig::pages(config.stack_kib));
+            let stack = push_range(
+                &mut kinds,
+                PageKind::Stack,
+                EnclaveConfig::pages(config.stack_kib),
+            );
             kinds.push(PageKind::Guard);
             threads.push(ThreadPages { tcs, ssa, stack });
         }
@@ -296,7 +311,7 @@ mod tests {
         for t in layout.thread_pages() {
             assert_eq!(layout.kind(t.tcs), PageKind::Tcs);
             assert_eq!(t.stack.len(), 2); // 8 KiB = 2 pages
-            // Stacks are bracketed by guard pages.
+                                          // Stacks are bracketed by guard pages.
             assert_eq!(layout.kind(t.stack.start - 1), PageKind::Guard);
             assert_eq!(layout.kind(t.stack.end), PageKind::Guard);
         }

@@ -5,7 +5,7 @@ use std::fmt;
 use std::ops::Range;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use sim_core::sync::Mutex;
 use sim_core::{Clock, CostModel, HwProfile, Nanos};
 
 use crate::epc::{Epc, EvictionPolicy, DEFAULT_EPC_PAGES};
@@ -359,8 +359,7 @@ impl Machine {
             inner.next_eid += 1;
             let eid = EnclaveId(raw);
             let base = (raw as u64 + 1) << 36;
-            let mut pages: Vec<PageState> =
-                layout.iter().map(PageState::new).collect();
+            let mut pages: Vec<PageState> = layout.iter().map(PageState::new).collect();
             for idx in 0..pages.len() {
                 if let Some(victim) = inner.epc.insert((eid, idx)) {
                     if victim.0 == eid {
@@ -737,11 +736,7 @@ impl Machine {
     /// [`SimError::RequiresSgxV2`] on a v1 machine;
     /// [`SimError::OutOfEnclaveSpace`] when the padding reserve is too
     /// small.
-    pub fn extend_heap(
-        &self,
-        eid: EnclaveId,
-        pages: usize,
-    ) -> Result<Range<usize>, SimError> {
+    pub fn extend_heap(&self, eid: EnclaveId, pages: usize) -> Result<Range<usize>, SimError> {
         if self.params.sgx_version != SgxVersion::V2 {
             return Err(SimError::RequiresSgxV2);
         }
@@ -809,11 +804,7 @@ impl Machine {
     /// processor is not inside the enclave — and MMU permissions are not
     /// consulted (the driver populates the EPC directly). Returns how many
     /// pages were paged in.
-    pub fn prefetch(
-        &self,
-        eid: EnclaveId,
-        pages: Range<usize>,
-    ) -> Result<usize, SimError> {
+    pub fn prefetch(&self, eid: EnclaveId, pages: Range<usize>) -> Result<usize, SimError> {
         let mut paged_in = 0;
         for index in pages {
             let (faulted, events) = {
@@ -911,10 +902,7 @@ impl Machine {
             .ok_or(SimError::UnknownEnclave(eid))
     }
 
-    fn state_mut(
-        inner: &mut Inner,
-        eid: EnclaveId,
-    ) -> Result<&mut EnclaveState, SimError> {
+    fn state_mut(inner: &mut Inner, eid: EnclaveId) -> Result<&mut EnclaveState, SimError> {
         inner
             .enclaves
             .get_mut(&eid.0)
@@ -1060,7 +1048,9 @@ mod tests {
         let m = machine();
         let eid = m.create_enclave(&EnclaveConfig::default()).unwrap();
         let heap = m.heap_range(eid).unwrap();
-        let stats = m.touch(eid, ThreadToken::MAIN, heap, AccessKind::Write).unwrap();
+        let stats = m
+            .touch(eid, ThreadToken::MAIN, heap, AccessKind::Write)
+            .unwrap();
         assert_eq!(stats, TouchStats::default());
     }
 
@@ -1126,7 +1116,12 @@ mod tests {
         // Touching an early heap page must page-fault.
         let heap = m.heap_range(eid).unwrap();
         let stats = m
-            .touch(eid, ThreadToken::MAIN, heap.start..heap.start + 1, AccessKind::Read)
+            .touch(
+                eid,
+                ThreadToken::MAIN,
+                heap.start..heap.start + 1,
+                AccessKind::Read,
+            )
             .unwrap();
         assert_eq!(stats.page_faults, 1);
     }
@@ -1204,7 +1199,12 @@ mod tests {
         m.strip_mmu_perms(eid).unwrap();
         let heap = m.heap_range(eid).unwrap();
         let err = m
-            .touch(eid, ThreadToken::MAIN, heap.start..heap.start + 1, AccessKind::Read)
+            .touch(
+                eid,
+                ThreadToken::MAIN,
+                heap.start..heap.start + 1,
+                AccessKind::Read,
+            )
             .unwrap_err();
         assert!(matches!(err, SimError::UnhandledMmuFault { .. }));
     }

@@ -15,21 +15,44 @@ use sim_core::{Clock, HwProfile};
 
 #[derive(Debug, Clone)]
 enum Op {
-    Create { heap_kib: usize },
-    TouchHeap { enclave: usize, offset: usize, len: usize },
-    Prefetch { enclave: usize, offset: usize, len: usize },
-    EvictAll { enclave: usize },
-    ExtendHeap { enclave: usize, pages: usize },
-    Destroy { enclave: usize },
+    Create {
+        heap_kib: usize,
+    },
+    TouchHeap {
+        enclave: usize,
+        offset: usize,
+        len: usize,
+    },
+    Prefetch {
+        enclave: usize,
+        offset: usize,
+        len: usize,
+    },
+    EvictAll {
+        enclave: usize,
+    },
+    ExtendHeap {
+        enclave: usize,
+        pages: usize,
+    },
+    Destroy {
+        enclave: usize,
+    },
 }
 
 fn arb_op() -> impl Strategy<Value = Op> {
     prop_oneof![
         (8usize..256).prop_map(|heap_kib| Op::Create { heap_kib }),
-        (any::<usize>(), 0usize..64, 1usize..16)
-            .prop_map(|(enclave, offset, len)| Op::TouchHeap { enclave, offset, len }),
-        (any::<usize>(), 0usize..64, 1usize..16)
-            .prop_map(|(enclave, offset, len)| Op::Prefetch { enclave, offset, len }),
+        (any::<usize>(), 0usize..64, 1usize..16).prop_map(|(enclave, offset, len)| Op::TouchHeap {
+            enclave,
+            offset,
+            len
+        }),
+        (any::<usize>(), 0usize..64, 1usize..16).prop_map(|(enclave, offset, len)| Op::Prefetch {
+            enclave,
+            offset,
+            len
+        }),
         any::<usize>().prop_map(|enclave| Op::EvictAll { enclave }),
         (any::<usize>(), 1usize..8).prop_map(|(enclave, pages)| Op::ExtendHeap { enclave, pages }),
         any::<usize>().prop_map(|enclave| Op::Destroy { enclave }),

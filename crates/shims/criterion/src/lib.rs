@@ -1,0 +1,183 @@
+//! A minimal, dependency-free stand-in for the `criterion` crate.
+//!
+//! The workspace builds with no network access, so the real harness is
+//! unavailable. This shim keeps the `criterion_micro` bench compiling and
+//! producing *useful* (wall-clock mean over a fixed batch) numbers,
+//! without the statistics machinery: each `bench_function` runs a warmup
+//! batch, then measures batches until `measurement_time` is spent and
+//! reports mean time per iteration and derived throughput.
+
+use std::fmt;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 100,
+            measurement_time: Duration::from_secs(3),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    pub fn final_summary(&self) {}
+}
+
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            iters_done: 0,
+            elapsed: Duration::ZERO,
+            batch: 1,
+        };
+        // Warmup: let the closure pick a batch size that takes >= ~5 ms.
+        f(&mut b);
+        while b.elapsed < Duration::from_millis(5) && b.batch < 1 << 20 {
+            b.batch *= 4;
+            b.reset();
+            f(&mut b);
+        }
+        b.reset();
+        let deadline = Instant::now() + self.criterion.measurement_time;
+        let mut samples = 0usize;
+        while samples < self.criterion.sample_size && Instant::now() < deadline {
+            f(&mut b);
+            samples += 1;
+        }
+        let mean_ns = if b.iters_done == 0 {
+            0.0
+        } else {
+            b.elapsed.as_nanos() as f64 / b.iters_done as f64
+        };
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if mean_ns > 0.0 => {
+                format!(" ({:.2} Melem/s)", n as f64 * 1e3 / mean_ns)
+            }
+            Some(Throughput::Bytes(n)) if mean_ns > 0.0 => {
+                format!(" ({:.1} MiB/s)", n as f64 * 1e9 / mean_ns / (1 << 20) as f64)
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{}/{id}: {}{}  [{} iters, {} samples]",
+            self.name,
+            FmtNanos(mean_ns),
+            rate,
+            b.iters_done,
+            samples
+        );
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+struct FmtNanos(f64);
+
+impl fmt::Display for FmtNanos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1e9 {
+            write!(f, "{:.3} s", self.0 / 1e9)
+        } else if self.0 >= 1e6 {
+            write!(f, "{:.3} ms", self.0 / 1e6)
+        } else if self.0 >= 1e3 {
+            write!(f, "{:.3} us", self.0 / 1e3)
+        } else {
+            write!(f, "{:.1} ns", self.0)
+        }
+    }
+}
+
+pub struct Bencher {
+    iters_done: u64,
+    elapsed: Duration,
+    batch: u64,
+}
+
+impl Bencher {
+    fn reset(&mut self) {
+        self.iters_done = 0;
+        self.elapsed = Duration::ZERO;
+    }
+
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.batch {
+            std_black_box(f());
+        }
+        self.elapsed += start.elapsed();
+        self.iters_done += self.batch;
+    }
+}
+
+/// Declares a benchmark group runnable by [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -56,12 +56,10 @@ impl Clock {
         let target = t.as_nanos();
         let mut cur = self.now_ns.load(Ordering::SeqCst);
         while cur < target {
-            match self.now_ns.compare_exchange(
-                cur,
-                target,
-                Ordering::SeqCst,
-                Ordering::SeqCst,
-            ) {
+            match self
+                .now_ns
+                .compare_exchange(cur, target, Ordering::SeqCst, Ordering::SeqCst)
+            {
                 Ok(_) => return t,
                 Err(actual) => cur = actual,
             }

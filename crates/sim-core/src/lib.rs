@@ -26,6 +26,7 @@
 pub mod clock;
 pub mod hw;
 pub mod rng;
+pub mod sync;
 pub mod time;
 
 pub use clock::Clock;

@@ -1,34 +1,122 @@
 //! Deterministic randomness helpers.
 //!
-//! All workload jitter comes from explicitly seeded [`StdRng`] instances so
-//! every experiment is reproducible. A small approximate-Gaussian sampler is
-//! provided for execution-time jitter without pulling in `rand_distr`.
+//! All workload jitter comes from explicitly seeded [`Rng`] instances so
+//! every experiment is reproducible. The generator is splitmix64 — tiny,
+//! fast, dependency-free (the workspace builds offline, so `rand` is not
+//! available) and statistically plenty for simulation jitter. A small
+//! approximate-Gaussian sampler is provided for execution-time jitter
+//! without pulling in `rand_distr`.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use std::ops::Range;
 
 use crate::time::Nanos;
+
+/// A seeded splitmix64 generator with a `rand`-flavoured surface
+/// (`gen`, `gen_range`), so call sites read the same as before the
+/// offline migration.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Samples a uniform value of any [`Sample`] type.
+    pub fn gen<T: Sample>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Samples uniformly from a half-open range. Panics on empty ranges.
+    pub fn gen_range<T: Sample>(&mut self, range: Range<T>) -> T {
+        T::sample_range(self, range)
+    }
+}
+
+/// Types [`Rng::gen`] / [`Rng::gen_range`] can produce.
+pub trait Sample: Sized {
+    fn sample(rng: &mut Rng) -> Self;
+    fn sample_range(rng: &mut Rng, range: Range<Self>) -> Self;
+}
+
+macro_rules! sample_uint {
+    ($($t:ty),*) => {$(
+        impl Sample for $t {
+            fn sample(rng: &mut Rng) -> $t {
+                rng.next_u64() as $t
+            }
+            fn sample_range(rng: &mut Rng, range: Range<$t>) -> $t {
+                assert!(range.start < range.end, "gen_range on empty range");
+                let span = (range.end as u64).wrapping_sub(range.start as u64);
+                range.start.wrapping_add((rng.next_u64() % span) as $t)
+            }
+        }
+    )*};
+}
+sample_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! sample_int {
+    ($($t:ty),*) => {$(
+        impl Sample for $t {
+            fn sample(rng: &mut Rng) -> $t {
+                rng.next_u64() as $t
+            }
+            fn sample_range(rng: &mut Rng, range: Range<$t>) -> $t {
+                assert!(range.start < range.end, "gen_range on empty range");
+                let span = (range.end as i64).wrapping_sub(range.start as i64) as u64;
+                (range.start as i64).wrapping_add((rng.next_u64() % span) as i64) as $t
+            }
+        }
+    )*};
+}
+sample_int!(i8, i16, i32, i64, isize);
+
+impl Sample for bool {
+    fn sample(rng: &mut Rng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+    fn sample_range(_rng: &mut Rng, _range: Range<bool>) -> bool {
+        unreachable!("bool ranges are not sampleable")
+    }
+}
+
+impl Sample for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn sample(rng: &mut Rng) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+    fn sample_range(rng: &mut Rng, range: Range<f64>) -> f64 {
+        range.start + f64::sample(rng) * (range.end - range.start)
+    }
+}
 
 /// Creates a deterministic RNG from a seed.
 ///
 /// # Examples
 ///
 /// ```
-/// use rand::Rng;
-///
 /// let mut a = sim_core::rng::seeded(42);
 /// let mut b = sim_core::rng::seeded(42);
 /// assert_eq!(a.gen::<u64>(), b.gen::<u64>());
 /// ```
-pub fn seeded(seed: u64) -> StdRng {
-    StdRng::seed_from_u64(seed)
+pub fn seeded(seed: u64) -> Rng {
+    // Pre-mix so small consecutive seeds don't start in nearby states.
+    Rng {
+        state: seed ^ 0x6a09_e667_f3bc_c908,
+    }
 }
 
 /// Samples an approximately normal value with the given mean and standard
 /// deviation using the Irwin–Hall construction (sum of 12 uniforms).
 ///
 /// The result is clamped to `[mean - 3*sd, mean + 3*sd]`.
-pub fn approx_normal(rng: &mut StdRng, mean: f64, sd: f64) -> f64 {
+pub fn approx_normal(rng: &mut Rng, mean: f64, sd: f64) -> f64 {
     let z: f64 = (0..12).map(|_| rng.gen::<f64>()).sum::<f64>() - 6.0;
     (mean + z * sd).clamp(mean - 3.0 * sd, mean + 3.0 * sd)
 }
@@ -46,7 +134,7 @@ pub fn approx_normal(rng: &mut StdRng, mean: f64, sd: f64) -> f64 {
 /// let d = sim_core::rng::jitter(&mut rng, Nanos::from_micros(10), 0.1);
 /// assert!(d >= Nanos::from_nanos(2_500));
 /// ```
-pub fn jitter(rng: &mut StdRng, mean: Nanos, rel_sd: f64) -> Nanos {
+pub fn jitter(rng: &mut Rng, mean: Nanos, rel_sd: f64) -> Nanos {
     let m = mean.as_nanos() as f64;
     let sampled = approx_normal(rng, m, m * rel_sd);
     Nanos::from_nanos(sampled.max(m / 4.0).round() as u64)
@@ -56,7 +144,7 @@ pub fn jitter(rng: &mut StdRng, mean: Nanos, rel_sd: f64) -> Nanos {
 /// drawn around `tail_mean`, otherwise around `mean` (both with 10% relative
 /// jitter). Useful for modelling occasional slow calls (e.g. fsync hitting
 /// the device, long TLS handshakes).
-pub fn bimodal(rng: &mut StdRng, mean: Nanos, tail_mean: Nanos, tail_p: f64) -> Nanos {
+pub fn bimodal(rng: &mut Rng, mean: Nanos, tail_mean: Nanos, tail_p: f64) -> Nanos {
     if rng.gen::<f64>() < tail_p {
         jitter(rng, tail_mean, 0.1)
     } else {
@@ -75,6 +163,33 @@ mod tests {
         for _ in 0..64 {
             assert_eq!(a.gen::<u64>(), b.gen::<u64>());
         }
+    }
+
+    #[test]
+    fn nearby_seeds_diverge() {
+        let mut a = seeded(1);
+        let mut b = seeded(2);
+        let same = (0..64).filter(|_| a.gen::<u64>() == b.gen::<u64>()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = seeded(9);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(600..2_000u64);
+            assert!((600..2_000).contains(&v));
+            let u = rng.gen_range(0..3usize);
+            assert!(u < 3);
+        }
+    }
+
+    #[test]
+    fn unit_f64_is_half_on_average() {
+        let mut rng = seeded(11);
+        let n = 20_000;
+        let mean = (0..n).map(|_| rng.gen::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
     }
 
     #[test]
@@ -100,7 +215,9 @@ mod tests {
         let mut rng = seeded(3);
         let fast = Nanos::from_micros(1);
         let slow = Nanos::from_micros(100);
-        let samples: Vec<Nanos> = (0..1_000).map(|_| bimodal(&mut rng, fast, slow, 0.1)).collect();
+        let samples: Vec<Nanos> = (0..1_000)
+            .map(|_| bimodal(&mut rng, fast, slow, 0.1))
+            .collect();
         let slow_count = samples.iter().filter(|d| d.as_micros() > 50).count();
         assert!((50..200).contains(&slow_count), "slow count {slow_count}");
     }

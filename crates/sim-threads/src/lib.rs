@@ -44,7 +44,7 @@ use std::panic::{self, AssertUnwindSafe};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use parking_lot::{Condvar, Mutex};
+use sim_core::sync::{Condvar, Mutex};
 use sim_core::{Clock, Nanos};
 
 /// Identifier of a logical thread within one [`Simulation`].
@@ -399,7 +399,7 @@ impl SimCtx {
         self.sleep_until(deadline);
     }
 
-    fn wait_for_token(&self, mut st: parking_lot::MutexGuard<'_, SchedState>) {
+    fn wait_for_token(&self, mut st: sim_core::sync::MutexGuard<'_, SchedState>) {
         while st.current != Some(self.index) {
             if st.panic.is_some() && st.current.is_none() && st.run_queue.is_empty() {
                 // Simulation is dead; unwind this thread quietly.

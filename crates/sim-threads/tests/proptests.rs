@@ -5,8 +5,8 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
 use proptest::prelude::*;
+use sim_core::sync::Mutex;
 use sim_core::{Clock, Nanos};
 use sim_threads::Simulation;
 

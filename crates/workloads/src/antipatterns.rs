@@ -23,10 +23,8 @@ use crate::harness::Harness;
 ///
 /// Propagates SDK failures.
 pub fn sisc(harness: &Harness, iterations: u64) -> SdkResult<EnclaveId> {
-    let spec = sgx_edl::parse(
-        "enclave { trusted { public void ecall_tiny_step(uint64_t i); }; };",
-    )
-    .expect("static EDL");
+    let spec = sgx_edl::parse("enclave { trusted { public void ecall_tiny_step(uint64_t i); }; };")
+        .expect("static EDL");
     let rt = harness.runtime();
     let enclave = rt.create_enclave(&spec, &EnclaveConfig::default())?;
     enclave.register_ecall("ecall_tiny_step", |ctx, _| {
@@ -36,7 +34,13 @@ pub fn sisc(harness: &Harness, iterations: u64) -> SdkResult<EnclaveId> {
     let table = Arc::new(OcallTableBuilder::new(enclave.spec()).build()?);
     let tcx = ThreadCtx::main();
     for i in 0..iterations {
-        rt.ecall(&tcx, enclave.id(), "ecall_tiny_step", &table, &mut CallData::new(i))?;
+        rt.ecall(
+            &tcx,
+            enclave.id(),
+            "ecall_tiny_step",
+            &table,
+            &mut CallData::new(i),
+        )?;
     }
     Ok(enclave.id())
 }
@@ -68,8 +72,20 @@ pub fn sdsc(harness: &Harness, iterations: u64) -> SdkResult<EnclaveId> {
     let table = Arc::new(OcallTableBuilder::new(enclave.spec()).build()?);
     let tcx = ThreadCtx::main();
     for i in 0..iterations {
-        rt.ecall(&tcx, enclave.id(), "ecall_seek", &table, &mut CallData::new(i))?;
-        rt.ecall(&tcx, enclave.id(), "ecall_write", &table, &mut CallData::new(i))?;
+        rt.ecall(
+            &tcx,
+            enclave.id(),
+            "ecall_seek",
+            &table,
+            &mut CallData::new(i),
+        )?;
+        rt.ecall(
+            &tcx,
+            enclave.id(),
+            "ecall_write",
+            &table,
+            &mut CallData::new(i),
+        )?;
     }
     Ok(enclave.id())
 }
@@ -102,7 +118,13 @@ pub fn snc(harness: &Harness, iterations: u64) -> SdkResult<EnclaveId> {
     let table = Arc::new(builder.build()?);
     let tcx = ThreadCtx::main();
     for i in 0..iterations {
-        rt.ecall(&tcx, enclave.id(), "ecall_process", &table, &mut CallData::new(i))?;
+        rt.ecall(
+            &tcx,
+            enclave.id(),
+            "ecall_process",
+            &table,
+            &mut CallData::new(i),
+        )?;
     }
     Ok(enclave.id())
 }
@@ -114,10 +136,8 @@ pub fn snc(harness: &Harness, iterations: u64) -> SdkResult<EnclaveId> {
 ///
 /// Propagates SDK failures.
 pub fn ssc(harness: &Harness, rounds: u64) -> SdkResult<EnclaveId> {
-    let spec = sgx_edl::parse(
-        "enclave { trusted { public void ecall_locked_op(uint64_t i); }; };",
-    )
-    .expect("static EDL");
+    let spec = sgx_edl::parse("enclave { trusted { public void ecall_locked_op(uint64_t i); }; };")
+        .expect("static EDL");
     let rt = harness.runtime();
     let enclave = rt.create_enclave(
         &spec,
@@ -164,10 +184,8 @@ pub fn ssc(harness: &Harness, rounds: u64) -> SdkResult<EnclaveId> {
 ///
 /// Propagates SDK failures.
 pub fn paging(harness: &Harness, sweeps: u64) -> SdkResult<EnclaveId> {
-    let spec = sgx_edl::parse(
-        "enclave { trusted { public void ecall_scan(uint64_t pass); }; };",
-    )
-    .expect("static EDL");
+    let spec = sgx_edl::parse("enclave { trusted { public void ecall_scan(uint64_t pass); }; };")
+        .expect("static EDL");
     let rt = harness.runtime();
     let enclave = rt.create_enclave(
         &spec,
@@ -186,7 +204,13 @@ pub fn paging(harness: &Harness, sweeps: u64) -> SdkResult<EnclaveId> {
     let table = Arc::new(OcallTableBuilder::new(enclave.spec()).build()?);
     let tcx = ThreadCtx::main();
     for pass in 0..sweeps {
-        rt.ecall(&tcx, enclave.id(), "ecall_scan", &table, &mut CallData::new(pass))?;
+        rt.ecall(
+            &tcx,
+            enclave.id(),
+            "ecall_scan",
+            &table,
+            &mut CallData::new(pass),
+        )?;
     }
     Ok(enclave.id())
 }
@@ -237,7 +261,13 @@ pub fn permissive_interface(harness: &Harness, iterations: u64) -> SdkResult<Enc
     let table = Arc::new(builder.build()?);
     let tcx = ThreadCtx::main();
     for i in 0..iterations {
-        rt.ecall(&tcx, enclave.id(), "ecall_entry", &table, &mut CallData::new(i))?;
+        rt.ecall(
+            &tcx,
+            enclave.id(),
+            "ecall_entry",
+            &table,
+            &mut CallData::new(i),
+        )?;
     }
     Ok(enclave.id())
 }
@@ -260,11 +290,10 @@ mod tests {
         let logger = Logger::attach(h.runtime(), LoggerConfig::default());
         sisc(&h, 200).unwrap();
         let report = analyze(&h, &logger);
-        assert!(report
-            .detections
-            .iter()
-            .any(|d| matches!(d.recommendation, Recommendation::BatchCalls { .. })
-                && d.name == "ecall_tiny_step"));
+        assert!(report.detections.iter().any(|d| matches!(
+            d.recommendation,
+            Recommendation::BatchCalls { .. }
+        ) && d.name == "ecall_tiny_step"));
     }
 
     #[test]
@@ -274,11 +303,10 @@ mod tests {
         sdsc(&h, 200).unwrap();
         let report = analyze(&h, &logger);
         assert!(
-            report
-                .detections
-                .iter()
-                .any(|d| matches!(&d.recommendation, Recommendation::MergeCalls { with }
-                    if with == "ecall_seek")),
+            report.detections.iter().any(
+                |d| matches!(&d.recommendation, Recommendation::MergeCalls { with }
+                    if with == "ecall_seek")
+            ),
             "{:?}",
             report.detections
         );

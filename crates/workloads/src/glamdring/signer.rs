@@ -4,10 +4,10 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
 use sgx_edl::{InterfaceBuilder, InterfaceSpec, ParamSpec};
 use sgx_sdk::{CallData, EcallCtx, OcallTableBuilder, Runtime, SdkResult, ThreadCtx};
 use sgx_sim::{AccessKind, EnclaveConfig, EnclaveId};
+use sim_core::sync::Mutex;
 use sim_core::{Clock, Nanos};
 
 use crate::harness::{Harness, RunStats, Variant};
@@ -104,7 +104,6 @@ struct SignState {
 impl SignState {
     fn new(limbs: usize, seed: u64) -> SignState {
         let mut rng = sim_core::rng::seeded(seed);
-        use rand::Rng;
         SignState {
             a: (0..limbs).map(|_| rng.gen()).collect(),
             b: (0..limbs).map(|_| rng.gen()).collect(),
@@ -225,8 +224,11 @@ impl MulOps for InEnclaveOps<'_, '_> {
         Ok(())
     }
     fn node_overhead(&mut self) -> SdkResult<()> {
-        self.ctx
-            .compute(self.cfg.node_untrusted.scale(self.cfg.enclave_compute_factor))?;
+        self.ctx.compute(
+            self.cfg
+                .node_untrusted
+                .scale(self.cfg.enclave_compute_factor),
+        )?;
         Ok(())
     }
 }
@@ -243,7 +245,10 @@ pub fn glamdring_interface() -> InterfaceSpec {
             "ecall_bn_sub_part_words",
             vec![ParamSpec::value("n", "size_t")],
         )
-        .public_ecall("ecall_bn_mul_recursive", vec![ParamSpec::value("n", "size_t")])
+        .public_ecall(
+            "ecall_bn_mul_recursive",
+            vec![ParamSpec::value("n", "size_t")],
+        )
         .public_ecall("ecall_load_key", vec![]);
     // The remaining auto-generated trusted functions (171 total).
     for i in 0..168 {
@@ -464,7 +469,7 @@ fn build_enclave(harness: &Harness, config: &GlamdringConfig) -> SdkResult<Built
             ctx.touch(heap_page..heap_page + 1, AccessKind::Write)?;
             data.ret = st.do_sub(n);
             ctx.compute(cfg.sub_cost(n).scale(cfg.enclave_compute_factor))?;
-            if st.counter % cfg.bn_ocall_every == 0 {
+            if st.counter.is_multiple_of(cfg.bn_ocall_every) {
                 ctx.ocall("ocall_bn_new", &mut CallData::default())?;
             }
             Ok(())
@@ -579,10 +584,13 @@ mod tests {
 
     #[test]
     fn optimisation_speedup_matches_paper_shape() {
-        let enclave = run(&Harness::new(HwProfile::Unpatched), &short_cfg(Variant::Enclave))
-            .unwrap()
-            .stats
-            .throughput();
+        let enclave = run(
+            &Harness::new(HwProfile::Unpatched),
+            &short_cfg(Variant::Enclave),
+        )
+        .unwrap()
+        .stats
+        .throughput();
         let optimised = run(
             &Harness::new(HwProfile::Unpatched),
             &short_cfg(Variant::Optimised),

@@ -19,7 +19,8 @@ impl Keystream {
     }
 
     fn block(&self, counter: u64) -> u64 {
-        let mut x = self.key ^ self.nonce.rotate_left(17) ^ counter.wrapping_mul(0x9e3779b97f4a7c15);
+        let mut x =
+            self.key ^ self.nonce.rotate_left(17) ^ counter.wrapping_mul(0x9e3779b97f4a7c15);
         x ^= x >> 30;
         x = x.wrapping_mul(0xbf58476d1ce4e5b9);
         x ^= x >> 27;

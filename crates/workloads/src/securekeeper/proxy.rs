@@ -3,15 +3,11 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
-use rand::rngs::StdRng;
-use rand::Rng;
 use sgx_edl::InterfaceSpec;
-use sgx_sdk::{
-    CallData, OcallTableBuilder, SdkResult, SgxThreadMutex, ThreadCtx,
-};
+use sgx_sdk::{CallData, OcallTableBuilder, SdkResult, SgxThreadMutex, ThreadCtx};
 use sgx_sim::{AccessKind, EnclaveConfig, EnclaveId};
 use sim_core::rng::{bimodal, jitter};
+use sim_core::sync::Mutex;
 use sim_core::Nanos;
 use sim_threads::Simulation;
 
@@ -93,7 +89,7 @@ pub struct SecureKeeperResult {
 struct ProxyState {
     keystream: Keystream,
     packets: u64,
-    rng: StdRng,
+    rng: sim_core::rng::Rng,
 }
 
 /// Enclave sizing: 1 MiB of code + 512 KiB heap gives the paper's
@@ -155,8 +151,7 @@ fn build_proxy_enclave(
             // Parse + en/decrypt cost: client side ≈14 us mean measured
             // (≈9.5 us execution), ZooKeeper side ≈18 us (≈13.5 us), with
             // the occasional slow packet forming Figure 7's tail.
-            let mean = Nanos::from_micros(base_us)
-                + Nanos::from_nanos(6 * data.in_bytes as u64);
+            let mean = Nanos::from_micros(base_us) + Nanos::from_nanos(6 * data.in_bytes as u64);
             let cost = bimodal(&mut st.rng, mean, mean * 2, 0.05);
             drop(st);
             ctx.compute(cost)?;
@@ -216,7 +211,10 @@ pub fn run(harness: &Harness, config: &SecureKeeperConfig) -> SdkResult<SecureKe
             // Debug logging during connection establishment (the
             // "remaining ocalls" of §5.2.4).
             for _ in 0..9 {
-                ctx.ocall("ocall_print_debug", &mut CallData::default().with_in_bytes(48))?;
+                ctx.ocall(
+                    "ocall_print_debug",
+                    &mut CallData::default().with_in_bytes(48),
+                )?;
             }
             map_mutex.unlock(ctx)?;
             data.ret = connection_map.lock().len() as u64;
@@ -273,8 +271,7 @@ pub fn run(harness: &Harness, config: &SecureKeeperConfig) -> SdkResult<SecureKe
             .expect("register_client");
             // Steady state: proxy requests until the deadline.
             while ctx.clock().now() < deadline {
-                let payload = cfg.payload_bytes
-                    + (rng.gen_range(0..cfg.payload_bytes / 2));
+                let payload = cfg.payload_bytes + (rng.gen_range(0..cfg.payload_bytes / 2));
                 let mut c = CallData::default().with_in_bytes(payload);
                 rt.ecall(&tcx, eid, "ecall_handle_input_from_client", &table, &mut c)
                     .expect("client ecall");
@@ -317,21 +314,40 @@ pub fn working_set_probe(
     steady_requests: u64,
 ) -> SdkResult<(usize, usize)> {
     let proxy_spec = sgx_edl::parse(PROXY_EDL).expect("static EDL parses");
-    let (enclave, table) = build_proxy_enclave(harness, &proxy_spec, config.seed, config.payload_bytes)?;
+    let (enclave, table) =
+        build_proxy_enclave(harness, &proxy_spec, config.seed, config.payload_bytes)?;
     let wse = sgx_perf::WorkingSetEstimator::attach(harness.machine(), enclave.id())
         .map_err(sgx_sdk::SdkError::Sim)?;
     let tcx = ThreadCtx::main();
     let rt = harness.runtime();
     // Start-up: the first packet triggers library initialisation.
     let mut first = CallData::default().with_in_bytes(config.payload_bytes);
-    rt.ecall(&tcx, enclave.id(), "ecall_handle_input_from_client", &table, &mut first)?;
+    rt.ecall(
+        &tcx,
+        enclave.id(),
+        "ecall_handle_input_from_client",
+        &table,
+        &mut first,
+    )?;
     let startup = wse.mark().map_err(sgx_sdk::SdkError::Sim)?;
     // Steady state.
     for i in 0..steady_requests {
         let mut c = CallData::default().with_in_bytes(config.payload_bytes + (i as usize % 64));
-        rt.ecall(&tcx, enclave.id(), "ecall_handle_input_from_client", &table, &mut c)?;
+        rt.ecall(
+            &tcx,
+            enclave.id(),
+            "ecall_handle_input_from_client",
+            &table,
+            &mut c,
+        )?;
         let mut z = CallData::default().with_in_bytes(config.payload_bytes + 32);
-        rt.ecall(&tcx, enclave.id(), "ecall_handle_input_from_zk", &table, &mut z)?;
+        rt.ecall(
+            &tcx,
+            enclave.id(),
+            "ecall_handle_input_from_zk",
+            &table,
+            &mut z,
+        )?;
     }
     let steady = wse.mark().map_err(sgx_sdk::SdkError::Sim)?;
     wse.detach().map_err(sgx_sdk::SdkError::Sim)?;
@@ -395,8 +411,7 @@ mod tests {
     fn working_sets_match_paper() {
         // §5.2.4: 322 pages at start-up, 94 during execution.
         let h = Harness::new(HwProfile::Unpatched);
-        let (startup, steady) =
-            working_set_probe(&h, &SecureKeeperConfig::default(), 200).unwrap();
+        let (startup, steady) = working_set_probe(&h, &SecureKeeperConfig::default(), 200).unwrap();
         assert_eq!(startup, 322);
         assert_eq!(steady, 94);
     }

@@ -145,13 +145,16 @@ impl Engine {
         // --- autocommit transaction ---
         self.journal_gen += 1;
         let journal_base = 1 << 40; // journal file "offset space"
-        // 1. journal header
+                                    // 1. journal header
         vfs.lseek_write(journal_base, JOURNAL_HEADER)?;
         // 2. original page backup
         vfs.compute(self.params.page_codec)?;
         vfs.lseek_write(journal_base + JOURNAL_HEADER as u64, DB_PAGE)?;
         // 3. commit marker
-        vfs.lseek_write(journal_base + (JOURNAL_HEADER + DB_PAGE) as u64, COMMIT_MARKER)?;
+        vfs.lseek_write(
+            journal_base + (JOURNAL_HEADER + DB_PAGE) as u64,
+            COMMIT_MARKER,
+        )?;
         // 4. table page
         vfs.compute(self.params.page_codec)?;
         vfs.lseek_write(page * DB_PAGE as u64 + DB_HEADER as u64, DB_PAGE)?;

@@ -5,10 +5,9 @@
 //! enclavised (each operation is an ocall) and optimised (`lseek`+`write`
 //! fused into one ocall, as sgx-perf recommends for the SDSC problem).
 
-use parking_lot::Mutex;
-use rand::rngs::StdRng;
 use sgx_sdk::{CallData, EcallCtx, SdkResult};
 use sim_core::rng::jitter;
+use sim_core::sync::Mutex;
 use sim_core::{Clock, Nanos};
 use std::sync::Arc;
 
@@ -38,7 +37,7 @@ impl Default for IoParams {
 }
 
 impl IoParams {
-    fn write_cost(&self, rng: &mut StdRng, bytes: usize) -> Nanos {
+    fn write_cost(&self, rng: &mut sim_core::rng::Rng, bytes: usize) -> Nanos {
         let pages = bytes.div_ceil(4096) as u64;
         jitter(rng, self.write_exec + self.write_per_page * pages, 0.1)
     }
@@ -73,7 +72,7 @@ pub trait Vfs {
 #[derive(Debug)]
 pub struct NativeVfs {
     clock: Clock,
-    rng: StdRng,
+    rng: sim_core::rng::Rng,
     params: IoParams,
 }
 
@@ -117,7 +116,7 @@ impl Vfs for NativeVfs {
 /// implementations operate on.
 #[derive(Debug)]
 pub struct HostFile {
-    rng: Mutex<StdRng>,
+    rng: Mutex<sim_core::rng::Rng>,
     params: IoParams,
 }
 

@@ -3,10 +3,9 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
-use rand::Rng;
 use sgx_sdk::{CallData, OcallTableBuilder, SdkResult, ThreadCtx};
 use sgx_sim::{AccessKind, EnclaveConfig};
+use sim_core::sync::Mutex;
 
 use crate::harness::{Harness, RunStats, Variant};
 
@@ -78,7 +77,7 @@ impl Default for SqliteConfig {
 /// git repositories).
 #[derive(Debug)]
 pub struct CommitGen {
-    rng: rand::rngs::StdRng,
+    rng: sim_core::rng::Rng,
     next_key: u64,
 }
 
@@ -123,7 +122,11 @@ pub fn run(harness: &Harness, config: &SqliteConfig) -> SdkResult<RunStats> {
 }
 
 fn run_native(harness: &Harness, config: &SqliteConfig) -> SdkResult<RunStats> {
-    let mut vfs = NativeVfs::new(harness.clock().clone(), config.seed ^ 0xf11e, config.io.clone());
+    let mut vfs = NativeVfs::new(
+        harness.clock().clone(),
+        config.seed ^ 0xf11e,
+        config.io.clone(),
+    );
     let mut engine = Engine::new(config.engine.clone());
     let generator = CommitGen::new(config.seed);
     let (count, elapsed) = {
@@ -185,7 +188,9 @@ fn run_enclavised(harness: &Harness, config: &SqliteConfig) -> SdkResult<RunStat
     enclave.register_ecall("ecall_lookup", move |ctx, data| {
         let engine = engine_lookup.lock();
         let mut vfs = OcallVfs::naive(ctx);
-        data.ret = engine.lookup(data.scalar, &mut vfs)?.map_or(0, |l| l as u64);
+        data.ret = engine
+            .lookup(data.scalar, &mut vfs)?
+            .map_or(0, |l| l as u64);
         Ok(())
     })?;
 
@@ -268,20 +273,28 @@ mod tests {
 
     #[test]
     fn figure6_ordering_native_beats_optimised_beats_enclave() {
-        let native = run(&Harness::new(HwProfile::Unpatched), &cfg(Variant::Native, 2_000))
-            .unwrap()
-            .throughput();
-        let enclave = run(&Harness::new(HwProfile::Unpatched), &cfg(Variant::Enclave, 2_000))
-            .unwrap()
-            .throughput();
+        let native = run(
+            &Harness::new(HwProfile::Unpatched),
+            &cfg(Variant::Native, 2_000),
+        )
+        .unwrap()
+        .throughput();
+        let enclave = run(
+            &Harness::new(HwProfile::Unpatched),
+            &cfg(Variant::Enclave, 2_000),
+        )
+        .unwrap()
+        .throughput();
         let optimised = run(
             &Harness::new(HwProfile::Unpatched),
             &cfg(Variant::Optimised, 2_000),
         )
         .unwrap()
         .throughput();
-        assert!(native > optimised && optimised > enclave,
-            "native {native:.0} optimised {optimised:.0} enclave {enclave:.0}");
+        assert!(
+            native > optimised && optimised > enclave,
+            "native {native:.0} optimised {optimised:.0} enclave {enclave:.0}"
+        );
         // §5.2.2 shape: enclave ≈ 0.5-0.65x native, merging recovers ≈1.2-1.45x.
         let enclave_ratio = enclave / native;
         let gain = optimised / enclave;
@@ -291,7 +304,11 @@ mod tests {
 
     #[test]
     fn native_throughput_is_in_paper_scale() {
-        let stats = run(&Harness::new(HwProfile::Unpatched), &cfg(Variant::Native, 5_000)).unwrap();
+        let stats = run(
+            &Harness::new(HwProfile::Unpatched),
+            &cfg(Variant::Native, 5_000),
+        )
+        .unwrap();
         let tput = stats.throughput();
         // Paper: 23,087 req/s native. Same order of magnitude expected.
         assert!((15_000.0..40_000.0).contains(&tput), "{tput}");

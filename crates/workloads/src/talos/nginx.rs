@@ -4,12 +4,11 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
-use rand::rngs::StdRng;
 use sgx_edl::{InterfaceBuilder, InterfaceSpec, ParamSpec, PointerDir};
 use sgx_sdk::{CallData, EcallCtx, OcallTableBuilder, SdkResult, ThreadCtx};
 use sgx_sim::EnclaveConfig;
 use sim_core::rng::jitter;
+use sim_core::sync::Mutex;
 use sim_core::Nanos;
 
 use crate::harness::{Harness, RunStats, Variant};
@@ -171,13 +170,17 @@ fn register_enclave_side(
         .ssl_set_fd(d.scalar, d.aux.first().copied().unwrap_or(0)));
     reg!("ecall_SSL_set_accept_state", |st, d| st
         .ssl_set_accept_state(d.scalar));
-    reg!("ecall_SSL_do_handshake", |st, d| st.ssl_do_handshake(d.scalar));
+    reg!("ecall_SSL_do_handshake", |st, d| st
+        .ssl_do_handshake(d.scalar));
     reg!("ecall_SSL_read", |st, d| st.ssl_read(d.scalar, 4_096));
-    reg!("ecall_SSL_write", |st, d| st
-        .ssl_write(d.scalar, d.aux.first().copied().unwrap_or(0) as usize));
+    reg!("ecall_SSL_write", |st, d| st.ssl_write(
+        d.scalar,
+        d.aux.first().copied().unwrap_or(0) as usize
+    ));
     reg!("ecall_SSL_get_error", |st, d| st.ssl_get_error(d.scalar));
     reg!("ecall_ERR_peek_error", |st, d| st.err_peek_error(d.scalar));
-    reg!("ecall_ERR_clear_error", |st, d| st.err_clear_error(d.scalar));
+    reg!("ecall_ERR_clear_error", |st, d| st
+        .err_clear_error(d.scalar));
     reg!("ecall_SSL_shutdown", |st, d| st.ssl_shutdown(d.scalar));
     reg!("ecall_SSL_free", |st, d| st.ssl_free(d.scalar));
     for name in [
@@ -214,11 +217,8 @@ fn register_enclave_side(
     Ok(())
 }
 
-fn build_ocall_table(
-    spec: &InterfaceSpec,
-    seed: u64,
-) -> SdkResult<sgx_sdk::OcallTable> {
-    let rng: Arc<Mutex<StdRng>> = Arc::new(Mutex::new(sim_core::rng::seeded(seed)));
+fn build_ocall_table(spec: &InterfaceSpec, seed: u64) -> SdkResult<sgx_sdk::OcallTable> {
+    let rng: Arc<Mutex<sim_core::rng::Rng>> = Arc::new(Mutex::new(sim_core::rng::seeded(seed)));
     let mut builder = OcallTableBuilder::new(spec);
     {
         let rng = Arc::clone(&rng);
@@ -310,7 +310,10 @@ pub fn run(harness: &Harness, config: &TalosConfig) -> SdkResult<TalosResult> {
         let mut d = CallData::default();
         call("ecall_SSL_new", &mut d)?;
         let ssl = d.ret;
-        call("ecall_SSL_set_fd", &mut CallData::new(ssl).with_aux(vec![ssl + 100]))?;
+        call(
+            "ecall_SSL_set_fd",
+            &mut CallData::new(ssl).with_aux(vec![ssl + 100]),
+        )?;
         call("ecall_SSL_set_accept_state", &mut CallData::new(ssl))?;
         loop {
             let mut hs = CallData::new(ssl);
@@ -371,7 +374,7 @@ mod tests {
         let spec = talos_interface();
         assert_eq!(spec.ecalls().len(), 207);
         assert_eq!(spec.ocalls().len(), 57); // +4 implicit sync = 61
-        // The TaLoS SSL_write user_check issue is present.
+                                             // The TaLoS SSL_write user_check issue is present.
         assert!(spec
             .user_check_params()
             .iter()

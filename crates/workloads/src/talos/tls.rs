@@ -3,9 +3,8 @@
 
 use std::collections::HashMap;
 
-use parking_lot::Mutex;
-use rand::rngs::StdRng;
 use sim_core::rng::jitter;
+use sim_core::sync::Mutex;
 use sim_core::Nanos;
 
 /// OpenSSL-style error codes pushed onto the error queue.
@@ -92,7 +91,7 @@ pub struct OpEffects {
 pub struct TlsState {
     sessions: HashMap<u64, TlsSession>,
     next_id: u64,
-    rng: Mutex<StdRng>,
+    rng: Mutex<sim_core::rng::Rng>,
 }
 
 impl TlsState {

@@ -44,7 +44,6 @@ fn limbs(n: usize) -> impl Strategy<Value = Vec<u64>> {
 proptest! {
     #[test]
     fn sub_words_matches_reference(n in 1usize..12, seed in any::<u64>()) {
-        use rand::Rng;
         let mut rng = sim_core::rng::seeded(seed);
         let a: Vec<u64> = (0..n).map(|_| rng.gen()).collect();
         let b: Vec<u64> = (0..n).map(|_| rng.gen()).collect();

@@ -58,10 +58,7 @@ fn talos_per_request_recipe_is_exact() {
     assert_eq!(counts["ecall_SSL_free"], n);
     // 16 KiB responses in 1,400-byte records: 12 chunks per request, plus
     // handshake flights (3 per full handshake) and close-notify pairs.
-    assert_eq!(
-        counts["enclave_ocall_write"],
-        12 * n + 3 * n + 2 * n
-    );
+    assert_eq!(counts["enclave_ocall_write"], 12 * n + 3 * n + 2 * n);
     assert_eq!(counts["enclave_ocall_execute_ssl_ctx_info_callback"], 3 * n);
     assert_eq!(counts["enclave_ocall_alpn_select_cb"], n);
 }

@@ -23,7 +23,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ..TalosConfig::default()
         },
     )?;
-    println!("served {} HTTPS requests through the TaLoS enclave", result.stats.operations);
+    println!(
+        "served {} HTTPS requests through the TaLoS enclave",
+        result.stats.operations
+    );
 
     let trace_path = std::env::temp_dir().join("talos_trace.evdb");
     logger.finish().save(&trace_path)?;
@@ -59,7 +62,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .map(|n| n.name.as_str())
                 .unwrap_or("?")
         };
-        println!("  {:<44} -> {:<44} {:>7}", name(e.from), name(e.to), e.count);
+        println!(
+            "  {:<44} -> {:<44} {:>7}",
+            name(e.from),
+            name(e.to),
+            e.count
+        );
     }
     println!(
         "\nverdict (§5.2.1): the OpenSSL API's error queue and per-chunk socket \

@@ -30,9 +30,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let runtime = Runtime::new(Arc::clone(&machine));
 
     // A deliberately tiny enclave: 16 KiB of heap.
-    let spec = sgx_edl::parse(
-        "enclave { trusted { public uint64_t ecall_ingest(uint64_t pages); }; };",
-    )?;
+    let spec =
+        sgx_edl::parse("enclave { trusted { public uint64_t ecall_ingest(uint64_t pages); }; };")?;
     let enclave = runtime.create_enclave(
         &spec,
         &EnclaveConfig {
@@ -71,7 +70,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         data.ret = 0;
         Ok(())
     })?;
-    runtime.ecall(&tcx, enclave.id(), "ecall_ingest", &table, &mut CallData::new(0))?;
+    runtime.ecall(
+        &tcx,
+        enclave.id(),
+        "ecall_ingest",
+        &table,
+        &mut CallData::new(0),
+    )?;
 
     let trace = logger.finish();
     println!("\nAEX rows with v2-visible causes:");

@@ -23,9 +23,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // The probe created enclave #1 on this machine.
         harness.machine().enclave_info(sgx_sim::EnclaveId(1))?
     };
-    println!("\nenclave size:           {} pages (power of two, incl. padding)", enclave_info.total_pages);
-    println!("start-up working set:   {startup} pages = {:.2} MiB (paper: 322)", startup as f64 / 256.0);
-    println!("steady-state working set: {steady} pages = {:.2} MiB (paper: 94)", steady as f64 / 256.0);
+    println!(
+        "\nenclave size:           {} pages (power of two, incl. padding)",
+        enclave_info.total_pages
+    );
+    println!(
+        "start-up working set:   {startup} pages = {:.2} MiB (paper: 322)",
+        startup as f64 / 256.0
+    );
+    println!(
+        "steady-state working set: {steady} pages = {:.2} MiB (paper: 94)",
+        steady as f64 / 256.0
+    );
 
     let epc = harness.machine().epc_capacity();
     println!(

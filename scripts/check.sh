@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Repo-wide hygiene gate: formatting, lints, tests. Run before every commit.
+# All cargo invocations are --offline; the workspace builds with no registry.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --check
+
+echo "== cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "== cargo test"
+cargo test -q --offline
+
+echo "All checks passed."

@@ -1,11 +1,11 @@
 //! Shared helpers for the workspace integration tests.
 
+/// Golden output of `generate_trusted` over the same EDL.
+pub mod generated_demo_t;
 /// Golden output of `sgx_edl::codegen::generate_untrusted` over
 /// `src/demo.edl` — checked in so the generated code is compile-checked;
 /// regenerate with `cargo run -p integration-tests --bin generate_demo`.
 pub mod generated_demo_u;
-/// Golden output of `generate_trusted` over the same EDL.
-pub mod generated_demo_t;
 
 use std::sync::Arc;
 

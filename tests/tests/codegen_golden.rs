@@ -24,8 +24,8 @@ fn generated_proxy_dispatches_correctly() {
     use sgx_sdk::{CallData, OcallTableBuilder, Runtime, ThreadCtx};
     use sgx_sim::{EnclaveConfig, Machine};
     use sim_core::{Clock, HwProfile};
-    use std::sync::Arc;
     use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
 
     let machine = Arc::new(Machine::new(Clock::new(), HwProfile::Unpatched));
     let rt = Runtime::new(machine);
@@ -39,8 +39,12 @@ fn generated_proxy_dispatches_correctly() {
             Ok(())
         })
         .unwrap();
-    enclave.register_ecall("ecall_check", |_, _| Ok(())).unwrap();
-    enclave.register_ecall("ecall_notify", |_, _| Ok(())).unwrap();
+    enclave
+        .register_ecall("ecall_check", |_, _| Ok(()))
+        .unwrap();
+    enclave
+        .register_ecall("ecall_notify", |_, _| Ok(()))
+        .unwrap();
     let mut builder = OcallTableBuilder::new(enclave.spec());
     builder.register("ocall_read", |_, _| Ok(())).unwrap();
     builder.register("ocall_log", |_, _| Ok(())).unwrap();

@@ -117,11 +117,23 @@ fn failed_calls_are_traced_and_stack_stays_consistent() {
     let logger = Logger::attach(&rt, LoggerConfig::default());
     let tcx = ThreadCtx::main();
     let err = rt
-        .ecall(&tcx, enclave.id(), "ecall_fail", &table, &mut CallData::default())
+        .ecall(
+            &tcx,
+            enclave.id(),
+            "ecall_fail",
+            &table,
+            &mut CallData::default(),
+        )
         .unwrap_err();
     assert!(matches!(err, SdkError::Interface(_)));
-    rt.ecall(&tcx, enclave.id(), "ecall_ok", &table, &mut CallData::default())
-        .unwrap();
+    rt.ecall(
+        &tcx,
+        enclave.id(),
+        "ecall_ok",
+        &table,
+        &mut CallData::default(),
+    )
+    .unwrap();
     let trace = logger.finish();
     assert_eq!(trace.ecalls.len(), 2);
     let failed: Vec<bool> = trace.ecalls.iter().map(|e| e.failed).collect();
@@ -239,14 +251,10 @@ fn aex_bursts_and_impact_from_paging_storm() {
             ..MachineParams::default()
         },
     );
-    let logger = Logger::attach(
-        harness.runtime(),
-        LoggerConfig::with_aex(AexMode::Trace),
-    );
+    let logger = Logger::attach(harness.runtime(), LoggerConfig::with_aex(AexMode::Trace));
     workloads::antipatterns::paging(&harness, 6).unwrap();
     let trace = logger.finish();
-    let analyzer =
-        sgx_perf::Analyzer::new(&trace, harness.profile().cost_model());
+    let analyzer = sgx_perf::Analyzer::new(&trace, harness.profile().cost_model());
 
     // Every heap sweep faults hundreds of pages back in: each fault is an
     // AEX, and they come microseconds apart — a burst.

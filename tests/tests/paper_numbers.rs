@@ -166,7 +166,11 @@ fn e6_securekeeper_shape() {
     );
     let client = report.stats_for("ecall_handle_input_from_client").unwrap();
     let zk = report.stats_for("ecall_handle_input_from_zk").unwrap();
-    assert!((11_000.0..18_000.0).contains(&client.mean_ns), "{}", client.mean_ns);
+    assert!(
+        (11_000.0..18_000.0).contains(&client.mean_ns),
+        "{}",
+        client.mean_ns
+    );
     assert!((15_000.0..23_000.0).contains(&zk.mean_ns), "{}", zk.mean_ns);
     assert!(zk.mean_ns > client.mean_ns);
 

@@ -25,9 +25,8 @@ fn runtime(version: SgxVersion) -> Arc<Runtime> {
 fn v2_aex_causes_reach_the_trace() {
     for (version, expect_cause) in [(SgxVersion::V1, false), (SgxVersion::V2, true)] {
         let rt = runtime(version);
-        let spec =
-            sgx_edl::parse("enclave { trusted { public void ecall_long(uint64_t ns); }; };")
-                .unwrap();
+        let spec = sgx_edl::parse("enclave { trusted { public void ecall_long(uint64_t ns); }; };")
+            .unwrap();
         let enclave = rt.create_enclave(&spec, &EnclaveConfig::default()).unwrap();
         enclave
             .register_ecall("ecall_long", |ctx, data| {
@@ -50,10 +49,7 @@ fn v2_aex_causes_reach_the_trace() {
         for row in trace.aex.iter() {
             assert_eq!(row.cause.is_some(), expect_cause, "version {version:?}");
             if expect_cause {
-                assert_eq!(
-                    row.cause,
-                    Some(sgx_perf::events::AexCauseCode::Interrupt)
-                );
+                assert_eq!(row.cause, Some(sgx_perf::events::AexCauseCode::Interrupt));
             }
         }
     }
@@ -97,10 +93,8 @@ fn release_enclaves_keep_causes_opaque_even_on_v2() {
 #[test]
 fn dynamically_added_heap_shows_up_in_the_working_set() {
     let rt = runtime(SgxVersion::V2);
-    let spec = sgx_edl::parse(
-        "enclave { trusted { public void ecall_grow(uint64_t pages); }; };",
-    )
-    .unwrap();
+    let spec = sgx_edl::parse("enclave { trusted { public void ecall_grow(uint64_t pages); }; };")
+        .unwrap();
     let enclave = rt
         .create_enclave(
             &spec,
