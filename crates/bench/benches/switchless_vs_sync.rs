@@ -1,0 +1,93 @@
+//! E10: switchless calls vs synchronous transitions vs the no-worker
+//! fallback, per hardware profile — plus the full sgx-perf
+//! detect → apply → re-measure loop.
+//!
+//! The workload is the hot-short-ocall request server of
+//! `workloads::switchless_loop` (HotCalls shape: one medium ecall per
+//! request, four sub-microsecond logging ocalls inside it). The expected
+//! ordering is sync > fallback ≈ sync > switchless, with the switchless
+//! saving growing alongside the mitigation level's transition cost.
+
+use sgx_perf_bench::{banner, ratio, row, scaled_count};
+use sgx_sdk::SwitchlessConfig;
+use sim_core::HwProfile;
+use workloads::switchless_loop::{closed_loop, run};
+use workloads::Harness;
+
+fn per_request(profile: HwProfile, requests: u64, config: Option<SwitchlessConfig>) -> f64 {
+    let harness = Harness::new(profile);
+    let result = run(&harness, requests, config).expect("switchless workload");
+    result.stats.per_op().as_nanos() as f64
+}
+
+fn switchless(workers: usize) -> SwitchlessConfig {
+    SwitchlessConfig {
+        untrusted_workers: workers,
+        force_ocalls: vec!["ocall_log".to_string()],
+        ..SwitchlessConfig::default()
+    }
+}
+
+fn main() {
+    let requests = scaled_count(5_000, 200);
+
+    banner(
+        "E10a",
+        "per-request cost: synchronous vs switchless vs no-worker fallback",
+    );
+    println!(
+        "  {:<16} {:>12} {:>14} {:>12} {:>10}",
+        "setting", "sync", "switchless", "fallback", "saving"
+    );
+    for profile in HwProfile::ALL {
+        let sync_ns = per_request(profile, requests, None);
+        let sw_ns = per_request(profile, requests, Some(switchless(1)));
+        let fb_ns = per_request(profile, requests, Some(switchless(0)));
+        println!(
+            "  {:<16} {:>10.0}ns {:>12.0}ns {:>10.0}ns {:>10}",
+            profile.label(),
+            sync_ns,
+            sw_ns,
+            fb_ns,
+            ratio(sync_ns / sw_ns),
+        );
+        assert!(
+            (fb_ns - sync_ns).abs() < f64::EPSILON,
+            "the fallback must cost exactly the synchronous path"
+        );
+    }
+    row(
+        "model",
+        "switchless saves the ocall transition (~3.6us unpatched) minus ring costs",
+    );
+
+    banner(
+        "E10b",
+        "closed loop: record -> detect UseSwitchless -> apply via config -> re-measure",
+    );
+    println!(
+        "  {:<16} {:>12} {:>12} {:>12} {:>12} {:>10}",
+        "setting", "transitions", "after", "dispatched", "fallbacks", "speedup"
+    );
+    for profile in HwProfile::ALL {
+        let l = closed_loop(profile, requests).expect("closed loop");
+        assert_eq!(
+            l.recommended_ocalls,
+            vec!["ocall_log".to_string()],
+            "the analyzer must recommend the hot ocall"
+        );
+        println!(
+            "  {:<16} {:>12} {:>12} {:>12} {:>12} {:>10}",
+            profile.label(),
+            l.transitions_before,
+            l.transitions_after,
+            l.switchless_dispatched,
+            l.switchless_fallbacks,
+            ratio(l.speedup()),
+        );
+    }
+    row(
+        "loop",
+        "applied purely through SwitchlessConfig force lists; workload untouched",
+    );
+}

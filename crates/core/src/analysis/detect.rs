@@ -87,6 +87,9 @@ pub enum Recommendation {
         /// The flagged parameter names.
         params: Vec<String>,
     },
+    /// Serve the call switchlessly (`transition_using_threads`): worker
+    /// threads polling a shared ring replace the enclave transition.
+    UseSwitchless,
 }
 
 impl fmt::Display for Recommendation {
@@ -131,6 +134,10 @@ impl fmt::Display for Recommendation {
                 "review user_check pointer parameter(s): {}",
                 params.join(", ")
             ),
+            Recommendation::UseSwitchless => f.write_str(
+                "mark the call switchless (transition_using_threads) so ring workers serve it \
+                 without a transition",
+            ),
         }
     }
 }
@@ -169,6 +176,7 @@ impl fmt::Display for Detection {
 }
 
 const PRIO_REORDER: Priority = 1;
+const PRIO_SWITCHLESS: Priority = 2;
 const PRIO_BATCH_MERGE: Priority = 2;
 const PRIO_SYNC: Priority = 2;
 const PRIO_PAGING: Priority = 2;
@@ -184,6 +192,7 @@ pub fn detect_all(
 ) -> Vec<Detection> {
     let mut out = Vec::new();
     out.extend(detect_move_duplicate(analyzer, call_stats, instances));
+    out.extend(detect_switchless(analyzer, call_stats));
     out.extend(detect_reorder(analyzer, instances));
     out.extend(detect_merge_batch(analyzer, instances));
     out.extend(detect_ssc(analyzer, instances));
@@ -267,6 +276,53 @@ fn detect_move_duplicate(
                 });
             }
         }
+    }
+    out
+}
+
+/// Switchless candidates: calls frequent and short enough that the
+/// transition dominates, so serving them from worker threads polling a
+/// shared ring (`transition_using_threads`) pays off. Unlike moving or
+/// duplicating code this is a pure configuration change — no TCB growth,
+/// no security evaluation — so it shares the batching priority tier.
+fn detect_switchless(
+    analyzer: &Analyzer<'_>,
+    call_stats: &[(CallRef, CallStats)],
+) -> Vec<Detection> {
+    let w = analyzer.weights();
+    let cost = analyzer.cost_model();
+    let mut out = Vec::new();
+    for (call, stats) in call_stats {
+        if stats.count < w.switchless_min_calls {
+            continue;
+        }
+        if stats.frac_under_10us < w.switchless_fraction {
+            continue;
+        }
+        let saving = match call.kind {
+            CallKind::Ecall => cost.switchless_ecall_saving(),
+            CallKind::Ocall => cost.switchless_ocall_saving(),
+        };
+        let total = sim_core::Nanos::from_nanos(saving.as_nanos() * stats.count as u64);
+        out.push(Detection {
+            target: *call,
+            name: symbol_name(analyzer.trace(), *call),
+            problem: if call.kind == CallKind::Ecall {
+                Problem::Sdsc
+            } else {
+                Problem::Snc
+            },
+            recommendation: Recommendation::UseSwitchless,
+            evidence: format!(
+                "{} calls, {:.1}% shorter than 10us adjusted; switchless saves ~{} per \
+                 call (~{} over the trace)",
+                stats.count,
+                stats.frac_under_10us * 100.0,
+                saving,
+                total
+            ),
+            priority: PRIO_SWITCHLESS,
+        });
     }
     out
 }
@@ -675,6 +731,63 @@ mod tests {
         );
         // Priority: reorder comes before move/duplicate.
         assert_eq!(detections[0].priority, PRIO_REORDER);
+    }
+
+    /// High-frequency short calls also get the switchless recommendation,
+    /// with the cost-model saving in the evidence.
+    #[test]
+    fn switchless_recommended_for_frequent_short_calls() {
+        let mut trace = TraceDb::default();
+        symbol(&mut trace, true, 0, "ecall_tiny");
+        let mut t = 0;
+        for _ in 0..100 {
+            trace.ecalls.insert(EcallRow {
+                thread: 0,
+                enclave: 1,
+                call_index: 0,
+                start_ns: t,
+                end_ns: t + 5_000,
+                parent_ocall: None,
+                aex_count: 0,
+                failed: false,
+            });
+            t += 5_200;
+        }
+        let a = analyzer(&trace);
+        let detections =
+            detect_switchless(&a, &super::super::stats::per_call_stats(&a.instances()));
+        assert_eq!(detections.len(), 1, "{detections:?}");
+        let d = &detections[0];
+        assert_eq!(d.recommendation, Recommendation::UseSwitchless);
+        assert_eq!(d.name, "ecall_tiny");
+        assert_eq!(d.priority, PRIO_SWITCHLESS);
+        assert!(d.evidence.contains("switchless saves"), "{}", d.evidence);
+    }
+
+    /// A short call below the switchless frequency floor stays quiet even
+    /// though the generic move heuristics may still fire.
+    #[test]
+    fn switchless_needs_sustained_frequency() {
+        let mut trace = TraceDb::default();
+        symbol(&mut trace, true, 0, "ecall_rare");
+        let mut t = 0;
+        for _ in 0..10 {
+            trace.ecalls.insert(EcallRow {
+                thread: 0,
+                enclave: 1,
+                call_index: 0,
+                start_ns: t,
+                end_ns: t + 5_000,
+                parent_ocall: None,
+                aex_count: 0,
+                failed: false,
+            });
+            t += 5_200;
+        }
+        let a = analyzer(&trace);
+        let detections =
+            detect_switchless(&a, &super::super::stats::per_call_stats(&a.instances()));
+        assert!(detections.is_empty(), "{detections:?}");
     }
 
     /// Long calls trigger nothing.

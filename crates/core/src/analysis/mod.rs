@@ -63,6 +63,11 @@ pub struct Weights {
     /// Minimum instances of a call before any heuristic fires (avoids
     /// recommendations from single-digit samples).
     pub min_calls: usize,
+    /// Switchless: minimum executions before a call counts as
+    /// "high-frequency" (worker threads only pay off under sustained load).
+    pub switchless_min_calls: usize,
+    /// Switchless: minimum fraction of adjusted durations under 10 µs.
+    pub switchless_fraction: f64,
 }
 
 impl Default for Weights {
@@ -85,6 +90,8 @@ impl Default for Weights {
             ssc_short_us: 20,
             ssc_fraction: 0.5,
             min_calls: 8,
+            switchless_min_calls: 32,
+            switchless_fraction: 0.75,
         }
     }
 }

@@ -34,6 +34,10 @@ pub struct Totals {
     pub sync_wakes: usize,
     /// Enclaves observed.
     pub enclaves: usize,
+    /// Calls served switchlessly (no enclave transition).
+    pub switchless_dispatched: usize,
+    /// Switchless attempts that fell back to a synchronous transition.
+    pub switchless_fallbacks: usize,
 }
 
 /// A waker→sleeper dependency edge derived from the sync events
@@ -95,6 +99,14 @@ impl Report {
             sync_sleeps: trace.sync.iter().filter(|s| s.sleep).count(),
             sync_wakes: trace.sync.iter().filter(|s| !s.sleep).count(),
             enclaves: trace.enclaves.len(),
+            // Kind codes 0/1 are ecall/ocall dispatches, 2/3 the fallbacks
+            // (worker idle/busy transitions are not call outcomes).
+            switchless_dispatched: trace.switchless.iter().filter(|s| s.kind <= 1).count(),
+            switchless_fallbacks: trace
+                .switchless
+                .iter()
+                .filter(|s| s.kind == 2 || s.kind == 3)
+                .count(),
         };
         let mut edge_counts: std::collections::BTreeMap<(u64, u64), usize> =
             std::collections::BTreeMap::new();
@@ -187,6 +199,12 @@ impl Report {
             t.sync_wakes,
             t.enclaves,
         ));
+        if t.switchless_dispatched + t.switchless_fallbacks > 0 {
+            out.push_str(&format!(
+                "switchless: {} dispatched, {} fell back to a transition\n\n",
+                t.switchless_dispatched, t.switchless_fallbacks,
+            ));
+        }
         out.push_str(&format!(
             "short calls (<10us adjusted): {:.2}% of ecalls, {:.2}% of ocalls\n\n",
             self.short_fraction(CallKind::Ecall) * 100.0,
@@ -236,6 +254,143 @@ impl Report {
             }
         }
         out
+    }
+
+    /// Renders the report as JSON for machine consumption
+    /// (`sgxperf report --json`). The encoder is hand-rolled — the repo
+    /// deliberately has no serialisation dependency — and emits a single
+    /// object with `totals`, `short_fraction`, `calls`, `wake_edges`,
+    /// `detections` and `lint` keys.
+    pub fn to_json(&self) -> String {
+        let t = &self.totals;
+        let mut out = String::from("{\n  \"totals\": {");
+        out.push_str(&format!(
+            "\"ecall_events\": {}, \"ocall_events\": {}, \"distinct_ecalls\": {}, \
+             \"distinct_ocalls\": {}, \"aex_events\": {}, \"page_outs\": {}, \
+             \"page_ins\": {}, \"sync_sleeps\": {}, \"sync_wakes\": {}, \
+             \"enclaves\": {}, \"switchless_dispatched\": {}, \"switchless_fallbacks\": {}",
+            t.ecall_events,
+            t.ocall_events,
+            t.distinct_ecalls,
+            t.distinct_ocalls,
+            t.aex_events,
+            t.page_outs,
+            t.page_ins,
+            t.sync_sleeps,
+            t.sync_wakes,
+            t.enclaves,
+            t.switchless_dispatched,
+            t.switchless_fallbacks,
+        ));
+        out.push_str("},\n  \"short_fraction\": {");
+        out.push_str(&format!(
+            "\"ecalls\": {}, \"ocalls\": {}",
+            json_f64(self.short_fraction(CallKind::Ecall)),
+            json_f64(self.short_fraction(CallKind::Ocall)),
+        ));
+        out.push_str("},\n  \"calls\": [\n");
+        for (i, ((call, s), name)) in self.call_stats.iter().zip(&self.call_names).enumerate() {
+            if i > 0 {
+                out.push_str(",\n");
+            }
+            out.push_str(&format!(
+                "    {{\"name\": {}, \"kind\": \"{}\", \"enclave\": {}, \"index\": {}, \
+                 \"count\": {}, \"mean_ns\": {}, \"median_ns\": {}, \"stddev_ns\": {}, \
+                 \"p90_ns\": {}, \"p95_ns\": {}, \"p99_ns\": {}, \"min_ns\": {}, \
+                 \"max_ns\": {}, \"total_ns\": {}, \"mean_aex\": {}, \
+                 \"frac_under_1us\": {}, \"frac_under_5us\": {}, \"frac_under_10us\": {}}}",
+                json_string(name),
+                call.kind,
+                call.enclave,
+                call.index,
+                s.count,
+                json_f64(s.mean_ns),
+                s.median_ns,
+                json_f64(s.stddev_ns),
+                s.p90_ns,
+                s.p95_ns,
+                s.p99_ns,
+                s.min_ns,
+                s.max_ns,
+                s.total_ns,
+                json_f64(s.mean_aex),
+                json_f64(s.frac_under_1us),
+                json_f64(s.frac_under_5us),
+                json_f64(s.frac_under_10us),
+            ));
+        }
+        out.push_str("\n  ],\n  \"wake_edges\": [\n");
+        for (i, e) in self.wake_edges.iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n");
+            }
+            out.push_str(&format!(
+                "    {{\"waker\": {}, \"sleeper\": {}, \"count\": {}}}",
+                e.waker, e.sleeper, e.count
+            ));
+        }
+        out.push_str("\n  ],\n  \"detections\": [\n");
+        for (i, d) in self.detections.iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n");
+            }
+            out.push_str(&format!(
+                "    {{\"priority\": {}, \"problem\": {}, \"call\": {}, \"target\": {}, \
+                 \"recommendation\": {}, \"evidence\": {}}}",
+                d.priority,
+                json_string(&d.problem.to_string()),
+                json_string(&d.name),
+                json_string(&d.target.to_string()),
+                json_string(&d.recommendation.to_string()),
+                json_string(&d.evidence),
+            ));
+        }
+        out.push_str("\n  ],\n  \"lint\": [\n");
+        for (i, d) in self.lint.iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n");
+            }
+            out.push_str(&format!(
+                "    {{\"severity\": {}, \"code\": {}, \"line\": {}, \"col\": {}, \
+                 \"message\": {}}}",
+                json_string(&d.severity.to_string()),
+                json_string(d.code),
+                d.span.start.line,
+                d.span.start.col,
+                json_string(&d.message),
+            ));
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+}
+
+/// Escapes and quotes a string for JSON output.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats a float as a JSON number (the JSON grammar has no NaN or
+/// infinity, so those degrade to 0 — they cannot occur for real traces).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
     }
 }
 
@@ -365,6 +520,70 @@ mod tests {
             (0, 2, 3)
         );
         assert!(report.render().contains("t0 -> t2: 3 wake(s)"));
+    }
+
+    #[test]
+    fn switchless_totals_split_dispatches_from_fallbacks() {
+        use crate::events::SwitchlessRow;
+        let mut trace = trace_with_short_ecalls(5);
+        for kind in [0u8, 1, 2, 3, 4, 5, 0] {
+            trace.switchless.insert(SwitchlessRow {
+                thread: 0,
+                enclave: 1,
+                kind,
+                call_index: Some(0),
+                worker: None,
+                spins: 0,
+                time_ns: 1,
+            });
+        }
+        let report = Analyzer::new(&trace, HwProfile::Unpatched.cost_model()).analyze();
+        assert_eq!(report.totals.switchless_dispatched, 3);
+        assert_eq!(report.totals.switchless_fallbacks, 2);
+        assert!(report
+            .render()
+            .contains("switchless: 3 dispatched, 2 fell back"));
+    }
+
+    #[test]
+    fn json_report_has_all_sections_and_escapes_strings() {
+        use crate::events::SymbolRow;
+        let mut trace = trace_with_short_ecalls(50);
+        trace.symbols.insert(SymbolRow {
+            enclave: 1,
+            kind_is_ecall: true,
+            index: 0,
+            name: "ecall_\"quoted\"".into(),
+            public: true,
+            allowed_ecalls: vec![],
+            user_check_params: vec![],
+        });
+        let report = Analyzer::new(&trace, HwProfile::Unpatched.cost_model()).analyze();
+        let json = report.to_json();
+        for key in [
+            "\"totals\"",
+            "\"short_fraction\"",
+            "\"calls\"",
+            "\"wake_edges\"",
+            "\"detections\"",
+            "\"lint\"",
+            "\"switchless_dispatched\": 0",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        // The quote inside the symbol name must be escaped.
+        assert!(json.contains("ecall_\\\"quoted\\\""), "{json}");
+        // Balanced braces/brackets (cheap well-formedness check).
+        let opens = json.matches('{').count() + json.matches('[').count();
+        let closes = json.matches('}').count() + json.matches(']').count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn json_number_formatting_is_finite() {
+        assert_eq!(super::json_f64(0.5), "0.5");
+        assert_eq!(super::json_f64(f64::NAN), "0");
+        assert_eq!(super::json_f64(f64::INFINITY), "0");
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! the offline half of the tool collection (§4.3).
 //!
 //! ```text
-//! sgxperf report  <trace.evdb> [--profile unpatched|spectre|l1tf] [--edl <file.edl>]
+//! sgxperf report  <trace.evdb> [--profile unpatched|spectre|l1tf] [--edl <file.edl>] [--json]
 //! sgxperf lint    <file.edl> [--trace <trace.evdb>] [--deny <code,...>] [--max-public N] [--large-copy BYTES]
 //! sgxperf dot     <trace.evdb> [-o <out.dot>]
 //! sgxperf hist    <trace.evdb> <call-name> [--bins N]
@@ -28,7 +28,7 @@ use sim_core::HwProfile;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  sgxperf report  <trace.evdb> [--profile unpatched|spectre|l1tf] [--edl <file.edl>]\n  sgxperf lint    <file.edl> [--trace <trace.evdb>] [--deny <code,...>] [--max-public N] [--large-copy BYTES]\n  sgxperf dot     <trace.evdb> [-o <out.dot>]\n  sgxperf hist    <trace.evdb> <call-name> [--bins N]\n  sgxperf scatter <trace.evdb> <call-name>\n  sgxperf info    <trace.evdb>"
+        "usage:\n  sgxperf report  <trace.evdb> [--profile unpatched|spectre|l1tf] [--edl <file.edl>] [--json]\n  sgxperf lint    <file.edl> [--trace <trace.evdb>] [--deny <code,...>] [--max-public N] [--large-copy BYTES]\n  sgxperf dot     <trace.evdb> [-o <out.dot>]\n  sgxperf hist    <trace.evdb> <call-name> [--bins N]\n  sgxperf scatter <trace.evdb> <call-name>\n  sgxperf info    <trace.evdb>"
     );
     ExitCode::from(2)
 }
@@ -136,6 +136,7 @@ fn run() -> Result<ExitCode, String> {
     let mut edl_lint: Vec<sgx_edl::Diagnostic> = Vec::new();
     let mut out: Option<String> = None;
     let mut bins = 100usize;
+    let mut json = false;
     let mut positional = Vec::new();
     let mut it = opts.iter();
     while let Some(opt) = it.next() {
@@ -156,6 +157,7 @@ fn run() -> Result<ExitCode, String> {
                 );
             }
             "-o" => out = Some(it.next().ok_or("-o needs a file")?.clone()),
+            "--json" => json = true,
             "--bins" => {
                 bins = it
                     .next()
@@ -174,7 +176,12 @@ fn run() -> Result<ExitCode, String> {
 
     match cmd.as_str() {
         "report" => {
-            print!("{}", analyzer.analyze().render());
+            let report = analyzer.analyze();
+            if json {
+                print!("{}", report.to_json());
+            } else {
+                print!("{}", report.render());
+            }
         }
         "dot" => {
             let dot = analyzer.call_graph().to_dot();

@@ -278,6 +278,54 @@ impl Record for SyncRow {
     }
 }
 
+/// One switchless-subsystem event (worker dispatch, fallback to the
+/// synchronous path, worker idle/busy). Switchless calls bypass `sgx_ecall`
+/// and the ocall table entirely, so the interposition shims never see them;
+/// the logger records them through the URTS switchless observer instead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SwitchlessRow {
+    /// Thread the event happened on (caller for dispatch/fallback, worker
+    /// for idle/busy).
+    pub thread: u64,
+    /// Enclave id.
+    pub enclave: u32,
+    /// Event kind, encoded as
+    /// [`SwitchlessEventKind::code`](sgx_sdk::SwitchlessEventKind::code).
+    pub kind: u8,
+    /// The ecall/ocall index, for dispatch and fallback events.
+    pub call_index: Option<u32>,
+    /// Worker slot within its pool, for worker events.
+    pub worker: Option<u32>,
+    /// Poll iterations the caller spent waiting (dispatch events).
+    pub spins: u64,
+    /// Time of the event.
+    pub time_ns: u64,
+}
+
+impl Record for SwitchlessRow {
+    const TAG: &'static str = "switchless";
+    fn encode(&self, out: &mut Encoder) {
+        out.u64(self.thread);
+        out.u32(self.enclave);
+        out.u8(self.kind);
+        out.option(&self.call_index, |e, v| e.u32(*v));
+        out.option(&self.worker, |e, v| e.u32(*v));
+        out.u64(self.spins);
+        out.u64(self.time_ns);
+    }
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, DbError> {
+        Ok(SwitchlessRow {
+            thread: r.u64()?,
+            enclave: r.u32()?,
+            kind: r.u8()?,
+            call_index: r.option(|r| r.u32())?,
+            worker: r.option(|r| r.u32())?,
+            spins: r.u64()?,
+            time_ns: r.u64()?,
+        })
+    }
+}
+
 /// One observed enclave (from driver lifecycle events).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EnclaveRow {
@@ -471,6 +519,30 @@ mod tests {
             target_thread: Some(3),
             ocall_row: 11,
         }]);
+    }
+
+    #[test]
+    fn switchless_row_roundtrip() {
+        roundtrip(vec![
+            SwitchlessRow {
+                thread: 1,
+                enclave: 1,
+                kind: 1, // OcallDispatched
+                call_index: Some(3),
+                worker: None,
+                spins: 12,
+                time_ns: 400,
+            },
+            SwitchlessRow {
+                thread: 0,
+                enclave: 1,
+                kind: 4, // WorkerIdle
+                call_index: None,
+                worker: Some(0),
+                spins: 0,
+                time_ns: 500,
+            },
+        ]);
     }
 
     #[test]

@@ -17,13 +17,16 @@ use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Weak};
 
-use sgx_sdk::{CallData, EcallDispatcher, OcallTable, Runtime, SdkResult, ThreadCtx, Urts};
+use sgx_sdk::{
+    CallData, EcallDispatcher, OcallTable, Runtime, SdkResult, SwitchlessEvent, ThreadCtx, Urts,
+};
 use sgx_sim::{AexEvent, DriverEvent, EnclaveId, Machine, PagingDirection};
 use sim_core::sync::Mutex;
 use sim_core::Nanos;
 
 use crate::events::{
-    AexMode, AexRow, CallKind, EcallRow, EnclaveRow, OcallRow, PagingRow, SymbolRow, SyncRow,
+    AexMode, AexRow, CallKind, EcallRow, EnclaveRow, OcallRow, PagingRow, SwitchlessRow, SymbolRow,
+    SyncRow,
 };
 use crate::trace::TraceDb;
 
@@ -44,6 +47,9 @@ pub struct LoggerConfig {
     pub aex_count_overhead: Nanos,
     /// Bookkeeping cost per traced AEX (Table 2: ≈1,118 ns).
     pub aex_trace_overhead: Nanos,
+    /// Bookkeeping cost per switchless event. Recording is a lock-free ring
+    /// append on the caller/worker thread, far cheaper than the call stubs.
+    pub switchless_overhead: Nanos,
 }
 
 impl Default for LoggerConfig {
@@ -56,6 +62,7 @@ impl Default for LoggerConfig {
             ocall_overhead: Nanos::from_nanos(1_320),
             aex_count_overhead: Nanos::from_nanos(1_076),
             aex_trace_overhead: Nanos::from_nanos(1_118),
+            switchless_overhead: Nanos::from_nanos(90),
         }
     }
 }
@@ -146,6 +153,19 @@ impl Logger {
                 }));
         }
 
+        // Observe the switchless subsystem: its calls bypass sgx_ecall and
+        // the ocall table, so interposition alone would miss them.
+        {
+            let weak = Arc::downgrade(&logger);
+            runtime
+                .urts()
+                .set_switchless_observer(Arc::new(move |ev: &SwitchlessEvent| {
+                    if let Some(logger) = weak.upgrade() {
+                        logger.on_switchless(ev);
+                    }
+                }));
+        }
+
         // Patch the AEP.
         if logger.config.aex != AexMode::Off {
             let weak = Arc::downgrade(&logger);
@@ -221,6 +241,25 @@ impl Logger {
             }
             DriverEvent::EnclaveDestroyed { .. } => {}
         }
+    }
+
+    fn on_switchless(&self, ev: &SwitchlessEvent) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.machine
+            .clock()
+            .advance(self.config.switchless_overhead);
+        let mut st = self.state.lock();
+        st.trace.switchless.insert(SwitchlessRow {
+            thread: ev.thread.0 as u64,
+            enclave: ev.enclave.0,
+            kind: ev.kind.code(),
+            call_index: ev.call_index.map(|i| i as u32),
+            worker: ev.worker.map(|w| w as u32),
+            spins: ev.spins,
+            time_ns: ev.time.as_nanos(),
+        });
     }
 
     fn on_aex(&self, ev: &AexEvent) {

@@ -2,9 +2,11 @@
 
 use std::path::Path;
 
-use eventdb::{DbError, Store, Table};
+use eventdb::{DbError, Record, Store, Table};
 
-use crate::events::{AexRow, EcallRow, EnclaveRow, OcallRow, PagingRow, SymbolRow, SyncRow};
+use crate::events::{
+    AexRow, EcallRow, EnclaveRow, OcallRow, PagingRow, SwitchlessRow, SymbolRow, SyncRow,
+};
 
 /// A complete sgx-perf trace: every table the logger records, serialisable
 /// to a single file (the SQLite stand-in — §4).
@@ -36,6 +38,17 @@ pub struct TraceDb {
     pub enclaves: Table<EnclaveRow>,
     /// Interface symbols.
     pub symbols: Table<SymbolRow>,
+    /// Switchless-subsystem events (dispatches, fallbacks, worker state).
+    pub switchless: Table<SwitchlessRow>,
+}
+
+/// Reads a table, treating its absence as empty — traces written before the
+/// table existed stay loadable.
+fn get_or_empty<R: Record>(store: &Store) -> Result<Table<R>, DbError> {
+    match store.get() {
+        Err(DbError::MissingTable(_)) => Ok(Table::default()),
+        other => other,
+    }
 }
 
 impl TraceDb {
@@ -53,6 +66,7 @@ impl TraceDb {
         store.put(&self.sync);
         store.put(&self.enclaves);
         store.put(&self.symbols);
+        store.put(&self.switchless);
         store
     }
 
@@ -63,6 +77,10 @@ impl TraceDb {
     /// Corruption or missing tables.
     pub fn from_bytes(data: &[u8]) -> Result<TraceDb, DbError> {
         let store = Store::from_bytes(data)?;
+        TraceDb::from_store(&store)
+    }
+
+    fn from_store(store: &Store) -> Result<TraceDb, DbError> {
         Ok(TraceDb {
             ecalls: store.get()?,
             ocalls: store.get()?,
@@ -71,6 +89,7 @@ impl TraceDb {
             sync: store.get()?,
             enclaves: store.get()?,
             symbols: store.get()?,
+            switchless: get_or_empty(store)?,
         })
     }
 
@@ -90,15 +109,7 @@ impl TraceDb {
     /// Propagates filesystem errors and corruption.
     pub fn load(path: impl AsRef<Path>) -> Result<TraceDb, DbError> {
         let store = Store::load(path)?;
-        Ok(TraceDb {
-            ecalls: store.get()?,
-            ocalls: store.get()?,
-            aex: store.get()?,
-            paging: store.get()?,
-            sync: store.get()?,
-            enclaves: store.get()?,
-            symbols: store.get()?,
-        })
+        TraceDb::from_store(&store)
     }
 
     /// Total recorded call events (ecalls + ocalls).
@@ -134,6 +145,38 @@ mod tests {
         assert_eq!(back.ecalls.len(), 1);
         assert_eq!(back.paging.len(), 1);
         assert_eq!(back.event_count(), 1);
+    }
+
+    #[test]
+    fn switchless_rows_roundtrip() {
+        let mut trace = TraceDb::default();
+        trace.switchless.insert(SwitchlessRow {
+            thread: 1,
+            enclave: 1,
+            kind: 1,
+            call_index: Some(0),
+            worker: Some(0),
+            spins: 3,
+            time_ns: 42,
+        });
+        let back = TraceDb::from_bytes(&trace.to_bytes()).unwrap();
+        assert_eq!(back.switchless.len(), 1);
+    }
+
+    #[test]
+    fn traces_without_a_switchless_table_still_load() {
+        // A store written before the switchless table existed.
+        let mut store = Store::new();
+        let t = TraceDb::default();
+        store.put(&t.ecalls);
+        store.put(&t.ocalls);
+        store.put(&t.aex);
+        store.put(&t.paging);
+        store.put(&t.sync);
+        store.put(&t.enclaves);
+        store.put(&t.symbols);
+        let back = TraceDb::from_bytes(&store.to_bytes()).unwrap();
+        assert_eq!(back.switchless.len(), 0);
     }
 
     #[test]

@@ -30,6 +30,13 @@ pub struct FunctionDecl {
     pub public: bool,
     /// `allow(...)` ecall list (untrusted section only).
     pub allowed_ecalls: Vec<AllowEntry>,
+    /// `transition_using_threads` postfix attribute present — the call is
+    /// served by worker threads over shared memory instead of a
+    /// synchronous EENTER/EEXIT transition (edger8r's switchless syntax).
+    pub switchless: bool,
+    /// The `transition_using_threads` keyword itself, when present, so
+    /// lints can underline the attribute rather than the declaration.
+    pub switchless_span: Option<Span>,
     /// The whole declaration, `public` through `;`.
     pub span: Span,
     /// Just the function name.

@@ -21,6 +21,7 @@
 //! | EDL-W007 | error   | duplicate entry in an `allow()` list |
 //! | EDL-W008 | warning | large boundary copy; estimated cost per call from the §2.3.1 model |
 //! | EDL-W009 | note    | public ecall never exercised by the supplied trace (cross-check mode) |
+//! | EDL-W010 | warning | `transition_using_threads` on a call with large `[in]`/`[out]` buffers |
 //!
 //! EDL-W009 and severity escalation of EDL-W001 (a `user_check` pointer
 //! that a trace proves is actually exercised) are produced by the
@@ -207,6 +208,7 @@ pub fn lint_file(file: &EdlFile, config: &LintConfig) -> Vec<Diagnostic> {
     }
     lint_allow_lists(file, &mut diags);
     lint_public_surface(file, config, &mut diags);
+    lint_switchless_copies(file, config, &mut diags);
     diags.sort_by_key(|d| {
         (
             d.span.start.line,
@@ -336,17 +338,7 @@ fn lint_param(
 
     // EDL-W008: statically-large boundary copies, priced with the §2.3.1
     // cost model (bytes / copy rate, doubled for [in, out]).
-    if let Some(n) = p.static_bytes() {
-        let per_crossing = if p
-            .size_attr()
-            .is_some_and(|a| matches!(a.kind, AttrKind::Count(_)))
-        {
-            n.saturating_mul(type_width(&p.base_type))
-        } else {
-            n
-        };
-        let crossings = u64::from(p.is_in()) + u64::from(p.is_out());
-        let total = per_crossing.saturating_mul(crossings.max(1));
+    if let Some(total) = static_copy_bytes(p) {
         if total >= config.large_copy_bytes {
             let est_ns = total * config.copy_tenth_ns_per_byte / 10;
             diags.push(
@@ -360,6 +352,59 @@ fn lint_param(
                     ),
                 )
                 .help("shrink the buffer, switch to a chunked protocol, or keep the data on one side")
+                .on(&decl.name),
+            );
+        }
+    }
+}
+
+/// The statically-known bytes a parameter moves across the boundary per
+/// call: `size=`/`count=` literal scaled by the element width, doubled
+/// for `[in, out]`. `None` when the size is not a literal.
+fn static_copy_bytes(p: &ParamDecl) -> Option<u64> {
+    let n = p.static_bytes()?;
+    let per_crossing = if p
+        .size_attr()
+        .is_some_and(|a| matches!(a.kind, AttrKind::Count(_)))
+    {
+        n.saturating_mul(type_width(&p.base_type))
+    } else {
+        n
+    };
+    let crossings = u64::from(p.is_in()) + u64::from(p.is_out());
+    Some(per_crossing.saturating_mul(crossings.max(1)))
+}
+
+/// EDL-W010: `transition_using_threads` only pays off when the saved
+/// transition dominates the per-call cost. A switchless call that also
+/// marshals a large `[in]`/`[out]` buffer still pays the full copy on
+/// every call — the worker-thread dispatch saves a few microseconds while
+/// the copy costs more, so the annotation buys nothing (and pins worker
+/// threads for it).
+fn lint_switchless_copies(file: &EdlFile, config: &LintConfig, diags: &mut Vec<Diagnostic>) {
+    for decl in file.trusted.iter().chain(&file.untrusted) {
+        if !decl.switchless {
+            continue;
+        }
+        let attr_span = decl.switchless_span.unwrap_or(decl.name_span);
+        let total: u64 = decl
+            .params
+            .iter()
+            .filter_map(static_copy_bytes)
+            .fold(0, u64::saturating_add);
+        if total >= config.large_copy_bytes {
+            let est_ns = total * config.copy_tenth_ns_per_byte / 10;
+            diags.push(
+                Diagnostic::new(
+                    "EDL-W010",
+                    Severity::Warning,
+                    attr_span,
+                    format!(
+                        "`transition_using_threads` on `{}` moves {total} bytes per call (≈{est_ns} ns); the copy dwarfs the saved transition",
+                        decl.name
+                    ),
+                )
+                .help("drop the attribute for bulk-data calls, or shrink the buffer so the saved transition dominates")
                 .on(&decl.name),
             );
         }
@@ -518,6 +563,8 @@ pub mod codes {
     pub const LARGE_COPY: &str = "EDL-W008";
     /// Public ecall never exercised by the trace.
     pub const UNUSED_ECALL: &str = "EDL-W009";
+    /// Switchless call carrying large boundary copies.
+    pub const SWITCHLESS_COPY: &str = "EDL-W010";
 
     /// All statically-producible codes, in numeric order.
     pub const ALL: &[&str] = &[
@@ -530,6 +577,7 @@ pub mod codes {
         DUPLICATE_ALLOW,
         LARGE_COPY,
         UNUSED_ECALL,
+        SWITCHLESS_COPY,
     ];
 }
 
@@ -729,7 +777,54 @@ mod tests {
 
     #[test]
     fn codes_table_is_consistent() {
-        assert_eq!(codes::ALL.len(), 9);
+        assert_eq!(codes::ALL.len(), 10);
         assert!(codes::ALL.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn switchless_with_large_copy_flagged_at_attribute() {
+        let src = "enclave { untrusted {
+            void o([in, size=65536] char* buf) transition_using_threads;
+        }; };";
+        let diags = lint(src);
+        let w10 = diags.iter().find(|d| d.code == "EDL-W010").unwrap();
+        assert_eq!(w10.severity, Severity::Warning);
+        assert!(w10.message.contains("65536 bytes"), "{w10:?}");
+        assert_eq!(w10.function.as_deref(), Some("o"));
+        // The caret lands on the attribute, not the declaration.
+        assert_eq!(w10.span.start.line, 2);
+        assert_eq!(w10.span.start.col, 48);
+    }
+
+    #[test]
+    fn switchless_small_or_absent_copies_are_clean() {
+        // Small buffer: fine.
+        let small = lint(
+            "enclave { untrusted { void o([in, size=64] char* b) transition_using_threads; }; };",
+        );
+        assert!(!codes_of(&small).contains(&"EDL-W010"), "{small:?}");
+        // Large buffer without the attribute: W008 only.
+        let sync_large = lint("enclave { untrusted { void o([in, size=65536] char* b); }; };");
+        assert!(
+            !codes_of(&sync_large).contains(&"EDL-W010"),
+            "{sync_large:?}"
+        );
+        assert!(
+            codes_of(&sync_large).contains(&"EDL-W008"),
+            "{sync_large:?}"
+        );
+    }
+
+    #[test]
+    fn switchless_copy_sums_across_parameters() {
+        // Two 4 KiB buffers sum past the 8 KiB default bound even though
+        // neither alone trips EDL-W008.
+        let diags = lint(
+            "enclave { trusted {
+                public void e([in, size=4096] char* a, [out, size=4096] char* b) transition_using_threads;
+            }; };",
+        );
+        assert!(codes_of(&diags).contains(&"EDL-W010"), "{diags:?}");
+        assert!(!codes_of(&diags).contains(&"EDL-W008"), "{diags:?}");
     }
 }

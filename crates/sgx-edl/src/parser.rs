@@ -5,7 +5,8 @@
 //! ```text
 //! file      := "enclave" "{" section* "}" ";"?
 //! section   := ("trusted" | "untrusted") "{" decl* "}" ";"?
-//! decl      := "public"? type ident "(" params? ")" allow? ";"
+//! decl      := "public"? type ident "(" params? ")" postfix* ";"
+//! postfix   := allow | "transition_using_threads"
 //! allow     := "allow" "(" ident ("," ident)* ")"
 //! params    := param ("," param)*        | "void"
 //! param     := attrs? type "*"* ident
@@ -173,22 +174,50 @@ impl Parser {
         let params = self.params()?;
         self.expect(&TokenKind::RParen)?;
         let mut allowed_ecalls = Vec::new();
-        if self.eat_keyword("allow") {
-            if trusted {
-                return Err(EdlError::new(
-                    start,
-                    "`allow` is only meaningful on untrusted functions (ocalls)",
-                ));
-            }
-            self.expect(&TokenKind::LParen)?;
-            loop {
-                let (entry, span) = self.ident_spanned()?;
-                allowed_ecalls.push(AllowEntry { name: entry, span });
-                if !self.eat(&TokenKind::Comma) {
-                    break;
+        let mut switchless_span: Option<Span> = None;
+        // Postfix attributes: `allow(...)` and `transition_using_threads`
+        // may follow the parameter list in either order (edger8r accepts
+        // both `... allow(x) transition_using_threads;` and the reverse).
+        loop {
+            if matches!(&self.peek().kind, TokenKind::Ident(s) if s == "allow") {
+                let allow_span = self.span();
+                self.advance();
+                if trusted {
+                    return Err(EdlError::new(
+                        start,
+                        "`allow` is only meaningful on untrusted functions (ocalls)",
+                    ));
                 }
+                if !allowed_ecalls.is_empty() {
+                    return Err(EdlError::new(
+                        allow_span,
+                        format!("duplicate `allow` list on `{name}`"),
+                    ));
+                }
+                self.expect(&TokenKind::LParen)?;
+                loop {
+                    let (entry, span) = self.ident_spanned()?;
+                    allowed_ecalls.push(AllowEntry { name: entry, span });
+                    if !self.eat(&TokenKind::Comma) {
+                        break;
+                    }
+                }
+                self.expect(&TokenKind::RParen)?;
+            } else if matches!(&self.peek().kind, TokenKind::Ident(s)
+                if s == "transition_using_threads")
+            {
+                let attr_span = self.span();
+                self.advance();
+                if switchless_span.is_some() {
+                    return Err(EdlError::new(
+                        attr_span,
+                        format!("duplicate `transition_using_threads` on `{name}`"),
+                    ));
+                }
+                switchless_span = Some(attr_span);
+            } else {
+                break;
             }
-            self.expect(&TokenKind::RParen)?;
         }
         let semi = self.expect(&TokenKind::Semi)?;
         Ok(FunctionDecl {
@@ -197,6 +226,8 @@ impl Parser {
             params,
             public,
             allowed_ecalls,
+            switchless: switchless_span.is_some(),
+            switchless_span,
             span: start.to(semi.span),
             name_span,
         })
@@ -466,5 +497,71 @@ mod tests {
     fn missing_semicolon_is_reported() {
         let err = parse_file("enclave { trusted { public void e() } };").unwrap_err();
         assert!(err.message.contains("`;`"), "{err}");
+    }
+
+    #[test]
+    fn parses_transition_using_threads_on_both_sections() {
+        let file = parse_file(
+            "enclave { trusted { public void e() transition_using_threads; };
+                       untrusted { void o() transition_using_threads; }; };",
+        )
+        .unwrap();
+        assert!(file.trusted[0].switchless);
+        assert!(file.untrusted[0].switchless);
+        assert!(file.trusted[0].switchless_span.is_some());
+        // The attribute defaults to off.
+        let plain = parse_file("enclave { trusted { public void e(); }; };").unwrap();
+        assert!(!plain.trusted[0].switchless);
+        assert!(plain.trusted[0].switchless_span.is_none());
+    }
+
+    #[test]
+    fn transition_using_threads_span_covers_the_keyword() {
+        let src = "enclave { trusted { public void e() transition_using_threads; }; };";
+        let file = parse_file(src).unwrap();
+        let span = file.trusted[0].switchless_span.unwrap();
+        // `transition_using_threads` starts at column 37 (1-based),
+        // 24 characters long, end exclusive.
+        assert_eq!(span.start, Pos { line: 1, col: 37 });
+        assert_eq!(span.end, Pos { line: 1, col: 61 });
+        // The declaration span still runs through the semicolon.
+        assert_eq!(file.trusted[0].span.end, Pos { line: 1, col: 62 });
+    }
+
+    #[test]
+    fn transition_using_threads_composes_with_allow_in_either_order() {
+        let before = parse_file(
+            "enclave { trusted { void h(); };
+               untrusted { void o() transition_using_threads allow(h); }; };",
+        )
+        .unwrap();
+        assert!(before.untrusted[0].switchless);
+        assert_eq!(before.untrusted[0].allowed_ecalls.len(), 1);
+        let after = parse_file(
+            "enclave { trusted { void h(); };
+               untrusted { void o() allow(h) transition_using_threads; }; };",
+        )
+        .unwrap();
+        assert!(after.untrusted[0].switchless);
+        assert_eq!(after.untrusted[0].allowed_ecalls.len(), 1);
+    }
+
+    #[test]
+    fn rejects_duplicate_transition_using_threads() {
+        let err = parse_file(
+            "enclave { untrusted { void o() transition_using_threads transition_using_threads; }; };",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("duplicate"), "{err}");
+        assert_eq!(err.span.start.col, 57);
+    }
+
+    #[test]
+    fn rejects_duplicate_allow_list() {
+        let err = parse_file(
+            "enclave { trusted { void h(); }; untrusted { void o() allow(h) allow(h); }; };",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("duplicate `allow`"), "{err}");
     }
 }

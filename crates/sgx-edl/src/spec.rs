@@ -72,6 +72,9 @@ pub struct EcallSpec {
     pub name: String,
     /// Whether the ecall is `public` (callable from outside an ocall).
     pub public: bool,
+    /// Whether the ecall carries `transition_using_threads` — eligible to
+    /// be served by a trusted worker thread without an EENTER transition.
+    pub switchless: bool,
     /// Parameters.
     pub params: Vec<ParamSpec>,
 }
@@ -85,6 +88,9 @@ pub struct OcallSpec {
     pub name: String,
     /// Indexes of ecalls this ocall is allowed to (re-)enter with.
     pub allowed_ecalls: Vec<usize>,
+    /// Whether the ocall carries `transition_using_threads` — eligible to
+    /// be served by an untrusted worker thread without an EEXIT transition.
+    pub switchless: bool,
     /// Parameters.
     pub params: Vec<ParamSpec>,
 }
@@ -121,6 +127,7 @@ impl InterfaceSpec {
                 index,
                 name: decl.name.clone(),
                 public: decl.public,
+                switchless: decl.switchless,
                 params: convert_params(decl)?,
             });
         }
@@ -131,6 +138,7 @@ impl InterfaceSpec {
                     index,
                     name: decl.name.clone(),
                     allowed_ecalls: Vec::new(),
+                    switchless: decl.switchless,
                     params: convert_params(decl)?,
                 },
                 decl.allowed_ecalls.clone(),
@@ -298,8 +306,11 @@ fn convert_params(decl: &FunctionDecl) -> Result<Vec<ParamSpec>, EdlError> {
 /// prefer code over EDL text.
 #[derive(Debug, Default)]
 pub struct InterfaceBuilder {
-    ecalls: Vec<(String, bool, Vec<ParamSpec>)>,
-    ocalls: Vec<(String, Vec<ParamSpec>, Vec<String>)>,
+    ecalls: Vec<(String, bool, Vec<ParamSpec>, bool)>,
+    ocalls: Vec<(String, Vec<ParamSpec>, Vec<String>, bool)>,
+    /// Whether the most recent call added was an ecall (`true`) or an
+    /// ocall (`false`) — the target of [`InterfaceBuilder::switchless`].
+    last_was_ecall: Option<bool>,
 }
 
 impl InterfaceBuilder {
@@ -310,13 +321,15 @@ impl InterfaceBuilder {
 
     /// Adds a public ecall.
     pub fn public_ecall(mut self, name: &str, params: Vec<ParamSpec>) -> Self {
-        self.ecalls.push((name.to_string(), true, params));
+        self.ecalls.push((name.to_string(), true, params, false));
+        self.last_was_ecall = Some(true);
         self
     }
 
     /// Adds a private ecall (callable only from allowed ocalls).
     pub fn private_ecall(mut self, name: &str, params: Vec<ParamSpec>) -> Self {
-        self.ecalls.push((name.to_string(), false, params));
+        self.ecalls.push((name.to_string(), false, params, false));
+        self.last_was_ecall = Some(true);
         self
     }
 
@@ -331,7 +344,28 @@ impl InterfaceBuilder {
             name.to_string(),
             params,
             allowed.iter().map(|s| s.to_string()).collect(),
+            false,
         ));
+        self.last_was_ecall = Some(false);
+        self
+    }
+
+    /// Marks the most recently added ecall/ocall as switchless
+    /// (`transition_using_threads`). A no-op on an empty builder.
+    pub fn switchless(mut self) -> Self {
+        match self.last_was_ecall {
+            Some(true) => {
+                if let Some(e) = self.ecalls.last_mut() {
+                    e.3 = true;
+                }
+            }
+            Some(false) => {
+                if let Some(o) = self.ocalls.last_mut() {
+                    o.3 = true;
+                }
+            }
+            None => {}
+        }
         self
     }
 
@@ -346,10 +380,11 @@ impl InterfaceBuilder {
             .ecalls
             .into_iter()
             .enumerate()
-            .map(|(index, (name, public, params))| EcallSpec {
+            .map(|(index, (name, public, params, switchless))| EcallSpec {
                 index,
                 name,
                 public,
+                switchless,
                 params,
             })
             .collect();
@@ -357,15 +392,16 @@ impl InterfaceBuilder {
         let ocalls: Vec<OcallSpec> = ocalls_raw
             .iter()
             .enumerate()
-            .map(|(index, (name, params, _))| OcallSpec {
+            .map(|(index, (name, params, _, switchless))| OcallSpec {
                 index,
                 name: name.clone(),
                 allowed_ecalls: Vec::new(),
+                switchless: *switchless,
                 params: params.clone(),
             })
             .collect();
         let mut spec = InterfaceSpec::assemble(ecalls, ocalls)?;
-        for (index, (_, _, allowed_names)) in ocalls_raw.iter().enumerate() {
+        for (index, (_, _, allowed_names, _)) in ocalls_raw.iter().enumerate() {
             let mut allowed = Vec::new();
             for name in allowed_names {
                 let idx = spec.ecall_names.get(name).copied().ok_or_else(|| {
@@ -504,6 +540,37 @@ mod tests {
             .build()
             .unwrap_err();
         assert!(err.message.contains("never be called"));
+    }
+
+    #[test]
+    fn switchless_attribute_survives_validation() {
+        let spec = parse(
+            "enclave { trusted { public void fast() transition_using_threads; public void slow(); };
+                       untrusted { void o() transition_using_threads; void p(); }; };",
+        )
+        .unwrap();
+        assert!(spec.ecall_by_name("fast").unwrap().switchless);
+        assert!(!spec.ecall_by_name("slow").unwrap().switchless);
+        assert!(spec.ocall_by_name("o").unwrap().switchless);
+        assert!(!spec.ocall_by_name("p").unwrap().switchless);
+    }
+
+    #[test]
+    fn builder_switchless_marks_most_recent_call() {
+        let spec = InterfaceBuilder::new()
+            .public_ecall("fast", vec![])
+            .switchless()
+            .public_ecall("slow", vec![])
+            .ocall("o", vec![])
+            .switchless()
+            .build()
+            .unwrap();
+        assert!(spec.ecall_by_name("fast").unwrap().switchless);
+        assert!(!spec.ecall_by_name("slow").unwrap().switchless);
+        assert!(spec.ocall_by_name("o").unwrap().switchless);
+        // On an empty builder it is a no-op, not a panic.
+        let empty = InterfaceBuilder::new().switchless().build().unwrap();
+        assert!(empty.ecalls().is_empty());
     }
 
     #[test]

@@ -13,6 +13,7 @@ use sim_core::Nanos;
 use crate::args::CallData;
 use crate::error::{SdkError, SdkResult};
 use crate::ocall::HostCtx;
+use crate::switchless::Switchless;
 use crate::thread_ctx::ThreadCtx;
 use crate::urts::Urts;
 
@@ -50,6 +51,7 @@ pub struct Enclave {
     machine: Arc<Machine>,
     ecalls: RwLock<Vec<Option<EcallFn>>>,
     threads: Mutex<ThreadState>,
+    switchless: RwLock<Option<Arc<Switchless>>>,
 }
 
 impl Enclave {
@@ -86,7 +88,19 @@ impl Enclave {
                 free_tcs: (0..tcs_count).rev().collect(),
                 bound: HashMap::new(),
             }),
+            switchless: RwLock::new(None),
         }
+    }
+
+    /// The enclave's switchless subsystem, if
+    /// [`Runtime::enable_switchless`](crate::Runtime::enable_switchless)
+    /// set one up.
+    pub fn switchless(&self) -> Option<Arc<Switchless>> {
+        self.switchless.read().clone()
+    }
+
+    pub(crate) fn set_switchless(&self, sw: Arc<Switchless>) {
+        *self.switchless.write() = Some(sw);
     }
 
     /// The enclave id.
@@ -316,6 +330,14 @@ impl<'a> EcallCtx<'a> {
     /// [`SdkError::BadOcall`] if the saved table has no such index, plus
     /// anything the untrusted implementation returns.
     pub fn ocall_index(&mut self, index: usize, data: &mut CallData) -> SdkResult<()> {
+        // Switchless-eligible ocalls try the ring first; a `Some` result
+        // means an untrusted worker served the call and the thread never
+        // left the enclave.
+        if let Some(sw) = self.enclave.switchless() {
+            if let Some(result) = sw.try_ocall(&self.thread, index, data) {
+                return result;
+            }
+        }
         let machine = self.urts.machine();
         let cm = machine.cost_model();
         let table = self.urts.saved_table(self.enclave.id())?;

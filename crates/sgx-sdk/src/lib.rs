@@ -49,6 +49,7 @@ pub mod loader;
 pub mod ocall;
 pub mod runtime;
 pub mod signals;
+pub mod switchless;
 pub mod sync;
 pub mod thread_ctx;
 pub mod urts;
@@ -59,9 +60,10 @@ pub use error::{SdkError, SdkResult};
 pub use loader::{EcallDispatcher, Loader};
 pub use ocall::{HostCtx, OcallTable, OcallTableBuilder};
 pub use runtime::Runtime;
+pub use switchless::{Switchless, SwitchlessConfig, SwitchlessEvent, SwitchlessEventKind};
 pub use sync::{SgxCondvar, SgxHybridMutex, SgxThreadMutex};
 pub use thread_ctx::ThreadCtx;
-pub use urts::Urts;
+pub use urts::{SwitchlessObserver, Urts};
 
 /// Names of the four SDK synchronisation ocalls (§4.1.3). These are
 /// appended to every enclave interface (the SDK imports them implicitly)

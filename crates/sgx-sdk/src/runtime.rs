@@ -10,6 +10,7 @@ use crate::enclave::Enclave;
 use crate::error::{SdkError, SdkResult};
 use crate::loader::Loader;
 use crate::ocall::OcallTable;
+use crate::switchless::{Switchless, SwitchlessConfig};
 use crate::sync_ocalls;
 use crate::thread_ctx::ThreadCtx;
 use crate::urts::Urts;
@@ -25,6 +26,9 @@ pub fn with_sync_ocalls(spec: &InterfaceSpec) -> SdkResult<InterfaceSpec> {
         } else {
             builder.private_ecall(&e.name, e.params.clone())
         };
+        if e.switchless {
+            builder = builder.switchless();
+        }
     }
     for o in spec.ocalls() {
         let allowed: Vec<String> = o
@@ -34,6 +38,9 @@ pub fn with_sync_ocalls(spec: &InterfaceSpec) -> SdkResult<InterfaceSpec> {
             .collect();
         let allowed_refs: Vec<&str> = allowed.iter().map(String::as_str).collect();
         builder = builder.ocall_allowing(&o.name, o.params.clone(), &allowed_refs);
+        if o.switchless {
+            builder = builder.switchless();
+        }
     }
     for name in sync_ocalls::ALL {
         if spec.ocall_by_name(name).is_none() {
@@ -108,6 +115,26 @@ impl Runtime {
         Ok(enclave)
     }
 
+    /// Sets up the switchless subsystem for a loaded enclave: resolves the
+    /// config's force lists against its interface and installs the ring.
+    /// Callers still need [`Switchless::spawn_workers`] on the workload's
+    /// simulation (and [`Switchless::shutdown`] before it ends).
+    ///
+    /// # Errors
+    ///
+    /// [`SdkError::UnknownEnclave`] plus the validation errors of the
+    /// force lists (unknown or private call names).
+    pub fn enable_switchless(
+        &self,
+        eid: EnclaveId,
+        config: SwitchlessConfig,
+    ) -> SdkResult<Arc<Switchless>> {
+        let enclave = self.urts.enclave(eid)?;
+        let sw = Arc::new(Switchless::new(&enclave, Arc::clone(&self.urts), config)?);
+        enclave.set_switchless(Arc::clone(&sw));
+        Ok(sw)
+    }
+
     /// Destroys an enclave: unregisters it and frees its EPC pages.
     ///
     /// # Errors
@@ -140,7 +167,7 @@ impl Runtime {
             .ecall_by_name(name)
             .ok_or_else(|| SdkError::BadEcall(name.to_string()))?
             .index;
-        self.loader.sgx_ecall(tcx, eid, index, table, data)
+        self.ecall_index(tcx, eid, index, table, data)
     }
 
     /// Issues an ecall by index through the loader.
@@ -156,6 +183,16 @@ impl Runtime {
         table: &Arc<OcallTable>,
         data: &mut CallData,
     ) -> SdkResult<()> {
+        // Switchless-eligible ecalls try the ring first. A `Some` result
+        // means a trusted worker served the call: `sgx_ecall` (and any
+        // library interposing on it) was bypassed — no transition happened.
+        // The table must still be saved so the trusted body can ocall.
+        if let Some(sw) = self.urts.enclave(eid)?.switchless() {
+            self.urts.save_table(eid, table);
+            if let Some(result) = sw.try_ecall(tcx, index, data) {
+                return result;
+            }
+        }
         self.loader.sgx_ecall(tcx, eid, index, table, data)
     }
 }

@@ -17,7 +17,13 @@ use crate::enclave::{EcallCtx, Enclave, Frame};
 use crate::error::{SdkError, SdkResult};
 use crate::loader::{EcallDispatcher, Loader};
 use crate::ocall::OcallTable;
+use crate::switchless::SwitchlessEvent;
 use crate::thread_ctx::ThreadCtx;
+
+/// Callback receiving every [`SwitchlessEvent`] — the hook the sgx-perf
+/// logger uses to record switchless activity (which bypasses `sgx_ecall`
+/// and the ocall table, so interposition alone cannot see it).
+pub type SwitchlessObserver = Arc<dyn Fn(&SwitchlessEvent) + Send + Sync>;
 
 /// The URTS: enclave registry + the base implementation of `sgx_ecall`.
 pub struct Urts {
@@ -25,6 +31,7 @@ pub struct Urts {
     enclaves: RwLock<HashMap<u32, Arc<Enclave>>>,
     saved_tables: Mutex<HashMap<u32, Arc<OcallTable>>>,
     loader: OnceLock<Weak<Loader>>,
+    switchless_observer: RwLock<Option<SwitchlessObserver>>,
 }
 
 impl fmt::Debug for Urts {
@@ -42,6 +49,19 @@ impl Urts {
             enclaves: RwLock::new(HashMap::new()),
             saved_tables: Mutex::new(HashMap::new()),
             loader: OnceLock::new(),
+            switchless_observer: RwLock::new(None),
+        }
+    }
+
+    /// Installs the observer notified of every switchless event. Replaces
+    /// any previous observer.
+    pub fn set_switchless_observer(&self, observer: SwitchlessObserver) {
+        *self.switchless_observer.write() = Some(observer);
+    }
+
+    pub(crate) fn notify_switchless(&self, event: &SwitchlessEvent) {
+        if let Some(obs) = self.switchless_observer.read().clone() {
+            obs(event);
         }
     }
 
@@ -83,6 +103,13 @@ impl Urts {
             .ok_or(SdkError::UnknownEnclave(eid))
     }
 
+    /// Saves the ocall table for `eid` without an ecall. Switchless ecalls
+    /// bypass `sgx_ecall` (which normally saves it), but the trusted body
+    /// may still issue ocalls that need the table.
+    pub(crate) fn save_table(&self, eid: EnclaveId, table: &Arc<OcallTable>) {
+        self.saved_tables.lock().insert(eid.0, Arc::clone(table));
+    }
+
     /// The ocall table most recently passed to `sgx_ecall` for `eid`.
     pub fn saved_table(&self, eid: EnclaveId) -> SdkResult<Arc<OcallTable>> {
         self.saved_tables
@@ -109,7 +136,7 @@ impl EcallDispatcher for Urts {
         let enclave = self.enclave(eid)?;
         // Save the table pointer "for later use" — every call replaces it,
         // which is what lets a preloaded logger substitute its own.
-        self.saved_tables.lock().insert(eid.0, Arc::clone(table));
+        self.save_table(eid, table);
 
         let spec_ecall = enclave
             .spec()

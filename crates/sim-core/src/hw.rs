@@ -105,6 +105,21 @@ pub struct CostModel {
     /// Marshalling cost per byte copied across the enclave boundary for
     /// `in`/`out` pointer parameters, in tenths of a nanosecond.
     pub copy_tenth_ns_per_byte: u64,
+    /// Cost for a switchless caller to publish a request slot into the
+    /// shared-memory ring (cache-coherent stores + release fence). No
+    /// enclave transition happens, so this is mitigation-independent.
+    pub switchless_post: Nanos,
+    /// Cost for a switchless caller to consume the response slot once the
+    /// worker marked it done (acquire load + result copy-back).
+    pub switchless_complete: Nanos,
+    /// Cost for a worker thread to claim a queued slot, dispatch the call
+    /// body and write the result back (HotCalls-style shared-memory
+    /// round-trip, minus the call body itself).
+    pub switchless_worker_dispatch: Nanos,
+    /// Cost of one polling iteration (a `pause`-loop check of the ring
+    /// state), charged to whoever spins — callers waiting for a worker
+    /// and workers waiting for work.
+    pub switchless_poll_iteration: Cycles,
     /// Transition round-trip as reported by the paper, in cycles. Kept
     /// verbatim (the paper's cycle and ns figures imply a TSC rate below the
     /// nominal 3.4 GHz; we treat the ns figures as ground truth).
@@ -146,6 +161,19 @@ impl CostModel {
             page_out: Nanos::from_micros(12),
             page_in: Nanos::from_micros(12),
             copy_tenth_ns_per_byte: 1, // 0.1 ns/B ≈ 10 GB/s boundary copies
+            // Switchless (HotCalls-style) shared-memory calls never leave
+            // the enclave, so their cost does not grow with the Spectre/
+            // L1TF mitigations — that widening gap is exactly why the
+            // UseSwitchless recommendation gets more valuable per profile.
+            // HotCalls reports ≈620 cycles (~180 ns) per call round-trip;
+            // split across post, worker dispatch and completion.
+            switchless_post: Nanos::from_nanos(40),
+            switchless_complete: Nanos::from_nanos(40),
+            switchless_worker_dispatch: Nanos::from_nanos(100),
+            // One pause-loop poll of a shared cache line: ~170 cycles
+            // (~50 ns at 3.4 GHz) covering the pause latency plus the
+            // cross-core cache-coherence probe.
+            switchless_poll_iteration: Cycles::new(170),
             reported_roundtrip_cycles: Cycles::new(cycles),
         }
     }
@@ -175,6 +203,34 @@ impl CostModel {
     /// Marshalling cost for copying `bytes` across the enclave boundary.
     pub fn copy_cost(&self, bytes: usize) -> Nanos {
         Nanos::from_nanos(bytes as u64 * self.copy_tenth_ns_per_byte / 10)
+    }
+
+    /// End-to-end overhead of a switchless call when a worker picks the
+    /// slot up immediately: post + worker dispatch + completion. Compare
+    /// with [`CostModel::sdk_ecall_overhead`]/[`CostModel::sdk_ocall_overhead`]
+    /// to see the per-call saving.
+    pub fn switchless_call_overhead(&self) -> Nanos {
+        self.switchless_post + self.switchless_complete + self.switchless_worker_dispatch
+    }
+
+    /// Virtual time burned by `iterations` polling loop passes.
+    pub fn switchless_spin_cost(&self, iterations: u64) -> Nanos {
+        Cycles::new(self.switchless_poll_iteration.get() * iterations).to_nanos(self.cpu_ghz)
+    }
+
+    /// What one switchless ocall saves over the classic synchronous path
+    /// (zero when switchless would not help). The dominant term is the
+    /// transition round-trip, which is why the saving grows with each
+    /// mitigation level.
+    pub fn switchless_ocall_saving(&self) -> Nanos {
+        self.sdk_ocall_overhead()
+            .saturating_sub(self.switchless_call_overhead())
+    }
+
+    /// What one switchless ecall saves over the classic synchronous path.
+    pub fn switchless_ecall_saving(&self) -> Nanos {
+        self.sdk_ecall_overhead()
+            .saturating_sub(self.switchless_call_overhead())
     }
 }
 
@@ -243,6 +299,42 @@ mod tests {
         let cm = HwProfile::Unpatched.cost_model();
         assert_eq!(cm.copy_cost(0), Nanos::ZERO);
         assert_eq!(cm.copy_cost(10_240).as_nanos(), 1_024);
+    }
+
+    #[test]
+    fn switchless_overhead_is_mitigation_independent() {
+        let base = HwProfile::Unpatched.cost_model().switchless_call_overhead();
+        for p in HwProfile::ALL {
+            assert_eq!(p.cost_model().switchless_call_overhead(), base, "{p}");
+        }
+        // ≈180 ns, the HotCalls ballpark — far below any transition.
+        assert_eq!(base, Nanos::from_nanos(180));
+    }
+
+    #[test]
+    fn switchless_saving_grows_with_mitigations() {
+        let savings: Vec<Nanos> = HwProfile::ALL
+            .iter()
+            .map(|p| p.cost_model().switchless_ocall_saving())
+            .collect();
+        assert!(
+            savings[0] < savings[1] && savings[1] < savings[2],
+            "{savings:?}"
+        );
+        // Unpatched: 3,808 ns ocall overhead - 180 ns switchless.
+        assert_eq!(savings[0], Nanos::from_nanos(3_628));
+        // Ecall saving likewise dominates the switchless overhead.
+        let cm = HwProfile::Unpatched.cost_model();
+        assert_eq!(cm.switchless_ecall_saving(), Nanos::from_nanos(4_025));
+    }
+
+    #[test]
+    fn spin_cost_converts_cycles_at_nominal_frequency() {
+        let cm = HwProfile::Unpatched.cost_model();
+        assert_eq!(cm.switchless_spin_cost(0), Nanos::ZERO);
+        // 170 cycles at 3.4 GHz = 50 ns per iteration.
+        assert_eq!(cm.switchless_spin_cost(1), Nanos::from_nanos(50));
+        assert_eq!(cm.switchless_spin_cost(20), Nanos::from_nanos(1_000));
     }
 
     #[test]

@@ -15,7 +15,9 @@
 //!   phase (§5.2.4, Figures 7 and 8),
 //!
 //! plus [`antipatterns`] — one micro-workload per Table 1 problem class,
-//! used to validate the analyzer's detectors.
+//! used to validate the analyzer's detectors — and [`switchless_loop`] — a
+//! request server whose hot short ocalls the analyzer recommends serving
+//! switchlessly, closing the detect → apply → re-measure loop.
 //!
 //! Each workload supports the three execution variants of Figure 6
 //! ([`Variant`]): native (no enclave), enclavised, and optimised per the
@@ -28,6 +30,7 @@ pub mod glamdring;
 pub mod harness;
 pub mod securekeeper;
 pub mod sqlitedb;
+pub mod switchless_loop;
 pub mod talos;
 
 pub use harness::{Harness, RunStats, Variant};

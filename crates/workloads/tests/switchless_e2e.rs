@@ -1,0 +1,125 @@
+//! End-to-end properties of the switchless subsystem under a full
+//! logger-attached workload:
+//!
+//! * **graceful degradation** — with zero workers every switchless call
+//!   takes the classic synchronous transition and the run is
+//!   indistinguishable from one without the subsystem,
+//! * **determinism** — the whole detect → apply → re-measure loop, run
+//!   twice under identical configuration, produces bit-identical traces
+//!   (the virtual clock and cooperative scheduler leave no room for
+//!   wall-clock noise).
+
+use sgx_perf::{Logger, LoggerConfig};
+use sgx_sdk::SwitchlessConfig;
+use sim_core::HwProfile;
+use workloads::switchless_loop::{closed_loop, round_trips, run};
+use workloads::Harness;
+
+/// With an empty worker pool every call degrades to the synchronous path:
+/// same results, same recorded events, and — without a logger — the same
+/// virtual end time to the nanosecond.
+#[test]
+fn zero_workers_degrade_to_synchronous_runs() {
+    let plain_h = Harness::new(HwProfile::Spectre);
+    let plain = run(&plain_h, 40, None).unwrap();
+
+    let degraded_h = Harness::new(HwProfile::Spectre);
+    let degraded = run(
+        &degraded_h,
+        40,
+        Some(SwitchlessConfig {
+            untrusted_workers: 0,
+            trusted_workers: 0,
+            force_ocalls: vec!["ocall_log".to_string()],
+            ..SwitchlessConfig::default()
+        }),
+    )
+    .unwrap();
+
+    assert_eq!(degraded.checksum, plain.checksum);
+    assert_eq!(
+        degraded.stats.elapsed, plain.stats.elapsed,
+        "the no-worker fallback must not charge any time"
+    );
+}
+
+/// Same degradation with the logger attached: the ecall/ocall tables of
+/// the two traces are identical — the fallback only adds rows to the
+/// dedicated switchless table.
+#[test]
+fn zero_worker_traces_record_the_same_calls() {
+    let plain_h = Harness::new(HwProfile::Unpatched);
+    let logger = Logger::attach(plain_h.runtime(), LoggerConfig::default());
+    run(&plain_h, 25, None).unwrap();
+    let plain_trace = logger.finish();
+
+    let degraded_h = Harness::new(HwProfile::Unpatched);
+    let logger = Logger::attach(degraded_h.runtime(), LoggerConfig::default());
+    run(
+        &degraded_h,
+        25,
+        Some(SwitchlessConfig {
+            untrusted_workers: 0,
+            trusted_workers: 0,
+            force_ocalls: vec!["ocall_log".to_string()],
+            ..SwitchlessConfig::default()
+        }),
+    )
+    .unwrap();
+    let degraded_trace = logger.finish();
+
+    assert_eq!(degraded_trace.ecalls.len(), plain_trace.ecalls.len());
+    assert_eq!(degraded_trace.ocalls.len(), plain_trace.ocalls.len());
+    assert_eq!(round_trips(&degraded_trace), round_trips(&plain_trace));
+    assert!(plain_trace.switchless.is_empty());
+    assert!(
+        !degraded_trace.switchless.is_empty(),
+        "fallbacks must be observable in the trace"
+    );
+}
+
+/// Two identically-configured closed-loop runs yield bit-identical traces.
+#[test]
+fn closed_loop_is_deterministic() {
+    let a = closed_loop(HwProfile::Foreshadow, 60).unwrap();
+    let b = closed_loop(HwProfile::Foreshadow, 60).unwrap();
+    assert_eq!(a.before.checksum, b.before.checksum);
+    assert_eq!(a.after.stats.elapsed, b.after.stats.elapsed);
+    assert_eq!(
+        a.trace_before.to_bytes(),
+        b.trace_before.to_bytes(),
+        "baseline event streams must be bit-identical"
+    );
+    assert_eq!(
+        a.trace_after.to_bytes(),
+        b.trace_after.to_bytes(),
+        "switchless event streams must be bit-identical"
+    );
+}
+
+/// The loop improves things on every hardware profile, and the saving
+/// grows with the transition cost (Foreshadow > Unpatched).
+#[test]
+fn loop_pays_off_on_all_profiles() {
+    let mut speedups = Vec::new();
+    for profile in [
+        HwProfile::Unpatched,
+        HwProfile::Spectre,
+        HwProfile::Foreshadow,
+    ] {
+        let l = closed_loop(profile, 60).unwrap();
+        assert_eq!(l.after.checksum, l.before.checksum, "{profile:?}");
+        assert!(
+            l.transitions_after < l.transitions_before,
+            "{profile:?}: {} -> {}",
+            l.transitions_before,
+            l.transitions_after
+        );
+        assert!(l.speedup() > 1.0, "{profile:?}");
+        speedups.push(l.speedup());
+    }
+    assert!(
+        speedups[2] > speedups[0],
+        "saving should grow with transition cost: {speedups:?}"
+    );
+}

@@ -157,6 +157,7 @@ fn weights_control_sensitivity() {
 
     let strict = sgx_perf::Weights {
         min_calls: 1_000_000,
+        switchless_min_calls: 1_000_000,
         ..Default::default()
     };
     let strict_report = Analyzer::new(&trace, cm).with_weights(strict).analyze();
