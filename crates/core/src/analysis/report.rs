@@ -38,6 +38,13 @@ pub struct Totals {
     pub switchless_dispatched: usize,
     /// Switchless attempts that fell back to a synchronous transition.
     pub switchless_fallbacks: usize,
+    /// Faults injected by the chaos harness.
+    pub faults_injected: usize,
+    /// Injected faults the SDK recovered from (retry/fallback succeeded).
+    pub faults_recovered: usize,
+    /// Injected faults that exhausted the retry budget and surfaced as
+    /// errors.
+    pub faults_gave_up: usize,
 }
 
 /// A waker→sleeper dependency edge derived from the sync events
@@ -107,6 +114,10 @@ impl Report {
                 .iter()
                 .filter(|s| s.kind == 2 || s.kind == 3)
                 .count(),
+            // Action codes: 0 injected, 1 retried, 2 recovered, 3 gave up.
+            faults_injected: trace.faults.iter().filter(|f| f.action == 0).count(),
+            faults_recovered: trace.faults.iter().filter(|f| f.action == 2).count(),
+            faults_gave_up: trace.faults.iter().filter(|f| f.action == 3).count(),
         };
         let mut edge_counts: std::collections::BTreeMap<(u64, u64), usize> =
             std::collections::BTreeMap::new();
@@ -205,6 +216,12 @@ impl Report {
                 t.switchless_dispatched, t.switchless_fallbacks,
             ));
         }
+        if t.faults_injected > 0 {
+            out.push_str(&format!(
+                "faults: {} injected, {} recovered, {} gave up\n\n",
+                t.faults_injected, t.faults_recovered, t.faults_gave_up,
+            ));
+        }
         out.push_str(&format!(
             "short calls (<10us adjusted): {:.2}% of ecalls, {:.2}% of ocalls\n\n",
             self.short_fraction(CallKind::Ecall) * 100.0,
@@ -268,7 +285,8 @@ impl Report {
             "\"ecall_events\": {}, \"ocall_events\": {}, \"distinct_ecalls\": {}, \
              \"distinct_ocalls\": {}, \"aex_events\": {}, \"page_outs\": {}, \
              \"page_ins\": {}, \"sync_sleeps\": {}, \"sync_wakes\": {}, \
-             \"enclaves\": {}, \"switchless_dispatched\": {}, \"switchless_fallbacks\": {}",
+             \"enclaves\": {}, \"switchless_dispatched\": {}, \"switchless_fallbacks\": {}, \
+             \"faults_injected\": {}, \"faults_recovered\": {}, \"faults_gave_up\": {}",
             t.ecall_events,
             t.ocall_events,
             t.distinct_ecalls,
@@ -281,6 +299,9 @@ impl Report {
             t.enclaves,
             t.switchless_dispatched,
             t.switchless_fallbacks,
+            t.faults_injected,
+            t.faults_recovered,
+            t.faults_gave_up,
         ));
         out.push_str("},\n  \"short_fraction\": {");
         out.push_str(&format!(
@@ -546,6 +567,37 @@ mod tests {
     }
 
     #[test]
+    fn fault_totals_count_by_action() {
+        use crate::events::FaultRow;
+        let mut trace = trace_with_short_ecalls(5);
+        for action in [0u8, 0, 0, 1, 2, 2, 3] {
+            trace.faults.insert(FaultRow {
+                thread: 0,
+                enclave: 1,
+                fault: 3,
+                action,
+                call_index: Some(0),
+                magnitude: 1,
+                time_ns: 1,
+            });
+        }
+        let report = Analyzer::new(&trace, HwProfile::Unpatched.cost_model()).analyze();
+        assert_eq!(report.totals.faults_injected, 3);
+        assert_eq!(report.totals.faults_recovered, 2);
+        assert_eq!(report.totals.faults_gave_up, 1);
+        assert!(report
+            .render()
+            .contains("faults: 3 injected, 2 recovered, 1 gave up"));
+        // Fault-free reports keep the line out entirely.
+        let clean = Analyzer::new(
+            &trace_with_short_ecalls(5),
+            HwProfile::Unpatched.cost_model(),
+        )
+        .analyze();
+        assert!(!clean.render().contains("faults:"));
+    }
+
+    #[test]
     fn json_report_has_all_sections_and_escapes_strings() {
         use crate::events::SymbolRow;
         let mut trace = trace_with_short_ecalls(50);
@@ -568,6 +620,7 @@ mod tests {
             "\"detections\"",
             "\"lint\"",
             "\"switchless_dispatched\": 0",
+            "\"faults_injected\": 0",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }

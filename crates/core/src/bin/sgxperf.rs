@@ -24,12 +24,17 @@ use sgx_edl::lint::LintConfig;
 use sgx_perf::analysis::lint::lint_interface;
 use sgx_perf::analysis::stats::{scatter, scatter_csv, Histogram};
 use sgx_perf::{Analyzer, TraceDb};
+use sim_core::fault::FaultPlan;
 use sim_core::HwProfile;
 
-fn usage() -> ExitCode {
+fn print_usage() {
     eprintln!(
-        "usage:\n  sgxperf report  <trace.evdb> [--profile unpatched|spectre|l1tf] [--edl <file.edl>] [--json]\n  sgxperf lint    <file.edl> [--trace <trace.evdb>] [--deny <code,...>] [--max-public N] [--large-copy BYTES]\n  sgxperf dot     <trace.evdb> [-o <out.dot>]\n  sgxperf hist    <trace.evdb> <call-name> [--bins N]\n  sgxperf scatter <trace.evdb> <call-name>\n  sgxperf info    <trace.evdb>"
+        "usage:\n  sgxperf report  <trace.evdb> [--profile unpatched|spectre|l1tf] [--edl <file.edl>] [--faults <spec>] [--json]\n  sgxperf lint    <file.edl> [--trace <trace.evdb>] [--deny <code,...>] [--max-public N] [--large-copy BYTES]\n  sgxperf dot     <trace.evdb> [-o <out.dot>]\n  sgxperf hist    <trace.evdb> <call-name> [--bins N]\n  sgxperf scatter <trace.evdb> <call-name>\n  sgxperf info    <trace.evdb>"
     );
+}
+
+fn usage() -> ExitCode {
+    print_usage();
     ExitCode::from(2)
 }
 
@@ -137,6 +142,7 @@ fn run() -> Result<ExitCode, String> {
     let mut out: Option<String> = None;
     let mut bins = 100usize;
     let mut json = false;
+    let mut faults: Option<FaultPlan> = None;
     let mut positional = Vec::new();
     let mut it = opts.iter();
     while let Some(opt) = it.next() {
@@ -155,6 +161,10 @@ fn run() -> Result<ExitCode, String> {
                     sgx_edl::spec::InterfaceSpec::from_ast(&file)
                         .map_err(|e| format!("{v}: {e}"))?,
                 );
+            }
+            "--faults" => {
+                let v = it.next().ok_or("--faults needs a fault spec")?;
+                faults = Some(FaultPlan::parse(v).map_err(|e| format!("--faults: {e}"))?);
             }
             "-o" => out = Some(it.next().ok_or("-o needs a file")?.clone()),
             "--json" => json = true,
@@ -176,6 +186,13 @@ fn run() -> Result<ExitCode, String> {
 
     match cmd.as_str() {
         "report" => {
+            // Echo the canonical form of the fault plan the trace was (or
+            // is to be) recorded under — to stderr, so `--json` stdout
+            // stays valid JSON. Parsing the echo back yields the same
+            // plan: `Display` is the grammar's fixpoint.
+            if let Some(plan) = &faults {
+                eprintln!("fault plan: {plan}");
+            }
             let report = analyzer.analyze();
             if json {
                 print!("{}", report.to_json());
@@ -227,7 +244,10 @@ fn run() -> Result<ExitCode, String> {
                 trace.symbols.len()
             );
         }
-        other => return Err(format!("unknown command `{other}`")),
+        other => {
+            print_usage();
+            return Err(format!("unknown command `{other}`"));
+        }
     }
     Ok(ExitCode::SUCCESS)
 }

@@ -326,6 +326,52 @@ impl Record for SwitchlessRow {
     }
 }
 
+/// One fault-injection or recovery event (from the chaos harness).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultRow {
+    /// Thread at the injection site.
+    pub thread: u64,
+    /// Affected enclave (0 when not tied to one).
+    pub enclave: u32,
+    /// Fault kind, encoded as
+    /// [`FaultKind::code`](sim_core::fault::FaultKind::code).
+    pub fault: u8,
+    /// Injection/recovery step, encoded as
+    /// [`FaultAction::code`](sim_core::fault::FaultAction::code).
+    pub action: u8,
+    /// Ecall/ocall index at the site, when meaningful.
+    pub call_index: Option<u32>,
+    /// Kind-specific magnitude (AEX count, pages evicted, delay/backoff
+    /// nanoseconds, slowdown factor, attempts).
+    pub magnitude: u64,
+    /// Time of the event.
+    pub time_ns: u64,
+}
+
+impl Record for FaultRow {
+    const TAG: &'static str = "faults";
+    fn encode(&self, out: &mut Encoder) {
+        out.u64(self.thread);
+        out.u32(self.enclave);
+        out.u8(self.fault);
+        out.u8(self.action);
+        out.option(&self.call_index, |e, v| e.u32(*v));
+        out.u64(self.magnitude);
+        out.u64(self.time_ns);
+    }
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, DbError> {
+        Ok(FaultRow {
+            thread: r.u64()?,
+            enclave: r.u32()?,
+            fault: r.u8()?,
+            action: r.u8()?,
+            call_index: r.option(|r| r.u32())?,
+            magnitude: r.u64()?,
+            time_ns: r.u64()?,
+        })
+    }
+}
+
 /// One observed enclave (from driver lifecycle events).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EnclaveRow {
@@ -541,6 +587,30 @@ mod tests {
                 worker: Some(0),
                 spins: 0,
                 time_ns: 500,
+            },
+        ]);
+    }
+
+    #[test]
+    fn fault_row_roundtrip() {
+        roundtrip(vec![
+            FaultRow {
+                thread: 1,
+                enclave: 1,
+                fault: 0, // aex-storm
+                action: 0,
+                call_index: None,
+                magnitude: 6,
+                time_ns: 1_000,
+            },
+            FaultRow {
+                thread: 2,
+                enclave: 1,
+                fault: 4, // ocall-timeout
+                action: 2,
+                call_index: Some(1),
+                magnitude: 2,
+                time_ns: 9_999,
             },
         ]);
     }

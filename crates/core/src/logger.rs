@@ -21,12 +21,13 @@ use sgx_sdk::{
     CallData, EcallDispatcher, OcallTable, Runtime, SdkResult, SwitchlessEvent, ThreadCtx, Urts,
 };
 use sgx_sim::{AexEvent, DriverEvent, EnclaveId, Machine, PagingDirection};
+use sim_core::fault::FaultEvent;
 use sim_core::sync::Mutex;
 use sim_core::Nanos;
 
 use crate::events::{
-    AexMode, AexRow, CallKind, EcallRow, EnclaveRow, OcallRow, PagingRow, SwitchlessRow, SymbolRow,
-    SyncRow,
+    AexMode, AexRow, CallKind, EcallRow, EnclaveRow, FaultRow, OcallRow, PagingRow, SwitchlessRow,
+    SymbolRow, SyncRow,
 };
 use crate::trace::TraceDb;
 
@@ -50,6 +51,10 @@ pub struct LoggerConfig {
     /// Bookkeeping cost per switchless event. Recording is a lock-free ring
     /// append on the caller/worker thread, far cheaper than the call stubs.
     pub switchless_overhead: Nanos,
+    /// Bookkeeping cost per fault-injection/recovery event (same shape of
+    /// append as switchless events). Charged only when a fault actually
+    /// fires, so zero-fault runs cost nothing extra.
+    pub fault_overhead: Nanos,
 }
 
 impl Default for LoggerConfig {
@@ -63,6 +68,7 @@ impl Default for LoggerConfig {
             aex_count_overhead: Nanos::from_nanos(1_076),
             aex_trace_overhead: Nanos::from_nanos(1_118),
             switchless_overhead: Nanos::from_nanos(90),
+            fault_overhead: Nanos::from_nanos(90),
         }
     }
 }
@@ -166,6 +172,20 @@ impl Logger {
                 }));
         }
 
+        // Observe the chaos harness: injected faults and SDK recovery
+        // steps are first-class events, so the analyzer can distinguish
+        // "slow because paging" from "slow because faulted".
+        {
+            let weak = Arc::downgrade(&logger);
+            runtime
+                .machine()
+                .set_fault_observer(Some(Arc::new(move |ev: &FaultEvent| {
+                    if let Some(logger) = weak.upgrade() {
+                        logger.on_fault(ev);
+                    }
+                })));
+        }
+
         // Patch the AEP.
         if logger.config.aex != AexMode::Off {
             let weak = Arc::downgrade(&logger);
@@ -186,6 +206,7 @@ impl Logger {
     pub fn finish(&self) -> TraceDb {
         self.enabled.store(false, Ordering::SeqCst);
         self.machine.set_aep_observer(None);
+        self.machine.set_fault_observer(None);
         std::mem::take(&mut self.state.lock().trace)
     }
 
@@ -258,6 +279,23 @@ impl Logger {
             call_index: ev.call_index.map(|i| i as u32),
             worker: ev.worker.map(|w| w as u32),
             spins: ev.spins,
+            time_ns: ev.time.as_nanos(),
+        });
+    }
+
+    fn on_fault(&self, ev: &FaultEvent) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.machine.clock().advance(self.config.fault_overhead);
+        let mut st = self.state.lock();
+        st.trace.faults.insert(FaultRow {
+            thread: ev.thread,
+            enclave: ev.enclave,
+            fault: ev.code,
+            action: ev.action.code(),
+            call_index: ev.call_index,
+            magnitude: ev.magnitude,
             time_ns: ev.time.as_nanos(),
         });
     }

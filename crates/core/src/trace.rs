@@ -5,7 +5,7 @@ use std::path::Path;
 use eventdb::{DbError, Record, Store, Table};
 
 use crate::events::{
-    AexRow, EcallRow, EnclaveRow, OcallRow, PagingRow, SwitchlessRow, SymbolRow, SyncRow,
+    AexRow, EcallRow, EnclaveRow, FaultRow, OcallRow, PagingRow, SwitchlessRow, SymbolRow, SyncRow,
 };
 
 /// A complete sgx-perf trace: every table the logger records, serialisable
@@ -40,6 +40,8 @@ pub struct TraceDb {
     pub symbols: Table<SymbolRow>,
     /// Switchless-subsystem events (dispatches, fallbacks, worker state).
     pub switchless: Table<SwitchlessRow>,
+    /// Injected faults and SDK recovery steps (the chaos harness).
+    pub faults: Table<FaultRow>,
 }
 
 /// Reads a table, treating its absence as empty — traces written before the
@@ -67,6 +69,11 @@ impl TraceDb {
         store.put(&self.enclaves);
         store.put(&self.symbols);
         store.put(&self.switchless);
+        // Written only when non-empty: fault-free traces stay byte-for-byte
+        // identical to those of versions without the chaos harness.
+        if !self.faults.is_empty() {
+            store.put(&self.faults);
+        }
         store
     }
 
@@ -90,6 +97,7 @@ impl TraceDb {
             enclaves: store.get()?,
             symbols: store.get()?,
             switchless: get_or_empty(store)?,
+            faults: get_or_empty(store)?,
         })
     }
 
@@ -177,6 +185,37 @@ mod tests {
         store.put(&t.symbols);
         let back = TraceDb::from_bytes(&store.to_bytes()).unwrap();
         assert_eq!(back.switchless.len(), 0);
+        assert_eq!(back.faults.len(), 0);
+    }
+
+    #[test]
+    fn fault_free_traces_serialise_without_a_fault_table() {
+        // Byte-compatibility contract: a trace with no fault rows writes
+        // the same store as a pre-chaos-harness version...
+        let trace = TraceDb::default();
+        let mut old_style = Store::new();
+        old_style.put(&trace.ecalls);
+        old_style.put(&trace.ocalls);
+        old_style.put(&trace.aex);
+        old_style.put(&trace.paging);
+        old_style.put(&trace.sync);
+        old_style.put(&trace.enclaves);
+        old_style.put(&trace.symbols);
+        old_style.put(&trace.switchless);
+        assert_eq!(trace.to_bytes(), old_style.to_bytes());
+        // ...while fault rows round-trip once present.
+        let mut faulted = TraceDb::default();
+        faulted.faults.insert(FaultRow {
+            thread: 1,
+            enclave: 1,
+            fault: 0,
+            action: 0,
+            call_index: None,
+            magnitude: 6,
+            time_ns: 7,
+        });
+        let back = TraceDb::from_bytes(&faulted.to_bytes()).unwrap();
+        assert_eq!(back.faults.len(), 1);
     }
 
     #[test]

@@ -245,3 +245,60 @@ fn bad_inputs_fail_cleanly() {
     assert!(!ok);
     assert!(stderr.contains("unknown command"), "{stderr}");
 }
+
+#[test]
+fn unknown_command_prints_usage() {
+    let trace = record_trace("usage");
+    let (_, stderr, ok) = sgxperf(&["frobnicate", trace.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(stderr.contains("usage:"), "{stderr}");
+    assert!(stderr.contains("sgxperf report"), "{stderr}");
+    assert!(stderr.contains("unknown command `frobnicate`"), "{stderr}");
+}
+
+#[test]
+fn report_faults_flag_echoes_canonical_plan() {
+    let trace = record_trace("faults-flag");
+    // Shorthand spec: defaults filled in, canonical echo on stderr.
+    let (stdout, stderr, ok) = sgxperf(&[
+        "report",
+        trace.to_str().unwrap(),
+        "--faults",
+        "seed=9;aex-storm@call=3",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("sgx-perf analysis report"), "{stdout}");
+    let canonical = stderr
+        .lines()
+        .find_map(|l| l.strip_prefix("fault plan: "))
+        .unwrap_or_else(|| panic!("no fault plan echo in {stderr}"));
+    assert!(canonical.contains("seed=9"), "{canonical}");
+    assert!(canonical.contains("aex-storm@call=3:count="), "{canonical}");
+    // Round-trip: feeding the canonical form back echoes it unchanged.
+    let (_, stderr2, ok) = sgxperf(&["report", trace.to_str().unwrap(), "--faults", canonical]);
+    assert!(ok);
+    assert!(
+        stderr2.contains(&format!("fault plan: {canonical}")),
+        "{stderr2}"
+    );
+    // A malformed spec fails cleanly.
+    let (_, stderr, ok) = sgxperf(&[
+        "report",
+        trace.to_str().unwrap(),
+        "--faults",
+        "bogus-fault@call=1",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("--faults:"), "{stderr}");
+}
+
+#[test]
+fn json_report_carries_fault_counters() {
+    let trace = record_trace("faults-json");
+    let (stdout, _, ok) = sgxperf(&["report", trace.to_str().unwrap(), "--json"]);
+    assert!(ok);
+    // Fault-free trace: counters present and zero.
+    assert!(stdout.contains("\"faults_injected\": 0"), "{stdout}");
+    assert!(stdout.contains("\"faults_recovered\": 0"), "{stdout}");
+    assert!(stdout.contains("\"faults_gave_up\": 0"), "{stdout}");
+}

@@ -7,6 +7,7 @@ use std::sync::Arc;
 
 use sgx_edl::InterfaceSpec;
 use sgx_sim::{AccessKind, EnclaveId, Machine, ThreadToken, TouchStats};
+use sim_core::fault::{FaultAction, FaultEvent, FaultKind, OcallFault};
 use sim_core::sync::{Mutex, RwLock};
 use sim_core::Nanos;
 
@@ -19,6 +20,16 @@ use crate::urts::Urts;
 
 /// A trusted function body.
 pub type EcallFn = Arc<dyn Fn(&mut EcallCtx<'_>, &mut CallData) -> SdkResult<()> + Send + Sync>;
+
+/// Retry budget for injected transient faults: failed attempts the SDK
+/// rides out (with exponential backoff) before surfacing
+/// [`SdkError::InjectedFault`].
+pub const MAX_FAULT_RETRIES: u32 = 4;
+
+/// Exponential backoff before retry `n` (1-based): 2 µs, 4 µs, 8 µs, …
+pub(crate) fn fault_backoff(attempt: u32) -> Nanos {
+    Nanos::from_micros(1u64 << attempt.min(10))
+}
 
 /// One frame of a thread's enclave call stack.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -338,6 +349,22 @@ impl<'a> EcallCtx<'a> {
                 return result;
             }
         }
+        // A scheduled transient fault? The SDK owns the recovery: bounded
+        // retries with backoff, then clean error propagation.
+        let fault = {
+            let machine = self.urts.machine();
+            machine
+                .fault_injector()
+                .and_then(|inj| inj.take_ocall_fault(machine.clock().now()))
+        };
+        if let Some(fault) = fault {
+            return self.ocall_index_faulted(index, data, fault);
+        }
+        self.ocall_index_sync(index, data)
+    }
+
+    /// The classic synchronous ocall path (no fault scheduled).
+    fn ocall_index_sync(&mut self, index: usize, data: &mut CallData) -> SdkResult<()> {
         let machine = self.urts.machine();
         let cm = machine.cost_model();
         let table = self.urts.saved_table(self.enclave.id())?;
@@ -364,6 +391,79 @@ impl<'a> EcallCtx<'a> {
             .advance(cm.eenter + cm.copy_cost(data.out_bytes));
         self.enclave.pop_frame(self.thread.token);
         result
+    }
+
+    /// Rides out an injected transient ocall fault: each failed attempt
+    /// pays a full transition (plus the timeout delay, if any), the SDK
+    /// backs off exponentially between retries, and once the fault's
+    /// failure budget is consumed the real call proceeds. Exceeding
+    /// [`MAX_FAULT_RETRIES`] surfaces [`SdkError::InjectedFault`]. Every
+    /// step is reported to the machine's fault observer.
+    fn ocall_index_faulted(
+        &mut self,
+        index: usize,
+        data: &mut CallData,
+        fault: OcallFault,
+    ) -> SdkResult<()> {
+        let machine = Arc::clone(self.urts.machine());
+        let (code, delay, times) = match fault {
+            OcallFault::Fail { times } => (FaultKind::OcallFail { times }.code(), None, times),
+            OcallFault::Timeout { delay, times } => (
+                FaultKind::OcallTimeout { delay, times }.code(),
+                Some(delay),
+                times,
+            ),
+        };
+        let enclave_id = self.enclave.id().0;
+        let thread = self.thread.token.0 as u64;
+        let event = {
+            let machine = Arc::clone(&machine);
+            move |action: FaultAction, magnitude: u64| FaultEvent {
+                code,
+                action,
+                enclave: enclave_id,
+                thread,
+                call_index: Some(index as u32),
+                magnitude,
+                time: machine.clock().now(),
+            }
+        };
+        let mut failures = 0u32;
+        while failures < times {
+            failures += 1;
+            machine.notify_fault(&event(
+                FaultAction::Injected,
+                delay.map_or(u64::from(failures), |d| d.as_nanos()),
+            ));
+            // The failed attempt still pays the round-trip it wasted.
+            let cm = machine.cost_model();
+            machine
+                .clock()
+                .advance(cm.eexit + cm.ocall_dispatch + cm.copy_cost(data.in_bytes));
+            if let Some(d) = delay {
+                machine.clock().advance(d);
+            }
+            machine.clock().advance(cm.eenter);
+            if failures > MAX_FAULT_RETRIES {
+                machine.notify_fault(&event(FaultAction::GaveUp, u64::from(failures)));
+                let call = self
+                    .enclave
+                    .spec()
+                    .ocalls()
+                    .get(index)
+                    .map_or_else(|| format!("#{index}"), |o| o.name.clone());
+                return Err(SdkError::InjectedFault {
+                    call,
+                    attempts: failures,
+                });
+            }
+            let backoff = fault_backoff(failures);
+            machine.clock().advance(backoff);
+            machine.notify_fault(&event(FaultAction::Retried, backoff.as_nanos()));
+        }
+        self.ocall_index_sync(index, data)?;
+        machine.notify_fault(&event(FaultAction::Recovered, u64::from(failures)));
+        Ok(())
     }
 
     /// One spin iteration for hybrid locking: a short in-enclave busy wait

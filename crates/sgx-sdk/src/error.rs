@@ -43,6 +43,14 @@ pub enum SdkError {
     Sim(SimError),
     /// The enclave interface was invalid at registration time.
     Interface(String),
+    /// An injected transient fault outlived the SDK's bounded retry
+    /// budget and surfaced to the application.
+    InjectedFault {
+        /// The affected call (ocall name or `tcs` for TCS binding).
+        call: String,
+        /// Attempts made before giving up.
+        attempts: u32,
+    },
 }
 
 impl fmt::Display for SdkError {
@@ -75,6 +83,10 @@ impl fmt::Display for SdkError {
             ),
             SdkError::Sim(e) => write!(f, "hardware: {e}"),
             SdkError::Interface(msg) => write!(f, "invalid interface: {msg}"),
+            SdkError::InjectedFault { call, attempts } => write!(
+                f,
+                "injected fault on `{call}`: gave up after {attempts} attempt(s)"
+            ),
         }
     }
 }

@@ -37,6 +37,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Weak};
 
 use sgx_sim::{EnclaveId, ThreadToken};
+use sim_core::fault::{FaultAction, FaultEvent, FaultKind};
 use sim_core::sync::Mutex;
 use sim_core::{Cycles, Nanos};
 use sim_threads::{LogicalThreadId, SimCtx, Simulation};
@@ -436,6 +437,25 @@ impl Switchless {
         let machine = self.urts.machine();
         let cm = machine.cost_model();
 
+        // Ring-full burst injection: this post attempt finds no free slot
+        // and degrades to the classic path — recorded both as a fault and
+        // as the fallback the caller observes.
+        if let Some(inj) = machine.fault_injector() {
+            if inj.take_ring_full(machine.clock().now()) {
+                machine.notify_fault(&FaultEvent {
+                    code: FaultKind::RingFull { calls: 1 }.code(),
+                    action: FaultAction::Injected,
+                    enclave: self.enclave_id().0,
+                    thread: tcx.token.0 as u64,
+                    call_index: Some(index as u32),
+                    magnitude: 1,
+                    time: machine.clock().now(),
+                });
+                self.emit_fallback(kind, index, tcx.token, 0);
+                return None;
+            }
+        }
+
         // Post the request: grab a free slot, enqueue, wake an idle worker.
         let slot_id = {
             let mut st = self.state.lock();
@@ -546,6 +566,41 @@ impl Switchless {
         loop {
             if self.stop.load(Ordering::SeqCst) {
                 return;
+            }
+            // Worker-stall injection: the worker dawdles before looking at
+            // the queue. Callers keep spinning through the stall and, once
+            // their budget runs out, withdraw and fall back to the
+            // synchronous path — the graceful-degradation contract.
+            if let Some(delay) = machine
+                .fault_injector()
+                .and_then(|inj| inj.take_worker_stall(machine.clock().now()))
+            {
+                machine.notify_fault(&FaultEvent {
+                    code: FaultKind::WorkerStall { delay }.code(),
+                    action: FaultAction::Injected,
+                    enclave: self.enclave_id().0,
+                    thread: worker_tcx.token.0 as u64,
+                    call_index: None,
+                    magnitude: delay.as_nanos(),
+                    time: machine.clock().now(),
+                });
+                // Not `ctx.sleep`: the scheduler only wakes sleepers once
+                // the run queue drains, and the spinning callers keep it
+                // populated — a sleeping worker would stall for the whole
+                // run. Yield through the window instead, advancing the
+                // clock only when no other thread does.
+                let deadline = machine.clock().now() + delay;
+                while machine.clock().now() < deadline {
+                    if self.stop.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    let before = machine.clock().now();
+                    ctx.yield_now();
+                    if machine.clock().now() == before {
+                        let step = (deadline - before).min(Nanos::from_micros(1));
+                        machine.clock().advance(step);
+                    }
+                }
             }
             let claimed = {
                 let mut st = self.state.lock();

@@ -10,10 +10,11 @@ use std::fmt;
 use std::sync::{Arc, OnceLock, Weak};
 
 use sgx_sim::{AccessKind, EnclaveId, Machine};
+use sim_core::fault::{FaultAction, FaultEvent, FaultKind};
 use sim_core::sync::{Mutex, RwLock};
 
 use crate::args::CallData;
-use crate::enclave::{EcallCtx, Enclave, Frame};
+use crate::enclave::{fault_backoff, EcallCtx, Enclave, Frame, MAX_FAULT_RETRIES};
 use crate::error::{SdkError, SdkResult};
 use crate::loader::{EcallDispatcher, Loader};
 use crate::ocall::OcallTable;
@@ -166,7 +167,7 @@ impl EcallDispatcher for Urts {
         }
 
         let body = enclave.ecall_impl(index)?;
-        let tcs_index = enclave.bind_tcs(tcx.token)?;
+        let tcs_index = self.bind_tcs_faulted(&enclave, tcx, index)?;
         enclave.push_frame(tcx.token, Frame::Ecall(index));
 
         let cm = self.machine.cost_model();
@@ -204,6 +205,59 @@ impl EcallDispatcher for Urts {
 }
 
 impl Urts {
+    /// Binds a TCS, riding out injected TCS-exhaustion faults: each bind
+    /// attempt that finds all TCS pages "busy" backs off exponentially and
+    /// retries, up to [`MAX_FAULT_RETRIES`] retries, after which the fault
+    /// surfaces as [`SdkError::InjectedFault`]. Without an armed injector
+    /// this is exactly `bind_tcs`.
+    fn bind_tcs_faulted(
+        &self,
+        enclave: &Arc<Enclave>,
+        tcx: &ThreadCtx<'_>,
+        index: usize,
+    ) -> SdkResult<usize> {
+        let Some(inj) = self.machine.fault_injector() else {
+            return enclave.bind_tcs(tcx.token);
+        };
+        let code = FaultKind::TcsExhaust { times: 1 }.code();
+        let event = |action: FaultAction, magnitude: u64| FaultEvent {
+            code,
+            action,
+            enclave: enclave.id().0,
+            thread: tcx.token.0 as u64,
+            call_index: Some(index as u32),
+            magnitude,
+            time: self.machine.clock().now(),
+        };
+        let mut attempts = 0u32;
+        loop {
+            if inj.take_tcs_exhaust(self.machine.clock().now()) {
+                attempts += 1;
+                self.machine
+                    .notify_fault(&event(FaultAction::Injected, u64::from(attempts)));
+                if attempts > MAX_FAULT_RETRIES {
+                    self.machine
+                        .notify_fault(&event(FaultAction::GaveUp, u64::from(attempts)));
+                    return Err(SdkError::InjectedFault {
+                        call: "tcs".to_string(),
+                        attempts,
+                    });
+                }
+                let backoff = fault_backoff(attempts);
+                self.machine.clock().advance(backoff);
+                self.machine
+                    .notify_fault(&event(FaultAction::Retried, backoff.as_nanos()));
+                continue;
+            }
+            let tcs = enclave.bind_tcs(tcx.token)?;
+            if attempts > 0 {
+                self.machine
+                    .notify_fault(&event(FaultAction::Recovered, u64::from(attempts)));
+            }
+            return Ok(tcs);
+        }
+    }
+
     fn touch_entry_pages(
         &self,
         eid: EnclaveId,

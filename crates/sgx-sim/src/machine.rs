@@ -5,6 +5,9 @@ use std::fmt;
 use std::ops::Range;
 use std::sync::Arc;
 
+use sim_core::fault::{
+    FaultAction, FaultEvent, FaultInjector, FaultKind, FaultObserver, FaultPlan,
+};
 use sim_core::sync::Mutex;
 use sim_core::{Clock, CostModel, HwProfile, Nanos};
 
@@ -247,6 +250,7 @@ struct Hooks {
     driver: Vec<DriverHook>,
     aep: Option<AepObserver>,
     mmu_fault: Option<FaultHandler>,
+    fault_obs: Option<FaultObserver>,
 }
 
 /// A simulated SGX-capable machine: shared virtual clock, one EPC, any
@@ -275,6 +279,7 @@ pub struct Machine {
     params: MachineParams,
     inner: Mutex<Inner>,
     hooks: Mutex<Hooks>,
+    fault: Mutex<Option<Arc<FaultInjector>>>,
 }
 
 impl fmt::Debug for Machine {
@@ -308,6 +313,7 @@ impl Machine {
             }),
             params,
             hooks: Mutex::new(Hooks::default()),
+            fault: Mutex::new(None),
         }
     }
 
@@ -530,6 +536,36 @@ impl Machine {
         self.hooks.lock().mmu_fault = handler;
     }
 
+    /// Arms a deterministic fault plan (or disarms injection with `None`).
+    /// The plan's seed is consumed immediately to fix fault magnitudes;
+    /// see [`sim_core::fault`] for the determinism contract. With no plan
+    /// armed every injection site is a structural no-op.
+    pub fn set_fault_plan(&self, plan: Option<&FaultPlan>) {
+        *self.fault.lock() = plan.map(|p| Arc::new(FaultInjector::new(p)));
+    }
+
+    /// The armed fault injector, if any. SDK layers poll this at their
+    /// own injection sites (ocalls, switchless, TCS binding).
+    pub fn fault_injector(&self) -> Option<Arc<FaultInjector>> {
+        self.fault.lock().clone()
+    }
+
+    /// Registers the fault-event observer (the logger's hook): it runs on
+    /// every injected fault and every SDK recovery step, machine-level
+    /// and SDK-level alike.
+    pub fn set_fault_observer(&self, observer: Option<FaultObserver>) {
+        self.hooks.lock().fault_obs = observer;
+    }
+
+    /// Reports a fault-injection or recovery event to the observer.
+    /// Called by the machine's own sites and by the SDK's.
+    pub fn notify_fault(&self, event: &FaultEvent) {
+        let observer = self.hooks.lock().fault_obs.clone();
+        if let Some(observer) = observer {
+            observer(event);
+        }
+    }
+
     /// Strips all MMU permissions from every accessible page of the
     /// enclave. Subsequent accesses fault into the registered handler.
     pub fn strip_mmu_perms(&self, eid: EnclaveId) -> Result<usize, SimError> {
@@ -579,9 +615,39 @@ impl Machine {
             let inner = self.inner.lock();
             Self::state(&inner, eid)?;
         }
+        let mut aex_count = 0;
+        if let Some(inj) = self.fault_injector() {
+            let faults = inj.on_enclave_exec(self.clock.now());
+            if let Some(burst) = faults.aex_storm {
+                self.notify_fault(&FaultEvent {
+                    code: FaultKind::AexStorm { count: burst }.code(),
+                    action: FaultAction::Injected,
+                    enclave: eid.0,
+                    thread: thread.0 as u64,
+                    call_index: None,
+                    magnitude: u64::from(burst),
+                    time: self.clock.now(),
+                });
+                for _ in 0..burst {
+                    self.deliver_aex(eid, thread, AexCause::Interrupt);
+                }
+                aex_count += u64::from(burst);
+            }
+            if faults.evict_storm {
+                let evicted = self.evict_all(eid)?;
+                self.notify_fault(&FaultEvent {
+                    code: FaultKind::EvictStorm.code(),
+                    action: FaultAction::Injected,
+                    enclave: eid.0,
+                    thread: thread.0 as u64,
+                    call_index: None,
+                    magnitude: evicted as u64,
+                    time: self.clock.now(),
+                });
+            }
+        }
         let quantum = self.cost.timer_quantum.as_nanos();
         let mut remaining = dur.as_nanos();
-        let mut aex_count = 0;
         while remaining > 0 {
             let now = self.clock.now().as_nanos();
             let next_tick = (now / quantum + 1) * quantum;
@@ -702,6 +768,27 @@ impl Machine {
             if stats.evictions > 0 {
                 cost += self.cost.page_out;
             }
+            // A transient EWB/ELDU slowdown inflates the paging work.
+            if let Some(inj) = self.fault_injector() {
+                if let Some(slow) = inj.paging_slowdown(self.clock.now()) {
+                    if slow.opened {
+                        self.notify_fault(&FaultEvent {
+                            code: FaultKind::PagingSlow {
+                                factor: slow.factor as u32,
+                                duration: Nanos::from_nanos(0),
+                            }
+                            .code(),
+                            action: FaultAction::Injected,
+                            enclave: eid.0,
+                            thread: thread.0 as u64,
+                            call_index: None,
+                            magnitude: slow.factor as u64,
+                            time: self.clock.now(),
+                        });
+                    }
+                    cost = cost.scale(slow.factor);
+                }
+            }
             self.clock.advance(cost);
             // Stamp events after the cost so timestamps reflect completion.
             for ev in &mut events {
@@ -807,6 +894,7 @@ impl Machine {
     pub fn prefetch(&self, eid: EnclaveId, pages: Range<usize>) -> Result<usize, SimError> {
         let mut paged_in = 0;
         for index in pages {
+            let mut fault_event = None;
             let (faulted, events) = {
                 let mut inner = self.inner.lock();
                 let st = Self::state(&inner, eid)?;
@@ -840,6 +928,27 @@ impl Machine {
                     if evicted {
                         cost += self.cost.page_out;
                     }
+                    // EWB/ELDU slowdowns hit driver-side paging too.
+                    if let Some(inj) = self.fault_injector() {
+                        if let Some(slow) = inj.paging_slowdown(self.clock.now()) {
+                            if slow.opened {
+                                fault_event = Some(FaultEvent {
+                                    code: FaultKind::PagingSlow {
+                                        factor: slow.factor as u32,
+                                        duration: Nanos::from_nanos(0),
+                                    }
+                                    .code(),
+                                    action: FaultAction::Injected,
+                                    enclave: eid.0,
+                                    thread: 0,
+                                    call_index: None,
+                                    magnitude: slow.factor as u64,
+                                    time: self.clock.now(),
+                                });
+                            }
+                            cost = cost.scale(slow.factor);
+                        }
+                    }
                     self.clock.advance(cost);
                     events.push(DriverEvent::Paging {
                         direction: PagingDirection::In,
@@ -852,6 +961,9 @@ impl Machine {
             };
             if faulted {
                 paged_in += 1;
+            }
+            if let Some(ev) = fault_event {
+                self.notify_fault(&ev);
             }
             self.emit_driver_events(&events);
         }

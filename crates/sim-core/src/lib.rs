@@ -8,7 +8,9 @@
 //! * [`HwProfile`] / [`CostModel`] — the hardware cost tables (unpatched,
 //!   Spectre-patched, fully patched incl. Foreshadow/L1TF) calibrated with
 //!   the measurements reported in §2.3.1 and Table 2 of the paper,
-//! * [`rng`] — seeded deterministic random number helpers.
+//! * [`rng`] — seeded deterministic random number helpers,
+//! * [`fault`] — seeded, schedulable fault plans ([`FaultPlan`]) and the
+//!   deterministic injector the stack's chaos hooks poll.
 //!
 //! # Examples
 //!
@@ -24,11 +26,13 @@
 //! ```
 
 pub mod clock;
+pub mod fault;
 pub mod hw;
 pub mod rng;
 pub mod sync;
 pub mod time;
 
 pub use clock::Clock;
+pub use fault::{FaultAction, FaultEvent, FaultInjector, FaultObserver, FaultPlan};
 pub use hw::{CostModel, HwProfile};
 pub use time::{Cycles, Nanos};

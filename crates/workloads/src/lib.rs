@@ -26,6 +26,7 @@
 //! run yields the traces the paper analyses.
 
 pub mod antipatterns;
+pub mod chaos;
 pub mod glamdring;
 pub mod harness;
 pub mod securekeeper;

@@ -1,0 +1,142 @@
+//! End-to-end fault-injection scenarios: the chaos harness drives real
+//! workloads, the SDK rides out the faults, and both the outcome and the
+//! recorded fault events are asserted.
+//!
+//! Row codes used below (see `sim_core::fault`): fault 0 aex-storm,
+//! 1 evict-storm, 3 ocall-fail, 4 ocall-timeout, 5 worker-stall,
+//! 7 tcs-exhaust; action 0 injected, 1 retried, 2 recovered, 3 gave up.
+
+use sgx_perf::{Analyzer, Logger, LoggerConfig, Recommendation, TraceDb};
+use sgx_sdk::{SdkError, SwitchlessConfig};
+use sim_core::fault::{FaultKind, FaultPlan, FaultTrigger};
+use sim_core::{HwProfile, Nanos};
+use workloads::harness::Harness;
+use workloads::{antipatterns, switchless_loop};
+
+/// Runs `f` on a fresh harness under the logger with `plan` installed.
+fn traced<T>(plan: Option<&FaultPlan>, f: impl FnOnce(&Harness) -> T) -> (T, TraceDb) {
+    let harness = Harness::new(HwProfile::Unpatched);
+    let logger = Logger::attach(harness.runtime(), LoggerConfig::default());
+    harness.machine().set_fault_plan(plan);
+    let out = f(&harness);
+    (out, logger.finish())
+}
+
+fn count(trace: &TraceDb, fault: u8, action: u8) -> usize {
+    trace
+        .faults
+        .iter()
+        .filter(|f| f.fault == fault && f.action == action)
+        .count()
+}
+
+#[test]
+fn ocall_timeouts_recover_within_the_retry_budget() {
+    let plan = FaultPlan::seeded(1).with(
+        FaultTrigger::AtCall(2),
+        FaultKind::OcallTimeout {
+            delay: Nanos::from_micros(50),
+            times: 2,
+        },
+    );
+    let ((faulted, elapsed), trace) = traced(Some(&plan), |h| h.timed(|| antipatterns::snc(h, 24)));
+    faulted.expect("retries must absorb the timeouts");
+
+    let injected = count(&trace, 4, 0);
+    assert!(injected >= 1, "no timeout injected");
+    assert_eq!(count(&trace, 4, 1), injected, "every timeout is retried");
+    assert_eq!(count(&trace, 4, 2), 1, "one recovery closes the episode");
+    assert_eq!(count(&trace, 4, 3), 0, "budget must not be exhausted");
+
+    // The retries cost virtual time over a clean run of the same fixture.
+    let ((clean, clean_elapsed), _) = traced(None, |h| h.timed(|| antipatterns::snc(h, 24)));
+    clean.unwrap();
+    assert!(elapsed > clean_elapsed, "{elapsed} <= {clean_elapsed}");
+}
+
+#[test]
+fn worker_stall_falls_back_to_sync_with_identical_results() {
+    let config = || SwitchlessConfig {
+        untrusted_workers: 1,
+        force_ocalls: vec!["ocall_log".to_string()],
+        ..SwitchlessConfig::default()
+    };
+    let (clean, _) = traced(None, |h| {
+        switchless_loop::run(h, 60, Some(config())).unwrap()
+    });
+
+    let plan = FaultPlan::seeded(2).with(
+        FaultTrigger::AtCall(1),
+        FaultKind::WorkerStall {
+            delay: Nanos::from_millis(2),
+        },
+    );
+    let (faulted, trace) = traced(Some(&plan), |h| {
+        switchless_loop::run(h, 60, Some(config())).unwrap()
+    });
+
+    assert_eq!(faulted.checksum, clean.checksum, "results must not change");
+    assert!(count(&trace, 5, 0) >= 1, "stall never injected");
+    // While the worker slept, callers exhausted their spin budget and
+    // completed through the classic path (switchless kinds 2/3).
+    let fallbacks = trace
+        .switchless
+        .iter()
+        .filter(|s| s.kind == 2 || s.kind == 3)
+        .count();
+    assert!(fallbacks > 0, "no caller fell back during the stall");
+}
+
+#[test]
+fn evict_storm_completes_and_analyzer_surfaces_paging() {
+    let plan = FaultPlan::seeded(3).with(FaultTrigger::AtCall(2), FaultKind::EvictStorm);
+    let (result, trace) = traced(Some(&plan), |h| antipatterns::paging(h, 4));
+    result.expect("the storm only slows the run down");
+
+    let storms = count(&trace, 1, 0);
+    assert!(storms >= 1, "no storm injected");
+    assert!(
+        trace.paging.iter().any(|p| !p.out),
+        "evicted pages must fault back in"
+    );
+    let report = Analyzer::new(&trace, HwProfile::Unpatched.cost_model()).analyze();
+    assert!(
+        report
+            .detections
+            .iter()
+            .any(|d| d.recommendation == Recommendation::MitigatePaging),
+        "paging pressure not surfaced: {:?}",
+        report.detections
+    );
+    assert_eq!(report.totals.faults_injected, storms);
+}
+
+#[test]
+fn exhausted_retry_budget_surfaces_a_clean_error() {
+    // Nominal 20 failures jitters to well past the 4-retry budget.
+    let plan =
+        FaultPlan::seeded(4).with(FaultTrigger::AtCall(1), FaultKind::OcallFail { times: 20 });
+    let (result, trace) = traced(Some(&plan), |h| antipatterns::snc(h, 8));
+    match result {
+        Err(SdkError::InjectedFault { call, attempts }) => {
+            assert_eq!(call, "ocall_alloc_result");
+            assert_eq!(attempts, 5, "budget is 4 retries after the first failure");
+        }
+        other => panic!("expected InjectedFault, got {other:?}"),
+    }
+    assert_eq!(count(&trace, 3, 3), 1, "the give-up must be recorded");
+    assert_eq!(count(&trace, 3, 2), 0, "no recovery happened");
+    // The failed ecall is still a well-formed row, flagged as failed.
+    assert!(trace.ecalls.iter().any(|e| e.failed));
+}
+
+#[test]
+fn tcs_exhaustion_rides_out_on_backoff() {
+    let plan =
+        FaultPlan::seeded(5).with(FaultTrigger::AtCall(3), FaultKind::TcsExhaust { times: 2 });
+    let (result, trace) = traced(Some(&plan), |h| antipatterns::sisc(h, 40));
+    result.expect("binding retries must succeed");
+    assert!(count(&trace, 7, 0) >= 1, "no exhaustion injected");
+    assert_eq!(count(&trace, 7, 2), 1, "one recovery closes the episode");
+    assert_eq!(count(&trace, 7, 3), 0);
+}

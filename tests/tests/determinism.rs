@@ -85,6 +85,74 @@ fn hardware_profile_changes_the_trace() {
     );
 }
 
+// -- chaos harness: fault injection preserves the determinism contract --
+
+use proptest::prelude::*;
+use sim_core::fault::FaultPlan;
+use workloads::chaos;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Any seeded plan replays byte-identically: the injector consumes
+    /// its randomness at construction, so two runs see the same faults
+    /// at the same virtual instants.
+    #[test]
+    fn seeded_fault_plans_replay_byte_identically(seed in any::<u64>()) {
+        let plan = chaos::random_plan(seed);
+        prop_assert_eq!(
+            chaos::antipatterns_trace(HwProfile::Unpatched, Some(&plan)),
+            chaos::antipatterns_trace(HwProfile::Unpatched, Some(&plan))
+        );
+    }
+
+    /// A plan with a seed but no faults is a structural no-op: the trace
+    /// is byte-identical to a run with no plan installed at all.
+    #[test]
+    fn zero_fault_plans_equal_no_plan(seed in any::<u64>()) {
+        prop_assert_eq!(
+            chaos::antipatterns_trace(HwProfile::Unpatched, Some(&FaultPlan::seeded(seed))),
+            chaos::antipatterns_trace(HwProfile::Unpatched, None)
+        );
+    }
+
+    /// The canonical `Display` form of a random plan parses back to the
+    /// same plan — the CLI `--faults` round-trip holds for every seed.
+    #[test]
+    fn fault_spec_display_is_a_parse_fixpoint(seed in any::<u64>()) {
+        let plan = chaos::random_plan(seed);
+        let spec = plan.to_string();
+        let back = FaultPlan::parse(&spec).unwrap();
+        prop_assert_eq!(&plan, &back);
+        prop_assert_eq!(spec, back.to_string());
+    }
+}
+
+/// Seeded plans replay byte-identically across runs on every hardware
+/// profile — the acceptance matrix (2 runs x 3 profiles).
+#[test]
+fn fault_replay_is_stable_across_hardware_profiles() {
+    let plan = chaos::random_plan(20260807);
+    for profile in [
+        HwProfile::Unpatched,
+        HwProfile::Spectre,
+        HwProfile::Foreshadow,
+    ] {
+        let first = chaos::antipatterns_trace(profile, Some(&plan));
+        assert_eq!(
+            first,
+            chaos::antipatterns_trace(profile, Some(&plan)),
+            "classic fixture diverged on {profile:?}"
+        );
+        let sw_first = chaos::switchless_trace(profile, Some(&plan));
+        assert_eq!(
+            sw_first,
+            chaos::switchless_trace(profile, Some(&plan)),
+            "switchless fixture diverged on {profile:?}"
+        );
+    }
+}
+
 #[test]
 fn talos_runs_are_deterministic() {
     let elapsed = || {
