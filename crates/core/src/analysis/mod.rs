@@ -9,6 +9,7 @@
 
 pub mod aex;
 pub mod detect;
+pub mod diff;
 pub mod graph;
 pub mod lint;
 pub mod parents;
@@ -22,6 +23,7 @@ use crate::events::CallRef;
 use crate::trace::TraceDb;
 
 pub use detect::{Detection, Priority, Problem, Recommendation};
+pub use diff::{DiffConfig, TraceDiff, Verdict};
 pub use graph::CallGraph;
 pub use parents::{CallInstance, Instances};
 pub use report::Report;

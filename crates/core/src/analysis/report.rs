@@ -5,6 +5,7 @@ use std::fmt;
 use sim_core::Nanos;
 
 use crate::events::{CallKind, CallRef};
+use crate::json::{f64 as json_f64, string as json_string};
 use crate::trace::TraceDb;
 
 use super::detect::Detection;
@@ -386,35 +387,6 @@ impl Report {
     }
 }
 
-/// Escapes and quotes a string for JSON output.
-fn json_string(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
-}
-
-/// Formats a float as a JSON number (the JSON grammar has no NaN or
-/// infinity, so those degrade to 0 — they cannot occur for real traces).
-fn json_f64(v: f64) -> String {
-    if v.is_finite() {
-        format!("{v}")
-    } else {
-        "0".to_string()
-    }
-}
-
 impl fmt::Display for Report {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(&self.render())
@@ -630,13 +602,6 @@ mod tests {
         let opens = json.matches('{').count() + json.matches('[').count();
         let closes = json.matches('}').count() + json.matches(']').count();
         assert_eq!(opens, closes);
-    }
-
-    #[test]
-    fn json_number_formatting_is_finite() {
-        assert_eq!(super::json_f64(0.5), "0.5");
-        assert_eq!(super::json_f64(f64::NAN), "0");
-        assert_eq!(super::json_f64(f64::INFINITY), "0");
     }
 
     #[test]

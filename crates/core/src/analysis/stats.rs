@@ -181,6 +181,18 @@ impl Histogram {
         }
         out
     }
+
+    /// Renders as JSON (`sgxperf hist --json`), sharing the hand-rolled
+    /// serializer with the other `--json` surfaces.
+    pub fn to_json(&self) -> String {
+        let bins: Vec<String> = self.bins.iter().map(|c| c.to_string()).collect();
+        format!(
+            "{{\"min_ns\": {}, \"bin_width_ns\": {}, \"bins\": [{}]}}\n",
+            self.min_ns,
+            self.bin_width_ns,
+            bins.join(", ")
+        )
+    }
 }
 
 /// A scatter series of call execution times over application time
@@ -199,6 +211,13 @@ pub fn scatter_csv(points: &[(u64, u64)]) -> String {
         out.push_str(&format!("{t},{d}\n"));
     }
     out
+}
+
+/// Renders a scatter series as JSON (`sgxperf scatter --json`): an array
+/// of `[time_ns, duration_ns]` pairs.
+pub fn scatter_json(points: &[(u64, u64)]) -> String {
+    let pairs: Vec<String> = points.iter().map(|(t, d)| format!("[{t}, {d}]")).collect();
+    format!("{{\"points\": [{}]}}\n", pairs.join(", "))
 }
 
 #[cfg(test)]
@@ -314,6 +333,24 @@ mod tests {
             index: 0,
         };
         assert!(Histogram::of_call(&inst, call, 10).is_none());
+    }
+
+    #[test]
+    fn histogram_and_scatter_json_shapes() {
+        let hist = Histogram {
+            min_ns: 100,
+            bin_width_ns: 50,
+            bins: vec![3, 0, 1],
+        };
+        assert_eq!(
+            hist.to_json(),
+            "{\"min_ns\": 100, \"bin_width_ns\": 50, \"bins\": [3, 0, 1]}\n"
+        );
+        assert_eq!(
+            scatter_json(&[(0, 500), (600, 700)]),
+            "{\"points\": [[0, 500], [600, 700]]}\n"
+        );
+        assert_eq!(scatter_json(&[]), "{\"points\": []}\n");
     }
 
     #[test]

@@ -5,9 +5,11 @@
 //! ```text
 //! sgxperf report  <trace.evdb> [--profile unpatched|spectre|l1tf] [--edl <file.edl>] [--json]
 //! sgxperf lint    <file.edl> [--trace <trace.evdb>] [--deny <code,...>] [--max-public N] [--large-copy BYTES]
+//! sgxperf diff    <a.evdb> <b.evdb> [--threshold PCT] [--min-count N] [--json]
+//! sgxperf export  <trace.evdb> --format chrome|folded [--profile ...] [-o <out>]
 //! sgxperf dot     <trace.evdb> [-o <out.dot>]
-//! sgxperf hist    <trace.evdb> <call-name> [--bins N]
-//! sgxperf scatter <trace.evdb> <call-name>
+//! sgxperf hist    <trace.evdb> <call-name> [--bins N] [--json]
+//! sgxperf scatter <trace.evdb> <call-name> [--json]
 //! sgxperf info    <trace.evdb>
 //! ```
 //!
@@ -17,19 +19,25 @@
 //! to errors and never-called public ecalls are reported (EDL-W009).
 //! `--deny` makes the listed codes (or `all`) fail the run with exit
 //! code 1 — the CI-gate mode.
+//!
+//! `diff` compares a candidate trace against a baseline and exits 0 when
+//! no metric regressed past the threshold (default 10%) or 3 on
+//! regression — the perf-gate mode. `export` converts a trace to
+//! `chrome://tracing` JSON or collapsed flamegraph stacks.
 
 use std::process::ExitCode;
 
 use sgx_edl::lint::LintConfig;
+use sgx_perf::analysis::diff::{DiffConfig, TraceDiff};
 use sgx_perf::analysis::lint::lint_interface;
-use sgx_perf::analysis::stats::{scatter, scatter_csv, Histogram};
-use sgx_perf::{Analyzer, TraceDb};
+use sgx_perf::analysis::stats::{scatter, scatter_csv, scatter_json, Histogram};
+use sgx_perf::{export, Analyzer, TraceDb};
 use sim_core::fault::FaultPlan;
 use sim_core::HwProfile;
 
 fn print_usage() {
     eprintln!(
-        "usage:\n  sgxperf report  <trace.evdb> [--profile unpatched|spectre|l1tf] [--edl <file.edl>] [--faults <spec>] [--json]\n  sgxperf lint    <file.edl> [--trace <trace.evdb>] [--deny <code,...>] [--max-public N] [--large-copy BYTES]\n  sgxperf dot     <trace.evdb> [-o <out.dot>]\n  sgxperf hist    <trace.evdb> <call-name> [--bins N]\n  sgxperf scatter <trace.evdb> <call-name>\n  sgxperf info    <trace.evdb>"
+        "usage:\n  sgxperf report  <trace.evdb> [--profile unpatched|spectre|l1tf] [--edl <file.edl>] [--faults <spec>] [--json]\n  sgxperf lint    <file.edl> [--trace <trace.evdb>] [--deny <code,...>] [--max-public N] [--large-copy BYTES]\n  sgxperf diff    <a.evdb> <b.evdb> [--threshold PCT] [--min-count N] [--json]\n  sgxperf export  <trace.evdb> --format chrome|folded [--profile <p>] [-o <out>]\n  sgxperf dot     <trace.evdb> [-o <out.dot>]\n  sgxperf hist    <trace.evdb> <call-name> [--bins N] [--json]\n  sgxperf scatter <trace.evdb> <call-name> [--json]\n  sgxperf info    <trace.evdb>"
     );
 }
 
@@ -127,11 +135,68 @@ fn run_lint(rest: &[String]) -> Result<ExitCode, String> {
     }
 }
 
+/// `sgxperf diff` — needs *two* traces, so it is dispatched before the
+/// shared single-trace loading path.
+///
+/// Exit status: 0 when nothing regressed past the threshold (including a
+/// net improvement), 3 on regression, 1 on bad input.
+fn run_diff(rest: &[String]) -> Result<ExitCode, String> {
+    let mut config = DiffConfig::default();
+    let mut json = false;
+    let mut paths: Vec<&String> = Vec::new();
+    let mut it = rest.iter();
+    while let Some(opt) = it.next() {
+        match opt.as_str() {
+            "--threshold" => {
+                let v = it.next().ok_or("--threshold needs a percentage")?;
+                let pct: f64 = v.parse().map_err(|e| format!("--threshold: {e}"))?;
+                if !pct.is_finite() || pct <= 0.0 {
+                    return Err(format!(
+                        "--threshold must be a positive percentage, got {v}"
+                    ));
+                }
+                config.threshold = pct / 100.0;
+            }
+            "--min-count" => {
+                config.min_count = it
+                    .next()
+                    .ok_or("--min-count needs a number")?
+                    .parse()
+                    .map_err(|e| format!("--min-count: {e}"))?;
+            }
+            "--json" => json = true,
+            other if other.starts_with('-') => {
+                return Err(format!("unknown diff option `{other}`"))
+            }
+            _ => paths.push(opt),
+        }
+    }
+    let [a_path, b_path] = paths[..] else {
+        return Err(format!(
+            "diff needs exactly two traces (baseline, candidate), got {}",
+            paths.len()
+        ));
+    };
+    let a = TraceDb::load(a_path).map_err(|e| format!("cannot load {a_path}: {e}"))?;
+    let b = TraceDb::load(b_path).map_err(|e| format!("cannot load {b_path}: {e}"))?;
+    let diff = TraceDiff::compute(&a, &b, config);
+    if json {
+        print!("{}", diff.to_json());
+    } else {
+        eprintln!("baseline:  {a_path}\ncandidate: {b_path}\n");
+        print!("{}", diff.render());
+    }
+    Ok(ExitCode::from(diff.exit_code()))
+}
+
 fn run() -> Result<ExitCode, String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (cmd, rest) = args.split_first().ok_or("missing command")?;
     if cmd == "lint" {
         return run_lint(rest);
+    }
+    if cmd == "diff" {
+        return run_diff(rest);
     }
     let (path, opts) = rest.split_first().ok_or("missing trace file")?;
     let trace = TraceDb::load(path).map_err(|e| format!("cannot load {path}: {e}"))?;
@@ -142,6 +207,7 @@ fn run() -> Result<ExitCode, String> {
     let mut out: Option<String> = None;
     let mut bins = 100usize;
     let mut json = false;
+    let mut format: Option<String> = None;
     let mut faults: Option<FaultPlan> = None;
     let mut positional = Vec::new();
     let mut it = opts.iter();
@@ -168,6 +234,7 @@ fn run() -> Result<ExitCode, String> {
             }
             "-o" => out = Some(it.next().ok_or("-o needs a file")?.clone()),
             "--json" => json = true,
+            "--format" => format = Some(it.next().ok_or("--format needs a value")?.clone()),
             "--bins" => {
                 bins = it
                     .next()
@@ -210,6 +277,22 @@ fn run() -> Result<ExitCode, String> {
                 None => print!("{dot}"),
             }
         }
+        "export" => {
+            let format = format.ok_or("export needs --format chrome|folded")?;
+            let rendered = match format.as_str() {
+                "chrome" => export::chrome_trace(&trace, analyzer.cost_model()),
+                "folded" => export::folded_stacks(&trace, analyzer.cost_model()),
+                other => return Err(format!("unknown export format `{other}`")),
+            };
+            match out {
+                Some(path) => {
+                    std::fs::write(&path, rendered)
+                        .map_err(|e| format!("cannot write {path}: {e}"))?;
+                    eprintln!("wrote {path}");
+                }
+                None => print!("{rendered}"),
+            }
+        }
         "hist" => {
             let name = positional.first().ok_or("hist needs a call name")?;
             let call =
@@ -217,7 +300,11 @@ fn run() -> Result<ExitCode, String> {
             let instances = analyzer.instances();
             let hist = Histogram::of_call(&instances, call, bins)
                 .ok_or_else(|| format!("`{name}` has no recorded executions"))?;
-            println!("{}", hist.render_ascii(24, 48));
+            if json {
+                print!("{}", hist.to_json());
+            } else {
+                println!("{}", hist.render_ascii(24, 48));
+            }
             if let Some(path) = out {
                 std::fs::write(&path, hist.to_csv())
                     .map_err(|e| format!("cannot write {path}: {e}"))?;
@@ -230,7 +317,11 @@ fn run() -> Result<ExitCode, String> {
                 find_call(&analyzer, name).ok_or_else(|| format!("no call named `{name}`"))?;
             let instances = analyzer.instances();
             let points = scatter(&instances, call);
-            print!("{}", scatter_csv(&points));
+            if json {
+                print!("{}", scatter_json(&points));
+            } else {
+                print!("{}", scatter_csv(&points));
+            }
         }
         "info" => {
             println!(
@@ -243,6 +334,18 @@ fn run() -> Result<ExitCode, String> {
                 trace.enclaves.len(),
                 trace.symbols.len()
             );
+            // Physical layout, via the store's enumeration API — row counts
+            // and byte sizes per section without decoding any records.
+            let store =
+                eventdb::Store::load(path).map_err(|e| format!("cannot load {path}: {e}"))?;
+            println!("sections ({} payload bytes):", store.payload_bytes());
+            for info in store.sections() {
+                let info = info.map_err(|e| format!("{path}: {e}"))?;
+                println!(
+                    "  {:<12} {:>8} rows {:>10} bytes",
+                    info.tag, info.rows, info.bytes
+                );
+            }
         }
         other => {
             print_usage();

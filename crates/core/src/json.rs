@@ -1,0 +1,53 @@
+//! Hand-rolled JSON emission, shared by every `--json` surface (`report`,
+//! `diff`, `hist`, `scatter`) and the chrome-trace exporter. The repo
+//! deliberately carries no serialisation dependency, so the encoder is a
+//! pair of escape helpers plus a tiny array/object builder.
+
+use std::fmt::Write;
+
+/// Escapes and quotes a string for JSON output.
+pub fn string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats a float as a JSON number (the JSON grammar has no NaN or
+/// infinity, so those degrade to 0 — they cannot occur for real traces).
+pub fn f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(super::string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(super::string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn numbers_are_finite() {
+        assert_eq!(super::f64(0.5), "0.5");
+        assert_eq!(super::f64(f64::NAN), "0");
+        assert_eq!(super::f64(f64::INFINITY), "0");
+    }
+}

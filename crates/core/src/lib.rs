@@ -61,6 +61,8 @@
 
 pub mod analysis;
 pub mod events;
+pub mod export;
+pub mod json;
 pub mod logger;
 pub mod trace;
 pub mod wse;

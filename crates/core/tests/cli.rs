@@ -64,6 +64,51 @@ fn sgxperf(args: &[&str]) -> (String, String, bool) {
     )
 }
 
+/// Like [`sgxperf`] but returns the raw exit code — the diff verdict is
+/// an exit-code contract (0 / 3), not just success/failure.
+fn sgxperf_code(args: &[&str]) -> (String, String, i32) {
+    let out = Command::new(env!("CARGO_BIN_EXE_sgxperf"))
+        .args(args)
+        .output()
+        .expect("spawn sgxperf");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.code().expect("exit code"),
+    )
+}
+
+/// Minimal structural JSON check: balanced braces/brackets outside
+/// strings and non-empty — catches malformed hand-rolled output without
+/// a parser dependency.
+fn assert_balanced_json(s: &str) {
+    let mut depth = 0i64;
+    let mut in_str = false;
+    let mut esc = false;
+    for c in s.chars() {
+        if in_str {
+            if esc {
+                esc = false;
+            } else if c == '\\' {
+                esc = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => in_str = true,
+            '{' | '[' => depth += 1,
+            '}' | ']' => depth -= 1,
+            _ => {}
+        }
+        assert!(depth >= 0, "unbalanced JSON: {s}");
+    }
+    assert_eq!(depth, 0, "unbalanced JSON: {s}");
+    assert!(!in_str, "unterminated string in JSON: {s}");
+    assert!(s.trim_start().starts_with('{'), "not an object: {s}");
+}
+
 #[test]
 fn report_command_prints_findings() {
     let trace = record_trace("report");
@@ -290,6 +335,107 @@ fn report_faults_flag_echoes_canonical_plan() {
     ]);
     assert!(!ok);
     assert!(stderr.contains("--faults:"), "{stderr}");
+}
+
+#[test]
+fn diff_of_a_trace_with_itself_is_neutral_exit_zero() {
+    let trace = record_trace("diff-self");
+    let path = trace.to_str().unwrap();
+    let (stdout, stderr, code) = sgxperf_code(&["diff", path, path]);
+    assert_eq!(code, 0, "{stdout}{stderr}");
+    assert!(stdout.contains("verdict: NEUTRAL"), "{stdout}");
+    assert!(stdout.contains("no change past threshold"), "{stdout}");
+    assert!(stdout.contains("ecall_step"), "{stdout}");
+    // Paths go to stderr so stdout stays machine-consumable.
+    assert!(stderr.contains("baseline:"), "{stderr}");
+    let (json, _, code) = sgxperf_code(&["diff", path, path, "--json"]);
+    assert_eq!(code, 0);
+    assert_balanced_json(&json);
+    assert!(json.contains("\"verdict\": \"neutral\""), "{json}");
+    assert!(json.contains("\"exit_code\": 0"), "{json}");
+}
+
+#[test]
+fn diff_usage_errors_exit_one() {
+    let trace = record_trace("diff-usage");
+    let path = trace.to_str().unwrap();
+    let (_, stderr, code) = sgxperf_code(&["diff", path]);
+    assert_eq!(code, 1);
+    assert!(stderr.contains("exactly two traces"), "{stderr}");
+    let (_, stderr, code) = sgxperf_code(&["diff", path, path, "--threshold", "-5"]);
+    assert_eq!(code, 1);
+    assert!(stderr.contains("--threshold"), "{stderr}");
+    let (_, stderr, code) = sgxperf_code(&["diff", path, "/nonexistent.evdb"]);
+    assert_eq!(code, 1);
+    assert!(stderr.contains("cannot load"), "{stderr}");
+}
+
+#[test]
+fn export_chrome_emits_trace_event_json() {
+    let trace = record_trace("export-chrome");
+    let (stdout, _, ok) = sgxperf(&["export", trace.to_str().unwrap(), "--format", "chrome"]);
+    assert!(ok);
+    assert_balanced_json(&stdout);
+    assert!(stdout.contains("\"traceEvents\""), "{stdout}");
+    assert!(stdout.contains("\"thread_name\""), "{stdout}");
+    assert!(stdout.contains("\"name\": \"ecall_step\""), "{stdout}");
+    assert!(stdout.contains("\"ph\": \"X\""), "{stdout}");
+}
+
+#[test]
+fn export_folded_emits_collapsed_stacks() {
+    let trace = record_trace("export-folded");
+    let (stdout, _, ok) = sgxperf(&["export", trace.to_str().unwrap(), "--format", "folded"]);
+    assert!(ok);
+    // The nested ocall folds under its parent ecall on the thread lane.
+    assert!(
+        stdout.lines().any(|l| {
+            l.starts_with("thread-") && l.contains("ecall_step;ocall_note") && !l.ends_with(" 0")
+        }),
+        "{stdout}"
+    );
+    let (_, stderr, ok) = sgxperf(&["export", trace.to_str().unwrap(), "--format", "svg"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown export format"), "{stderr}");
+    let (_, stderr, ok) = sgxperf(&["export", trace.to_str().unwrap(), "--json"]);
+    assert!(!ok);
+    assert!(stderr.contains("--format"), "{stderr}");
+}
+
+#[test]
+fn hist_and_scatter_accept_json() {
+    let trace = record_trace("plot-json");
+    let path = trace.to_str().unwrap();
+    let (stdout, _, ok) = sgxperf(&["hist", path, "ecall_step", "--json", "--bins", "10"]);
+    assert!(ok);
+    assert_balanced_json(&stdout);
+    assert!(stdout.contains("\"bin_width_ns\""), "{stdout}");
+    assert!(stdout.matches(',').count() >= 10, "{stdout}");
+    let (stdout, _, ok) = sgxperf(&["scatter", path, "ecall_step", "--json"]);
+    assert!(ok);
+    assert_balanced_json(&stdout);
+    assert!(stdout.starts_with("{\"points\": [["), "{stdout}");
+}
+
+#[test]
+fn info_lists_sections_with_rows_and_bytes() {
+    let trace = record_trace("info-sections");
+    let (stdout, _, ok) = sgxperf(&["info", trace.to_str().unwrap()]);
+    assert!(ok);
+    assert!(stdout.contains("payload bytes"), "{stdout}");
+    // Every table the trace serialises shows up with its row count.
+    for line in ["ecalls", "ocalls", "symbols"] {
+        let row = stdout
+            .lines()
+            .find(|l| l.trim_start().starts_with(line) && l.contains("rows"))
+            .unwrap_or_else(|| panic!("no section line for {line} in {stdout}"));
+        assert!(row.contains("bytes"), "{row}");
+    }
+    let ecalls = stdout
+        .lines()
+        .find(|l| l.trim_start().starts_with("ecalls") && l.contains("rows"))
+        .unwrap();
+    assert!(ecalls.contains("64 rows"), "{ecalls}");
 }
 
 #[test]

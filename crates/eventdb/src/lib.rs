@@ -49,7 +49,7 @@ pub mod store;
 pub mod table;
 
 pub use codec::{Decoder, Encoder};
-pub use store::Store;
+pub use store::{SectionInfo, Store};
 pub use table::{Record, RowId, Table};
 
 use std::fmt;

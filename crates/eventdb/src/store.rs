@@ -21,6 +21,18 @@ use crate::DbError;
 const MAGIC: &[u8; 4] = b"EVDB";
 const VERSION: u8 = 1;
 
+/// Shape of one section, produced by [`Store::sections`] without decoding
+/// the section's records.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SectionInfo {
+    /// The table tag.
+    pub tag: String,
+    /// Rows in the encoded table (from the count prefix).
+    pub rows: u64,
+    /// Encoded size of the table blob in bytes.
+    pub bytes: usize,
+}
+
 /// A set of encoded tables, addressable by their [`Record::TAG`], with
 /// binary (de)serialisation. This is the trace *file*; live recording
 /// happens in typed [`Table`]s which are `put` here at flush time.
@@ -76,6 +88,39 @@ impl Store {
     /// Tags of all sections in insertion order.
     pub fn tags(&self) -> Vec<&str> {
         self.sections.iter().map(|(tag, _)| tag.as_str()).collect()
+    }
+
+    /// Enumerates sections in insertion order *without decoding records*:
+    /// the row count is read from each blob's count prefix and the byte
+    /// size is the blob length, so the cost is O(sections), not O(rows).
+    /// Tools that only need shape (`sgxperf info`, exporters sizing their
+    /// output) use this instead of [`Store::get`].
+    ///
+    /// # Errors
+    ///
+    /// Each item is [`DbError::Corrupt`] if that section is too short to
+    /// carry a count prefix — the containing store may still be usable.
+    pub fn sections(&self) -> impl Iterator<Item = Result<SectionInfo, DbError>> + '_ {
+        self.sections.iter().map(|(tag, blob)| {
+            let mut dec = Decoder::new(blob);
+            let rows = dec.u64().map_err(|_| {
+                DbError::Corrupt(format!(
+                    "section `{tag}` too short for a row-count prefix ({} bytes)",
+                    blob.len()
+                ))
+            })?;
+            Ok(SectionInfo {
+                tag: tag.clone(),
+                rows,
+                bytes: blob.len(),
+            })
+        })
+    }
+
+    /// Total encoded payload bytes across all sections (excluding the
+    /// container header and tag strings).
+    pub fn payload_bytes(&self) -> usize {
+        self.sections.iter().map(|(_, blob)| blob.len()).sum()
     }
 
     /// Serialises the store to bytes.
@@ -249,6 +294,28 @@ mod tests {
         bytes.push(0);
         let err = Store::from_bytes(&bytes).unwrap_err();
         assert!(err.to_string().contains("trailing"), "{err}");
+    }
+
+    #[test]
+    fn sections_report_rows_and_bytes_without_decoding() {
+        let s = sample_store();
+        let infos: Vec<SectionInfo> = s.sections().map(|i| i.unwrap()).collect();
+        assert_eq!(infos.len(), 2);
+        assert_eq!(infos[0].tag, "a");
+        assert_eq!(infos[0].rows, 2);
+        // count prefix (8) + two u64 rows (16).
+        assert_eq!(infos[0].bytes, 24);
+        assert_eq!(infos[1].tag, "b");
+        assert_eq!(infos[1].rows, 1);
+        assert_eq!(s.payload_bytes(), infos.iter().map(|i| i.bytes).sum());
+    }
+
+    #[test]
+    fn truncated_section_enumeration_fails_closed() {
+        let mut s = Store::new();
+        s.sections.push(("bad".into(), vec![1, 2, 3]));
+        let got = s.sections().next().unwrap();
+        assert!(matches!(got, Err(DbError::Corrupt(_))), "{got:?}");
     }
 
     #[test]

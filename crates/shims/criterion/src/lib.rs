@@ -99,7 +99,10 @@ impl BenchmarkGroup<'_> {
                 format!(" ({:.2} Melem/s)", n as f64 * 1e3 / mean_ns)
             }
             Some(Throughput::Bytes(n)) if mean_ns > 0.0 => {
-                format!(" ({:.1} MiB/s)", n as f64 * 1e9 / mean_ns / (1 << 20) as f64)
+                format!(
+                    " ({:.1} MiB/s)",
+                    n as f64 * 1e9 / mean_ns / (1 << 20) as f64
+                )
             }
             _ => String::new(),
         };

@@ -317,16 +317,37 @@ pub mod strategy {
             }
         };
     }
-    tuple_strategy!(A/0);
-    tuple_strategy!(A/0, B/1);
-    tuple_strategy!(A/0, B/1, C/2);
-    tuple_strategy!(A/0, B/1, C/2, D/3);
-    tuple_strategy!(A/0, B/1, C/2, D/3, E/4);
-    tuple_strategy!(A/0, B/1, C/2, D/3, E/4, F/5);
-    tuple_strategy!(A/0, B/1, C/2, D/3, E/4, F/5, G/6);
-    tuple_strategy!(A/0, B/1, C/2, D/3, E/4, F/5, G/6, H/7);
-    tuple_strategy!(A/0, B/1, C/2, D/3, E/4, F/5, G/6, H/7, I/8);
-    tuple_strategy!(A/0, B/1, C/2, D/3, E/4, F/5, G/6, H/7, I/8, J/9);
+    tuple_strategy!(A / 0);
+    tuple_strategy!(A / 0, B / 1);
+    tuple_strategy!(A / 0, B / 1, C / 2);
+    tuple_strategy!(A / 0, B / 1, C / 2, D / 3);
+    tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4);
+    tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5);
+    tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5, G / 6);
+    tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5, G / 6, H / 7);
+    tuple_strategy!(
+        A / 0,
+        B / 1,
+        C / 2,
+        D / 3,
+        E / 4,
+        F / 5,
+        G / 6,
+        H / 7,
+        I / 8
+    );
+    tuple_strategy!(
+        A / 0,
+        B / 1,
+        C / 2,
+        D / 3,
+        E / 4,
+        F / 5,
+        G / 6,
+        H / 7,
+        I / 8,
+        J / 9
+    );
 
     // -- string patterns ---------------------------------------------
 
@@ -338,7 +359,9 @@ pub mod strategy {
         fn generate(&self, rng: &mut TestRng) -> String {
             let (lo, hi) = super::parse_repeat_bounds(self).unwrap_or((0, 16));
             let len = lo + rng.below((hi - lo + 1) as u64) as usize;
-            (0..len).map(|_| super::sample_printable_char(rng)).collect()
+            (0..len)
+                .map(|_| super::sample_printable_char(rng))
+                .collect()
         }
     }
 }
@@ -378,13 +401,19 @@ pub mod collection {
     impl From<Range<usize>> for SizeRange {
         fn from(r: Range<usize>) -> Self {
             assert!(r.start < r.end, "empty vec size range");
-            Self { lo: r.start, hi: r.end - 1 }
+            Self {
+                lo: r.start,
+                hi: r.end - 1,
+            }
         }
     }
 
     impl From<RangeInclusive<usize>> for SizeRange {
         fn from(r: RangeInclusive<usize>) -> Self {
-            Self { lo: *r.start(), hi: *r.end() }
+            Self {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
         }
     }
 
@@ -400,7 +429,10 @@ pub mod collection {
     }
 
     pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { element, size: size.into() }
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
     }
 
     impl<S: Strategy> Strategy for VecStrategy<S>

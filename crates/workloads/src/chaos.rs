@@ -10,6 +10,7 @@
 //! `Vec<u8>` catches every regression a field-by-field comparison could
 //! miss (table presence, encoding, row order).
 
+use sgx_perf::analysis::diff::{DiffConfig, TraceDiff};
 use sgx_perf::{Logger, LoggerConfig, TraceDb};
 use sgx_sdk::SwitchlessConfig;
 use sim_core::fault::{FaultKind, FaultPlan, FaultTrigger};
@@ -61,6 +62,46 @@ pub fn fault_rows(bytes: &[u8]) -> usize {
         .expect("trace bytes")
         .faults
         .len()
+}
+
+/// Runs the classic-path fixture twice — fault-free (baseline) and under
+/// `plan` (candidate) — and returns both decoded traces: the before/after
+/// pair the diff engine consumes.
+///
+/// # Panics
+///
+/// Panics on fixture failure (cannot happen for recoverable plans).
+pub fn ab_pair(profile: HwProfile, plan: &FaultPlan) -> (TraceDb, TraceDb) {
+    let a = TraceDb::from_bytes(&antipatterns_trace(profile, None)).expect("baseline trace");
+    let b = TraceDb::from_bytes(&antipatterns_trace(profile, Some(plan))).expect("chaos trace");
+    (a, b)
+}
+
+/// Diffs a seeded chaos run against its fault-free baseline with the
+/// default thresholds: the chaos → regression-verdict pipeline in one
+/// call.
+pub fn ab_diff(profile: HwProfile, plan: &FaultPlan) -> TraceDiff {
+    let (a, b) = ab_pair(profile, plan);
+    TraceDiff::compute(&a, &b, DiffConfig::default())
+}
+
+/// A recoverable plan whose latency impact is far past the diff engine's
+/// default 10% gates: repeated long ocall timeouts land on the fixture's
+/// short allocation ocall (microseconds of delay on a sub-microsecond
+/// call) and an AEX storm interrupts a later ecall. Everything retries
+/// within the SDK budget, so the workload still completes — the damage
+/// is purely in the latency distribution, which is exactly what the diff
+/// must catch and attribute.
+pub fn regression_plan(seed: u64) -> FaultPlan {
+    FaultPlan::seeded(seed)
+        .with(
+            FaultTrigger::AtCall(2),
+            FaultKind::OcallTimeout {
+                delay: Nanos::from_micros(60),
+                times: 3,
+            },
+        )
+        .with(FaultTrigger::AtCall(12), FaultKind::AexStorm { count: 6 })
 }
 
 fn xorshift(state: &mut u64) -> u64 {

@@ -15,6 +15,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use sgx_perf::analysis::diff::{DiffConfig, TraceDiff};
 use sgx_perf::{Analyzer, CallKind, Logger, LoggerConfig, Recommendation, TraceDb};
 use sgx_sdk::{CallData, OcallTableBuilder, SdkResult, SwitchlessConfig, ThreadCtx};
 use sgx_sim::EnclaveConfig;
@@ -148,6 +149,10 @@ pub struct ClosedLoop {
     pub trace_before: TraceDb,
     /// The after-run trace.
     pub trace_after: TraceDb,
+    /// The A/B verdict of the optimisation, straight from the diff engine
+    /// (`trace_before` as baseline, `trace_after` as candidate). The
+    /// transition/switchless counters above are derived from it.
+    pub diff: TraceDiff,
 }
 
 impl ClosedLoop {
@@ -160,17 +165,10 @@ impl ClosedLoop {
     }
 }
 
-/// Synchronous round-trips in a trace: every recorded ecall/ocall row is
-/// one enter/exit pair, *minus* ocalls a switchless worker served. Those
-/// still appear as ocall rows — the worker executes the logger's
-/// interposed table, so sgx-perf keeps their duration statistics — but the
-/// calling thread never left the enclave for them. (Worker-served *ecalls*
-/// bypass `sgx_ecall` entirely and produce no row, so only ocall
-/// dispatches are subtracted.)
-pub fn round_trips(trace: &TraceDb) -> usize {
-    let served_ocalls = trace.switchless.iter().filter(|s| s.kind == 1).count();
-    (trace.ecalls.len() + trace.ocalls.len()).saturating_sub(served_ocalls)
-}
+/// Synchronous round-trips in a trace. The counting rule lives in the
+/// diff engine now (it needs it for transition deltas); this re-export
+/// keeps the workload-facing name.
+pub use sgx_perf::analysis::diff::round_trips;
 
 /// Runs the loop: baseline under the logger, analysis, application of the
 /// [`UseSwitchless`](Recommendation::UseSwitchless) findings via
@@ -224,27 +222,20 @@ pub fn closed_loop(profile: HwProfile, requests: u64) -> SdkResult<ClosedLoop> {
     let after = run(&optimised, requests, Some(config))?;
     let trace_after = logger.finish();
 
-    let dispatched = trace_after
-        .switchless
-        .iter()
-        .filter(|s| s.kind <= 1)
-        .count();
-    let fallbacks = trace_after
-        .switchless
-        .iter()
-        .filter(|s| s.kind == 2 || s.kind == 3)
-        .count();
+    // The diff engine is the single source of truth for the A/B counters.
+    let diff = TraceDiff::compute(&trace_before, &trace_after, DiffConfig::default());
     Ok(ClosedLoop {
-        transitions_before: round_trips(&trace_before),
-        transitions_after: round_trips(&trace_after),
-        switchless_dispatched: dispatched,
-        switchless_fallbacks: fallbacks,
+        transitions_before: diff.totals.transitions.a as usize,
+        transitions_after: diff.totals.transitions.b as usize,
+        switchless_dispatched: diff.totals.switchless_dispatched.b as usize,
+        switchless_fallbacks: diff.totals.switchless_fallbacks.b as usize,
         before,
         after,
         recommended_ocalls,
         recommended_ecalls,
         trace_before,
         trace_after,
+        diff,
     })
 }
 
@@ -280,6 +271,22 @@ mod tests {
             loop_.after.stats.elapsed
         );
         assert!(loop_.speedup() > 1.0);
+        // The embedded diff agrees: the optimisation is an improvement
+        // (exit 0 in the CI-gate sense), with the transition drop flagged.
+        assert_eq!(
+            loop_.diff.verdict,
+            sgx_perf::analysis::diff::Verdict::Improvement
+        );
+        assert_eq!(loop_.diff.exit_code(), 0);
+        assert!(
+            loop_
+                .diff
+                .improvements
+                .iter()
+                .any(|i| i.contains("transitions")),
+            "{:?}",
+            loop_.diff.improvements
+        );
     }
 
     #[test]

@@ -1,0 +1,119 @@
+//! Golden tests for the trace diff engine, driven by real workload runs:
+//! self-diffs must be exactly neutral, the switchless closed loop must
+//! reproduce the Appendix B speedups *as diff verdicts*, and a seeded
+//! chaos run against its fault-free baseline must exit 3 with the
+//! regressions attributed to the injected fault windows.
+
+use sgx_perf::analysis::diff::{DiffConfig, TraceDiff, Verdict, REGRESSION_EXIT_CODE};
+use sim_core::HwProfile;
+use workloads::chaos;
+
+/// Self-diff is the engine's zero point: every aligned metric identical,
+/// verdict neutral, exit 0.
+#[test]
+fn self_diff_is_all_zero_exit_zero() {
+    let (baseline, _) = chaos::ab_pair(HwProfile::Unpatched, &chaos::regression_plan(1));
+    let diff = TraceDiff::compute(&baseline, &baseline, DiffConfig::default());
+    assert_eq!(diff.verdict, Verdict::Neutral);
+    assert_eq!(diff.exit_code(), 0);
+    assert!(diff.regressions.is_empty(), "{:?}", diff.regressions);
+    assert!(diff.improvements.is_empty(), "{:?}", diff.improvements);
+    assert!(!diff.calls.is_empty(), "fixture records calls");
+    for c in &diff.calls {
+        for m in [
+            &c.count,
+            &c.total_ns,
+            &c.mean_ns,
+            &c.p50_ns,
+            &c.p99_ns,
+            &c.aex,
+        ] {
+            assert_eq!(m.a, m.b, "{}: {m:?}", c.name);
+        }
+        assert_eq!(c.verdict, Verdict::Neutral, "{}", c.name);
+        assert_eq!(c.attributed_faults, 0, "{}", c.name);
+    }
+    assert!((diff.speedup() - 1.0).abs() < 1e-12);
+}
+
+/// The E10b table of EXPERIMENTS.md Appendix B, re-expressed as diff
+/// verdicts: 5,000 → 1,000 round-trips and 1.74× / 2.03× / 2.18×
+/// speedups at 1,000 requests, one per hardware profile.
+#[test]
+fn switchless_ab_reproduces_appendix_b_speedups_as_verdicts() {
+    for (profile, expected_speedup) in [
+        (HwProfile::Unpatched, 1.74),
+        (HwProfile::Spectre, 2.03),
+        (HwProfile::Foreshadow, 2.18),
+    ] {
+        let loop_ = workloads::switchless_loop::closed_loop(profile, 1_000).unwrap();
+        let diff = &loop_.diff;
+        assert_eq!(diff.verdict, Verdict::Improvement, "{profile:?}");
+        assert_eq!(diff.exit_code(), 0, "{profile:?}");
+        assert_eq!(diff.totals.transitions.a, 5_000.0, "{profile:?}");
+        assert_eq!(diff.totals.transitions.b, 1_000.0, "{profile:?}");
+        assert_eq!(diff.totals.switchless_dispatched.b, 4_000.0, "{profile:?}");
+        assert_eq!(diff.totals.switchless_fallbacks.b, 0.0, "{profile:?}");
+        // The diff's wall-clock speedup tracks the loop's measured one and
+        // both must land on the Appendix B figure.
+        let measured = loop_.speedup();
+        assert!(
+            (measured - expected_speedup).abs() < 0.05,
+            "{profile:?}: measured {measured:.2}x, table says {expected_speedup:.2}x"
+        );
+        assert!(
+            (diff.speedup() - measured).abs() < 0.15,
+            "{profile:?}: diff wall {:.2}x vs measured {measured:.2}x",
+            diff.speedup()
+        );
+        assert!(
+            diff.improvements.iter().any(|i| i.contains("transitions")),
+            "{profile:?}: {:?}",
+            diff.improvements
+        );
+        // The hot ocall is the call that got faster.
+        let ocall = diff.call("ocall_log").expect("aligned hot ocall");
+        assert_eq!(ocall.count.a, ocall.count.b, "durations survive dispatch");
+    }
+}
+
+/// The chaos acceptance path: a seeded-fault trace against the fault-free
+/// baseline regresses (exit 3) and the verdict names the injected faults
+/// overlapping the regressed calls' windows.
+#[test]
+fn chaos_run_regresses_with_faults_attributed() {
+    let plan = chaos::regression_plan(5);
+    let diff = chaos::ab_diff(HwProfile::Unpatched, &plan);
+    assert_eq!(diff.verdict, Verdict::Regression);
+    assert_eq!(diff.exit_code(), REGRESSION_EXIT_CODE);
+    assert_eq!(diff.totals.faults_injected.a, 0.0);
+    assert!(
+        diff.totals.faults_injected.b >= 2.0,
+        "{:?}",
+        diff.totals.faults_injected
+    );
+    // At least one regressed call overlaps an injection window, and the
+    // human report says so.
+    assert!(diff.attributed_faults() > 0, "{diff}");
+    assert!(
+        diff.regressions
+            .iter()
+            .any(|r| r.contains("injected fault(s) in window")),
+        "{:?}",
+        diff.regressions
+    );
+    // The plan is recoverable by construction: nothing gave up.
+    assert_eq!(diff.totals.faults_gave_up.b, 0.0);
+}
+
+/// Differential determinism: the same seeded A/B pair diffs to the same
+/// verdict every time (the diff output itself is golden).
+#[test]
+fn chaos_diff_is_deterministic() {
+    let plan = chaos::regression_plan(9);
+    let x = chaos::ab_diff(HwProfile::Spectre, &plan);
+    let y = chaos::ab_diff(HwProfile::Spectre, &plan);
+    assert_eq!(x, y);
+    assert_eq!(x.render(), y.render());
+    assert_eq!(x.to_json(), y.to_json());
+}

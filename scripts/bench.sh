@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# A/B perf bench: runs the switchless closed loop and the chaos fixture,
+# diffs candidate against baseline with `sgxperf diff`, and emits
+# BENCH_diff.json (the switchless verdict — the CI perf-gate artifact).
+#
+# Exit status: non-zero if the switchless optimisation stopped being an
+# improvement, if the chaos regression stopped being detected (exit != 3),
+# or on any build/run failure.
+#
+# usage: scripts/bench.sh [output-dir] [profile] [requests]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT_DIR="${1:-target/ab-traces}"
+PROFILE="${2:-unpatched}"
+REQUESTS="${3:-1000}"
+BENCH_JSON="${BENCH_JSON:-BENCH_diff.json}"
+
+echo "== build (release, offline)"
+cargo build --release --offline -p sgx-perf -p workloads --examples --bins
+
+SGXPERF=target/release/sgxperf
+
+echo "== record A/B trace pairs ($PROFILE, $REQUESTS requests)"
+cargo run --release --offline -q -p workloads --example ab_traces -- \
+    "$OUT_DIR" "$PROFILE" "$REQUESTS"
+
+echo "== switchless diff (must NOT regress)"
+"$SGXPERF" diff "$OUT_DIR/switchless-before.evdb" "$OUT_DIR/switchless-after.evdb" \
+    --json > "$BENCH_JSON"
+"$SGXPERF" diff "$OUT_DIR/switchless-before.evdb" "$OUT_DIR/switchless-after.evdb"
+
+echo "== chaos diff (must regress with exit 3)"
+set +e
+"$SGXPERF" diff "$OUT_DIR/chaos-baseline.evdb" "$OUT_DIR/chaos-faulted.evdb"
+CHAOS_EXIT=$?
+set -e
+if [ "$CHAOS_EXIT" -ne 3 ]; then
+    echo "FAIL: chaos diff exited $CHAOS_EXIT, expected 3 (regression)" >&2
+    exit 1
+fi
+
+echo "wrote $BENCH_JSON"
