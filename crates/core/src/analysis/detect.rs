@@ -25,6 +25,8 @@ pub enum Problem {
     Paging,
     /// Permissive enclave interface (§3.6).
     Interface,
+    /// Enclave-lost recovery cost (supervisor restarts, warm-up replay).
+    Recovery,
 }
 
 impl fmt::Display for Problem {
@@ -36,6 +38,7 @@ impl fmt::Display for Problem {
             Problem::Ssc => "short synchronisation calls (SSC)",
             Problem::Paging => "EPC paging",
             Problem::Interface => "permissive enclave interface",
+            Problem::Recovery => "enclave-lost recovery cost",
         })
     }
 }
@@ -90,6 +93,10 @@ pub enum Recommendation {
     /// Serve the call switchlessly (`transition_using_threads`): worker
     /// threads polling a shared ring replace the enclave transition.
     UseSwitchless,
+    /// Shrink the state re-established by supervisor warm-up hooks after an
+    /// enclave loss (e.g. seal state instead of recomputing it): replay
+    /// dominates the mean time to recovery.
+    ReduceRecoveryState,
 }
 
 impl fmt::Display for Recommendation {
@@ -138,6 +145,10 @@ impl fmt::Display for Recommendation {
                 "mark the call switchless (transition_using_threads) so ring workers serve it \
                  without a transition",
             ),
+            Recommendation::ReduceRecoveryState => f.write_str(
+                "reduce the state replayed after an enclave loss (seal state instead of \
+                 recomputing it in warm-up hooks)",
+            ),
         }
     }
 }
@@ -180,6 +191,7 @@ const PRIO_SWITCHLESS: Priority = 2;
 const PRIO_BATCH_MERGE: Priority = 2;
 const PRIO_SYNC: Priority = 2;
 const PRIO_PAGING: Priority = 2;
+const PRIO_RECOVERY: Priority = 2;
 const PRIO_DUP_MOVE_IN: Priority = 3;
 const PRIO_MOVE_OUT: Priority = 4;
 pub(crate) const PRIO_SECURITY: Priority = 5;
@@ -197,6 +209,7 @@ pub fn detect_all(
     out.extend(detect_merge_batch(analyzer, instances));
     out.extend(detect_ssc(analyzer, instances));
     out.extend(detect_paging(analyzer));
+    out.extend(detect_recovery(analyzer));
     out
 }
 
@@ -574,10 +587,53 @@ fn detect_paging(analyzer: &Analyzer<'_>) -> Vec<Detection> {
     out
 }
 
+/// Enclave-lost recovery: when warm-up replay accounts for most of the
+/// time spent recovering, the supervisor's restart policy is paying for
+/// state that could be sealed or shrunk.
+fn detect_recovery(analyzer: &Analyzer<'_>) -> Vec<Detection> {
+    use sim_core::LifecycleStage;
+    let trace = analyzer.trace();
+    let mut lost_enclave = None;
+    let mut restarts = 0usize;
+    let mut replay_ns = 0u64;
+    let mut recovery_ns = 0u64;
+    for row in trace.lifecycle.iter() {
+        match LifecycleStage::from_code(row.stage) {
+            Some(LifecycleStage::Lost) => lost_enclave = lost_enclave.or(Some(row.enclave)),
+            Some(LifecycleStage::Rebuild) => restarts += 1,
+            Some(LifecycleStage::Replay) => replay_ns += row.magnitude,
+            Some(LifecycleStage::Recovered) => recovery_ns += row.magnitude,
+            _ => {}
+        }
+    }
+    let Some(enclave) = lost_enclave else {
+        return Vec::new();
+    };
+    if restarts == 0 || recovery_ns == 0 || replay_ns * 2 <= recovery_ns {
+        return Vec::new();
+    }
+    vec![Detection {
+        target: CallRef {
+            enclave,
+            kind: CallKind::Ecall,
+            index: 0,
+        },
+        name: format!("enclave{enclave}"),
+        problem: Problem::Recovery,
+        recommendation: Recommendation::ReduceRecoveryState,
+        evidence: format!(
+            "{restarts} restart(s); warm-up replay took {replay_ns} ns of {recovery_ns} ns \
+             total recovery ({:.0}% of MTTR)",
+            replay_ns as f64 / recovery_ns as f64 * 100.0
+        ),
+        priority: PRIO_RECOVERY,
+    }]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::events::{EcallRow, OcallRow, PagingRow, SymbolRow, SyncRow};
+    use crate::events::{EcallRow, LifecycleRow, OcallRow, PagingRow, SymbolRow, SyncRow};
     use crate::trace::TraceDb;
     use sim_core::HwProfile;
 
@@ -881,6 +937,44 @@ mod tests {
         let detections = detect_paging(&a);
         assert_eq!(detections.len(), 1);
         assert_eq!(detections[0].problem, Problem::Paging);
+    }
+
+    fn lifecycle(trace: &mut TraceDb, stage: u8, attempt: u32, magnitude: u64, time_ns: u64) {
+        trace.lifecycle.insert(LifecycleRow {
+            enclave: 1,
+            stage,
+            thread: 0,
+            attempt,
+            magnitude,
+            time_ns,
+        });
+    }
+
+    /// Replay dominating the recovery time fires ReduceRecoveryState;
+    /// rebuild-dominated recovery stays quiet.
+    #[test]
+    fn replay_dominated_recovery_detected() {
+        let mut trace = TraceDb::default();
+        lifecycle(&mut trace, 0, 0, 0, 1_000); // lost
+        lifecycle(&mut trace, 1, 1, 10_000, 11_000); // rebuild: 10 us
+        lifecycle(&mut trace, 2, 1, 80_000, 91_000); // replay: 80 us
+        lifecycle(&mut trace, 4, 1, 100_000, 101_000); // recovered: 100 us MTTR
+        let a = analyzer(&trace);
+        let detections = detect_recovery(&a);
+        assert_eq!(detections.len(), 1, "{detections:?}");
+        let d = &detections[0];
+        assert_eq!(d.problem, Problem::Recovery);
+        assert_eq!(d.recommendation, Recommendation::ReduceRecoveryState);
+        assert!(d.evidence.contains("1 restart"), "{}", d.evidence);
+
+        // Same shape but replay is a sliver of the MTTR: no finding.
+        let mut quiet = TraceDb::default();
+        lifecycle(&mut quiet, 0, 0, 0, 1_000);
+        lifecycle(&mut quiet, 1, 1, 80_000, 81_000);
+        lifecycle(&mut quiet, 2, 1, 10_000, 91_000);
+        lifecycle(&mut quiet, 4, 1, 100_000, 101_000);
+        let a = analyzer(&quiet);
+        assert!(detect_recovery(&a).is_empty());
     }
 
     /// Below the minimum sample size nothing fires.

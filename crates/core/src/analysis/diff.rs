@@ -159,6 +159,10 @@ pub struct CallDelta {
     /// Injected faults (candidate trace) whose timestamp falls inside one
     /// of this call's execution windows — the chaos-attribution signal.
     pub attributed_faults: usize,
+    /// Candidate executions of this call that overlap an enclave-lost
+    /// recovery window (loss → recovered/gave-up): their latency includes
+    /// rebuild/replay time, not an application slowdown.
+    pub recovery_overlaps: usize,
 }
 
 /// Aggregate deltas over whole traces.
@@ -183,6 +187,12 @@ pub struct TotalsDelta {
     pub faults_recovered: MetricDelta,
     /// Faults that exhausted the retry budget.
     pub faults_gave_up: MetricDelta,
+    /// Enclave losses.
+    pub enclaves_lost: MetricDelta,
+    /// Supervisor rebuilds.
+    pub restarts: MetricDelta,
+    /// Total loss-to-completion recovery time (ns).
+    pub recovery_ns: MetricDelta,
     /// Virtual wall clock: the latest event timestamp in the trace.
     pub wall_ns: MetricDelta,
 }
@@ -301,7 +311,35 @@ fn wall_ns(trace: &TraceDb) -> u64 {
     for f in trace.faults.iter() {
         wall = wall.max(f.time_ns);
     }
+    for l in trace.lifecycle.iter() {
+        wall = wall.max(l.time_ns);
+    }
     wall
+}
+
+/// Enclave-lost recovery windows in a trace: each spans from a loss to
+/// the recovery (or give-up) that closes it. A loss never closed extends
+/// to the end of the trace.
+fn recovery_windows(trace: &TraceDb) -> Vec<(u64, u64)> {
+    let mut windows = Vec::new();
+    let mut open: Option<u64> = None;
+    for l in trace.lifecycle.iter() {
+        match l.stage {
+            // 0 = lost.
+            0 => open = open.or(Some(l.time_ns)),
+            // 4 = recovered, 5 = gave up.
+            4 | 5 => {
+                if let Some(start) = open.take() {
+                    windows.push((start, l.time_ns));
+                }
+            }
+            _ => {}
+        }
+    }
+    if let Some(start) = open {
+        windows.push((start, u64::MAX));
+    }
+    windows
 }
 
 /// Groups a trace's call events by (kind, resolved name). Calls with the
@@ -351,6 +389,7 @@ impl TraceDiff {
             .filter(|f| f.action == 0)
             .map(|f| (f.call_index, f.time_ns))
             .collect();
+        let recoveries = recovery_windows(b);
 
         let keys: Vec<(CallKind, String)> = side_a
             .keys()
@@ -405,13 +444,26 @@ impl TraceDiff {
                         .iter()
                         .filter(|(_, t)| sb.windows.iter().any(|(s, e)| t >= s && t <= e))
                         .count();
+                    let overlapping = sb
+                        .windows
+                        .iter()
+                        .filter(|(s, e)| recoveries.iter().any(|(rs, re)| s <= re && e >= rs))
+                        .count();
                     let line = |flags: &[String]| {
                         let fault_note = if attributed > 0 {
                             format!(" [{attributed} injected fault(s) in window]")
                         } else {
                             String::new()
                         };
-                        format!("{name} ({kind}): {}{fault_note}", flags.join(", "))
+                        let recovery_note = if overlapping > 0 {
+                            format!(" [{overlapping} execution(s) overlap an enclave recovery]")
+                        } else {
+                            String::new()
+                        };
+                        format!(
+                            "{name} ({kind}): {}{fault_note}{recovery_note}",
+                            flags.join(", ")
+                        )
                     };
                     match verdict {
                         Verdict::Regression => regressions.push(line(&flagged)),
@@ -435,6 +487,7 @@ impl TraceDiff {
                         verdict,
                         flagged,
                         attributed_faults: attributed,
+                        recovery_overlaps: overlapping,
                     });
                 }
                 (None, None) => unreachable!("key drawn from one of the sides"),
@@ -482,6 +535,26 @@ impl TraceDiff {
             faults_gave_up: MetricDelta::new(
                 count(a.faults.iter().filter(|f| f.action == 3).count()),
                 count(b.faults.iter().filter(|f| f.action == 3).count()),
+            ),
+            enclaves_lost: MetricDelta::new(
+                count(a.lifecycle.iter().filter(|l| l.stage == 0).count()),
+                count(b.lifecycle.iter().filter(|l| l.stage == 0).count()),
+            ),
+            restarts: MetricDelta::new(
+                count(a.lifecycle.iter().filter(|l| l.stage == 1).count()),
+                count(b.lifecycle.iter().filter(|l| l.stage == 1).count()),
+            ),
+            recovery_ns: MetricDelta::new(
+                a.lifecycle
+                    .iter()
+                    .filter(|l| l.stage == 4)
+                    .map(|l| l.magnitude)
+                    .sum::<u64>() as f64,
+                b.lifecycle
+                    .iter()
+                    .filter(|l| l.stage == 4)
+                    .map(|l| l.magnitude)
+                    .sum::<u64>() as f64,
             ),
             wall_ns: MetricDelta::new(wall_ns(a) as f64, wall_ns(b) as f64),
         };
@@ -604,6 +677,9 @@ impl TraceDiff {
             ("faults injected", &t.faults_injected),
             ("faults recovered", &t.faults_recovered),
             ("faults gave up", &t.faults_gave_up),
+            ("enclaves lost", &t.enclaves_lost),
+            ("supervisor restarts", &t.restarts),
+            ("recovery time (ns)", &t.recovery_ns),
         ] {
             if m.a == 0.0 && m.b == 0.0 {
                 continue;
@@ -724,6 +800,9 @@ impl TraceDiff {
             ("faults_injected", &t.faults_injected),
             ("faults_recovered", &t.faults_recovered),
             ("faults_gave_up", &t.faults_gave_up),
+            ("enclaves_lost", &t.enclaves_lost),
+            ("restarts", &t.restarts),
+            ("recovery_ns", &t.recovery_ns),
             ("wall_ns", &t.wall_ns),
         ]
         .iter()
@@ -742,7 +821,8 @@ impl TraceDiff {
             out.push_str(&format!(
                 "    {{\"name\": {}, \"kind\": \"{}\", \"verdict\": {}, \
                  \"count\": {}, \"total_ns\": {}, \"mean_ns\": {}, \"p50_ns\": {}, \
-                 \"p99_ns\": {}, \"aex\": {}, \"attributed_faults\": {}, \"flagged\": [{}]}}",
+                 \"p99_ns\": {}, \"aex\": {}, \"attributed_faults\": {}, \
+                 \"recovery_overlaps\": {}, \"flagged\": [{}]}}",
                 json::string(&c.name),
                 c.kind,
                 json::string(&c.verdict.to_string()),
@@ -753,6 +833,7 @@ impl TraceDiff {
                 metric(&c.p99_ns),
                 metric(&c.aex),
                 c.attributed_faults,
+                c.recovery_overlaps,
                 c.flagged
                     .iter()
                     .map(|f| json::string(f))
@@ -946,6 +1027,54 @@ mod tests {
             "{:?}",
             diff.regressions
         );
+    }
+
+    #[test]
+    fn regressions_overlapping_a_recovery_window_are_attributed() {
+        use crate::events::LifecycleRow;
+        let a = trace_with_ecalls(&[5_000; 20]);
+        let mut b = trace_with_ecalls(&[7_000; 20]);
+        // One recovery window covering the first few calls.
+        for (stage, time_ns) in [(0u8, 1_000u64), (1, 5_000), (2, 9_000), (4, 12_000)] {
+            b.lifecycle.insert(LifecycleRow {
+                enclave: 1,
+                stage,
+                thread: 0,
+                attempt: 1,
+                magnitude: if stage == 4 { 11_000 } else { 4_000 },
+                time_ns,
+            });
+        }
+        let diff = TraceDiff::compute(&a, &b, DiffConfig::default());
+        assert_eq!(diff.verdict, Verdict::Regression);
+        assert!(diff.calls[0].recovery_overlaps > 0, "{:?}", diff.calls[0]);
+        assert_eq!(diff.totals.enclaves_lost.b, 1.0);
+        assert_eq!(diff.totals.restarts.b, 1.0);
+        assert_eq!(diff.totals.recovery_ns.b, 11_000.0);
+        assert!(
+            diff.regressions
+                .iter()
+                .any(|r| r.contains("overlap an enclave recovery")),
+            "{:?}",
+            diff.regressions
+        );
+        assert!(diff.to_json().contains("\"recovery_overlaps\""));
+        assert!(diff.render().contains("enclaves lost"));
+    }
+
+    #[test]
+    fn an_unclosed_loss_extends_to_the_end_of_the_trace() {
+        use crate::events::LifecycleRow;
+        let mut b = trace_with_ecalls(&[5_000; 4]);
+        b.lifecycle.insert(LifecycleRow {
+            enclave: 1,
+            stage: 0,
+            thread: 0,
+            attempt: 0,
+            magnitude: 0,
+            time_ns: 2_000,
+        });
+        assert_eq!(super::recovery_windows(&b), vec![(2_000, u64::MAX)]);
     }
 
     #[test]

@@ -46,6 +46,16 @@ pub struct Totals {
     /// Injected faults that exhausted the retry budget and surfaced as
     /// errors.
     pub faults_gave_up: usize,
+    /// Enclave losses (power transition / EPC poison).
+    pub enclaves_lost: usize,
+    /// Supervisor rebuilds performed in response to losses.
+    pub restarts: usize,
+    /// Virtual time spent rebuilding lost enclaves.
+    pub rebuild_ns: u64,
+    /// Virtual time spent replaying warm-up state after rebuilds.
+    pub replay_ns: u64,
+    /// Total loss-to-completion recovery time (the MTTR numerator).
+    pub recovery_ns: u64,
 }
 
 /// A waker→sleeper dependency edge derived from the sync events
@@ -119,6 +129,28 @@ impl Report {
             faults_injected: trace.faults.iter().filter(|f| f.action == 0).count(),
             faults_recovered: trace.faults.iter().filter(|f| f.action == 2).count(),
             faults_gave_up: trace.faults.iter().filter(|f| f.action == 3).count(),
+            // Stage codes: 0 lost, 1 rebuild, 2 replay, 3 retry,
+            // 4 recovered, 5 gave up.
+            enclaves_lost: trace.lifecycle.iter().filter(|l| l.stage == 0).count(),
+            restarts: trace.lifecycle.iter().filter(|l| l.stage == 1).count(),
+            rebuild_ns: trace
+                .lifecycle
+                .iter()
+                .filter(|l| l.stage == 1)
+                .map(|l| l.magnitude)
+                .sum(),
+            replay_ns: trace
+                .lifecycle
+                .iter()
+                .filter(|l| l.stage == 2)
+                .map(|l| l.magnitude)
+                .sum(),
+            recovery_ns: trace
+                .lifecycle
+                .iter()
+                .filter(|l| l.stage == 4)
+                .map(|l| l.magnitude)
+                .sum(),
         };
         let mut edge_counts: std::collections::BTreeMap<(u64, u64), usize> =
             std::collections::BTreeMap::new();
@@ -223,6 +255,17 @@ impl Report {
                 t.faults_injected, t.faults_recovered, t.faults_gave_up,
             ));
         }
+        if t.enclaves_lost > 0 {
+            out.push_str(&format!(
+                "recovery: {} enclave loss(es), {} restart(s); rebuild {}, replay {}, \
+                 total recovery {}\n\n",
+                t.enclaves_lost,
+                t.restarts,
+                Nanos::from_nanos(t.rebuild_ns),
+                Nanos::from_nanos(t.replay_ns),
+                Nanos::from_nanos(t.recovery_ns),
+            ));
+        }
         out.push_str(&format!(
             "short calls (<10us adjusted): {:.2}% of ecalls, {:.2}% of ocalls\n\n",
             self.short_fraction(CallKind::Ecall) * 100.0,
@@ -287,7 +330,9 @@ impl Report {
              \"distinct_ocalls\": {}, \"aex_events\": {}, \"page_outs\": {}, \
              \"page_ins\": {}, \"sync_sleeps\": {}, \"sync_wakes\": {}, \
              \"enclaves\": {}, \"switchless_dispatched\": {}, \"switchless_fallbacks\": {}, \
-             \"faults_injected\": {}, \"faults_recovered\": {}, \"faults_gave_up\": {}",
+             \"faults_injected\": {}, \"faults_recovered\": {}, \"faults_gave_up\": {}, \
+             \"enclaves_lost\": {}, \"restarts\": {}, \"rebuild_ns\": {}, \
+             \"replay_ns\": {}, \"recovery_ns\": {}",
             t.ecall_events,
             t.ocall_events,
             t.distinct_ecalls,
@@ -303,6 +348,11 @@ impl Report {
             t.faults_injected,
             t.faults_recovered,
             t.faults_gave_up,
+            t.enclaves_lost,
+            t.restarts,
+            t.rebuild_ns,
+            t.replay_ns,
+            t.recovery_ns,
         ));
         out.push_str("},\n  \"short_fraction\": {");
         out.push_str(&format!(
@@ -567,6 +617,43 @@ mod tests {
         )
         .analyze();
         assert!(!clean.render().contains("faults:"));
+    }
+
+    #[test]
+    fn recovery_totals_aggregate_lifecycle_stages() {
+        use crate::events::LifecycleRow;
+        let mut trace = trace_with_short_ecalls(5);
+        for (stage, magnitude) in [(0u8, 0u64), (1, 10_000), (2, 30_000), (3, 2), (4, 45_000)] {
+            trace.lifecycle.insert(LifecycleRow {
+                enclave: 1,
+                stage,
+                thread: 0,
+                attempt: 1,
+                magnitude,
+                time_ns: 1,
+            });
+        }
+        let report = Analyzer::new(&trace, HwProfile::Unpatched.cost_model()).analyze();
+        assert_eq!(report.totals.enclaves_lost, 1);
+        assert_eq!(report.totals.restarts, 1);
+        assert_eq!(report.totals.rebuild_ns, 10_000);
+        assert_eq!(report.totals.replay_ns, 30_000);
+        assert_eq!(report.totals.recovery_ns, 45_000);
+        assert!(
+            report
+                .render()
+                .contains("recovery: 1 enclave loss(es), 1 restart(s)"),
+            "{}",
+            report.render()
+        );
+        assert!(report.to_json().contains("\"enclaves_lost\": 1"));
+        // Loss-free reports keep the line out entirely.
+        let clean = Analyzer::new(
+            &trace_with_short_ecalls(5),
+            HwProfile::Unpatched.cost_model(),
+        )
+        .analyze();
+        assert!(!clean.render().contains("recovery:"));
     }
 
     #[test]

@@ -37,7 +37,7 @@ use sim_core::HwProfile;
 
 fn print_usage() {
     eprintln!(
-        "usage:\n  sgxperf report  <trace.evdb> [--profile unpatched|spectre|l1tf] [--edl <file.edl>] [--faults <spec>] [--json]\n  sgxperf lint    <file.edl> [--trace <trace.evdb>] [--deny <code,...>] [--max-public N] [--large-copy BYTES]\n  sgxperf diff    <a.evdb> <b.evdb> [--threshold PCT] [--min-count N] [--json]\n  sgxperf export  <trace.evdb> --format chrome|folded [--profile <p>] [-o <out>]\n  sgxperf dot     <trace.evdb> [-o <out.dot>]\n  sgxperf hist    <trace.evdb> <call-name> [--bins N] [--json]\n  sgxperf scatter <trace.evdb> <call-name> [--json]\n  sgxperf info    <trace.evdb>"
+        "usage:\n  sgxperf report  <trace.evdb> [--profile unpatched|spectre|l1tf] [--edl <file.edl>] [--faults <spec>] [--json]\n  sgxperf lint    <file.edl> [--trace <trace.evdb>] [--deny <code,...>] [--max-public N] [--large-copy BYTES]\n  sgxperf diff    <a.evdb> <b.evdb> [--threshold PCT] [--min-count N] [--json]\n  sgxperf export  <trace.evdb> --format chrome|folded [--profile <p>] [-o <out>]\n  sgxperf dot     <trace.evdb> [-o <out.dot>]\n  sgxperf hist    <trace.evdb> <call-name> [--bins N] [--json]\n  sgxperf scatter <trace.evdb> <call-name> [--json]\n  sgxperf info    <trace.evdb>\n\nfault specs (--faults): `;`-separated atoms of kind@trigger, where trigger\nis call=N or t=<duration>, plus an optional seed=N clause:\n  aex_storm@call=N|t=D[:count=K]   burst of K AEXs\n  page_thrash@...[:pages=K]        evict K resident pages\n  ocall_delay@...[:ns=K]           delay ocall returns by K ns\n  ocall_fail@...[:times=K]         fail the next K ocalls\n  ocall_timeout@...[:times=K]      time out the next K ocalls\n  tcs_exhaust@...[:times=K]        report all TCSs busy K times\n  clock_skew@...[:factor=K]        multiply charged time by K\n  ring_stall@...[:spins=K]         stall switchless rings for K polls\n  enclave_lost@call=N|t=D          destroy EPC contents (SGX_ERROR_ENCLAVE_LOST)\n  epc_poison@call=N|t=D            poison: enclave is lost at its next EENTER\nexample: --faults 'enclave_lost@call=3;ocall_delay@t=2ms:ns=500;seed=7'"
     );
 }
 

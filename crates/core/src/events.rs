@@ -372,6 +372,51 @@ impl Record for FaultRow {
     }
 }
 
+/// One enclave-lifecycle event: a loss (`SGX_ERROR_ENCLAVE_LOST`), or one
+/// step of a supervisor recovery (rebuild, warm-up replay, retry, overall
+/// recovery, circuit-breaker give-up).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LifecycleRow {
+    /// Affected enclave. For rebuild/replay/retry rows this is the *new*
+    /// enclave id; for lost/gave-up rows the one that died.
+    pub enclave: u32,
+    /// Stage, encoded as
+    /// [`LifecycleStage::code`](sim_core::LifecycleStage::code).
+    pub stage: u8,
+    /// Thread driving the recovery.
+    pub thread: u64,
+    /// Restart attempt number (0 for the loss itself).
+    pub attempt: u32,
+    /// Stage-specific cost in virtual nanoseconds: rebuild/replay duration,
+    /// retry backoff, or — for recovered rows — the full loss-to-completion
+    /// MTTR.
+    pub magnitude: u64,
+    /// Time of the event.
+    pub time_ns: u64,
+}
+
+impl Record for LifecycleRow {
+    const TAG: &'static str = "lifecycle";
+    fn encode(&self, out: &mut Encoder) {
+        out.u32(self.enclave);
+        out.u8(self.stage);
+        out.u64(self.thread);
+        out.u32(self.attempt);
+        out.u64(self.magnitude);
+        out.u64(self.time_ns);
+    }
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, DbError> {
+        Ok(LifecycleRow {
+            enclave: r.u32()?,
+            stage: r.u8()?,
+            thread: r.u64()?,
+            attempt: r.u32()?,
+            magnitude: r.u64()?,
+            time_ns: r.u64()?,
+        })
+    }
+}
+
 /// One observed enclave (from driver lifecycle events).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EnclaveRow {
@@ -611,6 +656,28 @@ mod tests {
                 call_index: Some(1),
                 magnitude: 2,
                 time_ns: 9_999,
+            },
+        ]);
+    }
+
+    #[test]
+    fn lifecycle_row_roundtrip() {
+        roundtrip(vec![
+            LifecycleRow {
+                enclave: 1,
+                stage: 0, // lost
+                thread: 3,
+                attempt: 0,
+                magnitude: 0,
+                time_ns: 500,
+            },
+            LifecycleRow {
+                enclave: 2,
+                stage: 4, // recovered
+                thread: 3,
+                attempt: 1,
+                magnitude: 12_345,
+                time_ns: 13_000,
             },
         ]);
     }

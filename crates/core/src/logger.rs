@@ -23,11 +23,11 @@ use sgx_sdk::{
 use sgx_sim::{AexEvent, DriverEvent, EnclaveId, Machine, PagingDirection};
 use sim_core::fault::FaultEvent;
 use sim_core::sync::Mutex;
-use sim_core::Nanos;
+use sim_core::{LifecycleEvent, Nanos};
 
 use crate::events::{
-    AexMode, AexRow, CallKind, EcallRow, EnclaveRow, FaultRow, OcallRow, PagingRow, SwitchlessRow,
-    SymbolRow, SyncRow,
+    AexMode, AexRow, CallKind, EcallRow, EnclaveRow, FaultRow, LifecycleRow, OcallRow, PagingRow,
+    SwitchlessRow, SymbolRow, SyncRow,
 };
 use crate::trace::TraceDb;
 
@@ -55,6 +55,10 @@ pub struct LoggerConfig {
     /// append as switchless events). Charged only when a fault actually
     /// fires, so zero-fault runs cost nothing extra.
     pub fault_overhead: Nanos,
+    /// Bookkeeping cost per enclave-lifecycle event (loss, rebuild, replay,
+    /// retry, recovery). Charged only when an enclave is actually lost, so
+    /// loss-free runs cost nothing extra.
+    pub lifecycle_overhead: Nanos,
 }
 
 impl Default for LoggerConfig {
@@ -69,6 +73,7 @@ impl Default for LoggerConfig {
             aex_trace_overhead: Nanos::from_nanos(1_118),
             switchless_overhead: Nanos::from_nanos(90),
             fault_overhead: Nanos::from_nanos(90),
+            lifecycle_overhead: Nanos::from_nanos(90),
         }
     }
 }
@@ -186,6 +191,20 @@ impl Logger {
                 })));
         }
 
+        // Observe enclave-lifecycle events: losses and every step of a
+        // supervisor recovery, so the analyzer can report restart counts
+        // and MTTR (mean time to recovery) in virtual time.
+        {
+            let weak = Arc::downgrade(&logger);
+            runtime
+                .machine()
+                .set_lifecycle_observer(Some(Arc::new(move |ev: &LifecycleEvent| {
+                    if let Some(logger) = weak.upgrade() {
+                        logger.on_lifecycle(ev);
+                    }
+                })));
+        }
+
         // Patch the AEP.
         if logger.config.aex != AexMode::Off {
             let weak = Arc::downgrade(&logger);
@@ -207,7 +226,17 @@ impl Logger {
         self.enabled.store(false, Ordering::SeqCst);
         self.machine.set_aep_observer(None);
         self.machine.set_fault_observer(None);
+        self.machine.set_lifecycle_observer(None);
         std::mem::take(&mut self.state.lock().trace)
+    }
+
+    /// A consistent copy of the trace recorded so far, without stopping the
+    /// logger. This is what a crash-consistent run persists after each unit
+    /// of work (via [`eventdb::SegmentedWriter`]): every snapshot frame is
+    /// a valid trace, so a `SIGKILL` between frames loses at most the work
+    /// since the last snapshot.
+    pub fn snapshot(&self) -> TraceDb {
+        self.state.lock().trace.clone()
     }
 
     /// Whether the logger is currently recording.
@@ -261,6 +290,9 @@ impl Logger {
                 });
             }
             DriverEvent::EnclaveDestroyed { .. } => {}
+            // The loss itself is recorded through the lifecycle observer
+            // (with attempt/MTTR context the driver does not have).
+            DriverEvent::EnclaveLost { .. } => {}
         }
     }
 
@@ -295,6 +327,22 @@ impl Logger {
             fault: ev.code,
             action: ev.action.code(),
             call_index: ev.call_index,
+            magnitude: ev.magnitude,
+            time_ns: ev.time.as_nanos(),
+        });
+    }
+
+    fn on_lifecycle(&self, ev: &LifecycleEvent) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.machine.clock().advance(self.config.lifecycle_overhead);
+        let mut st = self.state.lock();
+        st.trace.lifecycle.insert(LifecycleRow {
+            enclave: ev.enclave,
+            stage: ev.stage.code(),
+            thread: ev.thread,
+            attempt: ev.attempt,
             magnitude: ev.magnitude,
             time_ns: ev.time.as_nanos(),
         });

@@ -5,7 +5,8 @@ use std::path::Path;
 use eventdb::{DbError, Record, Store, Table};
 
 use crate::events::{
-    AexRow, EcallRow, EnclaveRow, FaultRow, OcallRow, PagingRow, SwitchlessRow, SymbolRow, SyncRow,
+    AexRow, EcallRow, EnclaveRow, FaultRow, LifecycleRow, OcallRow, PagingRow, SwitchlessRow,
+    SymbolRow, SyncRow,
 };
 
 /// A complete sgx-perf trace: every table the logger records, serialisable
@@ -42,6 +43,8 @@ pub struct TraceDb {
     pub switchless: Table<SwitchlessRow>,
     /// Injected faults and SDK recovery steps (the chaos harness).
     pub faults: Table<FaultRow>,
+    /// Enclave losses and supervisor recovery steps.
+    pub lifecycle: Table<LifecycleRow>,
 }
 
 /// Reads a table, treating its absence as empty — traces written before the
@@ -59,7 +62,10 @@ impl TraceDb {
         self.to_store().to_bytes()
     }
 
-    fn to_store(&self) -> Store {
+    /// Lowers the trace to the generic table container — the form both the
+    /// monolithic writer ([`save`](TraceDb::save)) and the crash-consistent
+    /// segmented writer ([`eventdb::SegmentedWriter`]) serialise.
+    pub fn to_store(&self) -> Store {
         let mut store = Store::new();
         store.put(&self.ecalls);
         store.put(&self.ocalls);
@@ -70,9 +76,13 @@ impl TraceDb {
         store.put(&self.symbols);
         store.put(&self.switchless);
         // Written only when non-empty: fault-free traces stay byte-for-byte
-        // identical to those of versions without the chaos harness.
+        // identical to those of versions without the chaos harness or the
+        // enclave-lost supervisor.
         if !self.faults.is_empty() {
             store.put(&self.faults);
+        }
+        if !self.lifecycle.is_empty() {
+            store.put(&self.lifecycle);
         }
         store
     }
@@ -87,7 +97,13 @@ impl TraceDb {
         TraceDb::from_store(&store)
     }
 
-    fn from_store(store: &Store) -> Result<TraceDb, DbError> {
+    /// Parses a trace from a generic table container (e.g. one salvaged
+    /// from a segmented recording).
+    ///
+    /// # Errors
+    ///
+    /// Corruption or missing tables.
+    pub fn from_store(store: &Store) -> Result<TraceDb, DbError> {
         Ok(TraceDb {
             ecalls: store.get()?,
             ocalls: store.get()?,
@@ -98,6 +114,7 @@ impl TraceDb {
             symbols: store.get()?,
             switchless: get_or_empty(store)?,
             faults: get_or_empty(store)?,
+            lifecycle: get_or_empty(store)?,
         })
     }
 
@@ -186,6 +203,7 @@ mod tests {
         let back = TraceDb::from_bytes(&store.to_bytes()).unwrap();
         assert_eq!(back.switchless.len(), 0);
         assert_eq!(back.faults.len(), 0);
+        assert_eq!(back.lifecycle.len(), 0);
     }
 
     #[test]
@@ -216,6 +234,35 @@ mod tests {
         });
         let back = TraceDb::from_bytes(&faulted.to_bytes()).unwrap();
         assert_eq!(back.faults.len(), 1);
+    }
+
+    #[test]
+    fn recovery_free_traces_serialise_without_a_lifecycle_table() {
+        // Byte-compatibility contract: a run that never loses its enclave
+        // writes the same store as a pre-supervisor version...
+        let trace = TraceDb::default();
+        let mut old_style = Store::new();
+        old_style.put(&trace.ecalls);
+        old_style.put(&trace.ocalls);
+        old_style.put(&trace.aex);
+        old_style.put(&trace.paging);
+        old_style.put(&trace.sync);
+        old_style.put(&trace.enclaves);
+        old_style.put(&trace.symbols);
+        old_style.put(&trace.switchless);
+        assert_eq!(trace.to_bytes(), old_style.to_bytes());
+        // ...while lifecycle rows round-trip once present.
+        let mut recovered = TraceDb::default();
+        recovered.lifecycle.insert(LifecycleRow {
+            enclave: 1,
+            stage: 0,
+            thread: 2,
+            attempt: 0,
+            magnitude: 0,
+            time_ns: 9,
+        });
+        let back = TraceDb::from_bytes(&recovered.to_bytes()).unwrap();
+        assert_eq!(back.lifecycle.len(), 1);
     }
 
     #[test]

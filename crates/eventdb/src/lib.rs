@@ -49,7 +49,7 @@ pub mod store;
 pub mod table;
 
 pub use codec::{Decoder, Encoder};
-pub use store::{SectionInfo, Store};
+pub use store::{SectionInfo, SegmentedWriter, Store};
 pub use table::{Record, RowId, Table};
 
 use std::fmt;
@@ -64,6 +64,17 @@ pub enum DbError {
     Corrupt(String),
     /// The requested table tag is not present in the store.
     MissingTable(&'static str),
+    /// A segmented trace ends in a torn frame — the writer was killed
+    /// mid-append. Unlike [`DbError::Corrupt`] this is recoverable:
+    /// [`Store::salvage_segmented`] drops the tail back to the last valid
+    /// frame boundary.
+    TruncatedFrame {
+        /// Tag of the torn frame ("?" when the kill landed inside the tag
+        /// itself).
+        table: String,
+        /// Byte offset of the torn frame's start within the file.
+        offset: usize,
+    },
 }
 
 impl fmt::Display for DbError {
@@ -72,6 +83,10 @@ impl fmt::Display for DbError {
             DbError::Io(e) => write!(f, "i/o error: {e}"),
             DbError::Corrupt(msg) => write!(f, "corrupt store: {msg}"),
             DbError::MissingTable(tag) => write!(f, "missing table `{tag}`"),
+            DbError::TruncatedFrame { table, offset } => write!(
+                f,
+                "truncated frame for table `{table}` at byte {offset} (torn tail)"
+            ),
         }
     }
 }

@@ -10,8 +10,27 @@
 //!   tag   str             table tag
 //!   blob  bytes           the encoded table
 //! ```
+//!
+//! A second, crash-consistent *segmented* layout exists for long-running
+//! recordings ([`Store::open_segmented`]): instead of one atomic write at
+//! end-of-run, checksummed frames are appended as the run progresses, so a
+//! process killed mid-workload still leaves an analyzable prefix:
+//!
+//! ```text
+//! magic   "EVSG"          4 bytes
+//! version u8              currently 1
+//! frame*:
+//!   tag   str             table tag
+//!   blob  bytes           the encoded table (full snapshot)
+//!   crc   u32             CRC-32 over the frame's tag+blob bytes
+//! ```
+//!
+//! Frames are full-table snapshots; [`Store::load`] keeps the *last* valid
+//! frame per tag and salvages a torn tail back to the last valid frame
+//! boundary.
 
 use std::fs;
+use std::io::Write;
 use std::path::Path;
 
 use crate::codec::{Decoder, Encoder};
@@ -20,6 +39,23 @@ use crate::DbError;
 
 const MAGIC: &[u8; 4] = b"EVDB";
 const VERSION: u8 = 1;
+
+const SEG_MAGIC: &[u8; 4] = b"EVSG";
+const SEG_VERSION: u8 = 1;
+
+/// Bitwise CRC-32 (IEEE, reflected polynomial). Slow but dependency-free;
+/// frames are small and written once.
+fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xffff_ffff_u32;
+    for &b in data {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xedb8_8320 & mask);
+        }
+    }
+    !crc
+}
 
 /// Shape of one section, produced by [`Store::sections`] without decoding
 /// the section's records.
@@ -180,14 +216,182 @@ impl Store {
         Ok(())
     }
 
-    /// Reads a store from a file.
+    /// Reads a store from a file, auto-detecting the layout by magic: the
+    /// atomic `EVDB` container is parsed strictly, a segmented `EVSG`
+    /// recording is *salvaged* — a torn tail (writer killed mid-append) is
+    /// dropped back to the last valid frame boundary rather than failing
+    /// the whole load.
     ///
     /// # Errors
     ///
     /// Propagates filesystem errors and corruption.
     pub fn load(path: impl AsRef<Path>) -> Result<Store, DbError> {
         let data = fs::read(path)?;
+        if data.starts_with(SEG_MAGIC) {
+            return Store::salvage_segmented(&data).map(|(store, _)| store);
+        }
         Store::from_bytes(&data)
+    }
+
+    // ------------------------------------------------------------------
+    // Segmented (crash-consistent) layout
+    // ------------------------------------------------------------------
+
+    /// Opens a segmented writer at `path`, truncating any existing file
+    /// and writing the `EVSG` header. Frames appended afterwards are
+    /// flushed individually, so killing the process at any point leaves a
+    /// salvageable prefix.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn open_segmented(path: impl AsRef<Path>) -> Result<SegmentedWriter, DbError> {
+        let mut file = fs::File::create(path)?;
+        file.write_all(SEG_MAGIC)?;
+        file.write_all(&[SEG_VERSION])?;
+        file.flush()?;
+        Ok(SegmentedWriter { file })
+    }
+
+    /// Parses a segmented recording *strictly*: a torn tail is an error.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::Corrupt`] on a bad header;
+    /// [`DbError::TruncatedFrame`] when the data ends in a torn frame.
+    pub fn from_segmented_bytes(data: &[u8]) -> Result<Store, DbError> {
+        let (store, dropped, torn) = Store::parse_segmented(data)?;
+        if dropped > 0 {
+            let (table, offset) = torn.expect("dropped bytes imply a torn frame");
+            return Err(DbError::TruncatedFrame { table, offset });
+        }
+        Ok(store)
+    }
+
+    /// Parses a segmented recording, salvaging a torn tail: frames are
+    /// consumed up to the last valid frame boundary and the rest is
+    /// dropped. Returns the store and how many tail bytes were discarded
+    /// (0 for a cleanly finished recording).
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::Corrupt`] only when the header itself is bad — a file
+    /// that never got past `open_segmented` is not a recording at all.
+    pub fn salvage_segmented(data: &[u8]) -> Result<(Store, usize), DbError> {
+        let (store, dropped, _) = Store::parse_segmented(data)?;
+        Ok((store, dropped))
+    }
+
+    /// Walks segmented frames. Returns the store of valid frames (last
+    /// snapshot per tag wins), the count of dropped tail bytes, and the
+    /// torn frame's (tag, offset) when there is one.
+    #[allow(clippy::type_complexity)]
+    fn parse_segmented(data: &[u8]) -> Result<(Store, usize, Option<(String, usize)>), DbError> {
+        if data.len() < SEG_MAGIC.len() + 1 || &data[..4] != SEG_MAGIC {
+            return Err(DbError::Corrupt("bad segmented magic".into()));
+        }
+        let version = data[4];
+        if version != SEG_VERSION {
+            return Err(DbError::Corrupt(format!(
+                "unsupported segmented version {version} (supported: {SEG_VERSION})"
+            )));
+        }
+        let mut store = Store::new();
+        let mut pos = SEG_MAGIC.len() + 1;
+        while pos < data.len() {
+            let frame = &data[pos..];
+            let mut dec = Decoder::new(frame);
+            let tag = match dec.str() {
+                Ok(tag) => tag,
+                Err(_) => {
+                    return Ok((store, data.len() - pos, Some(("?".into(), pos))));
+                }
+            };
+            let blob = match dec.bytes() {
+                Ok(blob) => blob.to_vec(),
+                Err(_) => {
+                    return Ok((store, data.len() - pos, Some((tag, pos))));
+                }
+            };
+            let body_len = frame.len() - dec.remaining();
+            let stored_crc = match dec.u32() {
+                Ok(crc) => crc,
+                Err(_) => {
+                    return Ok((store, data.len() - pos, Some((tag, pos))));
+                }
+            };
+            if stored_crc != crc32(&frame[..body_len]) {
+                // A bad checksum means the kill landed inside this frame's
+                // body; everything before it is still good.
+                return Ok((store, data.len() - pos, Some((tag, pos))));
+            }
+            store.put_section(tag, blob);
+            pos += frame.len() - dec.remaining();
+        }
+        Ok((store, 0, None))
+    }
+
+    fn put_section(&mut self, tag: String, blob: Vec<u8>) {
+        if let Some(slot) = self.sections.iter_mut().find(|(t, _)| *t == tag) {
+            slot.1 = blob;
+        } else {
+            self.sections.push((tag, blob));
+        }
+    }
+}
+
+/// Appends checksummed table frames to a segmented recording as the run
+/// progresses. Each frame is a full-table snapshot, length-prefixed and
+/// CRC-32-protected, flushed on append — see [`Store::open_segmented`].
+#[derive(Debug)]
+pub struct SegmentedWriter {
+    file: fs::File,
+}
+
+impl SegmentedWriter {
+    /// Appends one table snapshot as a frame and flushes it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn append<R: Record>(&mut self, table: &Table<R>) -> Result<(), DbError> {
+        let mut enc = Encoder::new();
+        table.encode(&mut enc);
+        self.append_frame(R::TAG, &enc.into_bytes())
+    }
+
+    /// Appends every section of `store` as a frame (one flush at the end),
+    /// so the recording's salvageable state advances to this snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn append_store(&mut self, store: &Store) -> Result<(), DbError> {
+        for (tag, blob) in &store.sections {
+            self.write_frame(tag, blob)?;
+        }
+        self.file.flush()?;
+        Ok(())
+    }
+
+    fn append_frame(&mut self, tag: &str, blob: &[u8]) -> Result<(), DbError> {
+        self.write_frame(tag, blob)?;
+        self.file.flush()?;
+        Ok(())
+    }
+
+    fn write_frame(&mut self, tag: &str, blob: &[u8]) -> Result<(), DbError> {
+        let mut enc = Encoder::new();
+        enc.str(tag);
+        enc.bytes(blob);
+        let body = enc.into_bytes();
+        let mut frame = body;
+        let crc = crc32(&frame);
+        let mut tail = Encoder::new();
+        tail.u32(crc);
+        frame.extend_from_slice(&tail.into_bytes());
+        self.file.write_all(&frame)?;
+        Ok(())
     }
 }
 
@@ -326,6 +530,114 @@ mod tests {
         sample_store().save(&path).unwrap();
         let s = Store::load(&path).unwrap();
         assert_eq!(s.tags(), vec!["a", "b"]);
+        fs::remove_file(path).unwrap();
+    }
+
+    fn segmented_bytes() -> Vec<u8> {
+        let dir = std::env::temp_dir().join("eventdb-seg-test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("seg-{:x}.evdb", std::process::id()));
+        let mut w = Store::open_segmented(&path).unwrap();
+        let mut ta = Table::new();
+        ta.insert(A(1));
+        w.append(&ta).unwrap();
+        ta.insert(A(2));
+        w.append(&ta).unwrap();
+        let mut tb = Table::new();
+        tb.insert(B("x".into()));
+        w.append(&tb).unwrap();
+        let data = fs::read(&path).unwrap();
+        fs::remove_file(path).unwrap();
+        data
+    }
+
+    #[test]
+    fn segmented_last_snapshot_per_tag_wins() {
+        let data = segmented_bytes();
+        let s = Store::from_segmented_bytes(&data).unwrap();
+        assert_eq!(s.tags(), vec!["a", "b"]);
+        let ta: Table<A> = s.get().unwrap();
+        assert_eq!(ta.len(), 2);
+        let tb: Table<B> = s.get().unwrap();
+        assert_eq!(tb.len(), 1);
+    }
+
+    #[test]
+    fn segmented_torn_tail_salvages_to_last_frame_boundary() {
+        let data = segmented_bytes();
+        // Kill anywhere inside the final frame: the first two A-frames
+        // survive, the B-frame is gone.
+        for cut in 1..12 {
+            let torn = &data[..data.len() - cut];
+            let (s, dropped) = Store::salvage_segmented(torn).unwrap();
+            assert_eq!(s.tags(), vec!["a"], "cut={cut}");
+            let ta: Table<A> = s.get().unwrap();
+            assert_eq!(ta.len(), 2, "cut={cut}");
+            assert!(dropped > 0);
+        }
+        // A clean recording salvages with nothing dropped.
+        let (s, dropped) = Store::salvage_segmented(&data).unwrap();
+        assert_eq!(dropped, 0);
+        assert_eq!(s.tags(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn segmented_strict_parse_reports_truncated_frame() {
+        let data = segmented_bytes();
+        let torn = &data[..data.len() - 2];
+        let err = Store::from_segmented_bytes(torn).unwrap_err();
+        match err {
+            DbError::TruncatedFrame { table, offset } => {
+                assert_eq!(table, "b");
+                assert!(offset > 5);
+                assert!(offset < data.len());
+            }
+            other => panic!("expected TruncatedFrame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn segmented_crc_mismatch_drops_the_frame() {
+        let mut data = segmented_bytes();
+        // Flip a byte in the last frame's body (not the length prefixes at
+        // its very start): the checksum no longer matches.
+        let n = data.len();
+        data[n - 5] ^= 0xff;
+        let (s, dropped) = Store::salvage_segmented(&data).unwrap();
+        assert_eq!(s.tags(), vec!["a"]);
+        assert!(dropped > 0);
+    }
+
+    #[test]
+    fn segmented_header_only_is_a_valid_empty_recording() {
+        let data = [*b"EVSG", [SEG_VERSION, 0, 0, 0]].concat();
+        let (s, dropped) = Store::salvage_segmented(&data[..5]).unwrap();
+        assert!(s.tags().is_empty());
+        assert_eq!(dropped, 0);
+    }
+
+    #[test]
+    fn segmented_bad_header_rejected() {
+        assert!(matches!(
+            Store::salvage_segmented(b"EVSX\x01"),
+            Err(DbError::Corrupt(_))
+        ));
+        assert!(matches!(
+            Store::salvage_segmented(b"EVSG\x09"),
+            Err(DbError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn load_auto_detects_segmented_layout_and_salvages() {
+        let dir = std::env::temp_dir().join("eventdb-seg-test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("load-{:x}.evdb", std::process::id()));
+        let data = segmented_bytes();
+        // Write a torn recording; load must salvage it transparently.
+        fs::write(&path, &data[..data.len() - 3]).unwrap();
+        let s = Store::load(&path).unwrap();
+        assert_eq!(s.tags(), vec!["a"]);
         fs::remove_file(path).unwrap();
     }
 }

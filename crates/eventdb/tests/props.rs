@@ -208,3 +208,109 @@ proptest! {
         }
     }
 }
+
+/// Writes `snapshots` as successive full-table frames of a segmented
+/// recording and returns the file bytes plus the byte offset of every
+/// frame boundary (the salvageable cut points).
+fn segmented_recording(snapshots: &[Vec<Mixed>]) -> (Vec<u8>, Vec<usize>) {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    static SEQ: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join("eventdb-props-seg");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join(format!(
+        "rec-{}-{}.evdb",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let mut writer = Store::open_segmented(&path).expect("open segmented");
+    let mut boundaries = vec![std::fs::metadata(&path).expect("meta").len() as usize];
+    for snapshot in snapshots {
+        let table: Table<Mixed> = snapshot.iter().cloned().collect();
+        writer.append(&table).expect("append frame");
+        boundaries.push(std::fs::metadata(&path).expect("meta").len() as usize);
+    }
+    let data = std::fs::read(&path).expect("read recording");
+    std::fs::remove_file(&path).ok();
+    (data, boundaries)
+}
+
+proptest! {
+    // Crash-salvage round-trip: killing the writer at ANY byte position
+    // must salvage exactly the frames completed before the kill — the
+    // last fully-flushed snapshot, never a torn or reordered one.
+    #[test]
+    fn random_kill_point_salvages_a_valid_frame_prefix(
+        snapshots in proptest::collection::vec(
+            proptest::collection::vec(
+                (any::<u64>(), any::<u32>(), any::<i64>(), any::<u64>(),
+                 any::<bool>(), proptest::option::of(any::<u64>()),
+                 "\\PC{0,12}", proptest::collection::vec(any::<u32>(), 0..4)),
+                0..6,
+            ).prop_map(|rows| rows.into_iter().map(mixed).collect::<Vec<Mixed>>()),
+            1..5,
+        ),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let (data, boundaries) = segmented_recording(&snapshots);
+        let header = boundaries[0];
+        let cut = header + ((data.len() - header) as f64 * cut_frac) as usize;
+        let torn = &data[..cut];
+        let (store, dropped) = Store::salvage_segmented(torn).expect("salvage never fails past the header");
+        // The salvaged prefix ends at the last frame boundary <= cut.
+        let survived = boundaries.iter().filter(|&&b| b <= cut).count() - 1;
+        prop_assert_eq!(dropped, cut - boundaries[survived]);
+        if survived == 0 {
+            prop_assert!(store.get::<Mixed>().is_err(), "no complete frame yet");
+        } else {
+            let table: Table<Mixed> = store.get().expect("salvaged table");
+            let got: Vec<Mixed> = table.iter().cloned().collect();
+            prop_assert_eq!(&got, &snapshots[survived - 1]);
+        }
+        // The strict parser agrees about where the tear is.
+        match Store::from_segmented_bytes(torn) {
+            Ok(_) => prop_assert_eq!(dropped, 0),
+            Err(DbError::TruncatedFrame { offset, .. }) => {
+                prop_assert_eq!(offset, boundaries[survived]);
+            }
+            Err(other) => prop_assert!(false, "unexpected error: {other:?}"),
+        }
+    }
+
+    // An uncut recording loads losslessly: the last snapshot wins and
+    // nothing is dropped.
+    #[test]
+    fn clean_segmented_recording_roundtrips(
+        snapshots in proptest::collection::vec(
+            proptest::collection::vec(
+                (any::<u64>(), any::<u32>(), any::<i64>(), any::<u64>(),
+                 any::<bool>(), proptest::option::of(any::<u64>()),
+                 "\\PC{0,12}", proptest::collection::vec(any::<u32>(), 0..4)),
+                0..6,
+            ).prop_map(|rows| rows.into_iter().map(mixed).collect::<Vec<Mixed>>()),
+            1..5,
+        ),
+    ) {
+        let (data, _) = segmented_recording(&snapshots);
+        let (store, dropped) = Store::salvage_segmented(&data).expect("clean recording");
+        prop_assert_eq!(dropped, 0);
+        let table: Table<Mixed> = store.get().expect("mixed table");
+        let got: Vec<Mixed> = table.iter().cloned().collect();
+        prop_assert_eq!(&got, snapshots.last().expect("at least one snapshot"));
+    }
+
+    // Arbitrary bytes behind a segmented header must never panic the
+    // salvager — at worst everything after the header is dropped.
+    #[test]
+    fn arbitrary_segmented_tails_never_panic(
+        tail in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let mut data = b"EVSG\x01".to_vec();
+        data.extend_from_slice(&tail);
+        if let Ok((store, _)) = Store::salvage_segmented(&data) {
+            for info in store.sections() {
+                let _ = info;
+            }
+            let _ = store.get::<Mixed>();
+        }
+    }
+}

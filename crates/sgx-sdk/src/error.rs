@@ -51,6 +51,19 @@ pub enum SdkError {
         /// Attempts made before giving up.
         attempts: u32,
     },
+    /// The enclave was lost (`SGX_ERROR_ENCLAVE_LOST`): a power transition
+    /// or machine check destroyed its EPC contents. Retrying cannot help —
+    /// the enclave must be destroyed, rebuilt and its state re-established
+    /// (see [`crate::supervisor`]).
+    EnclaveLost(EnclaveId),
+    /// The supervisor's restart budget (circuit breaker) was exhausted
+    /// while recovering from repeated enclave losses.
+    RecoveryExhausted {
+        /// The enclave that kept getting lost.
+        enclave: EnclaveId,
+        /// Restarts attempted before giving up.
+        restarts: u32,
+    },
 }
 
 impl fmt::Display for SdkError {
@@ -87,6 +100,13 @@ impl fmt::Display for SdkError {
                 f,
                 "injected fault on `{call}`: gave up after {attempts} attempt(s)"
             ),
+            SdkError::EnclaveLost(eid) => {
+                write!(f, "{eid} lost (SGX_ERROR_ENCLAVE_LOST): rebuild required")
+            }
+            SdkError::RecoveryExhausted { enclave, restarts } => write!(
+                f,
+                "recovery of {enclave} abandoned after {restarts} restart(s): circuit breaker open"
+            ),
         }
     }
 }
@@ -102,7 +122,12 @@ impl std::error::Error for SdkError {
 
 impl From<SimError> for SdkError {
     fn from(e: SimError) -> Self {
-        SdkError::Sim(e)
+        match e {
+            // A lost enclave is an application-visible condition with its
+            // own SGX error code, not a generic hardware failure.
+            SimError::EnclaveLost(eid) => SdkError::EnclaveLost(eid),
+            other => SdkError::Sim(other),
+        }
     }
 }
 
@@ -125,5 +150,12 @@ mod tests {
     fn sim_error_converts() {
         let e: SdkError = SimError::UnknownEnclave(EnclaveId(3)).into();
         assert!(matches!(e, SdkError::Sim(_)));
+    }
+
+    #[test]
+    fn enclave_lost_maps_to_its_own_variant() {
+        let e: SdkError = SimError::EnclaveLost(EnclaveId(7)).into();
+        assert_eq!(e, SdkError::EnclaveLost(EnclaveId(7)));
+        assert!(e.to_string().contains("ENCLAVE_LOST"));
     }
 }

@@ -49,6 +49,7 @@ pub mod loader;
 pub mod ocall;
 pub mod runtime;
 pub mod signals;
+pub mod supervisor;
 pub mod switchless;
 pub mod sync;
 pub mod thread_ctx;
@@ -60,6 +61,7 @@ pub use error::{SdkError, SdkResult};
 pub use loader::{EcallDispatcher, Loader};
 pub use ocall::{HostCtx, OcallTable, OcallTableBuilder};
 pub use runtime::Runtime;
+pub use supervisor::{IdempotencyPolicy, Supervisor, SupervisorConfig};
 pub use switchless::{Switchless, SwitchlessConfig, SwitchlessEvent, SwitchlessEventKind};
 pub use sync::{SgxCondvar, SgxHybridMutex, SgxThreadMutex};
 pub use thread_ctx::ThreadCtx;

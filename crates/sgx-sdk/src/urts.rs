@@ -167,6 +167,10 @@ impl EcallDispatcher for Urts {
         }
 
         let body = enclave.ecall_impl(index)?;
+        // The EENTER gate: a lost enclave (or one an armed fault plan
+        // destroys at this very entry) rejects the call before any
+        // transition cost is charged. Only a supervisor rebuild clears it.
+        self.machine.enter_enclave(eid, tcx.token)?;
         let tcs_index = self.bind_tcs_faulted(&enclave, tcx, index)?;
         enclave.push_frame(tcx.token, Frame::Ecall(index));
 

@@ -77,6 +77,15 @@ pub enum DriverEvent {
         /// Virtual time of destruction.
         time: Nanos,
     },
+    /// An enclave was *lost*: its EPC contents were destroyed by a power
+    /// transition or machine check. The enclave id stays registered, but
+    /// every subsequent EENTER/ERESUME fails until it is rebuilt.
+    EnclaveLost {
+        /// Lost enclave id.
+        enclave: EnclaveId,
+        /// Virtual time of the loss.
+        time: Nanos,
+    },
 }
 
 /// An MMU access fault caused by stripped page permissions.

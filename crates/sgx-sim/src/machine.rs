@@ -9,7 +9,9 @@ use sim_core::fault::{
     FaultAction, FaultEvent, FaultInjector, FaultKind, FaultObserver, FaultPlan,
 };
 use sim_core::sync::Mutex;
-use sim_core::{Clock, CostModel, HwProfile, Nanos};
+use sim_core::{
+    Clock, CostModel, HwProfile, LifecycleEvent, LifecycleObserver, LifecycleStage, Nanos,
+};
 
 use crate::epc::{Epc, EvictionPolicy, DEFAULT_EPC_PAGES};
 use crate::events::{AexCause, AexEvent, DriverEvent, MmuFault, PagingDirection};
@@ -107,6 +109,11 @@ pub enum SimError {
         /// The faulting page index.
         page: usize,
     },
+    /// The enclave was *lost*: its EPC contents were destroyed by a power
+    /// transition or machine check. The id stays registered (so the error
+    /// is distinguishable from [`SimError::UnknownEnclave`]) but every
+    /// EENTER/ERESUME fails until a supervisor rebuilds it.
+    EnclaveLost(EnclaveId),
 }
 
 impl fmt::Display for SimError {
@@ -140,6 +147,10 @@ impl fmt::Display for SimError {
             SimError::UnhandledMmuFault { enclave, page } => write!(
                 f,
                 "access fault on page {page} of {enclave} with no fault handler installed"
+            ),
+            SimError::EnclaveLost(eid) => write!(
+                f,
+                "{eid} lost: EPC contents destroyed by power transition or machine check"
             ),
         }
     }
@@ -233,6 +244,12 @@ struct EnclaveState {
     pages: Vec<PageState>,
     base: u64,
     debug: bool,
+    /// The enclave's EPC contents were destroyed; every entry fails until
+    /// a supervisor destroys and rebuilds it.
+    lost: bool,
+    /// An armed `epc_poison` fired at an earlier entry: the *next* EENTER
+    /// finds the enclave lost.
+    poisoned: bool,
 }
 
 struct Inner {
@@ -251,6 +268,7 @@ struct Hooks {
     aep: Option<AepObserver>,
     mmu_fault: Option<FaultHandler>,
     fault_obs: Option<FaultObserver>,
+    lifecycle: Option<LifecycleObserver>,
 }
 
 /// A simulated SGX-capable machine: shared virtual clock, one EPC, any
@@ -397,6 +415,8 @@ impl Machine {
                     pages,
                     base,
                     debug: config.debug,
+                    lost: false,
+                    poisoned: false,
                 },
             );
             events.push(DriverEvent::EnclaveCreated {
@@ -566,6 +586,22 @@ impl Machine {
         }
     }
 
+    /// Registers the enclave-lifecycle observer (the logger's hook): it
+    /// runs on every loss and on every supervisor recovery stage.
+    pub fn set_lifecycle_observer(&self, observer: Option<LifecycleObserver>) {
+        self.hooks.lock().lifecycle = observer;
+    }
+
+    /// Reports an enclave-lifecycle event to the observer. Called by the
+    /// machine when an enclave is lost and by the SDK supervisor for the
+    /// rebuild/replay/retry/recovered stages.
+    pub fn notify_lifecycle(&self, event: &LifecycleEvent) {
+        let observer = self.hooks.lock().lifecycle.clone();
+        if let Some(observer) = observer {
+            observer(event);
+        }
+    }
+
     /// Strips all MMU permissions from every accessible page of the
     /// enclave. Subsequent accesses fault into the registered handler.
     pub fn strip_mmu_perms(&self, eid: EnclaveId) -> Result<usize, SimError> {
@@ -602,6 +638,115 @@ impl Machine {
     // Execution
     // ------------------------------------------------------------------
 
+    /// One EENTER: the entry gate every ecall dispatch passes through
+    /// before any transition cost is charged.
+    ///
+    /// Checks that the enclave is not lost, applies a pending
+    /// `epc_poison` (the previous poll's poison destroys the enclave
+    /// *now*, before this entry), and polls the fault injector's entry
+    /// site — a due `enclave_lost` fails this very entry, a due
+    /// `epc_poison` lets it proceed but dooms the next one.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::EnclaveLost`] when the enclave is (or just became)
+    /// lost; [`SimError::UnknownEnclave`] when it never existed.
+    pub fn enter_enclave(&self, eid: EnclaveId, thread: ThreadToken) -> Result<(), SimError> {
+        let pending_poison = {
+            let inner = self.inner.lock();
+            let st = Self::state(&inner, eid)?;
+            if st.lost {
+                return Err(SimError::EnclaveLost(eid));
+            }
+            st.poisoned
+        };
+        if pending_poison {
+            self.mark_lost(eid, thread, FaultKind::EpcPoison.code());
+            return Err(SimError::EnclaveLost(eid));
+        }
+        if let Some(inj) = self.fault_injector() {
+            let due = inj.on_eenter(self.clock.now());
+            if due.poison {
+                // The poisoning entry itself still succeeds; the damage
+                // surfaces at the next EENTER.
+                let mut inner = self.inner.lock();
+                if let Ok(st) = Self::state_mut(&mut inner, eid) {
+                    st.poisoned = true;
+                }
+                drop(inner);
+                self.notify_fault(&FaultEvent {
+                    code: FaultKind::EpcPoison.code(),
+                    action: FaultAction::Injected,
+                    enclave: eid.0,
+                    thread: thread.0 as u64,
+                    call_index: None,
+                    magnitude: 0,
+                    time: self.clock.now(),
+                });
+            }
+            if due.lost {
+                self.mark_lost(eid, thread, FaultKind::EnclaveLost.code());
+                return Err(SimError::EnclaveLost(eid));
+            }
+        }
+        Ok(())
+    }
+
+    /// Destroys the enclave's EPC contents in place: every resident page is
+    /// dropped (silently — there is no EWB for vanished contents, so no
+    /// paging events), the enclave is flagged lost, and the loss is
+    /// reported through the driver, fault and lifecycle channels. The id
+    /// stays registered so subsequent entries fail with
+    /// [`SimError::EnclaveLost`] until a supervisor rebuilds the enclave.
+    fn mark_lost(&self, eid: EnclaveId, thread: ThreadToken, fault_code: u8) {
+        {
+            let mut inner = self.inner.lock();
+            let Ok(st) = Self::state_mut(&mut inner, eid) else {
+                return;
+            };
+            if st.lost {
+                return;
+            }
+            st.lost = true;
+            st.poisoned = false;
+            for page in st.pages.iter_mut() {
+                page.resident = false;
+            }
+            let total = st.layout.total_pages();
+            for index in 0..total {
+                inner.epc.remove((eid, index));
+            }
+        }
+        let now = self.clock.now();
+        self.emit_driver_events(&[DriverEvent::EnclaveLost {
+            enclave: eid,
+            time: now,
+        }]);
+        self.notify_fault(&FaultEvent {
+            code: fault_code,
+            action: FaultAction::Injected,
+            enclave: eid.0,
+            thread: thread.0 as u64,
+            call_index: None,
+            magnitude: 0,
+            time: now,
+        });
+        self.notify_lifecycle(&LifecycleEvent {
+            stage: LifecycleStage::Lost,
+            enclave: eid.0,
+            thread: thread.0 as u64,
+            attempt: 0,
+            magnitude: 0,
+            time: now,
+        });
+    }
+
+    /// Whether the enclave is currently lost.
+    pub fn is_lost(&self, eid: EnclaveId) -> Result<bool, SimError> {
+        let inner = self.inner.lock();
+        Ok(Self::state(&inner, eid)?.lost)
+    }
+
     /// Runs `dur` of in-enclave computation, injecting a timer-interrupt
     /// AEX each time the virtual clock crosses a timer quantum boundary.
     /// Returns the number of AEXs taken.
@@ -613,11 +758,23 @@ impl Machine {
     ) -> Result<u64, SimError> {
         {
             let inner = self.inner.lock();
-            Self::state(&inner, eid)?;
+            let st = Self::state(&inner, eid)?;
+            if st.lost {
+                return Err(SimError::EnclaveLost(eid));
+            }
         }
         let mut aex_count = 0;
         if let Some(inj) = self.fault_injector() {
             let faults = inj.on_enclave_exec(self.clock.now());
+            if faults.lost {
+                // A time-triggered loss lands mid-execution: the thread is
+                // unwound with an AEX-style exit whose ERESUME never
+                // happens — charge only the exit, skip the AEP observer
+                // (there is no enclave left to resume into).
+                self.clock.advance(self.cost.aex_exit);
+                self.mark_lost(eid, thread, FaultKind::EnclaveLost.code());
+                return Err(SimError::EnclaveLost(eid));
+            }
             if let Some(burst) = faults.aex_storm {
                 self.notify_fault(&FaultEvent {
                     code: FaultKind::AexStorm { count: burst }.code(),
@@ -699,6 +856,9 @@ impl Machine {
         let (needs_mmu_fault, vaddr) = {
             let mut inner = self.inner.lock();
             let st = Self::state_mut(&mut inner, eid)?;
+            if st.lost {
+                return Err(SimError::EnclaveLost(eid));
+            }
             let total = st.layout.total_pages();
             if index >= total {
                 return Err(SimError::PageOutOfRange {
@@ -898,6 +1058,9 @@ impl Machine {
             let (faulted, events) = {
                 let mut inner = self.inner.lock();
                 let st = Self::state(&inner, eid)?;
+                if st.lost {
+                    return Err(SimError::EnclaveLost(eid));
+                }
                 let total = st.layout.total_pages();
                 if index >= total {
                     return Err(SimError::PageOutOfRange {
@@ -1424,6 +1587,100 @@ mod tests {
             })
             .unwrap();
         assert!(!v2.aex_cause_visible(release));
+    }
+
+    #[test]
+    fn call_triggered_loss_fails_the_entry_and_drops_pages() {
+        use sim_core::fault::FaultPlan;
+        let m = machine();
+        let eid = m.create_enclave(&EnclaveConfig::default()).unwrap();
+        let plan: FaultPlan = "enclave_lost@call=2;seed=7".parse().unwrap();
+        m.set_fault_plan(Some(&plan));
+        let lost_seen = Arc::new(AtomicUsize::new(0));
+        let l2 = Arc::clone(&lost_seen);
+        m.add_driver_hook(Arc::new(move |ev| {
+            if matches!(ev, DriverEvent::EnclaveLost { .. }) {
+                l2.fetch_add(1, Ordering::SeqCst);
+            }
+        }));
+        let stages = Arc::new(Mutex::new(Vec::new()));
+        let s2 = Arc::clone(&stages);
+        m.set_lifecycle_observer(Some(Arc::new(move |ev: &LifecycleEvent| {
+            s2.lock().push(ev.stage);
+        })));
+        // First entry survives; second is the loss.
+        m.enter_enclave(eid, ThreadToken::MAIN).unwrap();
+        let err = m.enter_enclave(eid, ThreadToken::MAIN).unwrap_err();
+        assert_eq!(err, SimError::EnclaveLost(eid));
+        assert_eq!(lost_seen.load(Ordering::SeqCst), 1);
+        assert_eq!(stages.lock().as_slice(), &[LifecycleStage::Lost]);
+        // Pages are gone; the id stays registered but everything fails.
+        let info = m.enclave_info(eid).unwrap();
+        assert_eq!(info.resident_pages, 0);
+        assert!(m.is_lost(eid).unwrap());
+        assert_eq!(
+            m.enter_enclave(eid, ThreadToken::MAIN),
+            Err(SimError::EnclaveLost(eid))
+        );
+        assert_eq!(
+            m.execute_in_enclave(eid, ThreadToken::MAIN, Nanos::from_micros(1)),
+            Err(SimError::EnclaveLost(eid))
+        );
+        let heap = m.heap_range(eid).unwrap();
+        assert_eq!(
+            m.touch(eid, ThreadToken::MAIN, heap.clone(), AccessKind::Read),
+            Err(SimError::EnclaveLost(eid))
+        );
+        assert_eq!(m.prefetch(eid, heap), Err(SimError::EnclaveLost(eid)));
+        // A supervisor can still destroy and rebuild it.
+        m.destroy_enclave(eid).unwrap();
+        let eid2 = m.create_enclave(&EnclaveConfig::default()).unwrap();
+        m.enter_enclave(eid2, ThreadToken::MAIN).unwrap();
+    }
+
+    #[test]
+    fn time_triggered_loss_unwinds_mid_execution_without_eresume() {
+        use sim_core::fault::FaultPlan;
+        let m = machine();
+        let eid = m.create_enclave(&EnclaveConfig::default()).unwrap();
+        let plan: FaultPlan = "enclave_lost@t=1us;seed=1".parse().unwrap();
+        m.set_fault_plan(Some(&plan));
+        let aep_hits = Arc::new(AtomicUsize::new(0));
+        let a2 = Arc::clone(&aep_hits);
+        m.set_aep_observer(Some(Arc::new(move |_: &AexEvent| {
+            a2.fetch_add(1, Ordering::SeqCst);
+        })));
+        m.clock().advance(Nanos::from_micros(2));
+        let before = m.clock().now();
+        let err = m
+            .execute_in_enclave(eid, ThreadToken::MAIN, Nanos::from_micros(100))
+            .unwrap_err();
+        assert_eq!(err, SimError::EnclaveLost(eid));
+        // AEX-style exit: the exit cost is charged but the AEP observer
+        // never runs and no ERESUME is charged.
+        assert_eq!(m.clock().now() - before, m.cost_model().aex_exit);
+        assert_eq!(aep_hits.load(Ordering::SeqCst), 0);
+        assert!(m.is_lost(eid).unwrap());
+    }
+
+    #[test]
+    fn epc_poison_defers_the_loss_to_the_next_entry() {
+        use sim_core::fault::FaultPlan;
+        let m = machine();
+        let eid = m.create_enclave(&EnclaveConfig::default()).unwrap();
+        let plan: FaultPlan = "epc_poison@call=1;seed=3".parse().unwrap();
+        m.set_fault_plan(Some(&plan));
+        // The poisoning entry itself succeeds...
+        m.enter_enclave(eid, ThreadToken::MAIN).unwrap();
+        assert!(!m.is_lost(eid).unwrap());
+        m.execute_in_enclave(eid, ThreadToken::MAIN, Nanos::from_micros(5))
+            .unwrap();
+        // ...the next one finds the enclave lost.
+        assert_eq!(
+            m.enter_enclave(eid, ThreadToken::MAIN),
+            Err(SimError::EnclaveLost(eid))
+        );
+        assert!(m.is_lost(eid).unwrap());
     }
 
     #[test]

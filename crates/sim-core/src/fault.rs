@@ -87,6 +87,19 @@ pub enum FaultKind {
         /// Failed bind attempts before one succeeds.
         times: u32,
     },
+    /// The enclave is destroyed at the trigger — the simulated analogue of
+    /// a power transition or machine-check wiping the EPC. A `call=`
+    /// trigger (counted per EENTER) fails that very entry; a `t=` trigger
+    /// unwinds in-flight execution with an AEX-style exit whose ERESUME
+    /// never happens. Every subsequent entry fails with `EnclaveLost`
+    /// until the enclave is rebuilt. Not recoverable by retry/backoff —
+    /// only a supervisor that rebuilds the enclave recovers from it.
+    EnclaveLost,
+    /// The EPC backing the enclave is poisoned at the trigger: in-flight
+    /// and currently-entered execution still completes, but the enclave is
+    /// marked lost on its *next* EENTER (the deferred-MCE flavour of
+    /// [`FaultKind::EnclaveLost`]).
+    EpcPoison,
 }
 
 impl FaultKind {
@@ -102,6 +115,8 @@ impl FaultKind {
             FaultKind::WorkerStall { .. } => 5,
             FaultKind::RingFull { .. } => 6,
             FaultKind::TcsExhaust { .. } => 7,
+            FaultKind::EnclaveLost => 8,
+            FaultKind::EpcPoison => 9,
         }
     }
 
@@ -125,6 +140,8 @@ pub fn kind_label(code: u8) -> &'static str {
         5 => "worker-stall",
         6 => "ring-full",
         7 => "tcs-exhaust",
+        8 => "enclave_lost",
+        9 => "epc_poison",
         _ => "?",
     }
 }
@@ -342,6 +359,8 @@ impl FaultPlan {
     /// | `worker-stall`  | `delay` (500us)                   |
     /// | `ring-full`     | `calls` (4)                       |
     /// | `tcs-exhaust`   | `times` (1)                       |
+    /// | `enclave_lost`  | —                                 |
+    /// | `epc_poison`    | —                                 |
     ///
     /// Example: `seed=7;aex-storm@call=3:count=6;ocall-timeout@call=2:delay=40us,times=2`.
     ///
@@ -415,6 +434,8 @@ impl FaultPlan {
                 "tcs-exhaust" => FaultKind::TcsExhaust {
                     times: params.count("times", 1)?,
                 },
+                "enclave_lost" => FaultKind::EnclaveLost,
+                "epc_poison" => FaultKind::EpcPoison,
                 other => return spec_err(format!("unknown fault kind `{other}`")),
             };
             params.finish()?;
@@ -457,6 +478,7 @@ impl fmt::Display for Fault {
             FaultKind::WorkerStall { delay } => write!(f, ":delay={}", fmt_duration(delay)),
             FaultKind::RingFull { calls } => write!(f, ":calls={calls}"),
             FaultKind::TcsExhaust { times } => write!(f, ":times={times}"),
+            FaultKind::EnclaveLost | FaultKind::EpcPoison => Ok(()),
         }
     }
 }
@@ -509,6 +531,20 @@ pub struct ExecFaults {
     pub aex_storm: Option<u32>,
     /// Forcibly evict the enclave's resident EPC pages.
     pub evict_storm: bool,
+    /// The enclave is destroyed mid-execution (time-triggered
+    /// [`FaultKind::EnclaveLost`]): unwind with an AEX-style exit whose
+    /// ERESUME never happens and mark the enclave lost.
+    pub lost: bool,
+}
+
+/// Faults due at one enclave-entry (EENTER) site poll.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EnterFaults {
+    /// The enclave is destroyed at this entry: the EENTER itself fails.
+    pub lost: bool,
+    /// The EPC is poisoned from this entry on: this entry proceeds, the
+    /// *next* one finds the enclave lost.
+    pub poison: bool,
 }
 
 /// An active paging-cost slowdown.
@@ -552,6 +588,7 @@ struct Armed {
 #[derive(Debug, Default)]
 struct Counters {
     exec: u64,
+    enter: u64,
     ocall: u64,
     worker: u64,
     post: u64,
@@ -662,6 +699,40 @@ impl FaultInjector {
                 FaultKind::EvictStorm => {
                     f.fired = true;
                     out.evict_storm = true;
+                }
+                // Call-triggered loss belongs to the EENTER site (the
+                // failing entry is the observable event); only a time
+                // trigger can destroy an enclave mid-execution.
+                FaultKind::EnclaveLost if matches!(f.trigger, FaultTrigger::AtTime(_)) => {
+                    f.fired = true;
+                    out.lost = true;
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// Polls the enclave-entry site (one poll per EENTER, i.e. per
+    /// synchronous ecall dispatch). Counts as one `call=` unit for the
+    /// enclave-loss triggers.
+    pub fn on_eenter(&self, now: Nanos) -> EnterFaults {
+        let mut st = self.state.lock();
+        st.counters.enter += 1;
+        let at = st.counters.enter;
+        let mut out = EnterFaults::default();
+        for f in &mut st.armed {
+            if f.fired || !due(f.trigger, at, now) {
+                continue;
+            }
+            match f.kind {
+                FaultKind::EnclaveLost => {
+                    f.fired = true;
+                    out.lost = true;
+                }
+                FaultKind::EpcPoison => {
+                    f.fired = true;
+                    out.poison = true;
                 }
                 _ => {}
             }
@@ -796,7 +867,8 @@ mod tests {
 
     const SPEC: &str = "seed=7;aex-storm@call=3:count=6;evict-storm@t=2ms;\
                         paging-slow@t=1ms:factor=4,dur=500us;ocall-timeout@call=2:delay=40us,times=2;\
-                        worker-stall@call=1:delay=200us;ring-full@call=2:calls=3;tcs-exhaust@call=1:times=2";
+                        worker-stall@call=1:delay=200us;ring-full@call=2:calls=3;tcs-exhaust@call=1:times=2;\
+                        enclave_lost@call=9;epc_poison@t=4ms";
 
     #[test]
     fn parse_then_display_is_canonical_and_stable() {
@@ -806,7 +878,7 @@ mod tests {
         assert_eq!(plan, reparsed);
         assert_eq!(canon, reparsed.to_string(), "Display must be a fixpoint");
         assert_eq!(plan.seed, 7);
-        assert_eq!(plan.faults.len(), 7);
+        assert_eq!(plan.faults.len(), 9);
     }
 
     #[test]
@@ -830,6 +902,8 @@ mod tests {
             "ocall-timeout@call=1:delay=4x", // bad duration
             "seed=banana",                   // bad seed
             "aex-storm@t=",                  // empty duration
+            "enclave_lost@call=1:times=2",   // takes no params
+            "epc_poison@t=1ms:count=1",      // takes no params
         ] {
             assert!(FaultPlan::parse(bad).is_err(), "`{bad}` must not parse");
         }
@@ -851,6 +925,7 @@ mod tests {
         for i in 0..100 {
             let now = Nanos::from_micros(i);
             assert_eq!(inj.on_enclave_exec(now), ExecFaults::default());
+            assert_eq!(inj.on_eenter(now), EnterFaults::default());
             assert!(inj.paging_slowdown(now).is_none());
             assert!(inj.take_ocall_fault(now).is_none());
             assert!(inj.take_worker_stall(now).is_none());
@@ -921,6 +996,43 @@ mod tests {
     }
 
     #[test]
+    fn enclave_lost_call_trigger_fires_on_the_nth_entry_once() {
+        let inj = FaultInjector::new(&FaultPlan::parse("enclave_lost@call=3").unwrap());
+        let now = Nanos::from_nanos(0);
+        assert_eq!(inj.on_eenter(now), EnterFaults::default());
+        assert_eq!(inj.on_eenter(now), EnterFaults::default());
+        let hit = inj.on_eenter(now);
+        assert!(hit.lost && !hit.poison);
+        assert_eq!(inj.on_eenter(now), EnterFaults::default(), "one-shot");
+        // Exec-site polls never consume a call-triggered loss.
+        assert!(!inj.on_enclave_exec(now).lost);
+    }
+
+    #[test]
+    fn time_triggered_loss_unwinds_at_the_first_site_past_t() {
+        let plan = FaultPlan::parse("enclave_lost@t=5us").unwrap();
+        let inj = FaultInjector::new(&plan);
+        assert!(!inj.on_enclave_exec(Nanos::from_micros(4)).lost);
+        assert!(inj.on_enclave_exec(Nanos::from_micros(6)).lost);
+        assert!(!inj.on_enclave_exec(Nanos::from_micros(7)).lost, "one-shot");
+        // An idle enclave takes the same fault at its next entry instead.
+        let inj = FaultInjector::new(&plan);
+        assert!(!inj.on_eenter(Nanos::from_micros(4)).lost);
+        assert!(inj.on_eenter(Nanos::from_micros(6)).lost);
+    }
+
+    #[test]
+    fn epc_poison_fires_only_at_the_entry_site() {
+        let inj = FaultInjector::new(&FaultPlan::parse("epc_poison@call=2").unwrap());
+        let now = Nanos::from_nanos(0);
+        assert!(!inj.on_enclave_exec(now).lost);
+        assert_eq!(inj.on_eenter(now), EnterFaults::default());
+        let hit = inj.on_eenter(now);
+        assert!(hit.poison && !hit.lost);
+        assert_eq!(inj.on_eenter(now), EnterFaults::default());
+    }
+
+    #[test]
     fn same_plan_arms_identical_injectors() {
         let plan = FaultPlan::parse(SPEC).unwrap();
         let a = FaultInjector::new(&plan);
@@ -928,6 +1040,7 @@ mod tests {
         for i in 0..50u64 {
             let now = Nanos::from_micros(i * 100);
             assert_eq!(a.on_enclave_exec(now), b.on_enclave_exec(now));
+            assert_eq!(a.on_eenter(now), b.on_eenter(now));
             assert_eq!(a.paging_slowdown(now), b.paging_slowdown(now));
             assert_eq!(a.take_ocall_fault(now), b.take_ocall_fault(now));
             assert_eq!(a.take_worker_stall(now), b.take_worker_stall(now));

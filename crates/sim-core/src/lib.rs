@@ -28,6 +28,7 @@
 pub mod clock;
 pub mod fault;
 pub mod hw;
+pub mod lifecycle;
 pub mod rng;
 pub mod sync;
 pub mod time;
@@ -35,4 +36,5 @@ pub mod time;
 pub use clock::Clock;
 pub use fault::{FaultAction, FaultEvent, FaultInjector, FaultObserver, FaultPlan};
 pub use hw::{CostModel, HwProfile};
+pub use lifecycle::{LifecycleEvent, LifecycleObserver, LifecycleStage};
 pub use time::{Cycles, Nanos};

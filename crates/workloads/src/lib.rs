@@ -15,9 +15,12 @@
 //!   phase (§5.2.4, Figures 7 and 8),
 //!
 //! plus [`antipatterns`] — one micro-workload per Table 1 problem class,
-//! used to validate the analyzer's detectors — and [`switchless_loop`] — a
+//! used to validate the analyzer's detectors — [`switchless_loop`] — a
 //! request server whose hot short ocalls the analyzer recommends serving
-//! switchlessly, closing the detect → apply → re-measure loop.
+//! switchlessly, closing the detect → apply → re-measure loop — and
+//! [`supervisor_loop`] — a stateful server that loses its enclave mid-run
+//! and recovers under the SDK supervisor with the same application-level
+//! checksum.
 //!
 //! Each workload supports the three execution variants of Figure 6
 //! ([`Variant`]): native (no enclave), enclavised, and optimised per the
@@ -31,6 +34,7 @@ pub mod glamdring;
 pub mod harness;
 pub mod securekeeper;
 pub mod sqlitedb;
+pub mod supervisor_loop;
 pub mod switchless_loop;
 pub mod talos;
 
