@@ -27,6 +27,8 @@ pub enum Problem {
     Interface,
     /// Enclave-lost recovery cost (supervisor restarts, warm-up replay).
     Recovery,
+    /// Concurrency hazard found by the race analyses (`sgxperf races`).
+    Concurrency,
 }
 
 impl fmt::Display for Problem {
@@ -39,6 +41,7 @@ impl fmt::Display for Problem {
             Problem::Paging => "EPC paging",
             Problem::Interface => "permissive enclave interface",
             Problem::Recovery => "enclave-lost recovery cost",
+            Problem::Concurrency => "concurrency hazard",
         })
     }
 }
@@ -97,6 +100,26 @@ pub enum Recommendation {
     /// enclave loss (e.g. seal state instead of recomputing it): replay
     /// dominates the mean time to recovery.
     ReduceRecoveryState,
+    /// Guard every access to a shared cell with one lock (or order the
+    /// accesses through spawn/join): the happens-before analysis found a
+    /// data race.
+    FixDataRace {
+        /// The racing shared cell.
+        cell: String,
+    },
+    /// Impose a global lock-acquisition order: the lock-order graph has a
+    /// cycle (potential deadlock).
+    FixLockOrder {
+        /// The locks along the cycle.
+        cycle: Vec<String>,
+    },
+    /// Release the lock before the ocall (or move the ocall out of the
+    /// critical section): holding it across the boundary invites §3.4
+    /// re-entrancy deadlocks.
+    AvoidLockAcrossOcall {
+        /// The ocall crossed while holding a lock.
+        ocall: String,
+    },
 }
 
 impl fmt::Display for Recommendation {
@@ -149,6 +172,21 @@ impl fmt::Display for Recommendation {
                 "reduce the state replayed after an enclave loss (seal state instead of \
                  recomputing it in warm-up hooks)",
             ),
+            Recommendation::FixDataRace { cell } => write!(
+                f,
+                "guard every access to `{cell}` with one mutex, or order the accesses with \
+                 thread spawn/join"
+            ),
+            Recommendation::FixLockOrder { cycle } => write!(
+                f,
+                "impose a global acquisition order on locks: {}",
+                cycle.join(", ")
+            ),
+            Recommendation::AvoidLockAcrossOcall { ocall } => write!(
+                f,
+                "release the lock before `{ocall}`, or move the ocall out of the critical \
+                 section"
+            ),
         }
     }
 }
@@ -186,6 +224,7 @@ impl fmt::Display for Detection {
     }
 }
 
+const PRIO_CORRECTNESS: Priority = 1;
 const PRIO_REORDER: Priority = 1;
 const PRIO_SWITCHLESS: Priority = 2;
 const PRIO_BATCH_MERGE: Priority = 2;
@@ -210,6 +249,7 @@ pub fn detect_all(
     out.extend(detect_ssc(analyzer, instances));
     out.extend(detect_paging(analyzer));
     out.extend(detect_recovery(analyzer));
+    out.extend(detect_concurrency(analyzer));
     out
 }
 
@@ -630,6 +670,53 @@ fn detect_recovery(analyzer: &Analyzer<'_>) -> Vec<Detection> {
     }]
 }
 
+/// Concurrency hazards from the race analyses (`sgxperf races`): data
+/// races, lock-order cycles and locks held across ocalls surface in the
+/// regular report too, at the highest priority — a correctness bug
+/// trumps any performance tuning. Runs only when the trace carries a
+/// sync-event table (recording with `track_syncev` opted in).
+fn detect_concurrency(analyzer: &Analyzer<'_>) -> Vec<Detection> {
+    use super::races::{self, RaceKind};
+    let trace = analyzer.trace();
+    if trace.syncev.is_empty() {
+        return Vec::new();
+    }
+    // No single ecall/ocall owns a sync finding; anchor on the first
+    // observed enclave (the Paging/Recovery precedent for whole-enclave
+    // findings).
+    let enclave = trace.enclaves.iter().map(|e| e.enclave).next().unwrap_or(0);
+    let target = CallRef {
+        enclave,
+        kind: CallKind::Ecall,
+        index: 0,
+    };
+    races::analyze(trace)
+        .findings
+        .into_iter()
+        .map(|f| {
+            let recommendation = match &f.kind {
+                RaceKind::DataRace { cell, .. } | RaceKind::LocksetSuspicion { cell, .. } => {
+                    Recommendation::FixDataRace { cell: cell.clone() }
+                }
+                RaceKind::LockOrderCycle { cycle, .. } => Recommendation::FixLockOrder {
+                    cycle: cycle.clone(),
+                },
+                RaceKind::LockAcrossOcall { ocall, .. } => Recommendation::AvoidLockAcrossOcall {
+                    ocall: ocall.clone(),
+                },
+            };
+            Detection {
+                target,
+                name: format!("enclave{enclave}"),
+                problem: Problem::Concurrency,
+                recommendation,
+                evidence: format!("{}: {}", f.code, f.message),
+                priority: PRIO_CORRECTNESS,
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -975,6 +1062,39 @@ mod tests {
         lifecycle(&mut quiet, 4, 1, 100_000, 101_000);
         let a = analyzer(&quiet);
         assert!(detect_recovery(&a).is_empty());
+    }
+
+    /// A trace with racy sync events surfaces a top-priority concurrency
+    /// detection; a sync-free trace does not run the analysis at all.
+    #[test]
+    fn concurrency_hazards_surface_in_detections() {
+        use crate::events::SyncEvRow;
+        use sim_core::syncev::SyncOp;
+
+        let mut trace = TraceDb::default();
+        assert!(detect_concurrency(&analyzer(&trace)).is_empty());
+        for thread in [0u64, 1] {
+            trace.syncev.insert(SyncEvRow {
+                thread,
+                op: SyncOp::SharedWrite.code(),
+                object: Some(7),
+                target: None,
+                aux: 0,
+                label: "counter".into(),
+                time_ns: thread * 100,
+            });
+        }
+        let a = analyzer(&trace);
+        let detections = detect_concurrency(&a);
+        assert_eq!(detections.len(), 1, "{detections:?}");
+        let d = &detections[0];
+        assert_eq!(d.problem, Problem::Concurrency);
+        assert_eq!(d.priority, PRIO_CORRECTNESS);
+        assert!(
+            matches!(&d.recommendation, Recommendation::FixDataRace { cell } if cell == "counter"),
+            "{d:?}"
+        );
+        assert!(d.evidence.contains("RACE-E001"), "{}", d.evidence);
     }
 
     /// Below the minimum sample size nothing fires.

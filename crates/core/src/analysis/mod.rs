@@ -13,6 +13,7 @@ pub mod diff;
 pub mod graph;
 pub mod lint;
 pub mod parents;
+pub mod races;
 pub mod report;
 pub mod security;
 pub mod stats;
@@ -26,6 +27,7 @@ pub use detect::{Detection, Priority, Problem, Recommendation};
 pub use diff::{DiffConfig, TraceDiff, Verdict};
 pub use graph::CallGraph;
 pub use parents::{CallInstance, Instances};
+pub use races::{RaceFinding, RaceKind, RaceReport};
 pub use report::Report;
 pub use stats::CallStats;
 

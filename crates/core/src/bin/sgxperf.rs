@@ -11,6 +11,7 @@
 //! sgxperf hist    <trace.evdb> <call-name> [--bins N] [--json]
 //! sgxperf scatter <trace.evdb> <call-name> [--json]
 //! sgxperf info    <trace.evdb>
+//! sgxperf races   <trace.evdb> [--json]
 //! ```
 //!
 //! `lint` runs the static interface analyzer (EDL-W001...) and renders
@@ -24,21 +25,79 @@
 //! no metric regressed past the threshold (default 10%) or 3 on
 //! regression — the perf-gate mode. `export` converts a trace to
 //! `chrome://tracing` JSON or collapsed flamegraph stacks.
+//!
+//! `races` replays the trace's sync-event table (recorded with
+//! `track_syncev`) through happens-before, lockset and lock-order
+//! analyses; exit 3 on error-severity findings (data races, lock-order
+//! cycles), 0 otherwise — the race-gate mode.
 
 use std::process::ExitCode;
 
 use sgx_edl::lint::LintConfig;
 use sgx_perf::analysis::diff::{DiffConfig, TraceDiff};
 use sgx_perf::analysis::lint::lint_interface;
+use sgx_perf::analysis::races;
 use sgx_perf::analysis::stats::{scatter, scatter_csv, scatter_json, Histogram};
 use sgx_perf::{export, Analyzer, TraceDb};
 use sim_core::fault::FaultPlan;
 use sim_core::HwProfile;
 
+/// Every subcommand: (name, argument synopsis, one-line summary). The
+/// usage text is generated from this table, so an unknown-subcommand
+/// error always lists the complete, current set.
+const SUBCOMMANDS: &[(&str, &str, &str)] = &[
+    (
+        "report",
+        "<trace.evdb> [--profile unpatched|spectre|l1tf] [--edl <file.edl>] [--faults <spec>] [--json]",
+        "statistics, detections and recommendations",
+    ),
+    (
+        "lint",
+        "<file.edl> [--trace <trace.evdb>] [--deny <code,...>] [--max-public N] [--large-copy BYTES]",
+        "static interface analysis (exit 1 on denied codes)",
+    ),
+    (
+        "diff",
+        "<a.evdb> <b.evdb> [--threshold PCT] [--min-count N] [--json]",
+        "A/B regression gate (exit 3 on regression)",
+    ),
+    (
+        "export",
+        "<trace.evdb> --format chrome|folded [--profile <p>] [-o <out>]",
+        "chrome://tracing JSON or flamegraph stacks",
+    ),
+    ("dot", "<trace.evdb> [-o <out.dot>]", "call graph in dot format"),
+    (
+        "hist",
+        "<trace.evdb> <call-name> [--bins N] [--json]",
+        "per-call duration histogram",
+    ),
+    (
+        "scatter",
+        "<trace.evdb> <call-name> [--json]",
+        "per-execution duration series",
+    ),
+    ("info", "<trace.evdb>", "table sizes and physical layout"),
+    (
+        "races",
+        "<trace.evdb> [--json]",
+        "race & deadlock analysis (exit 3 on findings)",
+    ),
+];
+
 fn print_usage() {
-    eprintln!(
-        "usage:\n  sgxperf report  <trace.evdb> [--profile unpatched|spectre|l1tf] [--edl <file.edl>] [--faults <spec>] [--json]\n  sgxperf lint    <file.edl> [--trace <trace.evdb>] [--deny <code,...>] [--max-public N] [--large-copy BYTES]\n  sgxperf diff    <a.evdb> <b.evdb> [--threshold PCT] [--min-count N] [--json]\n  sgxperf export  <trace.evdb> --format chrome|folded [--profile <p>] [-o <out>]\n  sgxperf dot     <trace.evdb> [-o <out.dot>]\n  sgxperf hist    <trace.evdb> <call-name> [--bins N] [--json]\n  sgxperf scatter <trace.evdb> <call-name> [--json]\n  sgxperf info    <trace.evdb>\n\nfault specs (--faults): `;`-separated atoms of kind@trigger, where trigger\nis call=N or t=<duration>, plus an optional seed=N clause:\n  aex_storm@call=N|t=D[:count=K]   burst of K AEXs\n  page_thrash@...[:pages=K]        evict K resident pages\n  ocall_delay@...[:ns=K]           delay ocall returns by K ns\n  ocall_fail@...[:times=K]         fail the next K ocalls\n  ocall_timeout@...[:times=K]      time out the next K ocalls\n  tcs_exhaust@...[:times=K]        report all TCSs busy K times\n  clock_skew@...[:factor=K]        multiply charged time by K\n  ring_stall@...[:spins=K]         stall switchless rings for K polls\n  enclave_lost@call=N|t=D          destroy EPC contents (SGX_ERROR_ENCLAVE_LOST)\n  epc_poison@call=N|t=D            poison: enclave is lost at its next EENTER\nexample: --faults 'enclave_lost@call=3;ocall_delay@t=2ms:ns=500;seed=7'"
+    let mut text = String::from("usage:\n");
+    for (name, synopsis, _) in SUBCOMMANDS {
+        text.push_str(&format!("  sgxperf {name:<7} {synopsis}\n"));
+    }
+    text.push_str("\ncommands:\n");
+    for (name, _, summary) in SUBCOMMANDS {
+        text.push_str(&format!("  {name:<8} {summary}\n"));
+    }
+    text.push_str(
+        "\nfault specs (--faults): `;`-separated atoms of kind@trigger, where trigger\nis call=N or t=<duration>, plus an optional seed=N clause:\n  aex_storm@call=N|t=D[:count=K]   burst of K AEXs\n  page_thrash@...[:pages=K]        evict K resident pages\n  ocall_delay@...[:ns=K]           delay ocall returns by K ns\n  ocall_fail@...[:times=K]         fail the next K ocalls\n  ocall_timeout@...[:times=K]      time out the next K ocalls\n  tcs_exhaust@...[:times=K]        report all TCSs busy K times\n  clock_skew@...[:factor=K]        multiply charged time by K\n  ring_stall@...[:spins=K]         stall switchless rings for K polls\n  enclave_lost@call=N|t=D          destroy EPC contents (SGX_ERROR_ENCLAVE_LOST)\n  epc_poison@call=N|t=D            poison: enclave is lost at its next EENTER\nexample: --faults 'enclave_lost@call=3;ocall_delay@t=2ms:ns=500;seed=7'",
     );
+    eprintln!("{text}");
 }
 
 fn usage() -> ExitCode {
@@ -189,6 +248,45 @@ fn run_diff(rest: &[String]) -> Result<ExitCode, String> {
     Ok(ExitCode::from(diff.exit_code()))
 }
 
+/// `sgxperf races` — the race & deadlock gate.
+///
+/// Exit status: 3 when any error-severity finding is present (data races,
+/// lock-order cycles), 0 otherwise — warnings (lockset suspicions, locks
+/// held across ocalls) report but do not gate.
+fn run_races(rest: &[String]) -> Result<ExitCode, String> {
+    let mut json = false;
+    let mut paths: Vec<&String> = Vec::new();
+    for opt in rest {
+        match opt.as_str() {
+            "--json" => json = true,
+            other if other.starts_with('-') => {
+                return Err(format!("unknown races option `{other}`"))
+            }
+            _ => paths.push(opt),
+        }
+    }
+    let [path] = paths[..] else {
+        return Err(format!(
+            "races needs exactly one trace, got {}",
+            paths.len()
+        ));
+    };
+    let trace = TraceDb::load(path).map_err(|e| format!("cannot load {path}: {e}"))?;
+    if trace.syncev.is_empty() {
+        eprintln!(
+            "sgxperf: note: {path} has no sync-event table — record with \
+             LoggerConfig::with_syncev() to enable the race analyses"
+        );
+    }
+    let report = races::analyze(&trace);
+    if json {
+        print!("{}", report.to_json());
+    } else {
+        print!("{}", report.render());
+    }
+    Ok(ExitCode::from(report.exit_code()))
+}
+
 fn run() -> Result<ExitCode, String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (cmd, rest) = args.split_first().ok_or("missing command")?;
@@ -197,6 +295,9 @@ fn run() -> Result<ExitCode, String> {
     }
     if cmd == "diff" {
         return run_diff(rest);
+    }
+    if cmd == "races" {
+        return run_races(rest);
     }
     let (path, opts) = rest.split_first().ok_or("missing trace file")?;
     let trace = TraceDb::load(path).map_err(|e| format!("cannot load {path}: {e}"))?;

@@ -417,6 +417,52 @@ impl Record for LifecycleRow {
     }
 }
 
+/// One synchronisation event (lock/condvar/thread/ring/shared-cell), the
+/// raw material for the `sgxperf races` analyses. Codes mirror
+/// [`SyncOp::code`](sim_core::SyncOp::code).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SyncEvRow {
+    /// Acting logical thread (`u64::MAX` for the external driver).
+    pub thread: u64,
+    /// Operation code ([`SyncOp::code`](sim_core::SyncOp::code)).
+    pub op: u8,
+    /// Synchronisation object id (lock, condvar, ring, cell), if any.
+    pub object: Option<u64>,
+    /// Other thread involved (woken waiter, spawned child, caller), if any.
+    pub target: Option<u64>,
+    /// Operation-specific payload (lock path, mutex id, ring slot).
+    pub aux: u64,
+    /// Human name of the object (shared cells, named locks); empty
+    /// otherwise.
+    pub label: String,
+    /// Time of the event.
+    pub time_ns: u64,
+}
+
+impl Record for SyncEvRow {
+    const TAG: &'static str = "syncev";
+    fn encode(&self, out: &mut Encoder) {
+        out.u64(self.thread);
+        out.u8(self.op);
+        out.option(&self.object, |e, v| e.u64(*v));
+        out.option(&self.target, |e, v| e.u64(*v));
+        out.u64(self.aux);
+        out.str(&self.label);
+        out.u64(self.time_ns);
+    }
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, DbError> {
+        Ok(SyncEvRow {
+            thread: r.u64()?,
+            op: r.u8()?,
+            object: r.option(|r| r.u64())?,
+            target: r.option(|r| r.u64())?,
+            aux: r.u64()?,
+            label: r.str()?,
+            time_ns: r.u64()?,
+        })
+    }
+}
+
 /// One observed enclave (from driver lifecycle events).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EnclaveRow {
@@ -678,6 +724,39 @@ mod tests {
                 attempt: 1,
                 magnitude: 12_345,
                 time_ns: 13_000,
+            },
+        ]);
+    }
+
+    #[test]
+    fn syncev_row_roundtrip() {
+        roundtrip(vec![
+            SyncEvRow {
+                thread: u64::MAX,
+                op: 4, // thread-spawn
+                object: None,
+                target: Some(0),
+                aux: 0,
+                label: "client".into(),
+                time_ns: 100,
+            },
+            SyncEvRow {
+                thread: 0,
+                op: 0, // lock-acquire
+                object: Some(3),
+                target: None,
+                aux: (2 << 8) | 2, // slept twice
+                label: "map_mutex".into(),
+                time_ns: 2_000,
+            },
+            SyncEvRow {
+                thread: 1,
+                op: 9, // shared-write
+                object: Some(5),
+                target: None,
+                aux: 0,
+                label: "counter".into(),
+                time_ns: 3_000,
             },
         ]);
     }

@@ -68,6 +68,7 @@ pub mod trace;
 pub mod wse;
 
 pub use analysis::detect::{Detection, Priority, Problem, Recommendation};
+pub use analysis::races::{RaceFinding, RaceKind, RaceReport};
 pub use analysis::report::Report;
 pub use analysis::stats::CallStats;
 pub use analysis::{Analyzer, Weights};

@@ -23,11 +23,11 @@ use sgx_sdk::{
 use sgx_sim::{AexEvent, DriverEvent, EnclaveId, Machine, PagingDirection};
 use sim_core::fault::FaultEvent;
 use sim_core::sync::Mutex;
-use sim_core::{LifecycleEvent, Nanos};
+use sim_core::{LifecycleEvent, Nanos, SyncEvent};
 
 use crate::events::{
     AexMode, AexRow, CallKind, EcallRow, EnclaveRow, FaultRow, LifecycleRow, OcallRow, PagingRow,
-    SwitchlessRow, SymbolRow, SyncRow,
+    SwitchlessRow, SymbolRow, SyncEvRow, SyncRow,
 };
 use crate::trace::TraceDb;
 
@@ -40,6 +40,12 @@ pub struct LoggerConfig {
     pub trace_paging: bool,
     /// Whether to classify the SDK sync ocalls into sleep/wake events.
     pub track_sync: bool,
+    /// Whether to record raw synchronisation events (lock acquire/release,
+    /// condvar wait/signal, thread spawn/join, ring post/complete, tagged
+    /// shared-cell accesses) for the `sgxperf races` analyses. Off by
+    /// default: traces of un-instrumented runs stay byte-identical to
+    /// pre-races versions.
+    pub track_syncev: bool,
     /// Bookkeeping cost per traced ecall (Table 2: ≈1,366 ns).
     pub ecall_overhead: Nanos,
     /// Bookkeeping cost per traced ocall (Table 2: ≈1,320 ns).
@@ -59,6 +65,10 @@ pub struct LoggerConfig {
     /// retry, recovery). Charged only when an enclave is actually lost, so
     /// loss-free runs cost nothing extra.
     pub lifecycle_overhead: Nanos,
+    /// Bookkeeping cost per recorded synchronisation event (same shape of
+    /// append as switchless events). Charged only when `track_syncev` is
+    /// on.
+    pub syncev_overhead: Nanos,
 }
 
 impl Default for LoggerConfig {
@@ -67,6 +77,7 @@ impl Default for LoggerConfig {
             aex: AexMode::Off,
             trace_paging: true,
             track_sync: true,
+            track_syncev: false,
             ecall_overhead: Nanos::from_nanos(1_366),
             ocall_overhead: Nanos::from_nanos(1_320),
             aex_count_overhead: Nanos::from_nanos(1_076),
@@ -74,6 +85,7 @@ impl Default for LoggerConfig {
             switchless_overhead: Nanos::from_nanos(90),
             fault_overhead: Nanos::from_nanos(90),
             lifecycle_overhead: Nanos::from_nanos(90),
+            syncev_overhead: Nanos::from_nanos(90),
         }
     }
 }
@@ -83,6 +95,15 @@ impl LoggerConfig {
     pub fn with_aex(aex: AexMode) -> LoggerConfig {
         LoggerConfig {
             aex,
+            ..LoggerConfig::default()
+        }
+    }
+
+    /// Convenience: default configuration with raw sync-event recording
+    /// enabled — what a `sgxperf races` recording run uses.
+    pub fn with_syncev() -> LoggerConfig {
+        LoggerConfig {
+            track_syncev: true,
             ..LoggerConfig::default()
         }
     }
@@ -205,6 +226,21 @@ impl Logger {
                 })));
         }
 
+        // Observe the synchronisation bus: lock/condvar/thread/ring/cell
+        // events are the input of the `sgxperf races` analyses. Opt-in so
+        // default recordings stay byte-identical to pre-races versions.
+        if logger.config.track_syncev {
+            let weak = Arc::downgrade(&logger);
+            runtime
+                .machine()
+                .sync_bus()
+                .set_observer(Some(Arc::new(move |ev: &SyncEvent| {
+                    if let Some(logger) = weak.upgrade() {
+                        logger.on_syncev(ev);
+                    }
+                })));
+        }
+
         // Patch the AEP.
         if logger.config.aex != AexMode::Off {
             let weak = Arc::downgrade(&logger);
@@ -227,6 +263,7 @@ impl Logger {
         self.machine.set_aep_observer(None);
         self.machine.set_fault_observer(None);
         self.machine.set_lifecycle_observer(None);
+        self.machine.sync_bus().set_observer(None);
         std::mem::take(&mut self.state.lock().trace)
     }
 
@@ -344,6 +381,23 @@ impl Logger {
             thread: ev.thread,
             attempt: ev.attempt,
             magnitude: ev.magnitude,
+            time_ns: ev.time.as_nanos(),
+        });
+    }
+
+    fn on_syncev(&self, ev: &SyncEvent) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.machine.clock().advance(self.config.syncev_overhead);
+        let mut st = self.state.lock();
+        st.trace.syncev.insert(SyncEvRow {
+            thread: ev.thread,
+            op: ev.op.code(),
+            object: ev.object,
+            target: ev.target,
+            aux: ev.aux,
+            label: ev.label.clone(),
             time_ns: ev.time.as_nanos(),
         });
     }

@@ -6,7 +6,7 @@ use eventdb::{DbError, Record, Store, Table};
 
 use crate::events::{
     AexRow, EcallRow, EnclaveRow, FaultRow, LifecycleRow, OcallRow, PagingRow, SwitchlessRow,
-    SymbolRow, SyncRow,
+    SymbolRow, SyncEvRow, SyncRow,
 };
 
 /// A complete sgx-perf trace: every table the logger records, serialisable
@@ -45,6 +45,9 @@ pub struct TraceDb {
     pub faults: Table<FaultRow>,
     /// Enclave losses and supervisor recovery steps.
     pub lifecycle: Table<LifecycleRow>,
+    /// Synchronisation events (locks, condvars, threads, rings, shared
+    /// cells) for the `sgxperf races` analyses.
+    pub syncev: Table<SyncEvRow>,
 }
 
 /// Reads a table, treating its absence as empty — traces written before the
@@ -84,6 +87,9 @@ impl TraceDb {
         if !self.lifecycle.is_empty() {
             store.put(&self.lifecycle);
         }
+        if !self.syncev.is_empty() {
+            store.put(&self.syncev);
+        }
         store
     }
 
@@ -115,6 +121,7 @@ impl TraceDb {
             switchless: get_or_empty(store)?,
             faults: get_or_empty(store)?,
             lifecycle: get_or_empty(store)?,
+            syncev: get_or_empty(store)?,
         })
     }
 
@@ -263,6 +270,36 @@ mod tests {
         });
         let back = TraceDb::from_bytes(&recovered.to_bytes()).unwrap();
         assert_eq!(back.lifecycle.len(), 1);
+    }
+
+    #[test]
+    fn sync_free_traces_serialise_without_a_syncev_table() {
+        // Byte-compatibility contract: a run with sync-event tracking off
+        // (the default) writes the same store as a pre-races version...
+        let trace = TraceDb::default();
+        let mut old_style = Store::new();
+        old_style.put(&trace.ecalls);
+        old_style.put(&trace.ocalls);
+        old_style.put(&trace.aex);
+        old_style.put(&trace.paging);
+        old_style.put(&trace.sync);
+        old_style.put(&trace.enclaves);
+        old_style.put(&trace.symbols);
+        old_style.put(&trace.switchless);
+        assert_eq!(trace.to_bytes(), old_style.to_bytes());
+        // ...while sync events round-trip once present.
+        let mut synced = TraceDb::default();
+        synced.syncev.insert(SyncEvRow {
+            thread: 0,
+            op: 0,
+            object: Some(1),
+            target: None,
+            aux: 0,
+            label: "m".into(),
+            time_ns: 11,
+        });
+        let back = TraceDb::from_bytes(&synced.to_bytes()).unwrap();
+        assert_eq!(back.syncev.len(), 1);
     }
 
     #[test]

@@ -299,6 +299,94 @@ fn unknown_command_prints_usage() {
     assert!(stderr.contains("usage:"), "{stderr}");
     assert!(stderr.contains("sgxperf report"), "{stderr}");
     assert!(stderr.contains("unknown command `frobnicate`"), "{stderr}");
+    // The usage text is generated from the subcommand table: every
+    // subcommand appears, including the newest.
+    for cmd in [
+        "report", "lint", "diff", "export", "dot", "hist", "scatter", "info", "races",
+    ] {
+        assert!(
+            stderr.contains(&format!("sgxperf {cmd}")),
+            "{cmd}: {stderr}"
+        );
+    }
+}
+
+/// Builds a trace whose sync-event table carries a seeded data race and
+/// lock inversion (the CLI cannot depend on the workloads crate, so the
+/// rows are written directly).
+fn record_racy_trace(tag: &str) -> std::path::PathBuf {
+    use sgx_perf::events::SyncEvRow;
+    use sim_core::syncev::{SyncOp, EXTERNAL_THREAD};
+
+    let mut trace = sgx_perf::TraceDb::default();
+    let mut push = |thread: u64, op: SyncOp, object: Option<u64>, label: &str, time_ns: u64| {
+        trace.syncev.insert(SyncEvRow {
+            thread,
+            op: op.code(),
+            object,
+            target: None,
+            aux: 0,
+            label: label.into(),
+            time_ns,
+        });
+    };
+    // Unordered writes to one cell + opposite-order lock pairs.
+    push(EXTERNAL_THREAD, SyncOp::ThreadSpawn, None, "", 0);
+    push(0, SyncOp::SharedWrite, Some(9), "counter", 100);
+    push(0, SyncOp::LockAcquire, Some(1), "lock_a", 200);
+    push(0, SyncOp::LockAcquire, Some(2), "lock_b", 300);
+    push(0, SyncOp::LockRelease, Some(2), "lock_b", 400);
+    push(0, SyncOp::LockRelease, Some(1), "lock_a", 500);
+    push(1, SyncOp::SharedWrite, Some(9), "counter", 600);
+    push(1, SyncOp::LockAcquire, Some(2), "lock_b", 700);
+    push(1, SyncOp::LockAcquire, Some(1), "lock_a", 800);
+    push(1, SyncOp::LockRelease, Some(1), "lock_a", 900);
+    push(1, SyncOp::LockRelease, Some(2), "lock_b", 1000);
+    let dir = std::env::temp_dir().join("sgxperf-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("{tag}.evdb"));
+    trace.save(&path).unwrap();
+    path
+}
+
+#[test]
+fn races_gates_on_error_findings_exit_three() {
+    let racy = record_racy_trace("races-racy");
+    let (stdout, _, code) = sgxperf_code(&["races", racy.to_str().unwrap()]);
+    assert_eq!(code, 3, "{stdout}");
+    assert!(stdout.contains("error[RACE-E001]"), "{stdout}");
+    assert!(stdout.contains("error[RACE-E003]"), "{stdout}");
+    assert!(stdout.contains("`counter`"), "{stdout}");
+}
+
+#[test]
+fn races_on_sync_free_trace_exits_zero_with_note() {
+    let trace = record_trace("races-clean");
+    let (stdout, stderr, code) = sgxperf_code(&["races", trace.to_str().unwrap()]);
+    assert_eq!(code, 0, "{stdout}");
+    assert!(stdout.contains("0 error(s)"), "{stdout}");
+    assert!(stderr.contains("no sync-event table"), "{stderr}");
+}
+
+#[test]
+fn races_json_is_machine_readable() {
+    let racy = record_racy_trace("races-json");
+    let (stdout, _, code) = sgxperf_code(&["races", racy.to_str().unwrap(), "--json"]);
+    assert_eq!(code, 3, "{stdout}");
+    assert_balanced_json(&stdout);
+    assert!(stdout.contains("\"exit_code\":3"), "{stdout}");
+    assert!(stdout.contains("RACE-E001"), "{stdout}");
+}
+
+#[test]
+fn races_usage_errors_exit_one() {
+    let racy = record_racy_trace("races-args");
+    let (_, stderr, ok) = sgxperf(&["races", racy.to_str().unwrap(), "--frob"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown races option"), "{stderr}");
+    let (_, stderr, ok) = sgxperf(&["races", "/nonexistent/trace.evdb"]);
+    assert!(!ok);
+    assert!(stderr.contains("cannot load"), "{stderr}");
 }
 
 #[test]

@@ -255,6 +255,11 @@ impl<'a> EcallCtx<'a> {
         &self.thread
     }
 
+    /// The machine's synchronisation event bus (see [`sim_core::syncev`]).
+    pub fn sync_bus(&self) -> &Arc<sim_core::SyncBus> {
+        self.urts.machine().sync_bus()
+    }
+
     /// The TCS index this thread entered on.
     pub fn tcs_index(&self) -> usize {
         self.tcs_index

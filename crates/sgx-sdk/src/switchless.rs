@@ -39,6 +39,7 @@ use std::sync::{Arc, Weak};
 use sgx_sim::{EnclaveId, ThreadToken};
 use sim_core::fault::{FaultAction, FaultEvent, FaultKind};
 use sim_core::sync::Mutex;
+use sim_core::syncev::SyncOp;
 use sim_core::{Cycles, Nanos};
 use sim_threads::{LogicalThreadId, SimCtx, Simulation};
 
@@ -234,6 +235,8 @@ pub struct Switchless {
     ocall_eligible: Vec<bool>,
     stop: AtomicBool,
     state: Mutex<RingState>,
+    /// Sync-bus object ids for the two rings (ecall ring, ocall ring).
+    ring_ids: [u64; 2],
 }
 
 impl fmt::Debug for Switchless {
@@ -300,6 +303,8 @@ impl Switchless {
             })
             .collect();
         let free = (0..config.ring_capacity).rev().collect();
+        let bus = urts.machine().sync_bus();
+        let ring_ids = [bus.alloc_object(), bus.alloc_object()];
         Ok(Switchless {
             enclave: Arc::downgrade(enclave),
             urts,
@@ -315,7 +320,32 @@ impl Switchless {
                 untrusted: Vec::new(),
                 trusted: Vec::new(),
             }),
+            ring_ids,
         })
+    }
+
+    /// Publishes a ring post/complete edge on the machine's sync bus (a
+    /// no-op unless sync-event tracking is enabled).
+    fn emit_ring(
+        &self,
+        thread: ThreadToken,
+        op: SyncOp,
+        kind: CallKind,
+        target: Option<ThreadToken>,
+        slot: u64,
+    ) {
+        let (ring, label) = match kind {
+            CallKind::Ecall => (self.ring_ids[0], "switchless-ecall-ring"),
+            CallKind::Ocall => (self.ring_ids[1], "switchless-ocall-ring"),
+        };
+        self.urts.machine().sync_bus().emit(
+            thread.0 as u64,
+            op,
+            Some(ring),
+            target.map(|t| t.0 as u64),
+            slot,
+            label,
+        );
     }
 
     /// The configuration this subsystem was built with.
@@ -486,6 +516,7 @@ impl Switchless {
             }
             slot_id
         };
+        self.emit_ring(tcx.token, SyncOp::RingPost, kind, None, slot_id as u64);
         // Writing the slot + marshalling [in] buffers into shared memory.
         machine
             .clock()
@@ -649,12 +680,23 @@ impl Switchless {
                 CallKind::Ocall => self.execute_ocall(&worker_tcx, index, &mut data),
                 CallKind::Ecall => self.execute_ecall(&worker_tcx, index, &mut data),
             };
-            let mut st = self.state.lock();
-            let slot = &mut st.slots[slot_id];
-            slot.data = data;
-            slot.result = Some(result);
-            slot.state = SlotState::Done;
-            // The caller is spinning (never parked), so no wake-up needed.
+            let caller = {
+                let mut st = self.state.lock();
+                let slot = &mut st.slots[slot_id];
+                slot.data = data;
+                slot.result = Some(result);
+                slot.state = SlotState::Done;
+                slot.caller
+                // The caller is spinning (never parked), so no wake-up
+                // needed.
+            };
+            self.emit_ring(
+                worker_tcx.token,
+                SyncOp::RingComplete,
+                kind,
+                Some(caller),
+                slot_id as u64,
+            );
         }
     }
 

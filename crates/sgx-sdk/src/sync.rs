@@ -15,9 +15,11 @@
 
 use std::collections::VecDeque;
 use std::fmt;
+use std::sync::OnceLock;
 
 use sgx_sim::ThreadToken;
 use sim_core::sync::Mutex;
+use sim_core::syncev::SyncOp;
 
 use crate::args::CallData;
 use crate::enclave::EcallCtx;
@@ -37,16 +39,65 @@ pub enum LockPath {
     Slept(u32),
 }
 
+impl LockPath {
+    /// Encodes the path into the `aux` word of a lock-acquire sync event:
+    /// `(count << 8) | path_code`.
+    #[must_use]
+    pub fn sync_aux(self) -> u64 {
+        match self {
+            LockPath::Uncontended => 0,
+            LockPath::Spun(n) => ((n as u64) << 8) | 1,
+            LockPath::Slept(n) => ((n as u64) << 8) | 2,
+        }
+    }
+
+    /// Decodes a lock-acquire `aux` word; `None` for unknown path codes.
+    #[must_use]
+    pub fn from_sync_aux(aux: u64) -> Option<LockPath> {
+        let count = (aux >> 8) as u32;
+        match aux & 0xff {
+            0 => Some(LockPath::Uncontended),
+            1 => Some(LockPath::Spun(count)),
+            2 => Some(LockPath::Slept(count)),
+            _ => None,
+        }
+    }
+}
+
 #[derive(Debug, Default)]
 struct MutexState {
     owner: Option<ThreadToken>,
     waiters: VecDeque<ThreadToken>,
 }
 
+/// Emits a sync event attributed to `ctx`'s thread on the machine's bus.
+/// A no-op unless the logger enabled sync-event tracking.
+fn emit_sync(
+    ctx: &EcallCtx<'_>,
+    op: SyncOp,
+    object: u64,
+    target: Option<ThreadToken>,
+    aux: u64,
+    label: &str,
+) {
+    ctx.sync_bus().emit(
+        ctx.thread_token().0 as u64,
+        op,
+        Some(object),
+        target.map(|t| t.0 as u64),
+        aux,
+        label,
+    );
+}
+
 /// The SDK's trusted mutex (`sgx_thread_mutex_*`).
 #[derive(Default)]
 pub struct SgxThreadMutex {
     state: Mutex<MutexState>,
+    /// Bus object id, allocated on first instrumented use.
+    id: OnceLock<u64>,
+    /// Optional human label carried into race findings.
+    label: OnceLock<String>,
 }
 
 impl fmt::Debug for SgxThreadMutex {
@@ -65,11 +116,50 @@ impl SgxThreadMutex {
         SgxThreadMutex::default()
     }
 
+    /// Creates an unlocked mutex whose race findings use `label` instead
+    /// of a bare object id.
+    pub fn named(label: &str) -> SgxThreadMutex {
+        let m = SgxThreadMutex::default();
+        let _ = m.label.set(label.to_string());
+        m
+    }
+
+    /// The label race findings use for this mutex, if one was set.
+    pub fn label(&self) -> &str {
+        self.label.get().map_or("", String::as_str)
+    }
+
+    /// Bus object id for sync events, allocated on first use.
+    fn object_id(&self, ctx: &EcallCtx<'_>) -> u64 {
+        *self.id.get_or_init(|| ctx.sync_bus().alloc_object())
+    }
+
+    /// Records a successful acquisition on the sync bus.
+    fn emit_acquire(&self, ctx: &EcallCtx<'_>, path: LockPath) {
+        emit_sync(
+            ctx,
+            SyncOp::LockAcquire,
+            self.object_id(ctx),
+            None,
+            path.sync_aux(),
+            self.label(),
+        );
+    }
+
     /// Attempts to take the lock without ever leaving the enclave.
     pub fn try_lock(&self, ctx: &EcallCtx<'_>) -> bool {
+        if self.try_lock_internal(ctx.thread_token()) {
+            self.emit_acquire(ctx, LockPath::Uncontended);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn try_lock_internal(&self, me: ThreadToken) -> bool {
         let mut st = self.state.lock();
         if st.owner.is_none() {
-            st.owner = Some(ctx.thread_token());
+            st.owner = Some(me);
             true
         } else {
             false
@@ -83,6 +173,14 @@ impl SgxThreadMutex {
     /// Propagates ocall failures (e.g. running outside a simulation when
     /// contended).
     pub fn lock(&self, ctx: &mut EcallCtx<'_>) -> SdkResult<LockPath> {
+        let path = self.lock_quiet(ctx)?;
+        self.emit_acquire(ctx, path);
+        Ok(path)
+    }
+
+    /// The lock loop itself, with no sync-event emission (the hybrid mutex
+    /// reports its own composite path).
+    fn lock_quiet(&self, ctx: &mut EcallCtx<'_>) -> SdkResult<LockPath> {
         let me = ctx.thread_token();
         let mut sleeps = 0u32;
         loop {
@@ -116,7 +214,18 @@ impl SgxThreadMutex {
     ///
     /// Panics if the calling thread does not own the mutex.
     pub fn unlock(&self, ctx: &mut EcallCtx<'_>) -> SdkResult<()> {
-        if let Some(next) = self.unlock_internal(ctx.thread_token()) {
+        let next = self.unlock_internal(ctx.thread_token());
+        // The release precedes the wake ocall, so the hold interval the
+        // race analysis reconstructs never contains the SET transition.
+        emit_sync(
+            ctx,
+            SyncOp::LockRelease,
+            self.object_id(ctx),
+            next,
+            0,
+            self.label(),
+        );
+        if let Some(next) = next {
             ctx.ocall(sync_ocalls::SET, &mut CallData::new(next.0 as u64))?;
         }
         Ok(())
@@ -168,16 +277,21 @@ impl SgxHybridMutex {
     ///
     /// Propagates ocall failures from the sleep fallback.
     pub fn lock(&self, ctx: &mut EcallCtx<'_>) -> SdkResult<LockPath> {
-        if self.inner.try_lock(ctx) {
+        if self.inner.try_lock_internal(ctx.thread_token()) {
+            self.inner.emit_acquire(ctx, LockPath::Uncontended);
             return Ok(LockPath::Uncontended);
         }
         for spin in 1..=self.spin_budget {
             ctx.spin_wait()?;
-            if self.inner.try_lock(ctx) {
-                return Ok(LockPath::Spun(spin));
+            if self.inner.try_lock_internal(ctx.thread_token()) {
+                let path = LockPath::Spun(spin);
+                self.inner.emit_acquire(ctx, path);
+                return Ok(path);
             }
         }
-        self.inner.lock(ctx)
+        let path = self.inner.lock_quiet(ctx)?;
+        self.inner.emit_acquire(ctx, path);
+        Ok(path)
     }
 
     /// Unlocks; wakes a sleeper only if one actually slept.
@@ -194,6 +308,8 @@ impl SgxHybridMutex {
 #[derive(Default)]
 pub struct SgxCondvar {
     waiters: Mutex<VecDeque<ThreadToken>>,
+    /// Bus object id, allocated on first instrumented use.
+    id: OnceLock<u64>,
 }
 
 impl fmt::Debug for SgxCondvar {
@@ -219,7 +335,24 @@ impl SgxCondvar {
     pub fn wait(&self, ctx: &mut EcallCtx<'_>, mutex: &SgxThreadMutex) -> SdkResult<()> {
         let me = ctx.thread_token();
         self.waiters.lock().push_back(me);
-        match mutex.unlock_internal(me) {
+        let next = mutex.unlock_internal(me);
+        emit_sync(
+            ctx,
+            SyncOp::LockRelease,
+            mutex.object_id(ctx),
+            next,
+            0,
+            mutex.label(),
+        );
+        emit_sync(
+            ctx,
+            SyncOp::CondWait,
+            self.object_id(ctx),
+            None,
+            mutex.object_id(ctx),
+            "",
+        );
+        match next {
             Some(next) => {
                 ctx.ocall(sync_ocalls::SETWAIT, &mut CallData::new(next.0 as u64))?;
             }
@@ -231,6 +364,11 @@ impl SgxCondvar {
         Ok(())
     }
 
+    /// Bus object id for sync events, allocated on first use.
+    fn object_id(&self, ctx: &EcallCtx<'_>) -> u64 {
+        *self.id.get_or_init(|| ctx.sync_bus().alloc_object())
+    }
+
     /// Wakes one waiter, if any (one ocall).
     ///
     /// # Errors
@@ -239,6 +377,14 @@ impl SgxCondvar {
     pub fn signal(&self, ctx: &mut EcallCtx<'_>) -> SdkResult<()> {
         let next = self.waiters.lock().pop_front();
         if let Some(next) = next {
+            emit_sync(
+                ctx,
+                SyncOp::CondSignal,
+                self.object_id(ctx),
+                Some(next),
+                0,
+                "",
+            );
             ctx.ocall(sync_ocalls::SET, &mut CallData::new(next.0 as u64))?;
         }
         Ok(())
@@ -250,8 +396,19 @@ impl SgxCondvar {
     ///
     /// Propagates ocall failures.
     pub fn broadcast(&self, ctx: &mut EcallCtx<'_>) -> SdkResult<()> {
-        let all: Vec<u64> = self.waiters.lock().drain(..).map(|t| t.0 as u64).collect();
-        if !all.is_empty() {
+        let woken: Vec<ThreadToken> = self.waiters.lock().drain(..).collect();
+        if !woken.is_empty() {
+            for t in &woken {
+                emit_sync(
+                    ctx,
+                    SyncOp::CondSignal,
+                    self.object_id(ctx),
+                    Some(*t),
+                    0,
+                    "",
+                );
+            }
+            let all: Vec<u64> = woken.iter().map(|t| t.0 as u64).collect();
             ctx.ocall(
                 sync_ocalls::SET_MULTIPLE,
                 &mut CallData::default().with_aux(all),

@@ -10,7 +10,7 @@ use sim_core::fault::{
 };
 use sim_core::sync::Mutex;
 use sim_core::{
-    Clock, CostModel, HwProfile, LifecycleEvent, LifecycleObserver, LifecycleStage, Nanos,
+    Clock, CostModel, HwProfile, LifecycleEvent, LifecycleObserver, LifecycleStage, Nanos, SyncBus,
 };
 
 use crate::epc::{Epc, EvictionPolicy, DEFAULT_EPC_PAGES};
@@ -298,6 +298,7 @@ pub struct Machine {
     inner: Mutex<Inner>,
     hooks: Mutex<Hooks>,
     fault: Mutex<Option<Arc<FaultInjector>>>,
+    sync_bus: Arc<SyncBus>,
 }
 
 impl fmt::Debug for Machine {
@@ -321,6 +322,7 @@ impl Machine {
     /// Creates a machine with explicit parameters (EPC size, eviction
     /// policy, creation costs).
     pub fn with_params(clock: Clock, profile: HwProfile, params: MachineParams) -> Machine {
+        let sync_bus = Arc::new(SyncBus::new(clock.clone()));
         Machine {
             clock,
             cost: profile.cost_model(),
@@ -332,12 +334,18 @@ impl Machine {
             params,
             hooks: Mutex::new(Hooks::default()),
             fault: Mutex::new(None),
+            sync_bus,
         }
     }
 
     /// The machine's virtual clock.
     pub fn clock(&self) -> &Clock {
         &self.clock
+    }
+
+    /// The machine's synchronisation event bus (see [`sim_core::syncev`]).
+    pub fn sync_bus(&self) -> &Arc<SyncBus> {
+        &self.sync_bus
     }
 
     /// The CPU cost model in effect.

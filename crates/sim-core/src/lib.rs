@@ -31,10 +31,12 @@ pub mod hw;
 pub mod lifecycle;
 pub mod rng;
 pub mod sync;
+pub mod syncev;
 pub mod time;
 
 pub use clock::Clock;
 pub use fault::{FaultAction, FaultEvent, FaultInjector, FaultObserver, FaultPlan};
 pub use hw::{CostModel, HwProfile};
 pub use lifecycle::{LifecycleEvent, LifecycleObserver, LifecycleStage};
+pub use syncev::{Shared, SyncBus, SyncEvent, SyncObserver, SyncOp};
 pub use time::{Cycles, Nanos};

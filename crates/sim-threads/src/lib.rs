@@ -45,6 +45,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use sim_core::sync::{Condvar, Mutex};
+use sim_core::syncev::{SyncBus, SyncOp, EXTERNAL_THREAD};
 use sim_core::{Clock, Nanos};
 
 /// Identifier of a logical thread within one [`Simulation`].
@@ -94,6 +95,15 @@ struct Shared {
     state: Mutex<SchedState>,
     cond: Condvar,
     clock: Clock,
+    /// Sync-event channel for thread spawn/join edges (see
+    /// [`sim_core::syncev`]); unset simulations emit nothing.
+    sync_bus: Mutex<Option<Arc<SyncBus>>>,
+}
+
+impl Shared {
+    fn bus(&self) -> Option<Arc<SyncBus>> {
+        self.sync_bus.lock().clone()
+    }
 }
 
 impl Shared {
@@ -191,6 +201,7 @@ impl Simulation {
                 }),
                 cond: Condvar::new(),
                 clock,
+                sync_bus: Mutex::new(None),
             }),
             handles: Mutex::new(Vec::new()),
         }
@@ -199,6 +210,12 @@ impl Simulation {
     /// The clock this simulation advances.
     pub fn clock(&self) -> &Clock {
         &self.shared.clock
+    }
+
+    /// Routes thread spawn/join events to `bus` so the race analysis sees
+    /// the happens-before edges the scheduler creates.
+    pub fn set_sync_bus(&self, bus: Arc<SyncBus>) {
+        *self.shared.sync_bus.lock() = Some(bus);
     }
 
     /// Spawns a logical thread. The closure receives a [`SimCtx`] giving it
@@ -210,7 +227,7 @@ impl Simulation {
         F: FnOnce(&SimCtx) + Send + 'static,
     {
         let shared = Arc::clone(&self.shared);
-        let index = {
+        let (index, parent) = {
             let mut st = shared.state.lock();
             let index = st.threads.len();
             st.threads.push(ThreadEntry {
@@ -219,8 +236,19 @@ impl Simulation {
                 permit: false,
             });
             st.run_queue.push_back(index);
-            index
+            (index, st.current)
         };
+        if let Some(bus) = self.shared.bus() {
+            let parent = parent.map_or(EXTERNAL_THREAD, |p| p as u64);
+            bus.emit(
+                parent,
+                SyncOp::ThreadSpawn,
+                None,
+                Some(index as u64),
+                0,
+                name,
+            );
+        }
         let thread_shared = Arc::clone(&self.shared);
         let handle = std::thread::Builder::new()
             .name(name.to_string())
@@ -243,6 +271,9 @@ impl Simulation {
                     }
                 }
                 let result = panic::catch_unwind(AssertUnwindSafe(|| f(&ctx)));
+                if let Some(bus) = ctx.shared.bus() {
+                    bus.emit(index as u64, SyncOp::ThreadJoin, None, None, 0, "");
+                }
                 let mut st = ctx.shared.state.lock();
                 st.threads[index].status = Status::Done;
                 if let Err(payload) = result {

@@ -20,7 +20,9 @@
 //! switchlessly, closing the detect → apply → re-measure loop — and
 //! [`supervisor_loop`] — a stateful server that loses its enclave mid-run
 //! and recovers under the SDK supervisor with the same application-level
-//! checksum.
+//! checksum — and [`racy_fixture`] — a deliberately broken two-thread
+//! workload seeding a data race and a lock inversion that only the
+//! `sgxperf races` analyses can see.
 //!
 //! Each workload supports the three execution variants of Figure 6
 //! ([`Variant`]): native (no enclave), enclavised, and optimised per the
@@ -32,6 +34,7 @@ pub mod antipatterns;
 pub mod chaos;
 pub mod glamdring;
 pub mod harness;
+pub mod racy_fixture;
 pub mod securekeeper;
 pub mod sqlitedb;
 pub mod supervisor_loop;

@@ -1,0 +1,189 @@
+//! A deliberately broken workload for validating `sgxperf races`.
+//!
+//! Two client threads drive one enclave whose synchronisation carries two
+//! seeded defects that the deterministic scheduler can never make
+//! manifest at runtime:
+//!
+//! * **a data race**: both ecalls bump the `packet_counter` shared cell
+//!   *before* taking any lock, so no happens-before edge orders the two
+//!   writes (`RACE-E001`),
+//! * **a lock inversion**: `ecall_ingest` takes `stats_mutex` then
+//!   `flush_mutex`; `ecall_flush` takes them in the opposite order
+//!   (`RACE-E003`). The observed run is sequential, so it never
+//!   deadlocks — only the lock-order graph sees the hazard.
+//!
+//! A third cell, `session_count`, is correctly guarded by a common mutex
+//! on every access: the golden test uses it to pin down that the analyses
+//! do not over-report.
+
+use std::sync::Arc;
+
+use sgx_sdk::{CallData, OcallTableBuilder, SdkResult, SgxThreadMutex, ThreadCtx};
+use sgx_sim::EnclaveConfig;
+use sim_core::{Nanos, Shared};
+use sim_threads::Simulation;
+
+use crate::harness::{Harness, RunStats, Variant};
+
+/// The fixture's interface: two ecalls whose lock orders conflict.
+pub const RACY_EDL: &str = r#"
+enclave {
+    trusted {
+        public uint64_t ecall_ingest(uint64_t batch);
+        public uint64_t ecall_flush(uint64_t batch);
+    };
+    untrusted {
+        void ocall_log([in, string] const char* msg);
+    };
+};
+"#;
+
+/// How many ingest/flush rounds each thread performs.
+#[derive(Debug, Clone)]
+pub struct RacyFixtureConfig {
+    /// Rounds per thread (each round is one ecall).
+    pub rounds: u64,
+}
+
+impl Default for RacyFixtureConfig {
+    fn default() -> Self {
+        RacyFixtureConfig { rounds: 4 }
+    }
+}
+
+/// Runs the fixture: spawns the two conflicting client threads and drives
+/// them to completion. The run itself always succeeds — the defects are
+/// visible only to the race analyses.
+///
+/// # Errors
+///
+/// Propagates SDK failures.
+pub fn run(harness: &Harness, config: &RacyFixtureConfig) -> SdkResult<RunStats> {
+    let rt = harness.runtime();
+    let bus = Arc::clone(harness.machine().sync_bus());
+
+    let spec = sgx_edl::parse(RACY_EDL).expect("static EDL parses");
+    let enclave = rt.create_enclave(
+        &spec,
+        &EnclaveConfig {
+            tcs_count: 2,
+            ..EnclaveConfig::default()
+        },
+    )?;
+
+    let stats_mutex = Arc::new(SgxThreadMutex::named("stats_mutex"));
+    let flush_mutex = Arc::new(SgxThreadMutex::named("flush_mutex"));
+    let session_mutex = Arc::new(SgxThreadMutex::named("session_mutex"));
+    // Seeded race: bumped before any lock is taken.
+    let packet_counter = Arc::new(Shared::new(Arc::clone(&bus), "packet_counter", 0u64));
+    // Control cell: every access holds `session_mutex`.
+    let session_count = Arc::new(Shared::new(Arc::clone(&bus), "session_count", 0u64));
+
+    {
+        let (a, b) = (Arc::clone(&stats_mutex), Arc::clone(&flush_mutex));
+        let session_mutex = Arc::clone(&session_mutex);
+        let packets = Arc::clone(&packet_counter);
+        let sessions = Arc::clone(&session_count);
+        enclave.register_ecall("ecall_ingest", move |ctx, data| {
+            let me = ctx.thread_token().0 as u64;
+            // BUG: unguarded counter bump — races with ecall_flush's.
+            packets.write(me, |v| *v += data.scalar);
+            // Lock order here: stats -> flush.
+            a.lock(ctx)?;
+            b.lock(ctx)?;
+            ctx.compute(Nanos::from_micros(5))?;
+            b.unlock(ctx)?;
+            a.unlock(ctx)?;
+            // Correctly guarded cell.
+            session_mutex.lock(ctx)?;
+            sessions.write(me, |v| *v += 1);
+            data.ret = sessions.read(me, |v| *v);
+            session_mutex.unlock(ctx)?;
+            Ok(())
+        })?;
+    }
+    {
+        let (a, b) = (Arc::clone(&stats_mutex), Arc::clone(&flush_mutex));
+        let session_mutex = Arc::clone(&session_mutex);
+        let packets = Arc::clone(&packet_counter);
+        let sessions = Arc::clone(&session_count);
+        enclave.register_ecall("ecall_flush", move |ctx, data| {
+            let me = ctx.thread_token().0 as u64;
+            // BUG: same unguarded bump, from the other thread.
+            packets.write(me, |v| *v += data.scalar);
+            // BUG: opposite lock order — flush -> stats.
+            b.lock(ctx)?;
+            a.lock(ctx)?;
+            ctx.compute(Nanos::from_micros(5))?;
+            a.unlock(ctx)?;
+            b.unlock(ctx)?;
+            session_mutex.lock(ctx)?;
+            data.ret = sessions.read(me, |v| *v);
+            session_mutex.unlock(ctx)?;
+            Ok(())
+        })?;
+    }
+
+    let mut builder = OcallTableBuilder::new(enclave.spec());
+    builder.register("ocall_log", |h, _| {
+        h.compute(Nanos::from_micros(1));
+        Ok(())
+    })?;
+    let table = Arc::new(builder.build()?);
+
+    let sim = Simulation::new(harness.clock().clone());
+    sim.set_sync_bus(Arc::clone(&bus));
+    let start = harness.clock().now();
+    let rounds = config.rounds;
+    for (i, name) in ["ingester", "flusher"].into_iter().enumerate() {
+        let rt = Arc::clone(rt);
+        let table = Arc::clone(&table);
+        let eid = enclave.id();
+        sim.spawn(name, move |ctx| {
+            let tcx = ThreadCtx::from_sim(ctx);
+            let call = if i == 0 {
+                "ecall_ingest"
+            } else {
+                "ecall_flush"
+            };
+            // Stagger the threads so the critical sections never overlap
+            // in the observed schedule: the hazards stay latent.
+            ctx.sleep(Nanos::from_micros(50 * (i as u64 + 1)));
+            for round in 0..rounds {
+                rt.ecall(&tcx, eid, call, &table, &mut CallData::new(round + 1))
+                    .expect("fixture ecall");
+                ctx.sleep(Nanos::from_micros(120));
+            }
+        });
+    }
+    sim.run();
+
+    Ok(RunStats {
+        variant: Variant::Enclave,
+        operations: rounds * 2,
+        elapsed: harness.clock().now() - start,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::HwProfile;
+
+    #[test]
+    fn runs_to_completion_without_deadlock() {
+        let h = Harness::new(HwProfile::Unpatched);
+        let stats = run(&h, &RacyFixtureConfig::default()).unwrap();
+        assert_eq!(stats.operations, 8);
+        assert!(!stats.elapsed.is_zero());
+    }
+
+    #[test]
+    fn run_is_deterministic() {
+        let elapsed = |_| {
+            let h = Harness::new(HwProfile::Unpatched);
+            run(&h, &RacyFixtureConfig::default()).unwrap().elapsed
+        };
+        assert_eq!(elapsed(0), elapsed(1));
+    }
+}

@@ -194,7 +194,7 @@ pub fn run(harness: &Harness, config: &SecureKeeperConfig) -> SdkResult<SecureKe
             ..EnclaveConfig::default()
         },
     )?;
-    let map_mutex = Arc::new(SgxThreadMutex::new());
+    let map_mutex = Arc::new(SgxThreadMutex::named("map_mutex"));
     let connection_map: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
     {
         let map_mutex = Arc::clone(&map_mutex);
@@ -245,8 +245,10 @@ pub fn run(harness: &Harness, config: &SecureKeeperConfig) -> SdkResult<SecureKe
     }
     let proxy_ids: Vec<EnclaveId> = proxies.iter().map(|(e, _)| e.id()).collect();
 
-    // Client threads.
+    // Client threads. The sync bus makes spawn/join ordering visible to
+    // the `sgxperf races` analyses alongside the map-mutex traffic.
     let sim = Simulation::new(harness.clock().clone());
+    sim.set_sync_bus(Arc::clone(harness.machine().sync_bus()));
     let total_requests = Arc::new(AtomicU64::new(0));
     let start = harness.clock().now();
     let deadline = start + config.duration;

@@ -153,6 +153,64 @@ fn fault_replay_is_stable_across_hardware_profiles() {
     }
 }
 
+/// Sync-event recording is as reproducible as every other table: the
+/// racy fixture (threads, locks, shared cells — the richest sync
+/// surface) serialises byte-identically across runs on every hardware
+/// profile (2 runs x 3 profiles).
+#[test]
+fn syncev_traces_are_bit_identical_across_profiles() {
+    let record = |profile: HwProfile| {
+        let harness = Harness::new(profile);
+        let logger = Logger::attach(harness.runtime(), LoggerConfig::with_syncev());
+        workloads::racy_fixture::run(
+            &harness,
+            &workloads::racy_fixture::RacyFixtureConfig::default(),
+        )
+        .unwrap();
+        logger.finish().to_bytes()
+    };
+    for profile in [
+        HwProfile::Unpatched,
+        HwProfile::Spectre,
+        HwProfile::Foreshadow,
+    ] {
+        let first = record(profile);
+        assert_eq!(
+            first,
+            record(profile),
+            "syncev trace diverged on {profile:?}"
+        );
+    }
+}
+
+/// With sync tracking off (the default), the same run writes a trace
+/// without any syncev section — byte-identical to what pre-races
+/// versions of the logger produced.
+#[test]
+fn syncev_tracking_off_leaves_traces_unchanged() {
+    let record = |config: LoggerConfig| {
+        let harness = Harness::new(HwProfile::Unpatched);
+        let logger = Logger::attach(harness.runtime(), config);
+        workloads::sqlitedb::run(
+            &harness,
+            &workloads::sqlitedb::SqliteConfig {
+                inserts: 100,
+                variant: Variant::Enclave,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        logger.finish()
+    };
+    // sqlitedb performs no tracked sync operations, so even opting in
+    // records nothing — and the bytes stay identical because an empty
+    // table is never written.
+    let off = record(LoggerConfig::default());
+    let on = record(LoggerConfig::with_syncev());
+    assert!(on.syncev.is_empty());
+    assert_eq!(off.to_bytes(), on.to_bytes());
+}
+
 #[test]
 fn talos_runs_are_deterministic() {
     let elapsed = || {
