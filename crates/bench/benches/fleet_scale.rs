@@ -1,0 +1,108 @@
+//! Fleet-scale micro-bench: the simulator's per-event costs must stay
+//! sublinear in the number of enclaves, or a 1000-enclave fleet run would
+//! be quadratic end to end.
+//!
+//! Exercised paths (all refactored to indexed structures for the fleet
+//! subsystem):
+//!
+//! * eviction-victim selection — `BTreeMap` LRU stamps instead of a linear
+//!   free-list/stamp scan,
+//! * reverse address translation (`vaddr_to_page`) — base-address
+//!   `BTreeMap` range lookup instead of a scan over all enclaves,
+//! * enclave destruction — per-enclave resident-page index instead of a
+//!   full EPC sweep.
+//!
+//! The bench *asserts* sublinearity: per-eviction real time at 1024
+//! resident enclaves must stay under 8x the 16-enclave cost (a linear
+//! victim scan would be ~64x).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use sgx_perf_bench::{banner, row, scaled_count};
+use sgx_sdk::Runtime;
+use sgx_sim::{EnclaveConfig, EnclaveId, EvictionPolicy, Machine, MachineParams};
+use sim_core::{Clock, HwProfile};
+
+const EDL: &str = "enclave { trusted { public void ecall_noop(); }; };";
+
+/// Builds a machine holding `enclaves` small enclaves over an EPC sized at
+/// half their combined footprint, so every cold touch must evict.
+fn fleet_machine(enclaves: usize) -> (Arc<Machine>, Arc<Runtime>, Vec<EnclaveId>, Vec<usize>) {
+    let config = EnclaveConfig {
+        heap_kib: 64,
+        ..EnclaveConfig::default()
+    };
+    let per_enclave = sgx_sim::EnclaveLayout::new(&config).total_pages();
+    let machine = Arc::new(Machine::with_params(
+        Clock::new(),
+        HwProfile::Unpatched,
+        MachineParams {
+            epc_pages: enclaves * per_enclave / 2,
+            eviction: EvictionPolicy::Lru,
+            ..MachineParams::default()
+        },
+    ));
+    let rt = Runtime::new(Arc::clone(&machine));
+    let spec = sgx_edl::parse(EDL).unwrap();
+    let mut eids = Vec::with_capacity(enclaves);
+    let mut heap_starts = Vec::with_capacity(enclaves);
+    for _ in 0..enclaves {
+        let enclave = rt.create_enclave(&spec, &config).unwrap();
+        heap_starts.push(machine.heap_range(enclave.id()).unwrap().start);
+        eids.push(enclave.id());
+    }
+    (machine, rt, eids, heap_starts)
+}
+
+/// Drives `iters` guaranteed-miss prefetches (cyclic access over a working
+/// set twice the EPC, under LRU) and returns the best-of-3 real time per
+/// eviction in nanoseconds.
+fn per_eviction_ns(enclaves: usize, iters: u64) -> f64 {
+    let (machine, _rt, eids, heap_starts) = fleet_machine(enclaves);
+    let heap_pages = 16usize; // 64 KiB of heap
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let start = Instant::now();
+        for cursor in 0..iters as usize {
+            let e = cursor % eids.len();
+            let page = heap_starts[e] + (cursor / eids.len()) % heap_pages;
+            machine.prefetch(eids[e], page..page + 1).unwrap();
+        }
+        best = best.min(start.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    best
+}
+
+fn main() {
+    banner(
+        "A3",
+        "fleet scale: per-event cost vs enclave count (sublinearity gate)",
+    );
+    let iters = scaled_count(40_000, 8_000);
+
+    // Spin-up rate: enclave creation at fleet scale (EADD churn included).
+    for n in [16usize, 256, 1024] {
+        let start = Instant::now();
+        let (_m, _rt, eids, _h) = fleet_machine(n);
+        let secs = start.elapsed().as_secs_f64();
+        row(
+            &format!("spin-up, {n} enclaves"),
+            format!("{:.0} enclaves/sec real", eids.len() as f64 / secs),
+        );
+    }
+
+    println!();
+    let small = per_eviction_ns(16, iters);
+    let large = per_eviction_ns(1024, iters);
+    let ratio = large / small;
+    row("per-eviction, 16 enclaves", format!("{small:.0} ns real"));
+    row("per-eviction, 1024 enclaves", format!("{large:.0} ns real"));
+    row("ratio (linear scan would be ~64x)", format!("{ratio:.2}x"));
+    assert!(
+        ratio < 8.0,
+        "eviction-victim selection is not sublinear in enclave count: \
+         {large:.0} ns at 1024 enclaves vs {small:.0} ns at 16 ({ratio:.2}x)"
+    );
+    println!("\n  OK: victim selection stays sublinear in enclave count");
+}

@@ -10,6 +10,7 @@
 pub mod aex;
 pub mod detect;
 pub mod diff;
+pub mod fleet;
 pub mod graph;
 pub mod lint;
 pub mod parents;
@@ -25,6 +26,7 @@ use crate::trace::TraceDb;
 
 pub use detect::{Detection, Priority, Problem, Recommendation};
 pub use diff::{DiffConfig, TraceDiff, Verdict};
+pub use fleet::{FleetReport, FleetTotals};
 pub use graph::CallGraph;
 pub use parents::{CallInstance, Instances};
 pub use races::{RaceFinding, RaceKind, RaceReport};

@@ -9,6 +9,7 @@ use crate::json::{f64 as json_f64, string as json_string};
 use crate::trace::TraceDb;
 
 use super::detect::Detection;
+use super::fleet::FleetReport;
 use super::stats::CallStats;
 use super::symbol_name;
 
@@ -88,6 +89,9 @@ pub struct Report {
     /// EDL lint diagnostics (populated when the analyzer was given an EDL
     /// file; see `analysis::lint`).
     pub lint: Vec<sgx_edl::Diagnostic>,
+    /// Fleet-aggregate view — empty unless the trace was recorded by a
+    /// fleet run (see `analysis::fleet` and `sgxperf fleet`).
+    pub fleet: FleetReport,
 }
 
 impl Report {
@@ -175,6 +179,7 @@ impl Report {
             totals,
             wake_edges,
             lint: Vec::new(),
+            fleet: FleetReport::from_trace(trace),
         }
     }
 
@@ -266,6 +271,12 @@ impl Report {
                 Nanos::from_nanos(t.recovery_ns),
             ));
         }
+        // Fleet-free traces keep the section out entirely, so pre-fleet
+        // report output is unchanged byte for byte.
+        if !self.fleet.is_empty() {
+            out.push_str(&self.fleet.summary_line());
+            out.push_str("\n\n");
+        }
         out.push_str(&format!(
             "short calls (<10us adjusted): {:.2}% of ecalls, {:.2}% of ocalls\n\n",
             self.short_fraction(CallKind::Ecall) * 100.0,
@@ -353,6 +364,24 @@ impl Report {
             t.rebuild_ns,
             t.replay_ns,
             t.recovery_ns,
+        ));
+        out.push_str("},\n  \"fleet\": {");
+        let ft = &self.fleet.totals;
+        out.push_str(&format!(
+            "\"slots\": {}, \"spin_ups\": {}, \"restarts\": {}, \"requests\": {}, \
+             \"completed\": {}, \"shed\": {}, \"failed\": {}, \"page_ins\": {}, \
+             \"page_outs\": {}, \"mean_p50_ns\": {}, \"max_p99_ns\": {}",
+            ft.slots,
+            ft.spin_ups,
+            ft.restarts,
+            ft.requests,
+            ft.completed,
+            ft.shed,
+            ft.failed,
+            ft.page_ins,
+            ft.page_outs,
+            ft.mean_p50_ns,
+            ft.max_p99_ns,
         ));
         out.push_str("},\n  \"short_fraction\": {");
         out.push_str(&format!(
@@ -654,6 +683,38 @@ mod tests {
         )
         .analyze();
         assert!(!clean.render().contains("recovery:"));
+    }
+
+    #[test]
+    fn fleet_section_appears_only_with_a_fleet_table() {
+        use crate::events::FleetRow;
+        let mut trace = trace_with_short_ecalls(5);
+        trace.fleet.insert(FleetRow {
+            slot: 3,
+            spin_ups: 2,
+            restarts: 1,
+            requests: 40,
+            completed: 38,
+            shed: 1,
+            failed: 1,
+            p50_ns: 2_000,
+            p99_ns: 11_000,
+            page_ins: 6,
+            page_outs: 4,
+        });
+        let report = Analyzer::new(&trace, HwProfile::Unpatched.cost_model()).analyze();
+        assert!(report
+            .render()
+            .contains("fleet: 1 slot(s), 2 spin-up(s), 1 restart(s)"));
+        assert!(report.to_json().contains("\"requests\": 40"));
+        // Fleet-free reports keep the section out entirely.
+        let clean = Analyzer::new(
+            &trace_with_short_ecalls(5),
+            HwProfile::Unpatched.cost_model(),
+        )
+        .analyze();
+        assert!(!clean.render().contains("fleet:"));
+        assert!(clean.to_json().contains("\"fleet\": {\"slots\": 0"));
     }
 
     #[test]

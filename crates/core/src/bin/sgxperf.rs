@@ -12,6 +12,7 @@
 //! sgxperf scatter <trace.evdb> <call-name> [--json]
 //! sgxperf info    <trace.evdb>
 //! sgxperf races   <trace.evdb> [--json]
+//! sgxperf fleet   <trace.evdb> [--top N] [--json]
 //! ```
 //!
 //! `lint` runs the static interface analyzer (EDL-W001...) and renders
@@ -38,7 +39,7 @@ use sgx_perf::analysis::diff::{DiffConfig, TraceDiff};
 use sgx_perf::analysis::lint::lint_interface;
 use sgx_perf::analysis::races;
 use sgx_perf::analysis::stats::{scatter, scatter_csv, scatter_json, Histogram};
-use sgx_perf::{export, Analyzer, TraceDb};
+use sgx_perf::{export, Analyzer, FleetReport, TraceDb};
 use sim_core::fault::FaultPlan;
 use sim_core::HwProfile;
 
@@ -82,6 +83,11 @@ const SUBCOMMANDS: &[(&str, &str, &str)] = &[
         "races",
         "<trace.evdb> [--json]",
         "race & deadlock analysis (exit 3 on findings)",
+    ),
+    (
+        "fleet",
+        "<trace.evdb> [--top N] [--json]",
+        "per-slot and aggregate fleet-run statistics",
     ),
 ];
 
@@ -287,6 +293,49 @@ fn run_races(rest: &[String]) -> Result<ExitCode, String> {
     Ok(ExitCode::from(report.exit_code()))
 }
 
+/// `sgxperf fleet` — per-slot and aggregate statistics of a fleet run.
+///
+/// Exit status: 0 always (reporting, not gating); 1 on bad input.
+fn run_fleet(rest: &[String]) -> Result<ExitCode, String> {
+    let mut json = false;
+    let mut top = 20usize;
+    let mut paths: Vec<&String> = Vec::new();
+    let mut it = rest.iter();
+    while let Some(opt) = it.next() {
+        match opt.as_str() {
+            "--json" => json = true,
+            "--top" => {
+                top = it
+                    .next()
+                    .ok_or("--top needs a number")?
+                    .parse()
+                    .map_err(|e| format!("--top: {e}"))?;
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown fleet option `{other}`"))
+            }
+            _ => paths.push(opt),
+        }
+    }
+    let [path] = paths[..] else {
+        return Err(format!(
+            "fleet needs exactly one trace, got {}",
+            paths.len()
+        ));
+    };
+    let trace = TraceDb::load(path).map_err(|e| format!("cannot load {path}: {e}"))?;
+    let report = FleetReport::from_trace(&trace);
+    if report.is_empty() {
+        eprintln!("sgxperf: note: {path} has no fleet table — record with a fleet run");
+    }
+    if json {
+        print!("{}", report.to_json());
+    } else {
+        print!("{}", report.render(top));
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
 fn run() -> Result<ExitCode, String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (cmd, rest) = args.split_first().ok_or("missing command")?;
@@ -298,6 +347,9 @@ fn run() -> Result<ExitCode, String> {
     }
     if cmd == "races" {
         return run_races(rest);
+    }
+    if cmd == "fleet" {
+        return run_fleet(rest);
     }
     let (path, opts) = rest.split_first().ok_or("missing trace file")?;
     let trace = TraceDb::load(path).map_err(|e| format!("cannot load {path}: {e}"))?;

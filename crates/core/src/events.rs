@@ -463,6 +463,69 @@ impl Record for SyncEvRow {
     }
 }
 
+/// Per-slot summary of a fleet run. A *slot* is a logical client enclave
+/// managed by the fleet manager; its concrete enclave ids change across
+/// spin-ups and rebuilds, so the row aggregates by slot. Written only for
+/// fleet workloads — single-enclave traces carry no fleet table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetRow {
+    /// Slot index within the fleet (0-based zipf popularity rank order is
+    /// workload-defined, not implied).
+    pub slot: u32,
+    /// Enclave creations for this slot (cold starts after pool retirement).
+    pub spin_ups: u32,
+    /// Supervisor rebuilds after enclave losses.
+    pub restarts: u32,
+    /// Requests routed to this slot.
+    pub requests: u64,
+    /// Requests completed successfully.
+    pub completed: u64,
+    /// Requests shed by the fleet circuit breaker.
+    pub shed: u64,
+    /// Requests that failed terminally (e.g. recovery exhausted).
+    pub failed: u64,
+    /// Median request latency in virtual nanoseconds (arrival → completion).
+    pub p50_ns: u64,
+    /// 99th-percentile request latency in virtual nanoseconds.
+    pub p99_ns: u64,
+    /// EPC pages paged in for this slot's enclaves.
+    pub page_ins: u64,
+    /// EPC pages of this slot's enclaves evicted by EPC pressure.
+    pub page_outs: u64,
+}
+
+impl Record for FleetRow {
+    const TAG: &'static str = "fleet";
+    fn encode(&self, out: &mut Encoder) {
+        out.u32(self.slot);
+        out.u32(self.spin_ups);
+        out.u32(self.restarts);
+        out.u64(self.requests);
+        out.u64(self.completed);
+        out.u64(self.shed);
+        out.u64(self.failed);
+        out.u64(self.p50_ns);
+        out.u64(self.p99_ns);
+        out.u64(self.page_ins);
+        out.u64(self.page_outs);
+    }
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, DbError> {
+        Ok(FleetRow {
+            slot: r.u32()?,
+            spin_ups: r.u32()?,
+            restarts: r.u32()?,
+            requests: r.u64()?,
+            completed: r.u64()?,
+            shed: r.u64()?,
+            failed: r.u64()?,
+            p50_ns: r.u64()?,
+            p99_ns: r.u64()?,
+            page_ins: r.u64()?,
+            page_outs: r.u64()?,
+        })
+    }
+}
+
 /// One observed enclave (from driver lifecycle events).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EnclaveRow {
@@ -757,6 +820,38 @@ mod tests {
                 aux: 0,
                 label: "counter".into(),
                 time_ns: 3_000,
+            },
+        ]);
+    }
+
+    #[test]
+    fn fleet_row_roundtrip() {
+        roundtrip(vec![
+            FleetRow {
+                slot: 0,
+                spin_ups: 3,
+                restarts: 1,
+                requests: 12_000,
+                completed: 11_990,
+                shed: 8,
+                failed: 2,
+                p50_ns: 42_000,
+                p99_ns: 910_000,
+                page_ins: 512,
+                page_outs: 480,
+            },
+            FleetRow {
+                slot: 999,
+                spin_ups: 1,
+                restarts: 0,
+                requests: 1,
+                completed: 1,
+                shed: 0,
+                failed: 0,
+                p50_ns: 7_000,
+                p99_ns: 7_000,
+                page_ins: 16,
+                page_outs: 0,
             },
         ]);
     }

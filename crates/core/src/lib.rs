@@ -68,11 +68,12 @@ pub mod trace;
 pub mod wse;
 
 pub use analysis::detect::{Detection, Priority, Problem, Recommendation};
+pub use analysis::fleet::{FleetReport, FleetTotals};
 pub use analysis::races::{RaceFinding, RaceKind, RaceReport};
 pub use analysis::report::Report;
 pub use analysis::stats::CallStats;
 pub use analysis::{Analyzer, Weights};
-pub use events::{AexMode, CallKind, CallRef};
+pub use events::{AexMode, CallKind, CallRef, FleetRow};
 pub use logger::{Logger, LoggerConfig};
 pub use trace::TraceDb;
 pub use wse::WorkingSetEstimator;

@@ -5,8 +5,8 @@ use std::path::Path;
 use eventdb::{DbError, Record, Store, Table};
 
 use crate::events::{
-    AexRow, EcallRow, EnclaveRow, FaultRow, LifecycleRow, OcallRow, PagingRow, SwitchlessRow,
-    SymbolRow, SyncEvRow, SyncRow,
+    AexRow, EcallRow, EnclaveRow, FaultRow, FleetRow, LifecycleRow, OcallRow, PagingRow,
+    SwitchlessRow, SymbolRow, SyncEvRow, SyncRow,
 };
 
 /// A complete sgx-perf trace: every table the logger records, serialisable
@@ -48,6 +48,8 @@ pub struct TraceDb {
     /// Synchronisation events (locks, condvars, threads, rings, shared
     /// cells) for the `sgxperf races` analyses.
     pub syncev: Table<SyncEvRow>,
+    /// Per-slot fleet summaries (only fleet workloads write this).
+    pub fleet: Table<FleetRow>,
 }
 
 /// Reads a table, treating its absence as empty — traces written before the
@@ -90,6 +92,9 @@ impl TraceDb {
         if !self.syncev.is_empty() {
             store.put(&self.syncev);
         }
+        if !self.fleet.is_empty() {
+            store.put(&self.fleet);
+        }
         store
     }
 
@@ -122,6 +127,7 @@ impl TraceDb {
             faults: get_or_empty(store)?,
             lifecycle: get_or_empty(store)?,
             syncev: get_or_empty(store)?,
+            fleet: get_or_empty(store)?,
         })
     }
 
@@ -300,6 +306,41 @@ mod tests {
         });
         let back = TraceDb::from_bytes(&synced.to_bytes()).unwrap();
         assert_eq!(back.syncev.len(), 1);
+    }
+
+    #[test]
+    fn fleet_free_traces_serialise_without_a_fleet_table() {
+        // Byte-compatibility contract: single-enclave workloads write the
+        // same store as pre-fleet versions...
+        let trace = TraceDb::default();
+        let mut old_style = Store::new();
+        old_style.put(&trace.ecalls);
+        old_style.put(&trace.ocalls);
+        old_style.put(&trace.aex);
+        old_style.put(&trace.paging);
+        old_style.put(&trace.sync);
+        old_style.put(&trace.enclaves);
+        old_style.put(&trace.symbols);
+        old_style.put(&trace.switchless);
+        assert_eq!(trace.to_bytes(), old_style.to_bytes());
+        // ...while fleet rows round-trip once present.
+        let mut fleet = TraceDb::default();
+        fleet.fleet.insert(FleetRow {
+            slot: 4,
+            spin_ups: 1,
+            restarts: 0,
+            requests: 10,
+            completed: 10,
+            shed: 0,
+            failed: 0,
+            p50_ns: 100,
+            p99_ns: 200,
+            page_ins: 3,
+            page_outs: 1,
+        });
+        let back = TraceDb::from_bytes(&fleet.to_bytes()).unwrap();
+        assert_eq!(back.fleet.len(), 1);
+        assert_eq!(back.fleet.iter().next().unwrap().slot, 4);
     }
 
     #[test]

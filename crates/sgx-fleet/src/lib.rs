@@ -1,0 +1,31 @@
+//! Fleet management for thousands of simulated SGX enclaves.
+//!
+//! The sgx-perf paper profiles one enclave at a time; real deployments
+//! (SecureKeeper-style many-tenant services) run *fleets* — one enclave per
+//! client, far more logical enclaves than the EPC can hold. This crate adds
+//! that layer on top of the simulator:
+//!
+//! * [`FleetManager`] — multiplexes N logical enclaves ("slots") over a
+//!   bounded pool of live ones. Every live enclave charges the same
+//!   simulated EPC, so hot slots evict cold slots' pages and the contention
+//!   the paper's §5 workloads hint at becomes directly measurable.
+//! * [`FleetPolicy`] — fleet-level recovery: a shared restart gate spaces
+//!   supervisor rebuilds out (restart-storm throttling) and a sliding-window
+//!   circuit breaker sheds cold spin-ups instead of letting a storm cascade.
+//! * [`LoadGen`] — deterministic open-/closed-loop arrival processes with
+//!   zipfian slot popularity, all driven from one seeded RNG so fleet runs
+//!   stay byte-identical across repetitions.
+//!
+//! Everything runs in virtual time on the deterministic scheduler; the only
+//! thread driving a fleet is the load-generator thread, which makes
+//! 1000-enclave runs cheap and reproducible.
+
+pub mod loadgen;
+pub mod manager;
+pub mod policy;
+pub mod stats;
+
+pub use loadgen::{Arrival, LoadGen, RequestPlan};
+pub use manager::{FleetManager, Outcome, SlotRecipe};
+pub use policy::FleetPolicy;
+pub use stats::{percentile, FleetAggregate, SlotStats};

@@ -1,0 +1,53 @@
+//! Fleet-level tuning knobs.
+
+use sim_core::Nanos;
+
+/// Fleet-wide policy: how many enclaves may be live at once, how individual
+/// supervisors may restart, and when the fleet circuit breaker opens.
+///
+/// Two mechanisms keep an unhealthy fleet from cascading:
+///
+/// 1. **Restart-storm throttling** — every supervisor rebuild passes
+///    through a shared gate that enforces a minimum virtual-time spacing
+///    ([`restart_spacing`](FleetPolicy::restart_spacing)) between rebuilds
+///    across the *whole* fleet, so simultaneous losses serialise instead of
+///    thundering the platform.
+/// 2. **Fleet circuit breaker** — when more than
+///    [`storm_threshold`](FleetPolicy::storm_threshold) rebuilds land
+///    within [`storm_window`](FleetPolicy::storm_window), the breaker opens
+///    for [`breaker_cooldown`](FleetPolicy::breaker_cooldown): cold slots
+///    are refused (their requests are *shed* and counted) while already
+///    live enclaves keep serving. Load is shed, not cascaded.
+///
+/// Note the interaction: a spacing of `s` caps rebuilds inside a window of
+/// `w` at `w / s`, so choosing `w / s < storm_threshold` makes the breaker
+/// provably never open — throttling alone absorbs the storm.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetPolicy {
+    /// Maximum simultaneously live enclaves. Cold requests beyond this
+    /// retire the least-recently-used live slot first.
+    pub live_pool: usize,
+    /// Per-supervisor restart budget (each slot's circuit breaker).
+    pub max_restarts_per_enclave: u32,
+    /// Minimum virtual-time spacing between any two rebuilds fleet-wide.
+    pub restart_spacing: Nanos,
+    /// Sliding window the breaker counts rebuilds over.
+    pub storm_window: Nanos,
+    /// Rebuilds within the window that open the breaker.
+    pub storm_threshold: usize,
+    /// How long the breaker stays open once tripped.
+    pub breaker_cooldown: Nanos,
+}
+
+impl Default for FleetPolicy {
+    fn default() -> Self {
+        FleetPolicy {
+            live_pool: 64,
+            max_restarts_per_enclave: 3,
+            restart_spacing: Nanos::from_micros(100),
+            storm_window: Nanos::from_millis(10),
+            storm_threshold: 64,
+            breaker_cooldown: Nanos::from_millis(1),
+        }
+    }
+}

@@ -61,7 +61,7 @@ pub use error::{SdkError, SdkResult};
 pub use loader::{EcallDispatcher, Loader};
 pub use ocall::{HostCtx, OcallTable, OcallTableBuilder};
 pub use runtime::Runtime;
-pub use supervisor::{IdempotencyPolicy, Supervisor, SupervisorConfig};
+pub use supervisor::{IdempotencyPolicy, RestartGate, Supervisor, SupervisorConfig};
 pub use switchless::{Switchless, SwitchlessConfig, SwitchlessEvent, SwitchlessEventKind};
 pub use sync::{SgxCondvar, SgxHybridMutex, SgxThreadMutex};
 pub use thread_ctx::ThreadCtx;

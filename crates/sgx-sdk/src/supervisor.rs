@@ -91,6 +91,14 @@ pub type WarmupFn = Arc<
         + Sync,
 >;
 
+/// A fleet-level restart gate, invoked before every rebuild with the
+/// attempt number. A fleet manager installs one shared gate across all its
+/// supervisors to throttle restart storms (e.g. advance the virtual clock
+/// to enforce a minimum spacing between rebuilds) and to feed its
+/// circuit-breaker window. Per-supervisor backoff still applies after the
+/// gate runs.
+pub type RestartGate = Arc<dyn Fn(u32) + Send + Sync>;
+
 struct SupState {
     enclave: Arc<Enclave>,
     switchless: Option<Arc<Switchless>>,
@@ -105,6 +113,7 @@ pub struct Supervisor {
     config: SupervisorConfig,
     state: Mutex<SupState>,
     warmups: Mutex<Vec<(String, WarmupFn)>>,
+    restart_gate: Mutex<Option<RestartGate>>,
 }
 
 impl std::fmt::Debug for Supervisor {
@@ -141,7 +150,16 @@ impl Supervisor {
                 restarts: 0,
             }),
             warmups: Mutex::new(Vec::new()),
+            restart_gate: Mutex::new(None),
         }))
+    }
+
+    /// Installs (or clears) the fleet restart gate. The gate runs on every
+    /// rebuild attempt, after the circuit-breaker check and before the
+    /// enclave teardown, so a fleet manager can space out restarts across
+    /// the whole fleet and account them in its own breaker window.
+    pub fn set_restart_gate(&self, gate: Option<RestartGate>) {
+        *self.restart_gate.lock() = gate;
     }
 
     /// The currently live enclave id (changes after every rebuild).
@@ -292,6 +310,13 @@ impl Supervisor {
                     enclave: old_eid,
                     restarts: attempt - 1,
                 });
+            }
+            // Fleet-level throttling: the shared gate may advance the
+            // virtual clock to space this rebuild out from other
+            // supervisors' rebuilds and records it in the fleet window.
+            let gate = self.restart_gate.lock().clone();
+            if let Some(gate) = gate {
+                gate(attempt);
             }
             self.runtime.destroy_enclave(old_eid)?;
             // Exponential backoff before the rebuild — on real hardware
@@ -489,6 +514,38 @@ mod tests {
         // works because the last rebuild never happened. The enclave that
         // remains is the lost one.
         assert!(sup.runtime().machine().is_lost(sup.enclave_id()).unwrap());
+    }
+
+    #[test]
+    fn restart_gate_runs_before_every_rebuild() {
+        let counter = Arc::new(AtomicU64::new(0));
+        let (_rt, sup, table) = supervisor_fixture(Arc::clone(&counter));
+        let machine = Arc::clone(sup.runtime().machine());
+        let gate_hits = Arc::new(sim_core::sync::Mutex::new(Vec::new()));
+        let g2 = Arc::clone(&gate_hits);
+        let m2 = Arc::clone(&machine);
+        sup.set_restart_gate(Some(Arc::new(move |attempt| {
+            g2.lock().push(attempt);
+            // A fleet gate may space rebuilds out in virtual time.
+            m2.clock().advance(Nanos::from_micros(100));
+        })));
+        let tcx = ThreadCtx::main();
+        let mut data = CallData::default();
+        let plan: FaultPlan = "enclave_lost@call=1;enclave_lost@call=2;seed=5"
+            .parse()
+            .unwrap();
+        machine.set_fault_plan(Some(&plan));
+        let before = machine.clock().now();
+        sup.ecall(&tcx, "ecall_work", &table, &mut data).unwrap();
+        assert_eq!(gate_hits.lock().as_slice(), &[1, 2]);
+        assert!(machine.clock().now() - before >= Nanos::from_micros(200));
+        assert_eq!(sup.restarts(), 2);
+        // Clearing the gate stops the callbacks.
+        sup.set_restart_gate(None);
+        let plan: FaultPlan = "enclave_lost@call=1;seed=5".parse().unwrap();
+        machine.set_fault_plan(Some(&plan));
+        sup.ecall(&tcx, "ecall_work", &table, &mut data).unwrap();
+        assert_eq!(gate_hits.lock().len(), 2);
     }
 
     #[test]

@@ -8,8 +8,13 @@
 //!
 //! This module models only occupancy and the eviction decision; costs and
 //! event delivery live in [`machine`](crate::machine).
+//!
+//! All bookkeeping is indexed so the structure scales to fleets of
+//! thousands of enclaves: victim selection is the first entry of a stamp
+//! BTreeMap (O(log n)) and per-enclave teardown walks only that enclave's
+//! resident set instead of scanning every resident page.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use crate::machine::EnclaveId;
 
@@ -38,6 +43,9 @@ pub(crate) struct Epc {
     by_stamp: BTreeMap<u64, PageKey>,
     /// page -> stamp.
     stamps: HashMap<PageKey, u64>,
+    /// enclave -> resident page indices, so per-enclave teardown does not
+    /// scan the whole EPC (fleet-scale destroy/rebuild churn).
+    per_enclave: HashMap<EnclaveId, BTreeSet<usize>>,
     next_stamp: u64,
 }
 
@@ -49,6 +57,7 @@ impl Epc {
             policy,
             by_stamp: BTreeMap::new(),
             stamps: HashMap::new(),
+            per_enclave: HashMap::new(),
             next_stamp: 0,
         }
     }
@@ -59,6 +68,11 @@ impl Epc {
 
     pub fn resident_count(&self) -> usize {
         self.stamps.len()
+    }
+
+    /// How many of `enclave`'s pages are currently resident. O(1).
+    pub fn resident_of(&self, enclave: EnclaveId) -> usize {
+        self.per_enclave.get(&enclave).map_or(0, BTreeSet::len)
     }
 
     pub fn contains(&self, key: PageKey) -> bool {
@@ -82,6 +96,7 @@ impl Epc {
                 .expect("EPC full implies non-empty");
             self.by_stamp.remove(&stamp);
             self.stamps.remove(&victim);
+            self.unindex(victim);
             // Caller records the eviction, then the new page goes in below.
             self.insert_fresh(key);
             return Some(victim);
@@ -95,6 +110,16 @@ impl Epc {
         self.next_stamp += 1;
         self.by_stamp.insert(stamp, key);
         self.stamps.insert(key, stamp);
+        self.per_enclave.entry(key.0).or_default().insert(key.1);
+    }
+
+    fn unindex(&mut self, key: PageKey) {
+        if let Some(set) = self.per_enclave.get_mut(&key.0) {
+            set.remove(&key.1);
+            if set.is_empty() {
+                self.per_enclave.remove(&key.0);
+            }
+        }
     }
 
     /// Records an access for LRU bookkeeping. No-op under FIFO.
@@ -104,6 +129,9 @@ impl Epc {
         }
         if let Some(stamp) = self.stamps.get(&key).copied() {
             self.by_stamp.remove(&stamp);
+            // Re-stamp only; the per-enclave index already holds the page,
+            // and insert_fresh's BTreeSet insert of an existing element is
+            // a no-op, so going through it keeps one code path.
             self.insert_fresh(key);
         }
     }
@@ -113,6 +141,7 @@ impl Epc {
         match self.stamps.remove(&key) {
             Some(stamp) => {
                 self.by_stamp.remove(&stamp);
+                self.unindex(key);
                 true
             }
             None => false,
@@ -120,17 +149,19 @@ impl Epc {
     }
 
     /// Removes every page of an enclave; returns how many were resident.
+    /// Proportional to that enclave's resident set, not total occupancy.
     pub fn remove_enclave(&mut self, enclave: EnclaveId) -> usize {
-        let keys: Vec<PageKey> = self
-            .stamps
-            .keys()
-            .filter(|(eid, _)| *eid == enclave)
-            .copied()
-            .collect();
-        for key in &keys {
-            self.remove(*key);
+        let Some(pages) = self.per_enclave.remove(&enclave) else {
+            return 0;
+        };
+        let mut removed = 0;
+        for page in pages {
+            if let Some(stamp) = self.stamps.remove(&(enclave, page)) {
+                self.by_stamp.remove(&stamp);
+                removed += 1;
+            }
         }
-        keys.len()
+        removed
     }
 }
 
@@ -210,5 +241,29 @@ mod tests {
         epc.insert((eid(2), 0));
         assert_eq!(epc.insert((eid(2), 1)), Some((eid(1), 0)));
         assert_eq!(epc.insert((eid(1), 0)), Some((eid(1), 1)));
+    }
+
+    #[test]
+    fn per_enclave_index_tracks_evictions_and_removals() {
+        let mut epc = Epc::new(3, EvictionPolicy::Fifo);
+        epc.insert((eid(1), 0));
+        epc.insert((eid(1), 1));
+        epc.insert((eid(2), 0));
+        assert_eq!(epc.resident_of(eid(1)), 2);
+        assert_eq!(epc.resident_of(eid(2)), 1);
+        // Eviction of enclave 1's oldest page must drop its index entry.
+        assert_eq!(epc.insert((eid(2), 1)), Some((eid(1), 0)));
+        assert_eq!(epc.resident_of(eid(1)), 1);
+        assert_eq!(epc.resident_of(eid(2)), 2);
+        // Explicit removal keeps the index consistent too.
+        assert!(epc.remove((eid(1), 1)));
+        assert_eq!(epc.resident_of(eid(1)), 0);
+        // LRU touch of a resident page must not double-count it.
+        let mut lru = Epc::new(4, EvictionPolicy::Lru);
+        lru.insert((eid(3), 0));
+        lru.touch((eid(3), 0));
+        assert_eq!(lru.resident_of(eid(3)), 1);
+        assert_eq!(lru.remove_enclave(eid(3)), 1);
+        assert_eq!(lru.resident_of(eid(3)), 0);
     }
 }

@@ -1,6 +1,6 @@
 //! The simulated SGX machine: enclaves, EPC, AEX injection, MMU faults.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::ops::Range;
 use std::sync::Arc;
@@ -255,6 +255,9 @@ struct EnclaveState {
 struct Inner {
     epc: Epc,
     enclaves: HashMap<u32, EnclaveState>,
+    /// base vaddr -> enclave id, so reverse address translation is a range
+    /// query instead of a scan over every live enclave (fleet scale).
+    by_base: BTreeMap<u64, u32>,
     next_eid: u32,
 }
 
@@ -329,6 +332,7 @@ impl Machine {
             inner: Mutex::new(Inner {
                 epc: Epc::new(params.epc_pages, params.eviction),
                 enclaves: HashMap::new(),
+                by_base: BTreeMap::new(),
                 next_eid: 1,
             }),
             params,
@@ -366,6 +370,13 @@ impl Machine {
     /// Pages currently resident in the EPC across all enclaves.
     pub fn epc_resident(&self) -> usize {
         self.inner.lock().epc.resident_count()
+    }
+
+    /// Pages of one enclave currently resident in the EPC. O(1) — served
+    /// from the EPC's per-enclave index, so fleet dashboards can poll it
+    /// for thousands of enclaves without scanning page tables.
+    pub fn epc_resident_of(&self, eid: EnclaveId) -> usize {
+        self.inner.lock().epc.resident_of(eid)
     }
 
     /// Whether a specific enclave page is currently resident.
@@ -427,6 +438,7 @@ impl Machine {
                     poisoned: false,
                 },
             );
+            inner.by_base.insert(base, raw);
             events.push(DriverEvent::EnclaveCreated {
                 enclave: eid,
                 pages: layout.total_pages(),
@@ -444,9 +456,10 @@ impl Machine {
     pub fn destroy_enclave(&self, eid: EnclaveId) -> Result<(), SimError> {
         {
             let mut inner = self.inner.lock();
-            if inner.enclaves.remove(&eid.0).is_none() {
+            let Some(st) = inner.enclaves.remove(&eid.0) else {
                 return Err(SimError::UnknownEnclave(eid));
-            }
+            };
+            inner.by_base.remove(&st.base);
             inner.epc.remove_enclave(eid);
         }
         self.emit_driver_events(&[DriverEvent::EnclaveDestroyed {
@@ -529,16 +542,18 @@ impl Machine {
     }
 
     /// Maps a virtual address back to (enclave, page index), if it belongs
-    /// to a live enclave.
+    /// to a live enclave. One ordered-map range query — O(log n) in the
+    /// number of live enclaves.
     pub fn vaddr_to_page(&self, vaddr: u64) -> Option<(EnclaveId, usize)> {
         let inner = self.inner.lock();
-        for (raw, st) in &inner.enclaves {
-            let size = (st.layout.total_pages() * PAGE_SIZE) as u64;
-            if vaddr >= st.base && vaddr < st.base + size {
-                return Some((EnclaveId(*raw), ((vaddr - st.base) as usize) / PAGE_SIZE));
-            }
+        let (&base, &raw) = inner.by_base.range(..=vaddr).next_back()?;
+        let st = inner.enclaves.get(&raw)?;
+        let size = (st.layout.total_pages() * PAGE_SIZE) as u64;
+        if vaddr < base + size {
+            Some((EnclaveId(raw), ((vaddr - base) as usize) / PAGE_SIZE))
+        } else {
+            None
         }
-        None
     }
 
     // ------------------------------------------------------------------
@@ -1499,6 +1514,45 @@ mod tests {
         let va = m.page_vaddr(eid, 5).unwrap();
         assert_eq!(m.vaddr_to_page(va), Some((eid, 5)));
         assert_eq!(m.vaddr_to_page(0xdead), None);
+    }
+
+    #[test]
+    fn vaddr_mapping_survives_fleet_churn() {
+        // Many enclaves, one destroyed in the middle: the base index must
+        // keep translating live enclaves and reject the destroyed one's
+        // addresses plus inter-enclave gaps.
+        let m = machine();
+        let eids: Vec<EnclaveId> = (0..8)
+            .map(|_| m.create_enclave(&EnclaveConfig::default()).unwrap())
+            .collect();
+        m.destroy_enclave(eids[3]).unwrap();
+        for (i, &eid) in eids.iter().enumerate() {
+            if i == 3 {
+                continue;
+            }
+            let va = m.page_vaddr(eid, 7).unwrap();
+            assert_eq!(m.vaddr_to_page(va), Some((eid, 7)));
+        }
+        // An address in the destroyed enclave's old range no longer maps.
+        let dead_base = (eids[3].0 as u64 + 1) << 36;
+        assert_eq!(m.vaddr_to_page(dead_base + 4096), None);
+        // Just past the end of a live enclave falls into the gap.
+        let info = m.enclave_info(eids[0]).unwrap();
+        let past_end = info.base_vaddr + (info.total_pages * PAGE_SIZE) as u64;
+        assert_eq!(m.vaddr_to_page(past_end), None);
+    }
+
+    #[test]
+    fn per_enclave_residency_is_tracked() {
+        let m = machine();
+        let a = m.create_enclave(&EnclaveConfig::default()).unwrap();
+        let b = m.create_enclave(&EnclaveConfig::default()).unwrap();
+        let total = m.enclave_info(a).unwrap().total_pages;
+        assert_eq!(m.epc_resident_of(a), total);
+        assert_eq!(m.epc_resident_of(b), total);
+        m.evict_all(a).unwrap();
+        assert_eq!(m.epc_resident_of(a), 0);
+        assert_eq!(m.epc_resident_of(b), total);
     }
 
     #[test]

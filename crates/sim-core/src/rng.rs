@@ -152,6 +152,75 @@ pub fn bimodal(rng: &mut Rng, mean: Nanos, tail_mean: Nanos, tail_p: f64) -> Nan
     }
 }
 
+/// A zipfian sampler over `0..n`: rank 0 is the most popular element and
+/// rank `k` is drawn with probability proportional to `1 / (k+1)^s`.
+///
+/// The cumulative weights are precomputed at construction, so each sample
+/// is one uniform draw plus a binary search — O(log n), deterministic for
+/// a given [`Rng`] state. This is the client-popularity model of fleet
+/// load generation (a few hot per-client enclaves, a long cold tail).
+///
+/// # Examples
+///
+/// ```
+/// use sim_core::rng::{seeded, Zipf};
+///
+/// let zipf = Zipf::new(100, 0.99);
+/// let mut rng = seeded(7);
+/// let first = zipf.sample(&mut rng);
+/// assert!(first < 100);
+/// let mut rng2 = seeded(7);
+/// assert_eq!(zipf.sample(&mut rng2), first);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the sampler for ranks `0..n` with exponent `s` (the classic
+    /// web-traffic value is `s ≈ 0.99`; `s = 0` degenerates to uniform).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s` is not finite.
+    pub fn new(n: usize, s: f64) -> Zipf {
+        assert!(n > 0, "Zipf over an empty domain");
+        assert!(s.is_finite(), "Zipf exponent must be finite");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// The domain size `n`.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the domain is empty (never true — construction rejects it).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draws one rank in `0..n`.
+    pub fn sample(&self, rng: &mut Rng) -> usize {
+        let u: f64 = rng.gen();
+        // partition_point returns the first rank whose cumulative weight
+        // exceeds the draw; the final entry is 1.0, so the result is < n.
+        self.cdf
+            .partition_point(|&c| c <= u)
+            .min(self.cdf.len() - 1)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

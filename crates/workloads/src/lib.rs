@@ -32,6 +32,7 @@
 
 pub mod antipatterns;
 pub mod chaos;
+pub mod fleet;
 pub mod glamdring;
 pub mod harness;
 pub mod racy_fixture;

@@ -7,6 +7,11 @@
 # improvement, if the chaos regression stopped being detected (exit != 3),
 # or on any build/run failure.
 #
+# Also runs the fleet scenario at acceptance scale (1000 enclaves x 100k
+# requests, byte-identity asserted across two runs) and emits
+# BENCH_fleet.json (spin-up rate, fleet throughput, peak EPC eviction
+# rate). Set FLEET_SCALE=smoke|tiny to shrink it.
+#
 # usage: scripts/bench.sh [output-dir] [profile] [requests]
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -15,6 +20,8 @@ OUT_DIR="${1:-target/ab-traces}"
 PROFILE="${2:-unpatched}"
 REQUESTS="${3:-1000}"
 BENCH_JSON="${BENCH_JSON:-BENCH_diff.json}"
+FLEET_JSON="${FLEET_JSON:-BENCH_fleet.json}"
+FLEET_SCALE="${FLEET_SCALE:-full}"
 
 echo "== build (release, offline)"
 cargo build --release --offline -p sgx-perf -p workloads --examples --bins
@@ -40,4 +47,22 @@ if [ "$CHAOS_EXIT" -ne 3 ]; then
     exit 1
 fi
 
-echo "wrote $BENCH_JSON"
+echo "== fleet smoke ($FLEET_SCALE scale, $PROFILE, byte-identity across 2 runs)"
+cargo run --release --offline -q -p workloads --example fleet_smoke -- \
+    "$OUT_DIR" "$FLEET_SCALE" "$PROFILE"
+
+# fleet_smoke labels the Foreshadow profile `l1tf` in trace filenames.
+case "$PROFILE" in
+    foreshadow) FLEET_TRACE="$OUT_DIR/fleet-l1tf.evdb" ;;
+    *) FLEET_TRACE="$OUT_DIR/fleet-$PROFILE.evdb" ;;
+esac
+
+echo "== fleet report ($FLEET_TRACE)"
+"$SGXPERF" report "$FLEET_TRACE" > /dev/null
+"$SGXPERF" fleet "$FLEET_TRACE" --top 10
+
+echo "== fleet bench ($FLEET_SCALE scale, $PROFILE)"
+cargo run --release --offline -q -p workloads --example fleet_bench -- \
+    "$FLEET_JSON" "$FLEET_SCALE" "$PROFILE"
+
+echo "wrote $BENCH_JSON and $FLEET_JSON"
