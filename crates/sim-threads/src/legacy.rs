@@ -1,0 +1,353 @@
+//! The original execution engine: one OS thread per logical thread,
+//! token-scheduled over a condvar.
+//!
+//! Exactly one logical thread holds the execution token at a time; every
+//! scheduling point is a condvar round-trip (two OS context switches).
+//! Correct and battle-tested, but slow — the fast coroutine engine
+//! ([`crate::fast`]) replaces it as the default and this engine remains as
+//! the differential oracle the `engine_diff` suite runs every workload
+//! against.
+
+use std::collections::VecDeque;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use sim_core::sync::{Condvar, Mutex};
+use sim_core::syncev::{SyncBus, SyncOp, EXTERNAL_THREAD};
+use sim_core::{Clock, Nanos};
+
+use crate::{LogicalThreadId, SimCtx};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    /// Waiting in the run queue.
+    Runnable,
+    /// Currently holding the execution token.
+    Running,
+    /// Parked until another thread unparks it.
+    Parked,
+    /// Sleeping until the virtual clock reaches the deadline.
+    Sleeping(Nanos),
+    /// Finished (normally or by panic).
+    Done,
+}
+
+struct ThreadEntry {
+    name: String,
+    status: Status,
+    /// Pending unpark permit (like `std::thread::park`'s token) so that an
+    /// unpark delivered before the park is not lost.
+    permit: bool,
+}
+
+struct SchedState {
+    threads: Vec<ThreadEntry>,
+    run_queue: VecDeque<usize>,
+    current: Option<usize>,
+    started: bool,
+    panic: Option<String>,
+}
+
+struct Shared {
+    state: Mutex<SchedState>,
+    cond: Condvar,
+    clock: Clock,
+    /// Sync-event channel for thread spawn/join edges (see
+    /// [`sim_core::syncev`]); unset simulations emit nothing.
+    sync_bus: Mutex<Option<Arc<SyncBus>>>,
+}
+
+impl Shared {
+    fn bus(&self) -> Option<Arc<SyncBus>> {
+        self.sync_bus.lock().clone()
+    }
+
+    /// Picks the next thread to run. Must be called with the lock held and
+    /// `current` already vacated. Wakes sleepers by advancing the clock when
+    /// the run queue is empty.
+    ///
+    /// Returns `false` if nothing is left to run (all done, or deadlock —
+    /// which is recorded as a panic message).
+    fn dispatch_next(&self, st: &mut SchedState) -> bool {
+        loop {
+            if let Some(next) = st.run_queue.pop_front() {
+                st.threads[next].status = Status::Running;
+                st.current = Some(next);
+                self.cond.notify_all();
+                return true;
+            }
+            // Run queue empty: try waking sleepers by advancing time.
+            let earliest = st
+                .threads
+                .iter()
+                .enumerate()
+                .filter_map(|(i, t)| match t.status {
+                    Status::Sleeping(dl) => Some((dl, i)),
+                    _ => None,
+                })
+                .min();
+            match earliest {
+                Some((deadline, _)) => {
+                    self.clock.advance_to(deadline);
+                    let now = self.clock.now();
+                    // Wake all sleepers whose deadline has passed, in id
+                    // order, to keep scheduling deterministic.
+                    for i in 0..st.threads.len() {
+                        if let Status::Sleeping(dl) = st.threads[i].status {
+                            if dl <= now {
+                                st.threads[i].status = Status::Runnable;
+                                st.run_queue.push_back(i);
+                            }
+                        }
+                    }
+                }
+                None => {
+                    st.current = None;
+                    let stuck: Vec<&str> = st
+                        .threads
+                        .iter()
+                        .filter(|t| t.status == Status::Parked)
+                        .map(|t| t.name.as_str())
+                        .collect();
+                    if !stuck.is_empty() && st.panic.is_none() {
+                        st.panic = Some(format!(
+                            "deadlock: all runnable threads exhausted while {stuck:?} remain parked"
+                        ));
+                    }
+                    self.cond.notify_all();
+                    return false;
+                }
+            }
+        }
+    }
+}
+
+/// The OS-thread-backed simulation engine.
+pub(crate) struct Sim {
+    shared: Arc<Shared>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Sim {
+    pub(crate) fn new(clock: Clock) -> Self {
+        Sim {
+            shared: Arc::new(Shared {
+                state: Mutex::new(SchedState {
+                    threads: Vec::new(),
+                    run_queue: VecDeque::new(),
+                    current: None,
+                    started: false,
+                    panic: None,
+                }),
+                cond: Condvar::new(),
+                clock,
+                sync_bus: Mutex::new(None),
+            }),
+            handles: Mutex::new(Vec::new()),
+        }
+    }
+
+    pub(crate) fn debug_fields(&self) -> (usize, bool) {
+        let st = self.shared.state.lock();
+        (st.threads.len(), st.started)
+    }
+
+    pub(crate) fn clock(&self) -> &Clock {
+        &self.shared.clock
+    }
+
+    pub(crate) fn set_sync_bus(&self, bus: Arc<SyncBus>) {
+        *self.shared.sync_bus.lock() = Some(bus);
+    }
+
+    pub(crate) fn spawn<F>(&self, name: &str, f: F) -> LogicalThreadId
+    where
+        F: FnOnce(&SimCtx) + Send + 'static,
+    {
+        let shared = Arc::clone(&self.shared);
+        let (index, parent) = {
+            let mut st = shared.state.lock();
+            let index = st.threads.len();
+            st.threads.push(ThreadEntry {
+                name: name.to_string(),
+                status: Status::Runnable,
+                permit: false,
+            });
+            st.run_queue.push_back(index);
+            (index, st.current)
+        };
+        if let Some(bus) = self.shared.bus() {
+            let parent = parent.map_or(EXTERNAL_THREAD, |p| p as u64);
+            bus.emit(
+                parent,
+                SyncOp::ThreadSpawn,
+                None,
+                Some(index as u64),
+                0,
+                name,
+            );
+        }
+        let thread_shared = Arc::clone(&self.shared);
+        let handle = std::thread::Builder::new()
+            .name(name.to_string())
+            .spawn(move || {
+                let ctx = Ctx {
+                    shared: thread_shared,
+                    index,
+                };
+                // Wait for our first dispatch.
+                {
+                    let mut st = ctx.shared.state.lock();
+                    while st.current != Some(index) {
+                        if st.panic.is_some() {
+                            // Simulation is tearing down before we ever ran.
+                            st.threads[index].status = Status::Done;
+                            ctx.shared.cond.notify_all();
+                            return;
+                        }
+                        ctx.shared.cond.wait(&mut st);
+                    }
+                }
+                let shared = Arc::clone(&ctx.shared);
+                let sim_ctx = SimCtx::from_legacy(ctx);
+                let result = panic::catch_unwind(AssertUnwindSafe(|| f(&sim_ctx)));
+                if let Some(bus) = shared.bus() {
+                    bus.emit(index as u64, SyncOp::ThreadJoin, None, None, 0, "");
+                }
+                let mut st = shared.state.lock();
+                st.threads[index].status = Status::Done;
+                if let Err(payload) = result {
+                    let msg = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "logical thread panicked".to_string());
+                    if st.panic.is_none() {
+                        st.panic = Some(msg);
+                    }
+                }
+                st.current = None;
+                shared.dispatch_next(&mut st);
+            })
+            .expect("failed to spawn OS thread backing a logical thread");
+        self.handles.lock().push(handle);
+        LogicalThreadId(index)
+    }
+
+    pub(crate) fn run(&self) {
+        {
+            let mut st = self.shared.state.lock();
+            assert!(!st.started, "Simulation::run called twice");
+            st.started = true;
+            if !self.shared.dispatch_next(&mut st) {
+                // No threads were spawned.
+            }
+        }
+        // Wait for completion: all threads Done.
+        {
+            let mut st = self.shared.state.lock();
+            while !st.threads.iter().all(|t| t.status == Status::Done) {
+                if st.panic.is_some()
+                    && st.current.is_none()
+                    && st.run_queue.is_empty()
+                    && !st
+                        .threads
+                        .iter()
+                        .any(|t| matches!(t.status, Status::Sleeping(_)))
+                {
+                    break; // deadlock: remaining threads will never finish
+                }
+                self.shared.cond.wait(&mut st);
+            }
+        }
+        let panic_msg = self.shared.state.lock().panic.clone();
+        if let Some(msg) = panic_msg {
+            // Let parked threads exit before propagating.
+            self.shared.cond.notify_all();
+            for h in self.handles.lock().drain(..) {
+                let _ = h.join();
+            }
+            panic!("simulation failed: {msg}");
+        }
+        for h in self.handles.lock().drain(..) {
+            h.join().expect("logical thread OS join failed");
+        }
+    }
+}
+
+/// Per-logical-thread scheduling handle of the legacy engine.
+pub(crate) struct Ctx {
+    shared: Arc<Shared>,
+    index: usize,
+}
+
+impl Ctx {
+    pub(crate) fn id(&self) -> LogicalThreadId {
+        LogicalThreadId(self.index)
+    }
+
+    pub(crate) fn clock(&self) -> &Clock {
+        &self.shared.clock
+    }
+
+    pub(crate) fn yield_now(&self) {
+        let mut st = self.shared.state.lock();
+        st.threads[self.index].status = Status::Runnable;
+        st.run_queue.push_back(self.index);
+        st.current = None;
+        self.shared.dispatch_next(&mut st);
+        self.wait_for_token(st);
+    }
+
+    pub(crate) fn park(&self) {
+        let mut st = self.shared.state.lock();
+        if st.threads[self.index].permit {
+            st.threads[self.index].permit = false;
+            return;
+        }
+        st.threads[self.index].status = Status::Parked;
+        st.current = None;
+        self.shared.dispatch_next(&mut st);
+        self.wait_for_token(st);
+        // Consumed implicitly: the unparker moved us to the run queue.
+    }
+
+    pub(crate) fn unpark(&self, target: LogicalThreadId) {
+        let mut st = self.shared.state.lock();
+        let entry = st
+            .threads
+            .get(target.0)
+            .unwrap_or_else(|| panic!("unpark of unknown thread {target}"));
+        match entry.status {
+            Status::Parked => {
+                st.threads[target.0].status = Status::Runnable;
+                st.run_queue.push_back(target.0);
+            }
+            Status::Done => {}
+            _ => st.threads[target.0].permit = true,
+        }
+    }
+
+    pub(crate) fn sleep_until(&self, deadline: Nanos) {
+        let mut st = self.shared.state.lock();
+        if self.shared.clock.now() >= deadline {
+            return;
+        }
+        st.threads[self.index].status = Status::Sleeping(deadline);
+        st.current = None;
+        self.shared.dispatch_next(&mut st);
+        self.wait_for_token(st);
+    }
+
+    fn wait_for_token(&self, mut st: sim_core::sync::MutexGuard<'_, SchedState>) {
+        while st.current != Some(self.index) {
+            if st.panic.is_some() && st.current.is_none() && st.run_queue.is_empty() {
+                // Simulation is dead; unwind this thread quietly.
+                drop(st);
+                panic!("simulation aborted");
+            }
+            self.shared.cond.wait(&mut st);
+        }
+    }
+}

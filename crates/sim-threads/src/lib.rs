@@ -3,16 +3,37 @@
 //! Multi-threaded SGX workloads (e.g. SecureKeeper's client handlers
 //! contending on an in-enclave mutex) need real concurrency *semantics* —
 //! parking, waking, interleaving — but the reproduction must stay
-//! bit-deterministic. This crate provides logical threads backed by OS
-//! threads that are token-scheduled: **exactly one logical thread runs at a
-//! time**, and scheduling decisions are pure round-robin over a FIFO run
-//! queue, so the interleaving is a deterministic function of the program.
+//! bit-deterministic. This crate provides logical threads scheduled
+//! cooperatively: **exactly one logical thread runs at a time**, and
+//! scheduling decisions are pure round-robin over a FIFO run queue, so the
+//! interleaving is a deterministic function of the program.
 //!
 //! Logical threads cooperate through explicit scheduling points:
 //! [`SimCtx::yield_now`], [`SimCtx::park`]/[`SimCtx::unpark`] and
 //! [`SimCtx::sleep`]. Sleeping integrates with the shared virtual
 //! [`Clock`]: when every runnable thread is asleep, the
 //! scheduler advances the clock to the earliest deadline.
+//!
+//! # Engines
+//!
+//! Two interchangeable execution engines implement the same scheduling
+//! model ([`Engine`]):
+//!
+//! * [`Engine::Fast`] (the default) runs every logical thread as a
+//!   stackful coroutine on the **single OS thread** that calls
+//!   [`Simulation::run`]. A scheduling point is a user-space context
+//!   switch — a few dozen nanoseconds, no parking syscalls, no condvar
+//!   round-trips — which makes simulation throughput 10–100× higher.
+//! * [`Engine::Legacy`] backs each logical thread with a real OS thread
+//!   and passes an execution token over a condvar. It is kept as the
+//!   differential oracle: for every program, both engines must produce
+//!   the same interleaving, the same virtual-clock trajectory, and hence
+//!   byte-identical traces (the `engine_diff` suite asserts this).
+//!
+//! Selection: [`Simulation::new`] honours a scoped [`with_engine`]
+//! override first, then the `SGXPERF_SIM_ENGINE` environment variable
+//! (`fast` or `legacy`), and defaults to [`Engine::Fast`].
+//! [`Simulation::with_engine_kind`] pins an engine explicitly.
 //!
 //! # Examples
 //!
@@ -38,15 +59,15 @@
 //! assert_eq!(counter.load(Ordering::SeqCst), 30);
 //! ```
 
-use std::collections::VecDeque;
+use std::cell::Cell;
 use std::fmt;
-use std::panic::{self, AssertUnwindSafe};
 use std::sync::Arc;
-use std::thread::JoinHandle;
 
-use sim_core::sync::{Condvar, Mutex};
-use sim_core::syncev::{SyncBus, SyncOp, EXTERNAL_THREAD};
+use sim_core::syncev::SyncBus;
 use sim_core::{Clock, Nanos};
+
+mod fast;
+mod legacy;
 
 /// Identifier of a logical thread within one [`Simulation`].
 ///
@@ -61,161 +82,144 @@ impl fmt::Display for LogicalThreadId {
     }
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Status {
-    /// Waiting in the run queue.
-    Runnable,
-    /// Currently holding the execution token.
-    Running,
-    /// Parked until another thread unparks it.
-    Parked,
-    /// Sleeping until the virtual clock reaches the deadline.
-    Sleeping(Nanos),
-    /// Finished (normally or by panic).
-    Done,
+/// Which execution engine backs a [`Simulation`] (see the
+/// [crate docs](crate) for the trade-off).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Engine {
+    /// OS-thread token passing over a condvar — the original engine, kept
+    /// as the differential oracle.
+    Legacy,
+    /// Single-OS-thread stackful coroutines — the fast path.
+    #[default]
+    Fast,
 }
 
-struct ThreadEntry {
-    name: String,
-    status: Status,
-    /// Pending unpark permit (like `std::thread::park`'s token) so that an
-    /// unpark delivered before the park is not lost.
-    permit: bool,
-}
-
-struct SchedState {
-    threads: Vec<ThreadEntry>,
-    run_queue: VecDeque<usize>,
-    current: Option<usize>,
-    started: bool,
-    panic: Option<String>,
-}
-
-struct Shared {
-    state: Mutex<SchedState>,
-    cond: Condvar,
-    clock: Clock,
-    /// Sync-event channel for thread spawn/join edges (see
-    /// [`sim_core::syncev`]); unset simulations emit nothing.
-    sync_bus: Mutex<Option<Arc<SyncBus>>>,
-}
-
-impl Shared {
-    fn bus(&self) -> Option<Arc<SyncBus>> {
-        self.sync_bus.lock().clone()
-    }
-}
-
-impl Shared {
-    /// Picks the next thread to run. Must be called with the lock held and
-    /// `current` already vacated. Wakes sleepers by advancing the clock when
-    /// the run queue is empty.
-    ///
-    /// Returns `false` if nothing is left to run (all done, or deadlock —
-    /// which is recorded as a panic message).
-    fn dispatch_next(&self, st: &mut SchedState) -> bool {
-        loop {
-            if let Some(next) = st.run_queue.pop_front() {
-                st.threads[next].status = Status::Running;
-                st.current = Some(next);
-                self.cond.notify_all();
-                return true;
-            }
-            // Run queue empty: try waking sleepers by advancing time.
-            let earliest = st
-                .threads
-                .iter()
-                .enumerate()
-                .filter_map(|(i, t)| match t.status {
-                    Status::Sleeping(dl) => Some((dl, i)),
-                    _ => None,
-                })
-                .min();
-            match earliest {
-                Some((deadline, _)) => {
-                    self.clock.advance_to(deadline);
-                    let now = self.clock.now();
-                    // Wake all sleepers whose deadline has passed, in id
-                    // order, to keep scheduling deterministic.
-                    for i in 0..st.threads.len() {
-                        if let Status::Sleeping(dl) = st.threads[i].status {
-                            if dl <= now {
-                                st.threads[i].status = Status::Runnable;
-                                st.run_queue.push_back(i);
-                            }
-                        }
-                    }
-                }
-                None => {
-                    st.current = None;
-                    let stuck: Vec<&str> = st
-                        .threads
-                        .iter()
-                        .filter(|t| t.status == Status::Parked)
-                        .map(|t| t.name.as_str())
-                        .collect();
-                    if !stuck.is_empty() && st.panic.is_none() {
-                        st.panic = Some(format!(
-                            "deadlock: all runnable threads exhausted while {stuck:?} remain parked"
-                        ));
-                    }
-                    self.cond.notify_all();
-                    return false;
-                }
-            }
+impl Engine {
+    /// Parses an engine name as used by `SGXPERF_SIM_ENGINE` and CLI
+    /// flags. Returns `None` for unknown names.
+    pub fn parse(name: &str) -> Option<Engine> {
+        match name {
+            "legacy" | "threads" => Some(Engine::Legacy),
+            "fast" | "coroutine" => Some(Engine::Fast),
+            _ => None,
         }
     }
+
+    /// Label used in bench output and file names.
+    pub fn label(self) -> &'static str {
+        match self {
+            Engine::Legacy => "legacy",
+            Engine::Fast => "fast",
+        }
+    }
+
+    /// The engine [`Simulation::new`] picks on this thread right now:
+    /// scoped [`with_engine`] override, then `SGXPERF_SIM_ENGINE`, then
+    /// [`Engine::Fast`].
+    pub fn current() -> Engine {
+        if let Some(e) = ENGINE_OVERRIDE.with(|o| o.get()) {
+            return e;
+        }
+        std::env::var("SGXPERF_SIM_ENGINE")
+            .ok()
+            .and_then(|v| Engine::parse(&v))
+            .unwrap_or_default()
+    }
+}
+
+impl fmt::Display for Engine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+thread_local! {
+    static ENGINE_OVERRIDE: Cell<Option<Engine>> = const { Cell::new(None) };
+}
+
+/// Runs `f` with every [`Simulation::new`] on **this thread** pinned to
+/// `engine` — the hook the differential tests and the campaign runner use
+/// to drive workloads (which construct their own simulations internally)
+/// on a chosen engine. Restores the previous override on exit, including
+/// on panic.
+pub fn with_engine<R>(engine: Engine, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<Engine>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            ENGINE_OVERRIDE.with(|o| o.set(self.0));
+        }
+    }
+    let _restore = Restore(ENGINE_OVERRIDE.with(|o| o.replace(Some(engine))));
+    f()
+}
+
+enum SimImpl {
+    Legacy(legacy::Sim),
+    Fast(fast::Sim),
 }
 
 /// A deterministic multi-threaded simulation.
 ///
 /// Spawn logical threads with [`Simulation::spawn`], then drive them to
 /// completion with [`Simulation::run`]. See the [crate docs](crate) for the
-/// scheduling model.
+/// scheduling model and the engine choice.
 pub struct Simulation {
-    shared: Arc<Shared>,
-    handles: Mutex<Vec<JoinHandle<()>>>,
+    inner: SimImpl,
 }
 
 impl fmt::Debug for Simulation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let st = self.shared.state.lock();
+        let (threads, started) = match &self.inner {
+            SimImpl::Legacy(s) => s.debug_fields(),
+            SimImpl::Fast(s) => s.debug_fields(),
+        };
         f.debug_struct("Simulation")
-            .field("threads", &st.threads.len())
-            .field("started", &st.started)
+            .field("engine", &self.engine())
+            .field("threads", &threads)
+            .field("started", &started)
             .finish()
     }
 }
 
 impl Simulation {
-    /// Creates a simulation driven by the given virtual clock.
+    /// Creates a simulation driven by the given virtual clock, on the
+    /// engine [`Engine::current`] selects.
     pub fn new(clock: Clock) -> Self {
-        Simulation {
-            shared: Arc::new(Shared {
-                state: Mutex::new(SchedState {
-                    threads: Vec::new(),
-                    run_queue: VecDeque::new(),
-                    current: None,
-                    started: false,
-                    panic: None,
-                }),
-                cond: Condvar::new(),
-                clock,
-                sync_bus: Mutex::new(None),
-            }),
-            handles: Mutex::new(Vec::new()),
+        Simulation::with_engine_kind(clock, Engine::current())
+    }
+
+    /// Creates a simulation pinned to an explicit engine.
+    pub fn with_engine_kind(clock: Clock, engine: Engine) -> Self {
+        let inner = match engine {
+            Engine::Legacy => SimImpl::Legacy(legacy::Sim::new(clock)),
+            Engine::Fast => SimImpl::Fast(fast::Sim::new(clock)),
+        };
+        Simulation { inner }
+    }
+
+    /// The engine backing this simulation.
+    pub fn engine(&self) -> Engine {
+        match &self.inner {
+            SimImpl::Legacy(_) => Engine::Legacy,
+            SimImpl::Fast(_) => Engine::Fast,
         }
     }
 
     /// The clock this simulation advances.
     pub fn clock(&self) -> &Clock {
-        &self.shared.clock
+        match &self.inner {
+            SimImpl::Legacy(s) => s.clock(),
+            SimImpl::Fast(s) => s.clock(),
+        }
     }
 
     /// Routes thread spawn/join events to `bus` so the race analysis sees
     /// the happens-before edges the scheduler creates.
     pub fn set_sync_bus(&self, bus: Arc<SyncBus>) {
-        *self.shared.sync_bus.lock() = Some(bus);
+        match &self.inner {
+            SimImpl::Legacy(s) => s.set_sync_bus(bus),
+            SimImpl::Fast(s) => s.set_sync_bus(bus),
+        }
     }
 
     /// Spawns a logical thread. The closure receives a [`SimCtx`] giving it
@@ -226,72 +230,10 @@ impl Simulation {
     where
         F: FnOnce(&SimCtx) + Send + 'static,
     {
-        let shared = Arc::clone(&self.shared);
-        let (index, parent) = {
-            let mut st = shared.state.lock();
-            let index = st.threads.len();
-            st.threads.push(ThreadEntry {
-                name: name.to_string(),
-                status: Status::Runnable,
-                permit: false,
-            });
-            st.run_queue.push_back(index);
-            (index, st.current)
-        };
-        if let Some(bus) = self.shared.bus() {
-            let parent = parent.map_or(EXTERNAL_THREAD, |p| p as u64);
-            bus.emit(
-                parent,
-                SyncOp::ThreadSpawn,
-                None,
-                Some(index as u64),
-                0,
-                name,
-            );
+        match &self.inner {
+            SimImpl::Legacy(s) => s.spawn(name, f),
+            SimImpl::Fast(s) => s.spawn(name, f),
         }
-        let thread_shared = Arc::clone(&self.shared);
-        let handle = std::thread::Builder::new()
-            .name(name.to_string())
-            .spawn(move || {
-                let ctx = SimCtx {
-                    shared: thread_shared,
-                    index,
-                };
-                // Wait for our first dispatch.
-                {
-                    let mut st = ctx.shared.state.lock();
-                    while st.current != Some(index) {
-                        if st.panic.is_some() {
-                            // Simulation is tearing down before we ever ran.
-                            st.threads[index].status = Status::Done;
-                            ctx.shared.cond.notify_all();
-                            return;
-                        }
-                        ctx.shared.cond.wait(&mut st);
-                    }
-                }
-                let result = panic::catch_unwind(AssertUnwindSafe(|| f(&ctx)));
-                if let Some(bus) = ctx.shared.bus() {
-                    bus.emit(index as u64, SyncOp::ThreadJoin, None, None, 0, "");
-                }
-                let mut st = ctx.shared.state.lock();
-                st.threads[index].status = Status::Done;
-                if let Err(payload) = result {
-                    let msg = payload
-                        .downcast_ref::<&str>()
-                        .map(|s| s.to_string())
-                        .or_else(|| payload.downcast_ref::<String>().cloned())
-                        .unwrap_or_else(|| "logical thread panicked".to_string());
-                    if st.panic.is_none() {
-                        st.panic = Some(msg);
-                    }
-                }
-                st.current = None;
-                ctx.shared.dispatch_next(&mut st);
-            })
-            .expect("failed to spawn OS thread backing a logical thread");
-        self.handles.lock().push(handle);
-        LogicalThreadId(index)
     }
 
     /// Runs all spawned logical threads to completion under round-robin
@@ -302,44 +244,16 @@ impl Simulation {
     /// Panics if any logical thread panicked, or if the simulation
     /// deadlocked (every remaining thread parked with nobody to unpark it).
     pub fn run(&self) {
-        {
-            let mut st = self.shared.state.lock();
-            assert!(!st.started, "Simulation::run called twice");
-            st.started = true;
-            if !self.shared.dispatch_next(&mut st) {
-                // No threads were spawned.
-            }
-        }
-        // Wait for completion: all threads Done.
-        {
-            let mut st = self.shared.state.lock();
-            while !st.threads.iter().all(|t| t.status == Status::Done) {
-                if st.panic.is_some()
-                    && st.current.is_none()
-                    && st.run_queue.is_empty()
-                    && !st
-                        .threads
-                        .iter()
-                        .any(|t| matches!(t.status, Status::Sleeping(_)))
-                {
-                    break; // deadlock: remaining threads will never finish
-                }
-                self.shared.cond.wait(&mut st);
-            }
-        }
-        let panic_msg = self.shared.state.lock().panic.clone();
-        if let Some(msg) = panic_msg {
-            // Let parked threads exit before propagating.
-            self.shared.cond.notify_all();
-            for h in self.handles.lock().drain(..) {
-                let _ = h.join();
-            }
-            panic!("simulation failed: {msg}");
-        }
-        for h in self.handles.lock().drain(..) {
-            h.join().expect("logical thread OS join failed");
+        match &self.inner {
+            SimImpl::Legacy(s) => s.run(),
+            SimImpl::Fast(s) => s.run(),
         }
     }
+}
+
+enum CtxImpl {
+    Legacy(legacy::Ctx),
+    Fast(fast::Ctx),
 }
 
 /// Handle passed to each logical thread giving it scheduling operations.
@@ -347,8 +261,7 @@ impl Simulation {
 /// All methods are *scheduling points*: control may transfer to another
 /// logical thread and only return here later (at a later virtual time).
 pub struct SimCtx {
-    shared: Arc<Shared>,
-    index: usize,
+    inner: CtxImpl,
 }
 
 impl fmt::Debug for SimCtx {
@@ -358,117 +271,109 @@ impl fmt::Debug for SimCtx {
 }
 
 impl SimCtx {
+    pub(crate) fn from_legacy(ctx: legacy::Ctx) -> SimCtx {
+        SimCtx {
+            inner: CtxImpl::Legacy(ctx),
+        }
+    }
+
+    pub(crate) fn from_fast(ctx: fast::Ctx) -> SimCtx {
+        SimCtx {
+            inner: CtxImpl::Fast(ctx),
+        }
+    }
+
     /// This logical thread's id.
     pub fn id(&self) -> LogicalThreadId {
-        LogicalThreadId(self.index)
+        match &self.inner {
+            CtxImpl::Legacy(c) => c.id(),
+            CtxImpl::Fast(c) => c.id(),
+        }
     }
 
     /// The simulation's virtual clock.
     pub fn clock(&self) -> &Clock {
-        &self.shared.clock
+        match &self.inner {
+            CtxImpl::Legacy(c) => c.clock(),
+            CtxImpl::Fast(c) => c.clock(),
+        }
     }
 
     /// Re-enqueues this thread and lets the next runnable thread execute.
     pub fn yield_now(&self) {
-        let mut st = self.shared.state.lock();
-        st.threads[self.index].status = Status::Runnable;
-        st.run_queue.push_back(self.index);
-        st.current = None;
-        self.shared.dispatch_next(&mut st);
-        self.wait_for_token(st);
+        match &self.inner {
+            CtxImpl::Legacy(c) => c.yield_now(),
+            CtxImpl::Fast(c) => c.yield_now(),
+        }
     }
 
     /// Blocks this thread until another thread [`unpark`](SimCtx::unpark)s
     /// it. If an unpark permit is already pending, returns immediately
     /// (consuming the permit) without a context switch.
     pub fn park(&self) {
-        let mut st = self.shared.state.lock();
-        if st.threads[self.index].permit {
-            st.threads[self.index].permit = false;
-            return;
+        match &self.inner {
+            CtxImpl::Legacy(c) => c.park(),
+            CtxImpl::Fast(c) => c.park(),
         }
-        st.threads[self.index].status = Status::Parked;
-        st.current = None;
-        self.shared.dispatch_next(&mut st);
-        self.wait_for_token(st);
-        // Consumed implicitly: the unparker moved us to the run queue.
     }
 
     /// Makes `target` runnable again (or leaves a permit if it is not
     /// currently parked). Does not switch control.
     pub fn unpark(&self, target: LogicalThreadId) {
-        let mut st = self.shared.state.lock();
-        let entry = st
-            .threads
-            .get(target.0)
-            .unwrap_or_else(|| panic!("unpark of unknown thread {target}"));
-        match entry.status {
-            Status::Parked => {
-                st.threads[target.0].status = Status::Runnable;
-                st.run_queue.push_back(target.0);
-            }
-            Status::Done => {}
-            _ => st.threads[target.0].permit = true,
+        match &self.inner {
+            CtxImpl::Legacy(c) => c.unpark(target),
+            CtxImpl::Fast(c) => c.unpark(target),
         }
     }
 
     /// Sleeps until the virtual clock reaches `deadline`.
     pub fn sleep_until(&self, deadline: Nanos) {
-        let mut st = self.shared.state.lock();
-        if self.shared.clock.now() >= deadline {
-            return;
+        match &self.inner {
+            CtxImpl::Legacy(c) => c.sleep_until(deadline),
+            CtxImpl::Fast(c) => c.sleep_until(deadline),
         }
-        st.threads[self.index].status = Status::Sleeping(deadline);
-        st.current = None;
-        self.shared.dispatch_next(&mut st);
-        self.wait_for_token(st);
     }
 
     /// Sleeps for `dur` of virtual time.
     pub fn sleep(&self, dur: Nanos) {
-        let deadline = self.shared.clock.now() + dur;
+        let deadline = self.clock().now() + dur;
         self.sleep_until(deadline);
-    }
-
-    fn wait_for_token(&self, mut st: sim_core::sync::MutexGuard<'_, SchedState>) {
-        while st.current != Some(self.index) {
-            if st.panic.is_some() && st.current.is_none() && st.run_queue.is_empty() {
-                // Simulation is dead; unwind this thread quietly.
-                drop(st);
-                panic!("simulation aborted");
-            }
-            self.shared.cond.wait(&mut st);
-        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sim_core::sync::Mutex;
     use std::sync::atomic::{AtomicUsize, Ordering};
 
-    fn sim() -> Simulation {
-        Simulation::new(Clock::new())
+    const ENGINES: [Engine; 2] = [Engine::Legacy, Engine::Fast];
+
+    fn sim(engine: Engine) -> Simulation {
+        Simulation::with_engine_kind(Clock::new(), engine)
     }
 
     #[test]
     fn single_thread_runs_to_completion() {
-        let s = sim();
-        let ran = Arc::new(AtomicUsize::new(0));
-        let r = Arc::clone(&ran);
-        s.spawn("t", move |_| {
-            r.store(1, Ordering::SeqCst);
-        });
-        s.run();
-        assert_eq!(ran.load(Ordering::SeqCst), 1);
+        for engine in ENGINES {
+            let s = sim(engine);
+            let ran = Arc::new(AtomicUsize::new(0));
+            let r = Arc::clone(&ran);
+            s.spawn("t", move |_| {
+                r.store(1, Ordering::SeqCst);
+            });
+            s.run();
+            assert_eq!(ran.load(Ordering::SeqCst), 1, "{engine}");
+        }
     }
 
     #[test]
     fn round_robin_interleaving_is_deterministic() {
         // Two threads each append their id at every yield; the interleaving
-        // must be strictly alternating and identical across runs.
-        fn trace() -> Vec<usize> {
-            let s = sim();
+        // must be strictly alternating and identical across runs and
+        // engines.
+        fn trace(engine: Engine) -> Vec<usize> {
+            let s = sim(engine);
             let log = Arc::new(Mutex::new(Vec::new()));
             for id in 0..2 {
                 let log = Arc::clone(&log);
@@ -483,127 +388,202 @@ mod tests {
             let guard = log.lock();
             guard.clone()
         }
-        let a = trace();
-        let b = trace();
-        assert_eq!(a, b);
-        assert_eq!(a, vec![0, 1, 0, 1, 0, 1, 0, 1, 0, 1]);
+        for engine in ENGINES {
+            let a = trace(engine);
+            let b = trace(engine);
+            assert_eq!(a, b, "{engine}");
+            assert_eq!(a, vec![0, 1, 0, 1, 0, 1, 0, 1, 0, 1], "{engine}");
+        }
     }
 
     #[test]
     fn park_unpark_handoff() {
-        let s = sim();
-        let order = Arc::new(Mutex::new(Vec::new()));
-        let o1 = Arc::clone(&order);
-        let waiter = s.spawn("waiter", move |ctx| {
-            o1.lock().push("before park");
-            ctx.park();
-            o1.lock().push("after park");
-        });
-        let o2 = Arc::clone(&order);
-        s.spawn("waker", move |ctx| {
-            o2.lock().push("waking");
-            ctx.unpark(waiter);
-        });
-        s.run();
-        let got = order.lock().clone();
-        assert_eq!(got, vec!["before park", "waking", "after park"]);
+        for engine in ENGINES {
+            let s = sim(engine);
+            let order = Arc::new(Mutex::new(Vec::new()));
+            let o1 = Arc::clone(&order);
+            let waiter = s.spawn("waiter", move |ctx| {
+                o1.lock().push("before park");
+                ctx.park();
+                o1.lock().push("after park");
+            });
+            let o2 = Arc::clone(&order);
+            s.spawn("waker", move |ctx| {
+                o2.lock().push("waking");
+                ctx.unpark(waiter);
+            });
+            s.run();
+            let got = order.lock().clone();
+            assert_eq!(got, vec!["before park", "waking", "after park"], "{engine}");
+        }
     }
 
     #[test]
     fn unpark_before_park_leaves_permit() {
-        let s = sim();
-        let hits = Arc::new(AtomicUsize::new(0));
-        let h = Arc::clone(&hits);
-        // Thread 0 parks *after* thread 1 has already unparked it.
-        let t0 = s.spawn("t0", move |ctx| {
-            ctx.yield_now(); // let t1 run first
-            ctx.park(); // permit pending: must not block
-            h.store(1, Ordering::SeqCst);
-        });
-        s.spawn("t1", move |ctx| {
-            ctx.unpark(t0);
-        });
-        s.run();
-        assert_eq!(hits.load(Ordering::SeqCst), 1);
+        for engine in ENGINES {
+            let s = sim(engine);
+            let hits = Arc::new(AtomicUsize::new(0));
+            let h = Arc::clone(&hits);
+            // Thread 0 parks *after* thread 1 has already unparked it.
+            let t0 = s.spawn("t0", move |ctx| {
+                ctx.yield_now(); // let t1 run first
+                ctx.park(); // permit pending: must not block
+                h.store(1, Ordering::SeqCst);
+            });
+            s.spawn("t1", move |ctx| {
+                ctx.unpark(t0);
+            });
+            s.run();
+            assert_eq!(hits.load(Ordering::SeqCst), 1, "{engine}");
+        }
     }
 
     #[test]
     fn sleep_advances_virtual_clock() {
-        let clock = Clock::new();
-        let s = Simulation::new(clock.clone());
-        s.spawn("sleeper", move |ctx| {
-            ctx.sleep(Nanos::from_millis(5));
-        });
-        s.run();
-        assert_eq!(clock.now(), Nanos::from_millis(5));
+        for engine in ENGINES {
+            let clock = Clock::new();
+            let s = Simulation::with_engine_kind(clock.clone(), engine);
+            s.spawn("sleeper", move |ctx| {
+                ctx.sleep(Nanos::from_millis(5));
+            });
+            s.run();
+            assert_eq!(clock.now(), Nanos::from_millis(5), "{engine}");
+        }
     }
 
     #[test]
     fn sleepers_wake_in_deadline_order() {
-        let clock = Clock::new();
-        let s = Simulation::new(clock.clone());
-        let log = Arc::new(Mutex::new(Vec::new()));
-        for (name, ms) in [("late", 10u64), ("early", 2)] {
-            let log = Arc::clone(&log);
-            let c = clock.clone();
-            s.spawn(name, move |ctx| {
-                ctx.sleep(Nanos::from_millis(ms));
-                log.lock().push((name, c.now().as_millis_f64() as u64));
-            });
+        for engine in ENGINES {
+            let clock = Clock::new();
+            let s = Simulation::with_engine_kind(clock.clone(), engine);
+            let log = Arc::new(Mutex::new(Vec::new()));
+            for (name, ms) in [("late", 10u64), ("early", 2)] {
+                let log = Arc::clone(&log);
+                let c = clock.clone();
+                s.spawn(name, move |ctx| {
+                    ctx.sleep(Nanos::from_millis(ms));
+                    log.lock().push((name, c.now().as_millis_f64() as u64));
+                });
+            }
+            s.run();
+            let got = log.lock().clone();
+            assert_eq!(got, vec![("early", 2), ("late", 10)], "{engine}");
         }
-        s.run();
-        let got = log.lock().clone();
-        assert_eq!(got, vec![("early", 2), ("late", 10)]);
     }
 
     #[test]
     #[should_panic(expected = "deadlock")]
-    fn deadlock_is_detected() {
-        let s = sim();
+    fn deadlock_is_detected_legacy() {
+        let s = sim(Engine::Legacy);
+        s.spawn("stuck", |ctx| ctx.park());
+        s.run();
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn deadlock_is_detected_fast() {
+        let s = sim(Engine::Fast);
         s.spawn("stuck", |ctx| ctx.park());
         s.run();
     }
 
     #[test]
     #[should_panic(expected = "boom")]
-    fn thread_panic_propagates() {
-        let s = sim();
+    fn thread_panic_propagates_legacy() {
+        let s = sim(Engine::Legacy);
+        s.spawn("bad", |_| panic!("boom"));
+        s.run();
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn thread_panic_propagates_fast() {
+        let s = sim(Engine::Fast);
         s.spawn("bad", |_| panic!("boom"));
         s.run();
     }
 
     #[test]
     fn spawn_from_running_thread() {
-        let s = Arc::new(sim());
-        let s2 = Arc::clone(&s);
-        let count = Arc::new(AtomicUsize::new(0));
-        let c = Arc::clone(&count);
-        s.spawn("parent", move |ctx| {
-            let c2 = Arc::clone(&c);
-            s2.spawn("child", move |_| {
-                c2.fetch_add(10, Ordering::SeqCst);
+        for engine in ENGINES {
+            let s = Arc::new(sim(engine));
+            let s2 = Arc::clone(&s);
+            let count = Arc::new(AtomicUsize::new(0));
+            let c = Arc::clone(&count);
+            s.spawn("parent", move |ctx| {
+                let c2 = Arc::clone(&c);
+                s2.spawn("child", move |_| {
+                    c2.fetch_add(10, Ordering::SeqCst);
+                });
+                c.fetch_add(1, Ordering::SeqCst);
+                ctx.yield_now();
             });
-            c.fetch_add(1, Ordering::SeqCst);
-            ctx.yield_now();
-        });
-        s.run();
-        assert_eq!(count.load(Ordering::SeqCst), 11);
+            s.run();
+            assert_eq!(count.load(Ordering::SeqCst), 11, "{engine}");
+        }
     }
 
     #[test]
     fn many_threads_complete() {
-        let s = sim();
+        for engine in ENGINES {
+            let s = sim(engine);
+            let count = Arc::new(AtomicUsize::new(0));
+            for _ in 0..32 {
+                let c = Arc::clone(&count);
+                s.spawn("w", move |ctx| {
+                    for _ in 0..8 {
+                        c.fetch_add(1, Ordering::SeqCst);
+                        ctx.yield_now();
+                    }
+                });
+            }
+            s.run();
+            assert_eq!(count.load(Ordering::SeqCst), 32 * 8, "{engine}");
+        }
+    }
+
+    #[test]
+    fn with_engine_overrides_and_restores() {
+        assert_eq!(
+            with_engine(Engine::Legacy, || Simulation::new(Clock::new()).engine()),
+            Engine::Legacy
+        );
+        assert_eq!(
+            with_engine(Engine::Fast, || Simulation::new(Clock::new()).engine()),
+            Engine::Fast
+        );
+        // Nested overrides unwind in order.
+        with_engine(Engine::Legacy, || {
+            assert_eq!(Engine::current(), Engine::Legacy);
+            with_engine(Engine::Fast, || {
+                assert_eq!(Engine::current(), Engine::Fast);
+            });
+            assert_eq!(Engine::current(), Engine::Legacy);
+        });
+    }
+
+    #[test]
+    fn engine_parse_round_trips() {
+        for engine in ENGINES {
+            assert_eq!(Engine::parse(engine.label()), Some(engine));
+        }
+        assert_eq!(Engine::parse("warp"), None);
+    }
+
+    #[test]
+    fn fast_engine_reuses_stacks_across_threads() {
+        // Far more logical threads than plausible simultaneous stacks: the
+        // pool must recycle, and everything still completes.
+        let s = sim(Engine::Fast);
         let count = Arc::new(AtomicUsize::new(0));
-        for _ in 0..32 {
+        for _ in 0..256 {
             let c = Arc::clone(&count);
             s.spawn("w", move |ctx| {
-                for _ in 0..8 {
-                    c.fetch_add(1, Ordering::SeqCst);
-                    ctx.yield_now();
-                }
+                c.fetch_add(1, Ordering::SeqCst);
+                ctx.yield_now();
             });
         }
         s.run();
-        assert_eq!(count.load(Ordering::SeqCst), 32 * 8);
+        assert_eq!(count.load(Ordering::SeqCst), 256);
     }
 }

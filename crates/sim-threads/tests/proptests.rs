@@ -102,3 +102,149 @@ proptest! {
         prop_assert!(clock_ns >= max_thread_sleep);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Engine conformance: the fast coroutine engine must be observationally
+// identical to the legacy OS-thread engine on arbitrary scheduling
+// programs — including park/unpark permit edges and the all-parked
+// deadlock diagnostic, which both engines must word for word agree on.
+// ---------------------------------------------------------------------------
+
+use sim_threads::{with_engine, Engine};
+
+/// Superset of [`Action`] with the park/unpark surface included.
+#[derive(Debug, Clone, Copy)]
+enum ConfAction {
+    Yield,
+    Sleep(u64),
+    Compute(u64),
+    Park,
+    /// Unpark thread `target % n` (resolved at execution time) — possibly
+    /// the acting thread itself (a self-permit), possibly one that never
+    /// parks (a lost permit), possibly one currently sleeping (a deferred
+    /// permit, no early wake).
+    Unpark(usize),
+}
+
+fn arb_conf_program() -> impl Strategy<Value = Vec<Vec<ConfAction>>> {
+    let action = prop_oneof![
+        Just(ConfAction::Yield),
+        (1u64..3_000).prop_map(ConfAction::Sleep),
+        (1u64..1_000).prop_map(ConfAction::Compute),
+        Just(ConfAction::Park),
+        (0usize..8).prop_map(ConfAction::Unpark),
+    ];
+    proptest::collection::vec(proptest::collection::vec(action, 0..10), 1..5)
+}
+
+/// Everything an engine run can show: the interleaving, the final virtual
+/// clock, and the terminal panic message if the simulation died (e.g.
+/// the all-parked deadlock diagnostic).
+type Observation = (Vec<usize>, u64, Option<String>);
+
+fn execute_conf(engine: Engine, program: &[Vec<ConfAction>]) -> Observation {
+    let clock = Clock::new();
+    let trace: Arc<Mutex<Vec<usize>>> = Arc::new(Mutex::new(Vec::new()));
+    let ids: Arc<Mutex<Vec<sim_threads::LogicalThreadId>>> = Arc::new(Mutex::new(Vec::new()));
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        with_engine(engine, || {
+            let sim = Simulation::new(clock.clone());
+            for (id, actions) in program.iter().enumerate() {
+                let actions = actions.clone();
+                let trace = Arc::clone(&trace);
+                let thread_ids = Arc::clone(&ids);
+                let tid = sim.spawn(&format!("t{id}"), move |ctx| {
+                    for a in actions {
+                        trace.lock().push(id);
+                        match a {
+                            ConfAction::Yield => ctx.yield_now(),
+                            ConfAction::Sleep(ns) => ctx.sleep(Nanos::from_nanos(ns)),
+                            ConfAction::Compute(ns) => {
+                                ctx.clock().advance(Nanos::from_nanos(ns));
+                            }
+                            ConfAction::Park => ctx.park(),
+                            ConfAction::Unpark(target) => {
+                                // All spawns precede run(), so the id table
+                                // is complete by the time any action runs.
+                                let ids = thread_ids.lock();
+                                let target = ids[target % ids.len()];
+                                drop(ids);
+                                ctx.unpark(target);
+                            }
+                        }
+                    }
+                });
+                ids.lock().push(tid);
+            }
+            sim.run();
+        });
+    }));
+    let panic_msg = result.err().map(|payload| {
+        payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_else(|| "non-string panic".to_string())
+    });
+    let t = trace.lock().clone();
+    (t, clock.now().as_nanos(), panic_msg)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Arbitrary spawn/yield/sleep/park/unpark programs observe the exact
+    /// same interleaving, clock and outcome on both engines — completed
+    /// runs and deadlocked runs alike.
+    #[test]
+    fn engines_agree_on_arbitrary_programs(program in arb_conf_program()) {
+        let legacy = execute_conf(Engine::Legacy, &program);
+        let fast = execute_conf(Engine::Fast, &program);
+        prop_assert_eq!(legacy, fast);
+    }
+
+    /// Force the all-parked deadlock: every thread parks after its
+    /// actions, so unless pending permits cover every park, the run dies
+    /// — and the diagnostic (which names the stuck threads) must be
+    /// word-for-word identical across engines.
+    #[test]
+    fn engines_agree_on_deadlock_diagnostics(program in arb_conf_program()) {
+        let mut program = program;
+        for actions in &mut program {
+            actions.push(ConfAction::Park);
+        }
+        let legacy = execute_conf(Engine::Legacy, &program);
+        let fast = execute_conf(Engine::Fast, &program);
+        prop_assert_eq!(legacy.clone(), fast);
+        if let (_, _, Some(msg)) = legacy {
+            prop_assert!(
+                msg.contains("deadlock: all runnable threads exhausted"),
+                "unexpected terminal panic: {}",
+                msg
+            );
+        }
+    }
+}
+
+/// The permit edge pinned down deterministically: an unpark delivered
+/// before the park must let the park fall through on both engines, and an
+/// unpark of a sleeping thread must *not* wake it early.
+#[test]
+fn permit_edges_match_across_engines() {
+    let program = vec![
+        // t0 parks twice: once covered by t1's early permit, once by
+        // t1's late unpark after t0 is already parked.
+        vec![ConfAction::Compute(10), ConfAction::Park, ConfAction::Park],
+        // t1 permits t0 before its first park, sleeps (t0's park order
+        // lands while t1 sleeps), then unparks t0 for real.
+        vec![
+            ConfAction::Unpark(0),
+            ConfAction::Sleep(500),
+            ConfAction::Unpark(0),
+        ],
+    ];
+    let legacy = execute_conf(Engine::Legacy, &program);
+    let fast = execute_conf(Engine::Fast, &program);
+    assert_eq!(legacy, fast);
+    assert_eq!(legacy.2, None, "program must complete: {:?}", legacy.2);
+}

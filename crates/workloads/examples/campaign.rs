@@ -1,0 +1,112 @@
+//! Campaign driver: fans a (workload × profile × seed) matrix of
+//! independent deterministic runs out across real cores, writing one
+//! trace per cell plus a merged `campaign.json` summary.
+//!
+//! ```text
+//! cargo run --release --example campaign -- <output-dir> \
+//!     [--jobs N] [--seeds 0,1,2] [--workloads antipatterns,fleet] \
+//!     [--profiles unpatched,spectre,l1tf] [--engine fast|legacy] [--verify]
+//! ```
+//!
+//! Output paths are pure functions of the cell coordinates and the
+//! summary is ordered by cell index, so the campaign's entire output is
+//! byte-stable no matter how many workers ran it. `--verify` re-runs
+//! every cell on the legacy engine and asserts trace byte-equality.
+
+use sim_core::HwProfile;
+use sim_threads::Engine;
+use workloads::campaign::{self, CampaignConfig, Workload};
+
+fn parse_workload(name: &str) -> Workload {
+    Workload::ALL
+        .into_iter()
+        .find(|w| w.label() == name)
+        .unwrap_or_else(|| panic!("unknown workload `{name}`"))
+}
+
+fn parse_profile(name: &str) -> HwProfile {
+    match name {
+        "unpatched" => HwProfile::Unpatched,
+        "spectre" => HwProfile::Spectre,
+        "l1tf" | "foreshadow" => HwProfile::Foreshadow,
+        other => panic!("unknown profile `{other}`"),
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let dir = std::path::PathBuf::from(
+        args.next()
+            .unwrap_or_else(|| panic!("usage: campaign <output-dir> [flags]")),
+    );
+    let mut cfg = CampaignConfig::default();
+    while let Some(flag) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--jobs" => cfg.jobs = value("--jobs").parse().expect("--jobs"),
+            "--seeds" => {
+                cfg.seeds = value("--seeds")
+                    .split(',')
+                    .map(|s| s.parse().expect("--seeds"))
+                    .collect();
+            }
+            "--workloads" => {
+                cfg.workloads = value("--workloads")
+                    .split(',')
+                    .map(parse_workload)
+                    .collect();
+            }
+            "--profiles" => {
+                cfg.profiles = value("--profiles").split(',').map(parse_profile).collect();
+            }
+            "--engine" => {
+                let v = value("--engine");
+                cfg.engine = Engine::parse(&v).unwrap_or_else(|| panic!("unknown engine `{v}`"));
+            }
+            "--verify" => cfg.verify = true,
+            other => panic!("unknown flag `{other}`"),
+        }
+    }
+
+    let cells = cfg.cells();
+    println!(
+        "campaign: {} cell(s) ({} workload(s) x {} profile(s) x {} seed(s)), \
+         {} job(s), engine {}{}",
+        cells.len(),
+        cfg.workloads.len(),
+        cfg.profiles.len(),
+        cfg.seeds.len(),
+        cfg.jobs,
+        cfg.engine.label(),
+        if cfg.verify {
+            ", verifying against legacy"
+        } else {
+            ""
+        },
+    );
+    let run = campaign::run(&cfg, Some(&dir));
+    for o in &run.outcomes {
+        println!(
+            "  [{:>3}] {:<28} {:>8} byte(s), {} fault row(s), {:>7} us{}",
+            o.index,
+            o.file_name,
+            o.bytes,
+            o.fault_rows,
+            o.wall.as_micros(),
+            match o.verified {
+                Some(true) => ", verified",
+                _ => "",
+            },
+        );
+    }
+    println!(
+        "{} cell(s) in {} ms on {} core(s) -> {}",
+        run.outcomes.len(),
+        run.wall.as_millis(),
+        run.cores,
+        dir.join("campaign.json").display(),
+    );
+}

@@ -31,6 +31,7 @@
 //! run yields the traces the paper analyses.
 
 pub mod antipatterns;
+pub mod campaign;
 pub mod chaos;
 pub mod fleet;
 pub mod glamdring;

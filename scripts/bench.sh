@@ -12,6 +12,11 @@
 # BENCH_fleet.json (spin-up rate, fleet throughput, peak EPC eviction
 # rate). Set FLEET_SCALE=smoke|tiny to shrink it.
 #
+# Also runs the engine throughput bench (legacy OS-thread engine vs. fast
+# coroutine engine) and emits BENCH_engine.json; fails unless the fast
+# engine clears the SGXPERF_ENGINE_SPEEDUP_FLOOR (default 5x) and the
+# campaign runner clears SGXPERF_SCALING_FLOOR (default 0.7x ideal).
+#
 # usage: scripts/bench.sh [output-dir] [profile] [requests]
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -22,6 +27,7 @@ REQUESTS="${3:-1000}"
 BENCH_JSON="${BENCH_JSON:-BENCH_diff.json}"
 FLEET_JSON="${FLEET_JSON:-BENCH_fleet.json}"
 FLEET_SCALE="${FLEET_SCALE:-full}"
+ENGINE_JSON="${ENGINE_JSON:-BENCH_engine.json}"
 
 echo "== build (release, offline)"
 cargo build --release --offline -p sgx-perf -p workloads --examples --bins
@@ -65,4 +71,8 @@ echo "== fleet bench ($FLEET_SCALE scale, $PROFILE)"
 cargo run --release --offline -q -p workloads --example fleet_bench -- \
     "$FLEET_JSON" "$FLEET_SCALE" "$PROFILE"
 
-echo "wrote $BENCH_JSON and $FLEET_JSON"
+echo "== engine bench (legacy vs fast, throughput floors enforced)"
+cargo run --release --offline -q -p workloads --example engine_bench -- \
+    "$ENGINE_JSON"
+
+echo "wrote $BENCH_JSON, $FLEET_JSON and $ENGINE_JSON"

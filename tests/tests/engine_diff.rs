@@ -1,0 +1,104 @@
+//! The differential golden matrix: every registered workload, on every
+//! hardware profile, with and without a fault plan, must produce
+//! **byte-identical traces** on the legacy OS-thread engine and the fast
+//! coroutine engine.
+//!
+//! This is the tier-1 lockdown of the engine swap's refutable invariant:
+//! a simulated program's interleaving is a pure function of the
+//! scheduling algorithm, so if the fast engine replicates that algorithm
+//! exactly, no trace byte can move. Any divergence — an event reordered,
+//! a virtual timestamp shifted, a fault landing on a different call —
+//! fails here with the first differing cell named.
+
+use sim_core::fault::{FaultKind, FaultPlan, FaultTrigger};
+use sim_core::{HwProfile, Nanos};
+use sim_threads::{with_engine, Engine};
+use workloads::campaign::{Cell, Workload};
+use workloads::chaos;
+
+/// Runs one campaign cell on both engines and asserts byte-equality.
+fn assert_cell_identical(cell: Cell) {
+    let legacy = with_engine(Engine::Legacy, || cell.run());
+    let fast = with_engine(Engine::Fast, || cell.run());
+    assert_eq!(
+        legacy,
+        fast,
+        "engine divergence on {} ({} legacy byte(s) vs {} fast byte(s))",
+        cell.file_name(),
+        legacy.len(),
+        fast.len(),
+    );
+}
+
+/// The full matrix: every campaign workload × every hardware profile ×
+/// {fault-free, seeded chaos}. Workload-appropriate plans are derived
+/// from the seed by [`Cell::run`].
+#[test]
+fn every_workload_profile_and_plan_is_byte_identical_across_engines() {
+    for workload in Workload::ALL {
+        for profile in HwProfile::ALL {
+            for seed in [0u64, 11] {
+                assert_cell_identical(Cell {
+                    workload,
+                    profile,
+                    seed,
+                });
+            }
+        }
+    }
+}
+
+/// The worker-stall semantics are the sharpest edge the fast engine must
+/// preserve: stalled switchless workers *yield* through the stall window
+/// (PR 3 made stalls cooperative) precisely because the scheduler only
+/// wakes sleepers once the run queue drains — spinning callers keep it
+/// populated. An engine that woke sleepers eagerly would serve these
+/// calls switchlessly instead of letting the spin budgets exhaust, and
+/// the traces would diverge in both event order and fallback counts.
+#[test]
+fn switchless_worker_stalls_are_byte_identical_across_engines() {
+    for profile in HwProfile::ALL {
+        let plan = FaultPlan::seeded(0x57A11)
+            .with(
+                FaultTrigger::AtCall(5),
+                FaultKind::WorkerStall {
+                    delay: Nanos::from_micros(40),
+                },
+            )
+            .with(FaultTrigger::AtCall(25), FaultKind::RingFull { calls: 4 });
+        let legacy = with_engine(Engine::Legacy, || {
+            chaos::switchless_trace(profile, Some(&plan))
+        });
+        let fast = with_engine(Engine::Fast, || {
+            chaos::switchless_trace(profile, Some(&plan))
+        });
+        assert_eq!(
+            legacy,
+            fast,
+            "worker-stall divergence on {}",
+            profile.label()
+        );
+        // The stall must actually have fired for this to test anything.
+        assert!(
+            chaos::fault_rows(&fast) >= 2,
+            "stall plan did not fire on {}",
+            profile.label()
+        );
+    }
+}
+
+/// Randomized chaos plans across both engines: a denser sweep of the
+/// fault grammar than the matrix's single seed.
+#[test]
+fn random_chaos_plans_are_byte_identical_across_engines() {
+    for seed in [3u64, 0xDEAD, 0xBEEF, 0xF00D] {
+        let plan = chaos::random_plan(seed);
+        let legacy = with_engine(Engine::Legacy, || {
+            chaos::antipatterns_trace(HwProfile::Unpatched, Some(&plan))
+        });
+        let fast = with_engine(Engine::Fast, || {
+            chaos::antipatterns_trace(HwProfile::Unpatched, Some(&plan))
+        });
+        assert_eq!(legacy, fast, "chaos divergence on seed {seed:#x}");
+    }
+}
