@@ -3,16 +3,17 @@
 //! the offline half of the tool collection (§4.3).
 //!
 //! ```text
-//! sgxperf report  <trace.evdb> [--profile unpatched|spectre|l1tf] [--edl <file.edl>] [--json]
-//! sgxperf lint    <file.edl> [--trace <trace.evdb>] [--deny <code,...>] [--max-public N] [--large-copy BYTES]
-//! sgxperf diff    <a.evdb> <b.evdb> [--threshold PCT] [--min-count N] [--json]
-//! sgxperf export  <trace.evdb> --format chrome|folded [--profile ...] [-o <out>]
-//! sgxperf dot     <trace.evdb> [-o <out.dot>]
-//! sgxperf hist    <trace.evdb> <call-name> [--bins N] [--json]
-//! sgxperf scatter <trace.evdb> <call-name> [--json]
-//! sgxperf info    <trace.evdb>
-//! sgxperf races   <trace.evdb> [--json]
-//! sgxperf fleet   <trace.evdb> [--top N] [--json]
+//! sgxperf report   <trace.evdb> [--profile unpatched|spectre|l1tf] [--edl <file.edl>] [--faults <spec>] [--json]
+//! sgxperf lint     <file.edl> [--trace <trace.evdb>] [--deny <code,...>] [--max-public N] [--large-copy BYTES]
+//! sgxperf diff     <a.evdb> <b.evdb> [--threshold PCT] [--min-count N] [--json]
+//! sgxperf export   <trace.evdb> --format chrome|folded [--profile ...] [-o <out>]
+//! sgxperf dot      <trace.evdb> [-o <out.dot>]
+//! sgxperf hist     <trace.evdb> <call-name> [--bins N] [--json]
+//! sgxperf scatter  <trace.evdb> <call-name> [--json]
+//! sgxperf info     <trace.evdb>
+//! sgxperf races    <trace.evdb> [--json]
+//! sgxperf fleet    <trace.evdb> [--top N] [--json]
+//! sgxperf campaign <spec.toml> [--out DIR] [--jobs N] [--engine fast|legacy] [--json] [--dry-run]
 //! ```
 //!
 //! `lint` runs the static interface analyzer (EDL-W001...) and renders
@@ -31,7 +32,16 @@
 //! `track_syncev`) through happens-before, lockset and lock-order
 //! analyses; exit 3 on error-severity findings (data races, lock-order
 //! cycles), 0 otherwise — the race-gate mode.
+//!
+//! `campaign` is the only subcommand that *records* instead of analysing:
+//! it parses a declarative spec, expands the scenario matrix
+//! {workload x profile x fault plan x switchless x seed}, executes every
+//! cell in parallel on the simulator, archives one trace per cell, and
+//! verdicts each cell against its declared baseline through the diff
+//! engine — exit 3 iff any cell regressed. The summary (stdout) is
+//! byte-stable: times and engine/worker info go to stderr only.
 
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 use sgx_edl::lint::LintConfig;
@@ -40,8 +50,11 @@ use sgx_perf::analysis::lint::lint_interface;
 use sgx_perf::analysis::races;
 use sgx_perf::analysis::stats::{scatter, scatter_csv, scatter_json, Histogram};
 use sgx_perf::{export, Analyzer, FleetReport, TraceDb};
+use sim_core::campaign::CampaignSpec;
 use sim_core::fault::FaultPlan;
 use sim_core::HwProfile;
+use sim_threads::Engine;
+use workloads::campaign::matrix::{self, MatrixPlan};
 
 /// Every subcommand: (name, argument synopsis, one-line summary). The
 /// usage text is generated from this table, so an unknown-subcommand
@@ -89,19 +102,24 @@ const SUBCOMMANDS: &[(&str, &str, &str)] = &[
         "<trace.evdb> [--top N] [--json]",
         "per-slot and aggregate fleet-run statistics",
     ),
+    (
+        "campaign",
+        "<spec.toml> [--out DIR] [--jobs N] [--engine fast|legacy] [--json] [--dry-run]",
+        "run a declarative scenario matrix (exit 3 on regression)",
+    ),
 ];
 
 fn print_usage() {
     let mut text = String::from("usage:\n");
     for (name, synopsis, _) in SUBCOMMANDS {
-        text.push_str(&format!("  sgxperf {name:<7} {synopsis}\n"));
+        text.push_str(&format!("  sgxperf {name:<8} {synopsis}\n"));
     }
     text.push_str("\ncommands:\n");
     for (name, _, summary) in SUBCOMMANDS {
         text.push_str(&format!("  {name:<8} {summary}\n"));
     }
     text.push_str(
-        "\nfault specs (--faults): `;`-separated atoms of kind@trigger, where trigger\nis call=N or t=<duration>, plus an optional seed=N clause:\n  aex_storm@call=N|t=D[:count=K]   burst of K AEXs\n  page_thrash@...[:pages=K]        evict K resident pages\n  ocall_delay@...[:ns=K]           delay ocall returns by K ns\n  ocall_fail@...[:times=K]         fail the next K ocalls\n  ocall_timeout@...[:times=K]      time out the next K ocalls\n  tcs_exhaust@...[:times=K]        report all TCSs busy K times\n  clock_skew@...[:factor=K]        multiply charged time by K\n  ring_stall@...[:spins=K]         stall switchless rings for K polls\n  enclave_lost@call=N|t=D          destroy EPC contents (SGX_ERROR_ENCLAVE_LOST)\n  epc_poison@call=N|t=D            poison: enclave is lost at its next EENTER\nexample: --faults 'enclave_lost@call=3;ocall_delay@t=2ms:ns=500;seed=7'",
+        "\nfault specs (--faults, campaign [faults] values): `;`-separated atoms of\nkind@trigger[:params], where trigger is call=N or t=<duration>, plus an\noptional seed=N clause:\n  aex-storm@call=N|t=D[:count=K]               burst of K AEXs\n  evict-storm@call=N|t=D                       evict all resident EPC pages\n  paging-slow@t=D[:factor=K,dur=D2]            multiply paging costs by K for D2\n  ocall-fail@call=N|t=D[:times=K]              fail the next K ocalls (retried)\n  ocall-timeout@call=N|t=D[:delay=D2,times=K]  stall the next K ocalls by D2\n  worker-stall@call=N|t=D[:delay=D2]           stall switchless workers by D2\n  ring-full@call=N|t=D[:calls=K]               report full switchless rings K times\n  tcs-exhaust@call=N|t=D[:times=K]             report all TCSs busy K times\n  enclave_lost@call=N|t=D                      destroy EPC contents (SGX_ERROR_ENCLAVE_LOST)\n  epc_poison@call=N|t=D                        poison: enclave is lost at its next EENTER\nexample: --faults 'enclave_lost@call=3;ocall-timeout@t=2ms:delay=50us;seed=7'",
     );
     eprintln!("{text}");
 }
@@ -112,12 +130,7 @@ fn usage() -> ExitCode {
 }
 
 fn parse_profile(s: &str) -> Option<HwProfile> {
-    match s {
-        "unpatched" => Some(HwProfile::Unpatched),
-        "spectre" => Some(HwProfile::Spectre),
-        "l1tf" | "foreshadow" => Some(HwProfile::Foreshadow),
-        _ => None,
-    }
+    HwProfile::parse(s)
 }
 
 fn find_call(analyzer: &Analyzer<'_>, name: &str) -> Option<sgx_perf::CallRef> {
@@ -336,6 +349,93 @@ fn run_fleet(rest: &[String]) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
+/// `sgxperf campaign` — the declarative scenario-matrix runner. The only
+/// subcommand whose input is a spec file rather than a trace: it records
+/// one trace per matrix cell (in parallel), archives them under `--out`
+/// (default `target/campaign/<name>`) and gates on the per-cell diff
+/// verdicts.
+///
+/// stdout carries only the byte-stable summary (text table, or JSON with
+/// `--json`); wall-clock timing, worker count and engine label go to
+/// stderr so two runs of the same spec diff clean.
+///
+/// Exit status: 0 when no cell regressed past the spec's threshold
+/// against its declared baseline, 3 on regression, 1 on bad input.
+fn run_campaign(rest: &[String]) -> Result<ExitCode, String> {
+    let mut out: Option<PathBuf> = None;
+    let mut jobs = 0usize;
+    let mut engine: Option<Engine> = None;
+    let mut json = false;
+    let mut dry_run = false;
+    let mut paths: Vec<&String> = Vec::new();
+    let mut it = rest.iter();
+    while let Some(opt) = it.next() {
+        match opt.as_str() {
+            "--out" => out = Some(PathBuf::from(it.next().ok_or("--out needs a directory")?)),
+            "--jobs" => {
+                jobs = it
+                    .next()
+                    .ok_or("--jobs needs a number")?
+                    .parse()
+                    .map_err(|e| format!("--jobs: {e}"))?;
+            }
+            "--engine" => {
+                let v = it.next().ok_or("--engine needs fast|legacy")?;
+                engine = Some(Engine::parse(v).ok_or_else(|| format!("unknown engine `{v}`"))?);
+            }
+            "--json" => json = true,
+            "--dry-run" => dry_run = true,
+            other if other.starts_with('-') => {
+                return Err(format!("unknown campaign option `{other}`"))
+            }
+            _ => paths.push(opt),
+        }
+    }
+    let [spec_path] = paths[..] else {
+        return Err(format!(
+            "campaign needs exactly one spec file, got {}",
+            paths.len()
+        ));
+    };
+    let source =
+        std::fs::read_to_string(spec_path).map_err(|e| format!("cannot read {spec_path}: {e}"))?;
+    let spec = CampaignSpec::parse(&source).map_err(|e| format!("{spec_path}: {e}"))?;
+    let plan = MatrixPlan::from_spec(spec).map_err(|e| format!("{spec_path}: {e}"))?;
+
+    if dry_run {
+        // Echo the canonical spec (the parse/Display fixpoint) and the
+        // expanded matrix without running anything.
+        print!("{}", plan.spec);
+        println!();
+        for coord in plan.cells() {
+            println!("{:>5}  {}", coord.index, plan.file_name(&coord));
+        }
+        eprintln!(
+            "sgxperf: dry run: {} cell(s), nothing executed",
+            plan.spec.cell_count()
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let engine = engine.unwrap_or_else(Engine::current);
+    let out_dir = out.unwrap_or_else(|| PathBuf::from("target/campaign").join(&plan.spec.name));
+    let started = std::time::Instant::now();
+    let run = matrix::run(&plan, engine, jobs, Some(&out_dir));
+    if json {
+        print!("{}", run.to_json());
+    } else {
+        print!("{}", run.render());
+    }
+    eprintln!(
+        "sgxperf: {} cell(s) on the {} engine in {:?} -> {}",
+        run.cells.len(),
+        engine.label(),
+        started.elapsed(),
+        out_dir.display(),
+    );
+    Ok(ExitCode::from(run.exit_code()))
+}
+
 fn run() -> Result<ExitCode, String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (cmd, rest) = args.split_first().ok_or("missing command")?;
@@ -350,6 +450,9 @@ fn run() -> Result<ExitCode, String> {
     }
     if cmd == "fleet" {
         return run_fleet(rest);
+    }
+    if cmd == "campaign" {
+        return run_campaign(rest);
     }
     let (path, opts) = rest.split_first().ok_or("missing trace file")?;
     let trace = TraceDb::load(path).map_err(|e| format!("cannot load {path}: {e}"))?;

@@ -302,12 +302,49 @@ fn unknown_command_prints_usage() {
     // The usage text is generated from the subcommand table: every
     // subcommand appears, including the newest.
     for cmd in [
-        "report", "lint", "diff", "export", "dot", "hist", "scatter", "info", "races",
+        "report", "lint", "diff", "export", "dot", "hist", "scatter", "info", "races", "fleet",
+        "campaign",
     ] {
         assert!(
             stderr.contains(&format!("sgxperf {cmd}")),
             "{cmd}: {stderr}"
         );
+    }
+}
+
+#[test]
+fn usage_synopses_cover_current_flags() {
+    let trace = record_trace("usage-flags");
+    let (_, stderr, _) = sgxperf(&["frobnicate", trace.to_str().unwrap()]);
+    // Drift guard: the generated synopses must mention the flags each
+    // subcommand actually accepts.
+    for flag in [
+        "--faults",
+        "--top",
+        "--edl",
+        "--deny",
+        "--threshold",
+        "--out",
+        "--jobs",
+        "--engine",
+        "--dry-run",
+    ] {
+        assert!(stderr.contains(flag), "{flag} missing from usage: {stderr}");
+    }
+    // The fault-atom help lists the grammar's real kind names.
+    for kind in [
+        "aex-storm",
+        "evict-storm",
+        "paging-slow",
+        "ocall-fail",
+        "ocall-timeout",
+        "worker-stall",
+        "ring-full",
+        "tcs-exhaust",
+        "enclave_lost",
+        "epc_poison",
+    ] {
+        assert!(stderr.contains(kind), "{kind} missing from usage: {stderr}");
     }
 }
 
@@ -524,6 +561,134 @@ fn info_lists_sections_with_rows_and_bytes() {
         .find(|l| l.trim_start().starts_with("ecalls") && l.contains("rows"))
         .unwrap();
     assert!(ecalls.contains("64 rows"), "{ecalls}");
+}
+
+/// Writes a campaign spec to a temp file; returns (spec path, out dir).
+fn write_spec(tag: &str, body: &str) -> (std::path::PathBuf, std::path::PathBuf) {
+    let dir = std::env::temp_dir().join("sgxperf-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let spec = dir.join(format!("{tag}.toml"));
+    std::fs::write(&spec, body).unwrap();
+    (spec, dir.join(format!("{tag}-out")))
+}
+
+const NEUTRAL_SPEC: &str = "[campaign]\nname = \"cli\"\nthreshold = 25\n\
+    [matrix]\nworkloads = [\"ecall_storm\"]\nprofiles = [\"unpatched\"]\nseeds = [1, 2]\n";
+
+#[test]
+fn campaign_neutral_matrix_exits_zero_and_is_byte_stable() {
+    let (spec, out) = write_spec("campaign-neutral", NEUTRAL_SPEC);
+    let spec = spec.to_str().unwrap();
+    let run =
+        |jobs: &str, out: &str| sgxperf_code(&["campaign", spec, "--out", out, "--jobs", jobs]);
+    let out_a = out.with_extension("a");
+    let out_b = out.with_extension("b");
+    let (stdout_a, stderr_a, code) = run("1", out_a.to_str().unwrap());
+    assert_eq!(code, 0, "{stdout_a}{stderr_a}");
+    let (stdout_b, _, code) = run("4", out_b.to_str().unwrap());
+    assert_eq!(code, 0);
+    // Byte-stable across worker counts; timing is stderr-only.
+    assert_eq!(stdout_a, stdout_b);
+    assert!(stdout_a.contains("campaign \"cli\""), "{stdout_a}");
+    assert!(stdout_a.contains("baseline"), "{stdout_a}");
+    assert!(stderr_a.contains("2 cell(s)"), "{stderr_a}");
+    // One archived trace per cell, plus both summary files.
+    for file in [
+        "ecall_storm-unpatched-none-off-s1.evdb",
+        "ecall_storm-unpatched-none-off-s2.evdb",
+        "summary.txt",
+        "summary.json",
+    ] {
+        assert!(out_a.join(file).exists(), "{file} missing");
+    }
+    assert_eq!(
+        std::fs::read_to_string(out_a.join("summary.txt")).unwrap(),
+        stdout_a
+    );
+}
+
+#[test]
+fn campaign_json_is_machine_readable() {
+    let (spec, out) = write_spec("campaign-json", NEUTRAL_SPEC);
+    let (stdout, _, code) = sgxperf_code(&[
+        "campaign",
+        spec.to_str().unwrap(),
+        "--out",
+        out.to_str().unwrap(),
+        "--json",
+    ]);
+    assert_eq!(code, 0, "{stdout}");
+    assert_balanced_json(&stdout);
+    assert!(stdout.contains("\"exit_code\": 0"), "{stdout}");
+    assert!(stdout.contains("\"verdict\": \"baseline\""), "{stdout}");
+}
+
+#[test]
+fn campaign_regressing_plan_trips_gate_exit_three() {
+    let (spec, out) = write_spec(
+        "campaign-gate",
+        "[campaign]\nname = \"gate\"\nthreshold = 25\n\
+         [matrix]\nworkloads = [\"io_fsync_loop\"]\nprofiles = [\"unpatched\"]\nseeds = [1]\n\
+         [faults]\nnone = \"\"\n\
+         storm = \"seed=3;ocall-timeout@call=2:delay=60us,times=3;aex-storm@call=12:count=6\"\n",
+    );
+    let (stdout, _, code) = sgxperf_code(&[
+        "campaign",
+        spec.to_str().unwrap(),
+        "--out",
+        out.to_str().unwrap(),
+    ]);
+    assert_eq!(code, 3, "{stdout}");
+    assert!(stdout.contains("REGRESSED"), "{stdout}");
+    assert!(stdout.contains("1 regressed cell(s) -> exit 3"), "{stdout}");
+}
+
+#[test]
+fn campaign_dry_run_echoes_canonical_spec_without_executing() {
+    let (spec, out) = write_spec("campaign-dry", NEUTRAL_SPEC);
+    let (stdout, stderr, code) = sgxperf_code(&[
+        "campaign",
+        spec.to_str().unwrap(),
+        "--out",
+        out.to_str().unwrap(),
+        "--dry-run",
+    ]);
+    assert_eq!(code, 0, "{stdout}{stderr}");
+    // The canonical spec (defaults explicit) plus the expanded matrix.
+    assert!(stdout.contains("[campaign]"), "{stdout}");
+    assert!(stdout.contains("threshold = 25"), "{stdout}");
+    assert!(stdout.contains("[baseline]"), "{stdout}");
+    assert!(
+        stdout.contains("ecall_storm-unpatched-none-off-s2.evdb"),
+        "{stdout}"
+    );
+    assert!(stderr.contains("dry run"), "{stderr}");
+    assert!(!out.exists(), "dry run must not write the archive");
+}
+
+#[test]
+fn campaign_usage_errors_exit_one() {
+    let (spec, _) = write_spec("campaign-args", NEUTRAL_SPEC);
+    let (_, stderr, code) = sgxperf_code(&["campaign", spec.to_str().unwrap(), "--frob"]);
+    assert_eq!(code, 1);
+    assert!(stderr.contains("unknown campaign option"), "{stderr}");
+    let (_, stderr, code) = sgxperf_code(&["campaign", "/nonexistent/spec.toml", "--dry-run"]);
+    assert_eq!(code, 1);
+    assert!(stderr.contains("cannot read"), "{stderr}");
+    // Spec errors carry the line number.
+    let (bad, _) = write_spec("campaign-bad", "[campaign]\nname = \"x\"\nfrobnicate = 1\n");
+    let (_, stderr, code) = sgxperf_code(&["campaign", bad.to_str().unwrap(), "--dry-run"]);
+    assert_eq!(code, 1);
+    assert!(stderr.contains("bad campaign spec: line 3"), "{stderr}");
+    // Unknown workloads are a resolution error, also with the file named.
+    let (bad, _) = write_spec(
+        "campaign-badwl",
+        "[campaign]\nname = \"x\"\n[matrix]\nworkloads = [\"frobnicate\"]\n\
+         profiles = [\"unpatched\"]\nseeds = [1]\n",
+    );
+    let (_, stderr, code) = sgxperf_code(&["campaign", bad.to_str().unwrap(), "--dry-run"]);
+    assert_eq!(code, 1);
+    assert!(stderr.contains("unknown workload `frobnicate`"), "{stderr}");
 }
 
 #[test]

@@ -61,6 +61,27 @@ impl HwProfile {
             HwProfile::Foreshadow => "+Spectre+L1TF",
         }
     }
+
+    /// Filename-safe label used in campaign cell paths and spec files.
+    pub fn file_label(self) -> &'static str {
+        match self {
+            HwProfile::Unpatched => "unpatched",
+            HwProfile::Spectre => "spectre",
+            HwProfile::Foreshadow => "l1tf",
+        }
+    }
+
+    /// Parses a profile name as written in specs and CLI flags. Accepts
+    /// the [`HwProfile::file_label`] forms plus `foreshadow` as an alias
+    /// for `l1tf`.
+    pub fn parse(s: &str) -> Option<HwProfile> {
+        match s {
+            "unpatched" => Some(HwProfile::Unpatched),
+            "spectre" => Some(HwProfile::Spectre),
+            "l1tf" | "foreshadow" => Some(HwProfile::Foreshadow),
+            _ => None,
+        }
+    }
 }
 
 impl std::fmt::Display for HwProfile {

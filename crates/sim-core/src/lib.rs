@@ -25,6 +25,7 @@
 //! assert_eq!(cost.transition_roundtrip(), Nanos::from_nanos(2_130));
 //! ```
 
+pub mod campaign;
 pub mod clock;
 pub mod fault;
 pub mod hw;
@@ -34,6 +35,7 @@ pub mod sync;
 pub mod syncev;
 pub mod time;
 
+pub use campaign::{CampaignSpec, CellCoord, SpecError, SwitchlessAxis};
 pub use clock::Clock;
 pub use fault::{FaultAction, FaultEvent, FaultInjector, FaultObserver, FaultPlan};
 pub use hw::{CostModel, HwProfile};

@@ -18,19 +18,11 @@ use sim_threads::Engine;
 use workloads::campaign::{self, CampaignConfig, Workload};
 
 fn parse_workload(name: &str) -> Workload {
-    Workload::ALL
-        .into_iter()
-        .find(|w| w.label() == name)
-        .unwrap_or_else(|| panic!("unknown workload `{name}`"))
+    Workload::parse(name).unwrap_or_else(|| panic!("unknown workload `{name}`"))
 }
 
 fn parse_profile(name: &str) -> HwProfile {
-    match name {
-        "unpatched" => HwProfile::Unpatched,
-        "spectre" => HwProfile::Spectre,
-        "l1tf" | "foreshadow" => HwProfile::Foreshadow,
-        other => panic!("unknown profile `{other}`"),
-    }
+    HwProfile::parse(name).unwrap_or_else(|| panic!("unknown profile `{name}`"))
 }
 
 fn main() {

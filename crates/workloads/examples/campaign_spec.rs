@@ -1,0 +1,59 @@
+//! Spec-file driver: parses every campaign spec given on the command
+//! line, proves the parse → `Display` → parse fixpoint, resolves each
+//! against the workload registry and prints the expanded matrix shape —
+//! the cheap CI check that the repo's `specs/` directory stays loadable
+//! without executing a single cell.
+//!
+//! ```text
+//! cargo run --release --example campaign_spec -- specs/*.toml
+//! ```
+
+use sim_core::campaign::CampaignSpec;
+use workloads::campaign::matrix::MatrixPlan;
+
+fn main() {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    assert!(!paths.is_empty(), "usage: campaign_spec <spec.toml>...");
+    for path in &paths {
+        let source =
+            std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+        let spec = CampaignSpec::parse(&source).unwrap_or_else(|e| panic!("{path}: {e}"));
+
+        // The canonical form is the grammar's fixpoint: rendering and
+        // reparsing must yield the identical spec (with defaults made
+        // explicit), and render byte-identically again.
+        let canonical = spec.to_string();
+        let reparsed = CampaignSpec::parse(&canonical)
+            .unwrap_or_else(|e| panic!("{path}: canonical form failed to reparse: {e}"));
+        assert_eq!(
+            canonical,
+            reparsed.to_string(),
+            "{path}: Display is not a fixpoint"
+        );
+
+        let plan = MatrixPlan::from_spec(spec).unwrap_or_else(|e| panic!("{path}: {e}"));
+        let spec = &plan.spec;
+        let cells = plan.cells();
+        assert_eq!(cells.len(), spec.cell_count(), "{path}: expansion count");
+        let baselines = cells.iter().filter(|c| c.baseline == c.index).count();
+        println!(
+            "{path}: campaign \"{}\" = {} workload(s) x {} profile(s) x {} plan(s) \
+             x {} switchless x {} seed(s) = {} cell(s), {} baseline(s), threshold {}%",
+            spec.name,
+            spec.workloads.len(),
+            spec.profiles.len(),
+            spec.plans.len(),
+            spec.switchless.len(),
+            spec.seeds.len(),
+            cells.len(),
+            baselines,
+            spec.threshold_pct,
+        );
+        println!(
+            "  first cell: {}\n  last cell:  {}",
+            plan.file_name(&cells[0]),
+            plan.file_name(cells.last().unwrap()),
+        );
+    }
+    println!("{} spec(s) verified", paths.len());
+}

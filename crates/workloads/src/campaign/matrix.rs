@@ -1,0 +1,532 @@
+//! Declarative matrix execution: a parsed [`CampaignSpec`] resolved
+//! against the workload registry, fanned out in parallel, verdicted
+//! per-cell through the diff engine against each cell's declared
+//! baseline.
+//!
+//! Everything downstream of the spec is deterministic: cell traces are
+//! pure functions of their coordinates, archive paths are pure functions
+//! of the same coordinates, and the summary (text table and JSON) is
+//! ordered by cell index and carries no wall-clock times, worker counts
+//! or engine labels — so two runs of the same spec, on any engine with
+//! any parallelism, render byte-identical summaries. Timing belongs on
+//! stderr; this module's outputs are the CI artifact.
+
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use sgx_perf::analysis::diff::{DiffConfig, TraceDiff, Verdict, REGRESSION_EXIT_CODE};
+use sgx_perf::{Logger, LoggerConfig, TraceDb};
+use sim_core::campaign::{CampaignSpec, CellCoord, SwitchlessAxis};
+use sim_core::fault::FaultPlan;
+use sim_threads::{with_engine, Engine};
+
+use super::Workload;
+use crate::harness::Harness;
+use crate::stressors::StressorConfig;
+use crate::{chaos, fleet, racy_fixture, stressors, supervisor_loop};
+
+/// A validated, runnable campaign: the spec plus its workload names
+/// resolved against the registry.
+#[derive(Debug, Clone)]
+pub struct MatrixPlan {
+    /// The spec (kept whole: the canonical form is the run's identity).
+    pub spec: CampaignSpec,
+    workloads: Vec<Workload>,
+}
+
+impl MatrixPlan {
+    /// Resolves and validates a spec against the workload registry.
+    ///
+    /// # Errors
+    ///
+    /// Unknown workload names, and switchless axis points other than
+    /// `off` combined with workloads that have no switchless route (only
+    /// the dedicated stressors take the axis).
+    pub fn from_spec(spec: CampaignSpec) -> Result<MatrixPlan, String> {
+        let mut workloads = Vec::with_capacity(spec.workloads.len());
+        for name in &spec.workloads {
+            let Some(w) = Workload::parse(name) else {
+                let known: Vec<&str> = Workload::ALL.iter().map(|w| w.label()).collect();
+                return Err(format!(
+                    "unknown workload `{name}` (known: {})",
+                    known.join(", ")
+                ));
+            };
+            if spec.switchless.iter().any(|s| *s != SwitchlessAxis::Off)
+                && !matches!(w, Workload::Stress(_))
+            {
+                return Err(format!(
+                    "workload `{name}` does not take the switchless axis \
+                     (only the dedicated stressors do)"
+                ));
+            }
+            workloads.push(w);
+        }
+        Ok(MatrixPlan { spec, workloads })
+    }
+
+    /// The expanded cell matrix (delegates to the spec).
+    #[must_use]
+    pub fn cells(&self) -> Vec<CellCoord> {
+        self.spec.expand()
+    }
+
+    /// The deterministic archive filename of a cell.
+    #[must_use]
+    pub fn file_name(&self, c: &CellCoord) -> String {
+        format!(
+            "{}-{}-{}-{}-s{}.evdb",
+            self.spec.workloads[c.workload],
+            c.profile.file_label(),
+            self.spec.plans[c.plan].0,
+            c.switchless.file_label(),
+            c.seed
+        )
+    }
+
+    /// The fault plan a cell actually runs under: the named plan with the
+    /// cell seed folded into its jitter seed, or `None` for an empty plan
+    /// (preserving the empty-plan-is-invisible byte contract).
+    #[must_use]
+    pub fn effective_plan(&self, c: &CellCoord) -> Option<FaultPlan> {
+        let (_, plan) = &self.spec.plans[c.plan];
+        if plan.is_empty() {
+            return None;
+        }
+        let mut plan = plan.clone();
+        plan.seed ^= c.seed;
+        Some(plan)
+    }
+
+    /// Executes one cell on the calling thread's current engine and
+    /// returns the serialised trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload fails under the cell's fault plan —
+    /// campaign plans must be recoverable configurations.
+    #[must_use]
+    pub fn run_cell(&self, c: &CellCoord) -> Vec<u8> {
+        let plan = self.effective_plan(c);
+        let workers = match c.switchless {
+            SwitchlessAxis::Off => None,
+            SwitchlessAxis::On { workers } => Some(workers as usize),
+        };
+        match self.workloads[c.workload] {
+            Workload::Stress(s) => stressors::trace(
+                s,
+                c.profile,
+                plan.as_ref(),
+                &StressorConfig {
+                    seed: c.seed,
+                    switchless_workers: workers,
+                },
+            ),
+            Workload::Antipatterns => chaos::antipatterns_trace(c.profile, plan.as_ref()),
+            Workload::Switchless => chaos::switchless_trace(c.profile, plan.as_ref()),
+            Workload::Supervisor => {
+                let harness = Harness::new(c.profile);
+                let logger = Logger::attach(harness.runtime(), LoggerConfig::default());
+                supervisor_loop::run(&harness, 24, plan.as_ref(), None)
+                    .expect("supervisor matrix cell");
+                logger.finish().to_bytes()
+            }
+            Workload::Racy => {
+                let harness = Harness::new(c.profile);
+                let logger = Logger::attach(harness.runtime(), LoggerConfig::with_syncev());
+                harness.machine().set_fault_plan(plan.as_ref());
+                racy_fixture::run(&harness, &racy_fixture::RacyFixtureConfig::default())
+                    .expect("racy matrix cell");
+                logger.finish().to_bytes()
+            }
+            Workload::Fleet => {
+                let cfg = fleet::FleetRunConfig {
+                    seed: 0xF1EE7 ^ c.seed,
+                    ..fleet::FleetRunConfig::tiny()
+                };
+                let run = fleet::run(c.profile, &cfg, plan.as_ref()).expect("fleet matrix cell");
+                run.trace.to_bytes()
+            }
+        }
+    }
+}
+
+/// Per-cell gate outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellVerdict {
+    /// This cell *is* its group's baseline (diffed against itself only
+    /// notionally; always neutral by construction).
+    Baseline,
+    /// Within the threshold of its baseline.
+    Neutral,
+    /// Better than its baseline beyond the threshold.
+    Improved,
+    /// Worse than its baseline beyond the threshold — trips the gate.
+    Regressed,
+}
+
+impl CellVerdict {
+    /// Fixed-width summary label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            CellVerdict::Baseline => "baseline",
+            CellVerdict::Neutral => "neutral",
+            CellVerdict::Improved => "improved",
+            CellVerdict::Regressed => "REGRESSED",
+        }
+    }
+}
+
+/// One completed, verdicted cell.
+#[derive(Debug, Clone)]
+pub struct MatrixCell {
+    /// The cell coordinates.
+    pub coord: CellCoord,
+    /// Archive filename (pure function of the coordinates).
+    pub file: String,
+    /// Serialised trace size.
+    pub bytes: usize,
+    /// Fault rows recorded in the trace.
+    pub fault_rows: usize,
+    /// Diff verdict against the declared baseline cell.
+    pub verdict: CellVerdict,
+    /// Virtual-time speedup vs the baseline (>1 = faster than baseline;
+    /// exactly 1 for baseline cells).
+    pub speedup: f64,
+}
+
+/// A completed campaign matrix.
+#[derive(Debug)]
+pub struct MatrixRun {
+    /// The validated plan that ran.
+    pub plan: MatrixPlan,
+    /// All cells, ordered by index.
+    pub cells: Vec<MatrixCell>,
+}
+
+impl MatrixRun {
+    /// Number of cells whose verdict tripped the gate.
+    #[must_use]
+    pub fn regressed(&self) -> usize {
+        self.cells
+            .iter()
+            .filter(|c| c.verdict == CellVerdict::Regressed)
+            .count()
+    }
+
+    /// CI-gate exit status: [`REGRESSION_EXIT_CODE`] iff any cell
+    /// regressed against its baseline, 0 otherwise.
+    #[must_use]
+    pub fn exit_code(&self) -> u8 {
+        if self.regressed() > 0 {
+            REGRESSION_EXIT_CODE
+        } else {
+            0
+        }
+    }
+
+    /// The byte-stable text summary: a fixed-order table over the cell
+    /// matrix with no wall-clock times, worker counts or engine labels.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let spec = &self.plan.spec;
+        let mut out = format!(
+            "campaign \"{}\": {} workload(s) x {} profile(s) x {} plan(s) \
+             x {} switchless x {} seed(s) = {} cell(s)\n",
+            spec.name,
+            spec.workloads.len(),
+            spec.profiles.len(),
+            spec.plans.len(),
+            spec.switchless.len(),
+            spec.seeds.len(),
+            self.cells.len(),
+        );
+        out.push_str(&format!(
+            "gate: threshold {}%, baseline faults={} seed={}\n\n",
+            spec.threshold_pct, spec.baseline_plan, spec.baseline_seed,
+        ));
+        let wl = col_width(spec.workloads.iter().map(String::len), "workload".len());
+        let pl = col_width(spec.plans.iter().map(|(n, _)| n.len()), "plan".len());
+        out.push_str(&format!(
+            "{:>5}  {:<wl$}  {:<9}  {:<pl$}  {:<5}  {:>6}  {:>8}  {:>6}  {:<9}  {:>8}\n",
+            "index",
+            "workload",
+            "profile",
+            "plan",
+            "swl",
+            "seed",
+            "bytes",
+            "faults",
+            "verdict",
+            "speedup",
+        ));
+        for c in &self.cells {
+            out.push_str(&format!(
+                "{:>5}  {:<wl$}  {:<9}  {:<pl$}  {:<5}  {:>6}  {:>8}  {:>6}  {:<9}  {:>8.3}\n",
+                c.coord.index,
+                spec.workloads[c.coord.workload],
+                c.coord.profile.file_label(),
+                spec.plans[c.coord.plan].0,
+                c.coord.switchless.to_string(),
+                c.coord.seed,
+                c.bytes,
+                c.fault_rows,
+                c.verdict.label(),
+                c.speedup,
+            ));
+        }
+        out.push_str(&format!(
+            "\n{} regressed cell(s) -> exit {}\n",
+            self.regressed(),
+            self.exit_code(),
+        ));
+        out
+    }
+
+    /// The byte-stable machine-readable summary (hand-rolled JSON, same
+    /// stability contract as [`MatrixRun::render`]).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let spec = &self.plan.spec;
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"campaign\": \"{}\",\n", spec.name));
+        out.push_str(&format!("  \"threshold_pct\": {},\n", spec.threshold_pct));
+        out.push_str(&format!(
+            "  \"baseline\": {{\"faults\": \"{}\", \"seed\": {}}},\n",
+            spec.baseline_plan, spec.baseline_seed,
+        ));
+        out.push_str(&format!("  \"cells\": {},\n", self.cells.len()));
+        out.push_str(&format!("  \"regressed\": {},\n", self.regressed()));
+        out.push_str(&format!("  \"exit_code\": {},\n", self.exit_code()));
+        out.push_str("  \"results\": [\n");
+        for (i, c) in self.cells.iter().enumerate() {
+            let comma = if i + 1 == self.cells.len() { "" } else { "," };
+            out.push_str(&format!(
+                "    {{\"index\": {}, \"workload\": \"{}\", \"profile\": \"{}\", \
+                 \"plan\": \"{}\", \"switchless\": \"{}\", \"seed\": {}, \
+                 \"baseline_index\": {}, \"file\": \"{}\", \"bytes\": {}, \
+                 \"fault_rows\": {}, \"verdict\": \"{}\", \"speedup\": {:.3}}}{}\n",
+                c.coord.index,
+                spec.workloads[c.coord.workload],
+                c.coord.profile.file_label(),
+                spec.plans[c.coord.plan].0,
+                c.coord.switchless,
+                c.coord.seed,
+                c.coord.baseline,
+                c.file,
+                c.bytes,
+                c.fault_rows,
+                c.verdict.label(),
+                c.speedup,
+                comma,
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+fn col_width(lens: impl Iterator<Item = usize>, header: usize) -> usize {
+    lens.fold(header, usize::max)
+}
+
+/// Runs the matrix: executes every cell in parallel on `engine` (claimed
+/// off a shared counter by `jobs` workers — 0 means the spec's `jobs`,
+/// which itself defaults to all cores), archives one trace per cell under
+/// `out_dir` (if given), then verdicts every cell against its declared
+/// baseline through the diff engine at the spec's threshold.
+///
+/// # Panics
+///
+/// Panics if a cell fails or an output file cannot be written.
+#[must_use]
+pub fn run(plan: &MatrixPlan, engine: Engine, jobs: usize, out_dir: Option<&Path>) -> MatrixRun {
+    if let Some(dir) = out_dir {
+        std::fs::create_dir_all(dir).expect("create campaign output dir");
+    }
+    let cells = plan.cells();
+    let jobs = match (jobs, plan.spec.jobs as usize) {
+        (0, 0) => std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
+        (0, n) | (n, _) => n,
+    };
+    let next = AtomicUsize::new(0);
+    let traces: Mutex<Vec<Option<Vec<u8>>>> = Mutex::new(vec![None; cells.len()]);
+    std::thread::scope(|scope| {
+        for _ in 0..jobs.min(cells.len()).max(1) {
+            scope.spawn(|| loop {
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                let Some(coord) = cells.get(index) else {
+                    break;
+                };
+                let bytes = with_engine(engine, || plan.run_cell(coord));
+                if let Some(dir) = out_dir {
+                    std::fs::write(dir.join(plan.file_name(coord)), &bytes)
+                        .expect("write cell trace");
+                }
+                traces.lock().unwrap()[index] = Some(bytes);
+            });
+        }
+    });
+    let traces: Vec<Vec<u8>> = traces
+        .into_inner()
+        .unwrap()
+        .into_iter()
+        .map(|t| t.expect("all cells ran"))
+        .collect();
+
+    let diff_config = DiffConfig {
+        threshold: f64::from(plan.spec.threshold_pct) / 100.0,
+        ..DiffConfig::default()
+    };
+    let cells = cells
+        .iter()
+        .map(|coord| {
+            let bytes = &traces[coord.index];
+            let (verdict, speedup) = if coord.baseline == coord.index {
+                (CellVerdict::Baseline, 1.0)
+            } else {
+                let a = TraceDb::from_bytes(&traces[coord.baseline]).expect("baseline trace");
+                let b = TraceDb::from_bytes(bytes).expect("cell trace");
+                let diff = TraceDiff::compute(&a, &b, diff_config);
+                let verdict = match diff.verdict {
+                    Verdict::Improvement => CellVerdict::Improved,
+                    Verdict::Neutral => CellVerdict::Neutral,
+                    Verdict::Regression => CellVerdict::Regressed,
+                };
+                (verdict, diff.speedup())
+            };
+            MatrixCell {
+                coord: *coord,
+                file: plan.file_name(coord),
+                bytes: bytes.len(),
+                fault_rows: chaos::fault_rows(bytes),
+                verdict,
+                speedup,
+            }
+        })
+        .collect();
+    let run = MatrixRun {
+        plan: plan.clone(),
+        cells,
+    };
+    if let Some(dir) = out_dir {
+        std::fs::write(dir.join("summary.txt"), run.render()).expect("write summary.txt");
+        std::fs::write(dir.join("summary.json"), run.to_json()).expect("write summary.json");
+    }
+    run
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec(extra: &str) -> CampaignSpec {
+        CampaignSpec::parse(&format!(
+            "[campaign]\nname = \"tiny\"\nthreshold = 25\n\
+             [matrix]\nworkloads = [\"ecall_storm\", \"io_fsync_loop\"]\n\
+             profiles = [\"unpatched\"]\nseeds = [1, 2]\n{extra}"
+        ))
+        .expect("test spec")
+    }
+
+    #[test]
+    fn unknown_workloads_are_rejected_at_resolution() {
+        let spec = CampaignSpec::parse(
+            "[campaign]\nname = \"x\"\n[matrix]\nworkloads = [\"frobnicate\"]\n\
+             profiles = [\"unpatched\"]\nseeds = [1]\n",
+        )
+        .unwrap();
+        let e = MatrixPlan::from_spec(spec).unwrap_err();
+        assert!(e.contains("unknown workload `frobnicate`"), "{e}");
+        assert!(e.contains("epc_thrash"), "must list known names: {e}");
+    }
+
+    #[test]
+    fn switchless_axis_is_stressor_only() {
+        let spec = CampaignSpec::parse(
+            "[campaign]\nname = \"x\"\n[matrix]\nworkloads = [\"antipatterns\"]\n\
+             profiles = [\"unpatched\"]\nswitchless = [\"off\", \"on:1\"]\nseeds = [1]\n",
+        )
+        .unwrap();
+        let e = MatrixPlan::from_spec(spec).unwrap_err();
+        assert!(e.contains("does not take the switchless axis"), "{e}");
+    }
+
+    #[test]
+    fn matrix_runs_verdict_and_stay_byte_stable() {
+        let plan = MatrixPlan::from_spec(tiny_spec("")).unwrap();
+        let a = run(&plan, Engine::Fast, 1, None);
+        let b = run(&plan, Engine::Fast, 4, None);
+        assert_eq!(a.cells.len(), 4);
+        assert_eq!(a.render(), b.render());
+        assert_eq!(a.to_json(), b.to_json());
+        assert_eq!(a.exit_code(), 0, "{}", a.render());
+        // One baseline per (workload, profile, switchless) group.
+        let baselines = a
+            .cells
+            .iter()
+            .filter(|c| c.verdict == CellVerdict::Baseline)
+            .count();
+        assert_eq!(baselines, 2);
+    }
+
+    #[test]
+    fn heavy_plans_trip_the_gate() {
+        let plan = MatrixPlan::from_spec(tiny_spec(
+            "[faults]\nnone = \"\"\n\
+             storm = \"seed=3;ocall-timeout@call=2:delay=60us,times=3;aex-storm@call=12:count=6\"\n",
+        ))
+        .unwrap();
+        let run = run(&plan, Engine::Fast, 0, None);
+        assert_eq!(run.cells.len(), 8);
+        assert!(run.regressed() > 0, "{}", run.render());
+        assert_eq!(run.exit_code(), REGRESSION_EXIT_CODE);
+        // The render reflects the gate.
+        assert!(run.render().contains("REGRESSED"), "{}", run.render());
+    }
+
+    #[test]
+    fn archives_land_at_deterministic_paths() {
+        let dir = std::env::temp_dir().join(format!("sgxperf-matrix-{}", std::process::id()));
+        let plan = MatrixPlan::from_spec(tiny_spec("")).unwrap();
+        let run = run(&plan, Engine::Fast, 2, Some(&dir));
+        for cell in &run.cells {
+            let path = dir.join(&cell.file);
+            let bytes = std::fs::read(&path).expect("archived trace");
+            assert_eq!(bytes.len(), cell.bytes, "{}", path.display());
+        }
+        assert_eq!(
+            std::fs::read_to_string(dir.join("summary.txt")).unwrap(),
+            run.render()
+        );
+        assert_eq!(
+            std::fs::read_to_string(dir.join("summary.json")).unwrap(),
+            run.to_json()
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn effective_plans_fold_the_seed_but_keep_empty_plans_invisible() {
+        let plan = MatrixPlan::from_spec(tiny_spec(
+            "[faults]\nnone = \"\"\nlight = \"seed=9;ocall-fail@call=3:times=1\"\n",
+        ))
+        .unwrap();
+        let cells = plan.cells();
+        let empty = cells
+            .iter()
+            .find(|c| plan.spec.plans[c.plan].0 == "none")
+            .unwrap();
+        assert_eq!(plan.effective_plan(empty), None);
+        let seeded: Vec<&CellCoord> = cells
+            .iter()
+            .filter(|c| plan.spec.plans[c.plan].0 == "light")
+            .collect();
+        let p1 = plan.effective_plan(seeded[0]).unwrap();
+        let p2 = plan.effective_plan(seeded[1]).unwrap();
+        assert_eq!(p1.seed, 9 ^ seeded[0].seed);
+        assert_eq!(p1.faults, p2.faults, "only the jitter seed varies");
+    }
+}

@@ -16,6 +16,8 @@
 //! two traces are asserted byte-identical — the differential oracle at
 //! campaign scale.
 
+pub mod matrix;
+
 use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -26,7 +28,8 @@ use sim_core::HwProfile;
 use sim_threads::{with_engine, Engine};
 
 use crate::harness::Harness;
-use crate::{chaos, fleet, racy_fixture, supervisor_loop};
+use crate::stressors::{Stressor, StressorConfig};
+use crate::{chaos, fleet, racy_fixture, stressors, supervisor_loop};
 
 /// A campaign-runnable workload. Each produces serialised trace bytes
 /// from (profile, seed) alone.
@@ -42,16 +45,22 @@ pub enum Workload {
     Racy,
     /// Fleet scenario at unit-test scale.
     Fleet,
+    /// A dedicated single-axis stressor (see [`stressors`]).
+    Stress(Stressor),
 }
 
 impl Workload {
     /// Every campaign-runnable workload.
-    pub const ALL: [Workload; 5] = [
+    pub const ALL: [Workload; 9] = [
         Workload::Antipatterns,
         Workload::Switchless,
         Workload::Supervisor,
         Workload::Racy,
         Workload::Fleet,
+        Workload::Stress(Stressor::EpcThrash),
+        Workload::Stress(Stressor::EcallStorm),
+        Workload::Stress(Stressor::IoFsyncLoop),
+        Workload::Stress(Stressor::CpuCompute),
     ];
 
     /// Filename-safe label.
@@ -62,7 +71,14 @@ impl Workload {
             Workload::Supervisor => "supervisor",
             Workload::Racy => "racy",
             Workload::Fleet => "fleet",
+            Workload::Stress(s) => s.label(),
         }
+    }
+
+    /// Parses a workload name as written in campaign specs and CLI flags
+    /// — the inverse of [`Workload::label`].
+    pub fn parse(name: &str) -> Option<Workload> {
+        Workload::ALL.into_iter().find(|w| w.label() == name)
     }
 }
 
@@ -103,7 +119,9 @@ impl Cell {
             return "none";
         }
         match self.workload {
-            Workload::Antipatterns | Workload::Switchless => "random_plan(seed)",
+            Workload::Antipatterns | Workload::Switchless | Workload::Stress(_) => {
+                "random_plan(seed)"
+            }
             Workload::Supervisor => "loss_plan(seed)",
             Workload::Racy => "none (seed varies rounds)",
             Workload::Fleet => "chaos_plan(seed)",
@@ -154,6 +172,18 @@ impl Cell {
                 let plan = (self.seed != 0).then(|| fleet::chaos_plan(&cfg));
                 let run = fleet::run(self.profile, &cfg, plan.as_ref()).expect("fleet cell");
                 run.trace.to_bytes()
+            }
+            Workload::Stress(stressor) => {
+                let plan = (self.seed != 0).then(|| chaos::random_plan(self.seed));
+                stressors::trace(
+                    stressor,
+                    self.profile,
+                    plan.as_ref(),
+                    &StressorConfig {
+                        seed: self.seed,
+                        switchless_workers: None,
+                    },
+                )
             }
         }
     }

@@ -39,6 +39,7 @@ pub mod harness;
 pub mod racy_fixture;
 pub mod securekeeper;
 pub mod sqlitedb;
+pub mod stressors;
 pub mod supervisor_loop;
 pub mod switchless_loop;
 pub mod talos;

@@ -17,6 +17,10 @@
 # engine clears the SGXPERF_ENGINE_SPEEDUP_FLOOR (default 5x) and the
 # campaign runner clears SGXPERF_SCALING_FLOOR (default 0.7x ideal).
 #
+# Also runs the declarative stressor sweep (specs/stressors.toml) serially
+# and at full parallelism and emits BENCH_campaign.json (cells/sec,
+# parallel efficiency, per-stressor headline metrics).
+#
 # usage: scripts/bench.sh [output-dir] [profile] [requests]
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -28,9 +32,11 @@ BENCH_JSON="${BENCH_JSON:-BENCH_diff.json}"
 FLEET_JSON="${FLEET_JSON:-BENCH_fleet.json}"
 FLEET_SCALE="${FLEET_SCALE:-full}"
 ENGINE_JSON="${ENGINE_JSON:-BENCH_engine.json}"
+CAMPAIGN_JSON="${CAMPAIGN_JSON:-BENCH_campaign.json}"
+CAMPAIGN_SPEC="${CAMPAIGN_SPEC:-specs/stressors.toml}"
 
 echo "== build (release, offline)"
-cargo build --release --offline -p sgx-perf -p workloads --examples --bins
+cargo build --release --offline -p sgx-perf -p sgxperf-cli -p workloads --examples --bins
 
 SGXPERF=target/release/sgxperf
 
@@ -75,4 +81,8 @@ echo "== engine bench (legacy vs fast, throughput floors enforced)"
 cargo run --release --offline -q -p workloads --example engine_bench -- \
     "$ENGINE_JSON"
 
-echo "wrote $BENCH_JSON, $FLEET_JSON and $ENGINE_JSON"
+echo "== campaign bench ($CAMPAIGN_SPEC, serial vs all cores)"
+cargo run --release --offline -q -p workloads --example campaign_bench -- \
+    "$CAMPAIGN_JSON" "$CAMPAIGN_SPEC"
+
+echo "wrote $BENCH_JSON, $FLEET_JSON, $ENGINE_JSON and $CAMPAIGN_JSON"
