@@ -13,7 +13,7 @@
 //! sgxperf info     <trace.evdb>
 //! sgxperf races    <trace.evdb> [--json]
 //! sgxperf fleet    <trace.evdb> [--top N] [--json]
-//! sgxperf campaign <spec.toml> [--out DIR] [--jobs N] [--engine fast|legacy] [--json] [--dry-run]
+//! sgxperf campaign <spec.toml> [--out DIR] [--jobs N] [--engine fast|legacy] [--json] [--dry-run] [--resume]
 //! ```
 //!
 //! `lint` runs the static interface analyzer (EDL-W001...) and renders
@@ -36,10 +36,16 @@
 //! `campaign` is the only subcommand that *records* instead of analysing:
 //! it parses a declarative spec, expands the scenario matrix
 //! {workload x profile x fault plan x switchless x seed}, executes every
-//! cell in parallel on the simulator, archives one trace per cell, and
-//! verdicts each cell against its declared baseline through the diff
-//! engine — exit 3 iff any cell regressed. The summary (stdout) is
-//! byte-stable: times and engine/worker info go to stderr only.
+//! cell in parallel on the simulator under the spec's `[robustness]`
+//! supervision (per-cell panic isolation, event budgets, wall-clock
+//! deadlines, retries with a flaky/broken quarantine ledger), archives
+//! one trace per cell plus a checksummed `manifest.json` (all writes
+//! atomic), and verdicts each cell against its declared baseline through
+//! the diff engine — exit 3 iff any cell regressed, exit 4 when the
+//! matrix is incomplete (broken or unverdictable cells; beats 3).
+//! `--resume` salvages a crashed run's archive and re-runs only missing
+//! or corrupt cells. The summary (stdout) is byte-stable: times and
+//! engine/worker info go to stderr only.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -104,8 +110,8 @@ const SUBCOMMANDS: &[(&str, &str, &str)] = &[
     ),
     (
         "campaign",
-        "<spec.toml> [--out DIR] [--jobs N] [--engine fast|legacy] [--json] [--dry-run]",
-        "run a declarative scenario matrix (exit 3 on regression)",
+        "<spec.toml> [--out DIR] [--jobs N] [--engine fast|legacy] [--json] [--dry-run] [--resume]",
+        "run a supervised scenario matrix (exit 3 on regression, 4 when incomplete)",
     ),
 ];
 
@@ -359,14 +365,23 @@ fn run_fleet(rest: &[String]) -> Result<ExitCode, String> {
 /// `--json`); wall-clock timing, worker count and engine label go to
 /// stderr so two runs of the same spec diff clean.
 ///
-/// Exit status: 0 when no cell regressed past the spec's threshold
-/// against its declared baseline, 3 on regression, 1 on bad input.
+/// Cells run supervised per the spec's `[robustness]` section: panics,
+/// budget/deadline timeouts and archive I/O errors fail only their cell,
+/// retried up to `retries` times and quarantined in the summary ledger.
+/// `--resume` revalidates the archive's `manifest.json` from an
+/// interrupted run and re-runs only missing or corrupt cells.
+///
+/// Exit status: 0 when every cell completed and none regressed past the
+/// spec's threshold against its declared baseline, 3 on regression, 4
+/// when the matrix is incomplete (broken or unverdictable cells — beats
+/// 3), 1 on bad input.
 fn run_campaign(rest: &[String]) -> Result<ExitCode, String> {
     let mut out: Option<PathBuf> = None;
     let mut jobs = 0usize;
     let mut engine: Option<Engine> = None;
     let mut json = false;
     let mut dry_run = false;
+    let mut resume = false;
     let mut paths: Vec<&String> = Vec::new();
     let mut it = rest.iter();
     while let Some(opt) = it.next() {
@@ -385,6 +400,7 @@ fn run_campaign(rest: &[String]) -> Result<ExitCode, String> {
             }
             "--json" => json = true,
             "--dry-run" => dry_run = true,
+            "--resume" => resume = true,
             other if other.starts_with('-') => {
                 return Err(format!("unknown campaign option `{other}`"))
             }
@@ -420,7 +436,7 @@ fn run_campaign(rest: &[String]) -> Result<ExitCode, String> {
     let engine = engine.unwrap_or_else(Engine::current);
     let out_dir = out.unwrap_or_else(|| PathBuf::from("target/campaign").join(&plan.spec.name));
     let started = std::time::Instant::now();
-    let run = matrix::run(&plan, engine, jobs, Some(&out_dir));
+    let run = matrix::run(&plan, engine, jobs, Some(&out_dir), resume)?;
     if json {
         print!("{}", run.to_json());
     } else {

@@ -328,6 +328,7 @@ fn usage_synopses_cover_current_flags() {
         "--jobs",
         "--engine",
         "--dry-run",
+        "--resume",
     ] {
         assert!(stderr.contains(flag), "{flag} missing from usage: {stderr}");
     }
@@ -598,6 +599,7 @@ fn campaign_neutral_matrix_exits_zero_and_is_byte_stable() {
         "ecall_storm-unpatched-none-off-s2.evdb",
         "summary.txt",
         "summary.json",
+        "manifest.json",
     ] {
         assert!(out_a.join(file).exists(), "{file} missing");
     }
@@ -640,7 +642,75 @@ fn campaign_regressing_plan_trips_gate_exit_three() {
     ]);
     assert_eq!(code, 3, "{stdout}");
     assert!(stdout.contains("REGRESSED"), "{stdout}");
-    assert!(stdout.contains("1 regressed cell(s) -> exit 3"), "{stdout}");
+    assert!(
+        stdout.contains("1 regressed, 0 broken, 0 flaky cell(s) -> exit 3"),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn campaign_faulty_cells_quarantine_and_exit_four() {
+    let (spec, out) = write_spec(
+        "campaign-faulty",
+        "[campaign]\nname = \"faulty\"\nthreshold = 25\n\
+         [matrix]\nworkloads = [\"ecall_storm\", \"panicking\", \"flaky\"]\n\
+         profiles = [\"unpatched\"]\nseeds = [1]\n\
+         [robustness]\ncell_deadline = \"30s\"\nretries = 1\n",
+    );
+    let (stdout, _, code) = sgxperf_code(&[
+        "campaign",
+        spec.to_str().unwrap(),
+        "--out",
+        out.to_str().unwrap(),
+    ]);
+    // The poisoned cell is quarantined, its siblings complete, and the
+    // incomplete exit code (4) wins over everything else.
+    assert_eq!(code, 4, "{stdout}");
+    assert!(stdout.contains("quarantine:"), "{stdout}");
+    assert!(stdout.contains("FAILED"), "{stdout}");
+    assert!(stdout.contains("passed on attempt 2"), "{stdout}");
+    assert!(
+        stdout.contains("0 regressed, 1 broken, 1 flaky cell(s) -> exit 4"),
+        "{stdout}"
+    );
+    // The healthy cells' traces still landed.
+    assert!(out.join("ecall_storm-unpatched-none-off-s1.evdb").exists());
+    assert!(out.join("flaky-unpatched-none-off-s1.evdb").exists());
+}
+
+#[test]
+fn campaign_resume_completes_a_partial_archive_byte_identically() {
+    let (spec, out) = write_spec("campaign-resume", NEUTRAL_SPEC);
+    let spec = spec.to_str().unwrap();
+    let full = out.with_extension("full");
+    let partial = out.with_extension("partial");
+    let (stdout_full, _, code) = sgxperf_code(&["campaign", spec, "--out", full.to_str().unwrap()]);
+    assert_eq!(code, 0, "{stdout_full}");
+    // Fabricate an interrupted run: the archive minus one trace.
+    std::fs::create_dir_all(&partial).unwrap();
+    for entry in std::fs::read_dir(&full).unwrap() {
+        let entry = entry.unwrap();
+        std::fs::copy(entry.path(), partial.join(entry.file_name())).unwrap();
+    }
+    std::fs::remove_file(partial.join("ecall_storm-unpatched-none-off-s2.evdb")).unwrap();
+    let (stdout_resumed, stderr, code) = sgxperf_code(&[
+        "campaign",
+        spec,
+        "--out",
+        partial.to_str().unwrap(),
+        "--resume",
+    ]);
+    assert_eq!(code, 0, "{stdout_resumed}{stderr}");
+    assert_eq!(stdout_resumed, stdout_full, "resume must be byte-identical");
+    for entry in std::fs::read_dir(&full).unwrap() {
+        let entry = entry.unwrap();
+        let name = entry.file_name();
+        assert_eq!(
+            std::fs::read(entry.path()).unwrap(),
+            std::fs::read(partial.join(&name)).unwrap(),
+            "{name:?} differs after resume"
+        );
+    }
 }
 
 #[test]

@@ -31,6 +31,11 @@
 //! [baseline]                # the cell the others are diffed against,
 //! faults = "none"           # per (workload, profile, switchless) group;
 //! seed = 1                  # defaults: first plan name, first seed
+//!
+//! [robustness]              # cell supervision knobs (all optional)
+//! cell_deadline = "5s"      # wall-clock kill deadline; "0ns" = none
+//! retries = 1               # re-runs granted to a failed cell
+//! event_budget = 0          # scheduling points per attempt; 0 = unlimited
 //! ```
 //!
 //! [`CampaignSpec::expand`] flattens the axes into the deterministic cell
@@ -41,8 +46,9 @@
 
 use std::fmt;
 
-use crate::fault::FaultPlan;
+use crate::fault::{fmt_duration, parse_duration, FaultPlan};
 use crate::hw::HwProfile;
+use crate::Nanos;
 
 /// One point on the switchless axis.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -115,6 +121,15 @@ pub struct CampaignSpec {
     pub baseline_plan: String,
     /// Seed of the baseline cell of each comparison group.
     pub baseline_seed: u64,
+    /// Wall-clock deadline per cell attempt; zero disables the watchdog.
+    pub cell_deadline: Nanos,
+    /// Extra attempts granted to a failed cell before it is quarantined
+    /// as broken (default 1; a cell that passes on a retry is `flaky`).
+    pub retries: u32,
+    /// Scheduling-point budget per cell attempt, enforced inside the
+    /// simulation for engine-identical, deterministic timeouts; zero
+    /// means unlimited.
+    pub event_budget: u64,
 }
 
 /// One expanded cell of the campaign matrix. Axis values are carried as
@@ -298,6 +313,7 @@ impl CampaignSpec {
             Matrix,
             Faults,
             Baseline,
+            Robustness,
         }
         let mut section = Section::None;
         let mut name: Option<(usize, String)> = None;
@@ -311,6 +327,9 @@ impl CampaignSpec {
         let mut faults_declared = false;
         let mut baseline_plan: Option<(usize, String)> = None;
         let mut baseline_seed: Option<(usize, u64)> = None;
+        let mut cell_deadline: Option<Nanos> = None;
+        let mut retries: Option<u32> = None;
+        let mut event_budget: Option<u64> = None;
 
         for (i, raw) in src.lines().enumerate() {
             let ln = i + 1;
@@ -330,12 +349,13 @@ impl CampaignSpec {
                         Section::Faults
                     }
                     "baseline" => Section::Baseline,
+                    "robustness" => Section::Robustness,
                     other => {
                         return err(
                             ln,
                             format!(
-                                "unknown section `[{other}]` \
-                                 (want [campaign], [matrix], [faults] or [baseline])"
+                                "unknown section `[{other}]` (want [campaign], \
+                                 [matrix], [faults], [baseline] or [robustness])"
                             ),
                         )
                     }
@@ -500,6 +520,34 @@ impl CampaignSpec {
                         )
                     }
                 },
+                Section::Robustness => match key {
+                    "cell_deadline" => {
+                        let v = value.as_str(ln, key)?;
+                        match parse_duration(v) {
+                            Ok(d) => set_once!(cell_deadline, d),
+                            Err(e) => return err(ln, format!("`cell_deadline`: {e}")),
+                        }
+                    }
+                    "retries" => {
+                        let v = value.as_int(ln, key)?;
+                        let Ok(v) = u32::try_from(v) else {
+                            return err(ln, format!("`retries` out of range: {v}"));
+                        };
+                        set_once!(retries, v);
+                    }
+                    "event_budget" => {
+                        set_once!(event_budget, value.as_int(ln, key)?);
+                    }
+                    other => {
+                        return err(
+                            ln,
+                            format!(
+                                "unknown key `{other}` in [robustness] \
+                                 (want cell_deadline, retries or event_budget)"
+                            ),
+                        )
+                    }
+                },
             }
         }
 
@@ -553,6 +601,9 @@ impl CampaignSpec {
             plans,
             baseline_plan,
             baseline_seed,
+            cell_deadline: cell_deadline.unwrap_or(Nanos::from_nanos(0)),
+            retries: retries.unwrap_or(1),
+            event_budget: event_budget.unwrap_or(0),
         })
     }
 
@@ -642,6 +693,15 @@ impl fmt::Display for CampaignSpec {
         writeln!(f, "[baseline]")?;
         writeln!(f, "faults = \"{}\"", self.baseline_plan)?;
         writeln!(f, "seed = {}", self.baseline_seed)?;
+        writeln!(f)?;
+        writeln!(f, "[robustness]")?;
+        writeln!(
+            f,
+            "cell_deadline = \"{}\"",
+            fmt_duration(self.cell_deadline)
+        )?;
+        writeln!(f, "retries = {}", self.retries)?;
+        writeln!(f, "event_budget = {}", self.event_budget)?;
         Ok(())
     }
 }
@@ -670,6 +730,11 @@ mod tests {
         [baseline]
         faults = "none"
         seed = 1
+
+        [robustness]
+        cell_deadline = "5s"
+        retries = 2
+        event_budget = 20000
     "#;
 
     #[test]
@@ -694,11 +759,17 @@ mod tests {
         assert_eq!(spec.plans, vec![("none".to_string(), FaultPlan::default())]);
         assert_eq!(spec.baseline_plan, "none");
         assert_eq!(spec.baseline_seed, 3);
+        assert_eq!(spec.cell_deadline, Nanos::from_nanos(0));
+        assert_eq!(spec.retries, 1);
+        assert_eq!(spec.event_budget, 0);
         let canon = spec.to_string();
         assert!(canon.contains("jobs = 0"), "{canon}");
         assert!(canon.contains("threshold = 10"), "{canon}");
         assert!(canon.contains("switchless = [\"off\"]"), "{canon}");
         assert!(canon.contains("none = \"\""), "{canon}");
+        assert!(canon.contains("cell_deadline = \"0ns\""), "{canon}");
+        assert!(canon.contains("retries = 1"), "{canon}");
+        assert!(canon.contains("event_budget = 0"), "{canon}");
         assert_eq!(CampaignSpec::parse(&canon).unwrap(), spec);
     }
 
@@ -753,6 +824,26 @@ mod tests {
             ),
             ("[matrix]\nworkloads = [1]\n", "wants a \"string\""),
             ("[matrix]\nseeds = [1\n", "unterminated list"),
+            (
+                "[robustness]\ncell_deadline = \"soon\"\n",
+                "`cell_deadline`: bad fault spec: bad duration `soon`",
+            ),
+            (
+                "[robustness]\ncell_deadline = 5\n",
+                "`cell_deadline` wants a \"string\"",
+            ),
+            (
+                "[robustness]\nretries = \"lots\"\n",
+                "`retries` wants an integer",
+            ),
+            (
+                "[robustness]\nretries = 1\nretries = 2\n",
+                "duplicate key `retries`",
+            ),
+            (
+                "[robustness]\nbudget = 5\n",
+                "unknown key `budget` in [robustness]",
+            ),
         ] {
             let e = CampaignSpec::parse(bad).unwrap_err();
             assert!(
@@ -798,6 +889,23 @@ mod tests {
             e.to_string().contains("seed 9 is not in the seeds axis"),
             "{e}"
         );
+    }
+
+    #[test]
+    fn robustness_keys_parse_and_round_trip() {
+        let spec = CampaignSpec::parse(SPEC).unwrap();
+        assert_eq!(spec.cell_deadline, Nanos::from_nanos(5_000_000_000));
+        assert_eq!(spec.retries, 2);
+        assert_eq!(spec.event_budget, 20000);
+        let canon = spec.to_string();
+        assert!(canon.contains("cell_deadline = \"5s\""), "{canon}");
+        // retries = 0 (fail fast, no second chances) is a legal corner.
+        let none = CampaignSpec::parse(
+            "[campaign]\nname = \"x\"\n[matrix]\nworkloads = [\"a\"]\n\
+             profiles = [\"l1tf\"]\nseeds = [1]\n[robustness]\nretries = 0\n",
+        )
+        .unwrap();
+        assert_eq!(none.retries, 0);
     }
 
     #[test]

@@ -222,7 +222,9 @@ fn spec_err<T>(msg: impl Into<String>) -> Result<T, FaultSpecError> {
 }
 
 /// Formats a duration so that [`parse_duration`] reads it back exactly.
-fn fmt_duration(d: Nanos) -> String {
+/// Shared with the campaign grammar (`cell_deadline`) and its summary
+/// renderer.
+pub fn fmt_duration(d: Nanos) -> String {
     let n = d.as_nanos();
     if n != 0 && n.is_multiple_of(1_000_000_000) {
         format!("{}s", n / 1_000_000_000)
@@ -236,7 +238,12 @@ fn fmt_duration(d: Nanos) -> String {
 }
 
 /// Parses `40us` / `2ms` / `1s` / `500ns` / bare-nanosecond durations.
-fn parse_duration(s: &str) -> Result<Nanos, FaultSpecError> {
+///
+/// # Errors
+///
+/// Returns an error when `s` is not a number with an optional
+/// `ns`/`us`/`ms`/`s` suffix.
+pub fn parse_duration(s: &str) -> Result<Nanos, FaultSpecError> {
     let s = s.trim();
     let (digits, mul) = if let Some(d) = s.strip_suffix("ns") {
         (d, 1)

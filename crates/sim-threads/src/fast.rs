@@ -229,6 +229,10 @@ pub(crate) struct Engine {
     /// abandoned-thread unwind.
     aborting: AtomicBool,
     sync_bus: Mutex<Option<Arc<SyncBus>>>,
+    /// Supervision handle captured from [`crate::with_budget`] at
+    /// construction; charged at every scheduling point. `None` (the
+    /// unsupervised default) costs a single branch.
+    budget: Option<Arc<crate::SimBudget>>,
 }
 
 // SAFETY: the raw-pointer-bearing CoroTable is only ever accessed from the
@@ -473,6 +477,7 @@ impl Sim {
                 }),
                 aborting: AtomicBool::new(false),
                 sync_bus: Mutex::new(None),
+                budget: crate::current_budget(),
             }),
         }
     }
@@ -605,7 +610,18 @@ impl Ctx {
         &self.engine.clock
     }
 
+    /// Charges the supervision budget on entry to a scheduling point —
+    /// before the state lock, so an exhaustion panic never poisons the
+    /// scheduler. Placement must mirror the legacy engine exactly for
+    /// the panic point to be engine-identical.
+    fn charge_budget(&self) {
+        if let Some(budget) = &self.engine.budget {
+            budget.charge();
+        }
+    }
+
     pub(crate) fn yield_now(&self) {
+        self.charge_budget();
         {
             let mut st = self.engine.state.lock();
             st.threads[self.index].status = Status::Runnable;
@@ -617,6 +633,7 @@ impl Ctx {
     }
 
     pub(crate) fn park(&self) {
+        self.charge_budget();
         {
             let mut st = self.engine.state.lock();
             if st.threads[self.index].permit {
@@ -648,6 +665,7 @@ impl Ctx {
     }
 
     pub(crate) fn sleep_until(&self, deadline: Nanos) {
+        self.charge_budget();
         {
             let mut st = self.engine.state.lock();
             if self.engine.clock.now() >= deadline {

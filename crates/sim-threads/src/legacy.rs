@@ -56,6 +56,11 @@ struct Shared {
     /// Sync-event channel for thread spawn/join edges (see
     /// [`sim_core::syncev`]); unset simulations emit nothing.
     sync_bus: Mutex<Option<Arc<SyncBus>>>,
+    /// Supervision handle captured from [`crate::with_budget`] at
+    /// construction (on the *installing* thread — TLS never crosses into
+    /// the per-logical-thread OS threads); charged at every scheduling
+    /// point.
+    budget: Option<Arc<crate::SimBudget>>,
 }
 
 impl Shared {
@@ -143,6 +148,7 @@ impl Sim {
                 cond: Condvar::new(),
                 clock,
                 sync_bus: Mutex::new(None),
+                budget: crate::current_budget(),
             }),
             handles: Mutex::new(Vec::new()),
         }
@@ -291,7 +297,18 @@ impl Ctx {
         &self.shared.clock
     }
 
+    /// Charges the supervision budget on entry to a scheduling point,
+    /// before the state lock — the same placement as the fast engine, so
+    /// budget exhaustion panics at the identical scheduling point on
+    /// both.
+    fn charge_budget(&self) {
+        if let Some(budget) = &self.shared.budget {
+            budget.charge();
+        }
+    }
+
     pub(crate) fn yield_now(&self) {
+        self.charge_budget();
         let mut st = self.shared.state.lock();
         st.threads[self.index].status = Status::Runnable;
         st.run_queue.push_back(self.index);
@@ -301,6 +318,7 @@ impl Ctx {
     }
 
     pub(crate) fn park(&self) {
+        self.charge_budget();
         let mut st = self.shared.state.lock();
         if st.threads[self.index].permit {
             st.threads[self.index].permit = false;
@@ -330,6 +348,7 @@ impl Ctx {
     }
 
     pub(crate) fn sleep_until(&self, deadline: Nanos) {
+        self.charge_budget();
         let mut st = self.shared.state.lock();
         if self.shared.clock.now() >= deadline {
             return;

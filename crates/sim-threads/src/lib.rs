@@ -59,8 +59,9 @@
 //! assert_eq!(counter.load(Ordering::SeqCst), 30);
 //! ```
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use sim_core::syncev::SyncBus;
@@ -135,6 +136,104 @@ impl fmt::Display for Engine {
 
 thread_local! {
     static ENGINE_OVERRIDE: Cell<Option<Engine>> = const { Cell::new(None) };
+    static BUDGET_OVERRIDE: RefCell<Option<Arc<SimBudget>>> = const { RefCell::new(None) };
+}
+
+/// Panic message raised at a scheduling point once a [`SimBudget`]'s
+/// event allowance is spent. Supervisors match on it to classify the
+/// failure as a (deterministic, virtual-time) timeout.
+pub const EVENT_BUDGET_EXHAUSTED: &str = "simulation event budget exhausted";
+
+/// Panic message raised at the first scheduling point after
+/// [`SimBudget::cancel`] — the cooperative path a wall-clock watchdog
+/// uses to unwind a hung simulation without abandoning its thread.
+pub const SIM_CANCELLED: &str = "simulation cancelled by supervisor";
+
+/// A shared supervision handle charged at every scheduling point.
+///
+/// Install one around a workload with [`with_budget`]; every
+/// [`Simulation`] subsequently created on that thread captures the
+/// handle, and **all** of them draw from the same pool — the budget
+/// bounds the whole cell, not a single simulation. Because both engines
+/// produce identical interleavings, the pool drains identically on both,
+/// so exhaustion is a deterministic event: same scheduling point, same
+/// panic message, either engine.
+///
+/// The handle also carries a cancellation flag: [`SimBudget::cancel`]
+/// (typically called from a watchdog thread when a wall-clock deadline
+/// passes) makes the simulation panic at its next scheduling point, so a
+/// hung-but-still-scheduling cell unwinds cooperatively instead of
+/// leaving a runaway OS thread behind.
+#[derive(Debug)]
+pub struct SimBudget {
+    /// Remaining scheduling-point charges; `u64::MAX` means unlimited.
+    events: AtomicU64,
+    cancelled: AtomicBool,
+}
+
+impl SimBudget {
+    /// A handle with no event cap — useful when only cancellation is
+    /// needed (pure wall-clock supervision).
+    pub fn unlimited() -> Arc<SimBudget> {
+        SimBudget::with_events(u64::MAX)
+    }
+
+    /// A handle allowing `events` scheduling points across every
+    /// simulation that captures it.
+    pub fn with_events(events: u64) -> Arc<SimBudget> {
+        Arc::new(SimBudget {
+            events: AtomicU64::new(events),
+            cancelled: AtomicBool::new(false),
+        })
+    }
+
+    /// Requests cooperative cancellation: the owning simulation panics
+    /// with [`SIM_CANCELLED`] at its next scheduling point.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether [`SimBudget::cancel`] has been called.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::SeqCst)
+    }
+
+    /// Charges one scheduling point. Exactly one logical thread runs at
+    /// a time, so charges are totally ordered and the panic point is
+    /// deterministic.
+    pub(crate) fn charge(&self) {
+        if self.cancelled.load(Ordering::SeqCst) {
+            panic!("{SIM_CANCELLED}");
+        }
+        let left = self.events.load(Ordering::SeqCst);
+        if left == u64::MAX {
+            return; // unlimited
+        }
+        if left == 0 {
+            panic!("{EVENT_BUDGET_EXHAUSTED}");
+        }
+        self.events.store(left - 1, Ordering::SeqCst);
+    }
+}
+
+/// Runs `f` with every [`Simulation`] created on **this thread** charged
+/// against `budget` — the campaign supervisor's hook for bounding a cell
+/// in virtual events and cancelling it on a wall-clock deadline.
+/// Restores the previous handle on exit, including on panic.
+pub fn with_budget<R>(budget: Arc<SimBudget>, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<Arc<SimBudget>>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            BUDGET_OVERRIDE.with(|b| *b.borrow_mut() = self.0.take());
+        }
+    }
+    let _restore = Restore(BUDGET_OVERRIDE.with(|b| b.borrow_mut().replace(budget)));
+    f()
+}
+
+/// The budget [`Simulation`] constructors capture on this thread.
+pub(crate) fn current_budget() -> Option<Arc<SimBudget>> {
+    BUDGET_OVERRIDE.with(|b| b.borrow().clone())
 }
 
 /// Runs `f` with every [`Simulation::new`] on **this thread** pinned to
@@ -560,6 +659,88 @@ mod tests {
             });
             assert_eq!(Engine::current(), Engine::Legacy);
         });
+    }
+
+    /// Runs a two-thread spin under a budget of `events` scheduling
+    /// points and returns the panic message, if any.
+    fn spin_under_budget(engine: Engine, events: u64) -> Result<(), String> {
+        let budget = SimBudget::with_events(events);
+        std::panic::catch_unwind(|| {
+            with_budget(budget, || {
+                let s = sim(engine);
+                for _ in 0..2 {
+                    s.spawn("spin", |ctx| {
+                        for _ in 0..50 {
+                            ctx.yield_now();
+                        }
+                    });
+                }
+                s.run();
+            });
+        })
+        .map_err(|p| {
+            p.downcast_ref::<String>()
+                .cloned()
+                .or_else(|| p.downcast_ref::<&str>().map(|s| (*s).to_string()))
+                .unwrap_or_default()
+        })
+    }
+
+    #[test]
+    fn event_budget_exhaustion_is_identical_across_engines() {
+        for engine in ENGINES {
+            // Plenty of budget: the spin completes.
+            assert_eq!(spin_under_budget(engine, 1000), Ok(()), "{engine}");
+            // Starved: both engines fail with the budget message.
+            let err = spin_under_budget(engine, 10).unwrap_err();
+            assert!(err.contains(EVENT_BUDGET_EXHAUSTED), "{engine}: {err}");
+        }
+        // The exact survivable threshold matches across engines: binary
+        // search the smallest budget that completes, per engine.
+        let threshold = |engine: Engine| {
+            (0..200)
+                .find(|&n| spin_under_budget(engine, n).is_ok())
+                .expect("spin must complete under some budget")
+        };
+        assert_eq!(threshold(Engine::Fast), threshold(Engine::Legacy));
+    }
+
+    #[test]
+    fn cancellation_unwinds_at_the_next_scheduling_point() {
+        for engine in ENGINES {
+            let budget = SimBudget::unlimited();
+            budget.cancel();
+            let err = std::panic::catch_unwind(|| {
+                with_budget(Arc::clone(&budget), || {
+                    let s = sim(engine);
+                    s.spawn("spin", |ctx| loop {
+                        ctx.yield_now();
+                    });
+                    s.run();
+                });
+            })
+            .map_err(|p| {
+                p.downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| p.downcast_ref::<&str>().map(|s| (*s).to_string()))
+                    .unwrap_or_default()
+            })
+            .unwrap_err();
+            assert!(err.contains(SIM_CANCELLED), "{engine}: {err}");
+        }
+    }
+
+    #[test]
+    fn with_budget_restores_on_exit() {
+        assert!(current_budget().is_none());
+        with_budget(SimBudget::with_events(5), || {
+            assert!(current_budget().is_some());
+            with_budget(SimBudget::unlimited(), || {
+                assert!(current_budget().is_some());
+            });
+            assert!(current_budget().is_some());
+        });
+        assert!(current_budget().is_none());
     }
 
     #[test]

@@ -34,16 +34,47 @@ fn main() {
 
     println!("campaign bench: {spec_path} ({cells} cells, {cores} cores)");
     let started = Instant::now();
-    let serial = matrix::run(&plan, Engine::Fast, 1, None);
+    let serial = matrix::run(&plan, Engine::Fast, 1, None, false).expect("serial campaign");
     let serial_wall = started.elapsed();
     let started = Instant::now();
-    let parallel = matrix::run(&plan, Engine::Fast, cores, None);
+    let parallel = matrix::run(&plan, Engine::Fast, cores, None, false).expect("parallel campaign");
     let parallel_wall = started.elapsed();
     assert_eq!(
         serial.render(),
         parallel.render(),
         "summary must be byte-stable across worker counts"
     );
+
+    // Supervision overhead: how long a resume over a fully-archived run
+    // spends revalidating (manifest + checksums, zero cells re-run), and
+    // what a flaky cell's retry costs end to end (one failed attempt,
+    // backoff, one clean attempt).
+    let archive = std::env::temp_dir().join(format!("sgxperf-bench-{}", std::process::id()));
+    std::fs::remove_dir_all(&archive).ok();
+    matrix::run(&plan, Engine::Fast, cores, Some(&archive), false).expect("archived campaign");
+    let started = Instant::now();
+    let resumed =
+        matrix::run(&plan, Engine::Fast, cores, Some(&archive), true).expect("resumed campaign");
+    let resume_validate_wall = started.elapsed();
+    assert_eq!(
+        resumed.render(),
+        parallel.render(),
+        "resumed summary must be byte-identical"
+    );
+    std::fs::remove_dir_all(&archive).ok();
+
+    let flaky_spec = CampaignSpec::parse(
+        "[campaign]\nname = \"bench-flaky\"\nthreshold = 25\n\
+         [matrix]\nworkloads = [\"flaky\"]\nprofiles = [\"unpatched\"]\nseeds = [1]\n\
+         [robustness]\nretries = 2\n",
+    )
+    .expect("flaky bench spec");
+    let flaky_plan = MatrixPlan::from_spec(flaky_spec).expect("flaky bench plan");
+    let started = Instant::now();
+    let flaky_run = matrix::run(&flaky_plan, Engine::Fast, 1, None, false).expect("flaky campaign");
+    let retry_wall = started.elapsed();
+    assert_eq!(flaky_run.flaky(), 1, "flaky fixture must recover on retry");
+    assert_eq!(flaky_run.exit_code(), 0);
 
     let speedup = serial_wall.as_secs_f64() / parallel_wall.as_secs_f64();
     let efficiency = speedup / cores as f64;
@@ -69,6 +100,7 @@ fn main() {
         let cfg = StressorConfig {
             seed: 0,
             switchless_workers: None,
+            attempt: 0,
         };
         let harness = match s {
             Stressor::EpcThrash => {
@@ -118,17 +150,26 @@ fn main() {
         ));
     }
 
+    println!(
+        "  resume validate {} ms (all {cells} cells salvaged), flaky retry {} ms",
+        resume_validate_wall.as_millis(),
+        retry_wall.as_millis(),
+    );
+
     let json = format!(
         "{{\n  \"spec\": \"{spec_path}\",\n  \"campaign\": \"{}\",\n  \"cells\": {cells},\n  \
          \"cores\": {cores},\n  \"serial_ms\": {},\n  \"parallel_ms\": {},\n  \
          \"speedup\": {speedup:.3},\n  \"parallel_efficiency\": {efficiency:.3},\n  \
          \"cells_per_sec\": {cells_per_sec:.1},\n  \"regressed\": {},\n  \"exit_code\": {},\n  \
+         \"resume_validate_ms\": {},\n  \"flaky_retry_ms\": {},\n  \
          \"stressors\": [\n{headline}  ]\n}}\n",
         plan.spec.name,
         serial_wall.as_millis(),
         parallel_wall.as_millis(),
         parallel.regressed(),
         parallel.exit_code(),
+        resume_validate_wall.as_millis(),
+        retry_wall.as_millis(),
     );
     std::fs::write(&out, json).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
     println!("wrote {out}");

@@ -47,6 +47,10 @@ pub enum Workload {
     Fleet,
     /// A dedicated single-axis stressor (see [`stressors`]).
     Stress(Stressor),
+    /// A test-only fault fixture (see [`stressors::FaultFixture`]):
+    /// resolvable by name for supervision tests, but excluded from
+    /// [`Workload::ALL`] so default campaigns stay healthy.
+    Fixture(stressors::FaultFixture),
 }
 
 impl Workload {
@@ -72,13 +76,18 @@ impl Workload {
             Workload::Racy => "racy",
             Workload::Fleet => "fleet",
             Workload::Stress(s) => s.label(),
+            Workload::Fixture(f) => f.label(),
         }
     }
 
     /// Parses a workload name as written in campaign specs and CLI flags
-    /// — the inverse of [`Workload::label`].
+    /// — the inverse of [`Workload::label`]. Fault fixtures resolve here
+    /// too, even though they are not in [`Workload::ALL`].
     pub fn parse(name: &str) -> Option<Workload> {
-        Workload::ALL.into_iter().find(|w| w.label() == name)
+        Workload::ALL
+            .into_iter()
+            .find(|w| w.label() == name)
+            .or_else(|| stressors::FaultFixture::parse(name).map(Workload::Fixture))
     }
 }
 
@@ -125,6 +134,7 @@ impl Cell {
             Workload::Supervisor => "loss_plan(seed)",
             Workload::Racy => "none (seed varies rounds)",
             Workload::Fleet => "chaos_plan(seed)",
+            Workload::Fixture(_) => "none",
         }
     }
 
@@ -182,9 +192,22 @@ impl Cell {
                     &StressorConfig {
                         seed: self.seed,
                         switchless_workers: None,
+                        attempt: 0,
                     },
                 )
             }
+            // Fixtures fail by design; in this unsupervised runner they
+            // simply panic (the matrix runner is the supervised path).
+            Workload::Fixture(fixture) => stressors::fixture_trace(
+                fixture,
+                self.profile,
+                None,
+                &StressorConfig {
+                    seed: self.seed,
+                    switchless_workers: None,
+                    attempt: 0,
+                },
+            ),
         }
     }
 }

@@ -70,6 +70,10 @@ pub struct StressorConfig {
     /// `Some(n)` routes the stressor's hot calls through the switchless
     /// rings with `n` workers on the serving side.
     pub switchless_workers: Option<usize>,
+    /// 0-based supervision attempt (0 on the first run, 1 on the first
+    /// retry, ...). Real stressors must ignore it — trace bytes are
+    /// attempt-invariant — but the `flaky` fault fixture keys off it.
+    pub attempt: u32,
 }
 
 /// Heap pages the EPC-thrash enclave touches per sweep.
@@ -337,6 +341,86 @@ pub fn trace(
     logger.finish().to_bytes()
 }
 
+/// Test-only fault fixtures exercising the campaign supervision layer:
+/// each fails in exactly one way, deterministically, so isolation,
+/// watchdog, retry and quarantine paths are testable on both engines.
+/// Deliberately *not* part of [`crate::campaign::Workload::ALL`] — they
+/// resolve by name in specs but never enter default campaign configs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultFixture {
+    /// Panics immediately, before any simulation starts.
+    Panicking,
+    /// Spins at scheduling points forever; only a supervisor event
+    /// budget or wall-clock deadline ends the cell.
+    Hanging,
+    /// Panics on attempt 0, then behaves as [`Stressor::EcallStorm`] on
+    /// every retry — the quarantine ledger's `flaky` classification.
+    Flaky,
+}
+
+/// Panic message of the [`FaultFixture::Panicking`] fixture.
+pub const PANICKING_FIXTURE_MSG: &str = "injected fixture panic";
+
+/// Panic message of the [`FaultFixture::Flaky`] fixture's first attempt.
+pub const FLAKY_FIXTURE_MSG: &str = "injected flaky failure (first attempt)";
+
+impl FaultFixture {
+    /// All fixtures, in declaration order.
+    pub const ALL: [FaultFixture; 3] = [
+        FaultFixture::Panicking,
+        FaultFixture::Hanging,
+        FaultFixture::Flaky,
+    ];
+
+    /// The campaign-spec workload name.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultFixture::Panicking => "panicking",
+            FaultFixture::Hanging => "hanging",
+            FaultFixture::Flaky => "flaky",
+        }
+    }
+
+    /// Resolves a fixture by its spec name.
+    pub fn parse(name: &str) -> Option<FaultFixture> {
+        FaultFixture::ALL.into_iter().find(|f| f.label() == name)
+    }
+}
+
+/// Runs a fault fixture as a campaign cell body. [`FaultFixture::Flaky`]
+/// retries produce bytes identical to an [`Stressor::EcallStorm`] cell
+/// with the same config (attempt-invariant, so resumed and uninterrupted
+/// summaries agree).
+///
+/// # Panics
+///
+/// By design: `Panicking` always, `Flaky` on attempt 0, `Hanging` when —
+/// and only when — a supervisor budget or cancellation trips it.
+pub fn fixture_trace(
+    fixture: FaultFixture,
+    profile: HwProfile,
+    plan: Option<&FaultPlan>,
+    cfg: &StressorConfig,
+) -> Vec<u8> {
+    match fixture {
+        FaultFixture::Panicking => panic!("{PANICKING_FIXTURE_MSG}"),
+        FaultFixture::Hanging => {
+            let sim = Simulation::new(sim_core::Clock::new());
+            sim.spawn("hang", |ctx| loop {
+                ctx.yield_now();
+            });
+            sim.run();
+            unreachable!("hanging fixture ended without supervision")
+        }
+        FaultFixture::Flaky => {
+            if cfg.attempt == 0 {
+                panic!("{FLAKY_FIXTURE_MSG}");
+            }
+            trace(Stressor::EcallStorm, profile, plan, cfg)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -375,7 +459,7 @@ mod tests {
             None,
             &StressorConfig {
                 seed: 1,
-                switchless_workers: None,
+                ..StressorConfig::default()
             },
         );
         let b = trace(
@@ -384,7 +468,7 @@ mod tests {
             None,
             &StressorConfig {
                 seed: 2,
-                switchless_workers: None,
+                ..StressorConfig::default()
             },
         );
         assert_ne!(a, b, "visit order must differ");
@@ -436,8 +520,8 @@ mod tests {
             (Stressor::CpuCompute, true),
         ] {
             let on = StressorConfig {
-                seed: 0,
                 switchless_workers: Some(1),
+                ..StressorConfig::default()
             };
             let bytes = trace(stressor, HwProfile::Unpatched, None, &on);
             let t = db(&bytes);
@@ -452,6 +536,63 @@ mod tests {
     }
 
     #[test]
+    fn fixtures_fail_the_way_they_advertise() {
+        use sim_threads::{with_budget, SimBudget, EVENT_BUDGET_EXHAUSTED};
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+
+        let msg = |p: Box<dyn std::any::Any + Send>| {
+            p.downcast_ref::<String>()
+                .cloned()
+                .or_else(|| p.downcast_ref::<&str>().map(|s| (*s).to_string()))
+                .unwrap_or_default()
+        };
+        let cfg = StressorConfig::default();
+        let e = catch_unwind(AssertUnwindSafe(|| {
+            fixture_trace(FaultFixture::Panicking, HwProfile::Unpatched, None, &cfg)
+        }))
+        .map_err(msg)
+        .unwrap_err();
+        assert!(e.contains(PANICKING_FIXTURE_MSG), "{e}");
+
+        // The hanging fixture is only survivable under a budget.
+        let e = catch_unwind(AssertUnwindSafe(|| {
+            with_budget(SimBudget::with_events(50), || {
+                fixture_trace(FaultFixture::Hanging, HwProfile::Unpatched, None, &cfg)
+            })
+        }))
+        .map_err(msg)
+        .unwrap_err();
+        assert!(e.contains(EVENT_BUDGET_EXHAUSTED), "{e}");
+
+        // Flaky: fails on attempt 0, then matches a storm cell exactly.
+        let e = catch_unwind(AssertUnwindSafe(|| {
+            fixture_trace(FaultFixture::Flaky, HwProfile::Unpatched, None, &cfg)
+        }))
+        .map_err(msg)
+        .unwrap_err();
+        assert!(e.contains(FLAKY_FIXTURE_MSG), "{e}");
+        let retry = StressorConfig {
+            attempt: 1,
+            ..StressorConfig::default()
+        };
+        let bytes = fixture_trace(FaultFixture::Flaky, HwProfile::Unpatched, None, &retry);
+        assert_eq!(
+            bytes,
+            trace(Stressor::EcallStorm, HwProfile::Unpatched, None, &retry),
+            "flaky retries must be byte-identical to an ecall_storm cell"
+        );
+    }
+
+    #[test]
+    fn fixture_names_resolve_but_stay_out_of_the_stressor_axis() {
+        for f in FaultFixture::ALL {
+            assert_eq!(FaultFixture::parse(f.label()), Some(f));
+            assert!(Stressor::ALL.iter().all(|s| s.label() != f.label()));
+        }
+        assert_eq!(FaultFixture::parse("ecall_storm"), None);
+    }
+
+    #[test]
     fn traces_are_deterministic_per_cell() {
         for stressor in Stressor::ALL {
             for cfg in [
@@ -459,6 +600,7 @@ mod tests {
                 StressorConfig {
                     seed: 9,
                     switchless_workers: Some(2),
+                    ..StressorConfig::default()
                 },
             ] {
                 let a = trace(stressor, HwProfile::Spectre, None, &cfg);

@@ -19,7 +19,10 @@
 #
 # Also runs the declarative stressor sweep (specs/stressors.toml) serially
 # and at full parallelism and emits BENCH_campaign.json (cells/sec,
-# parallel efficiency, per-stressor headline metrics).
+# parallel efficiency, per-stressor headline metrics, plus the
+# supervision overheads: resume_validate_ms — a full-archive --resume
+# that re-runs nothing — and flaky_retry_ms — one flaky cell's
+# fail/backoff/pass cycle).
 #
 # usage: scripts/bench.sh [output-dir] [profile] [requests]
 set -euo pipefail
@@ -81,7 +84,7 @@ echo "== engine bench (legacy vs fast, throughput floors enforced)"
 cargo run --release --offline -q -p workloads --example engine_bench -- \
     "$ENGINE_JSON"
 
-echo "== campaign bench ($CAMPAIGN_SPEC, serial vs all cores)"
+echo "== campaign bench ($CAMPAIGN_SPEC, serial vs all cores, resume + retry overheads)"
 cargo run --release --offline -q -p workloads --example campaign_bench -- \
     "$CAMPAIGN_JSON" "$CAMPAIGN_SPEC"
 

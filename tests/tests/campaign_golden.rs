@@ -49,9 +49,9 @@ fn smoke_spec_is_byte_identical_across_runs_and_engines() {
     let dir_fast2 = temp_dir("fast2");
     let dir_legacy = temp_dir("legacy");
 
-    let fast1 = matrix::run(&plan, Engine::Fast, 1, Some(&dir_fast1));
-    let fast2 = matrix::run(&plan, Engine::Fast, 4, Some(&dir_fast2));
-    let legacy = matrix::run(&plan, Engine::Legacy, 2, Some(&dir_legacy));
+    let fast1 = matrix::run(&plan, Engine::Fast, 1, Some(&dir_fast1), false).unwrap();
+    let fast2 = matrix::run(&plan, Engine::Fast, 4, Some(&dir_fast2), false).unwrap();
+    let legacy = matrix::run(&plan, Engine::Legacy, 2, Some(&dir_legacy), false).unwrap();
 
     // Exit contract: a faultless seed-replica matrix never regresses.
     assert_eq!(fast1.exit_code(), 0, "{}", fast1.render());
@@ -64,12 +64,12 @@ fn smoke_spec_is_byte_identical_across_runs_and_engines() {
     assert_eq!(fast1.to_json(), legacy.to_json());
 
     // Every archived artifact — one trace per cell plus the two summary
-    // files — is byte-identical too.
+    // files and the manifest — is byte-identical too.
     let a = artifacts(&dir_fast1);
     assert_eq!(
         a.len(),
-        plan.spec.cell_count() + 2,
-        "one file per cell + summaries"
+        plan.spec.cell_count() + 3,
+        "one file per cell + summaries + manifest"
     );
     assert_eq!(a, artifacts(&dir_fast2), "fast run-to-run artifacts");
     assert_eq!(a, artifacts(&dir_legacy), "fast vs legacy artifacts");
@@ -82,8 +82,8 @@ fn smoke_spec_is_byte_identical_across_runs_and_engines() {
 #[test]
 fn chaos_spec_trips_the_gate_identically_on_both_engines() {
     let plan = spec("chaos_matrix");
-    let fast = matrix::run(&plan, Engine::Fast, 0, None);
-    let legacy = matrix::run(&plan, Engine::Legacy, 0, None);
+    let fast = matrix::run(&plan, Engine::Fast, 0, None, false).unwrap();
+    let legacy = matrix::run(&plan, Engine::Legacy, 0, None, false).unwrap();
 
     // The storm plan deterministically regresses the faulted cells.
     assert_eq!(fast.exit_code(), REGRESSION_EXIT_CODE, "{}", fast.render());

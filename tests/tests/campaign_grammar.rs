@@ -23,6 +23,7 @@ const PLAN_POOL: &[&str] = &[
     "ocall-fail@call=2:times=1",
     "seed=1;ocall-timeout@call=4:delay=60us,times=2;evict-storm@t=1ms",
 ];
+const DEADLINE_POOL: &[&str] = &["0ns", "500ns", "40us", "2ms", "1s", "30s"];
 
 /// Picks a non-empty prefix-ish subset of `pool` from two random words,
 /// preserving pool order so the selection is duplicate-free by
@@ -54,6 +55,7 @@ fn build_spec_source(
     sw_mask: u64,
     seeds: &[u64],
     plan_mask: u64,
+    robustness: Option<(usize, u32, u64)>,
 ) -> String {
     let workloads = subset(WORKLOAD_POOL, wl_mask, wl_len);
     let profiles = subset(PROFILE_POOL, prof_mask, 3);
@@ -97,6 +99,13 @@ fn build_spec_source(
             plans[0].0, seeds[0],
         ));
     }
+    if let Some((deadline_idx, retries, event_budget)) = robustness {
+        src.push_str(&format!(
+            "[robustness]\ncell_deadline = \"{}\"\nretries = {retries}\n\
+             event_budget = {event_budget}\n",
+            DEADLINE_POOL[deadline_idx % DEADLINE_POOL.len()],
+        ));
+    }
     src
 }
 
@@ -111,9 +120,10 @@ proptest! {
         sw_mask in 1u64..16,
         seeds in proptest::collection::vec(0u64..1_000_000, 1..5),
         plan_mask in 0u64..16,
+        robustness in proptest::option::of((0usize..6, 0u32..5, 0u64..200_000)),
     ) {
         let src = build_spec_source(
-            jobs, threshold, wl_mask, wl_len, prof_mask, sw_mask, &seeds, plan_mask,
+            jobs, threshold, wl_mask, wl_len, prof_mask, sw_mask, &seeds, plan_mask, robustness,
         );
         let spec = CampaignSpec::parse(&src)
             .unwrap_or_else(|e| panic!("well-formed spec rejected: {e}\n{src}"));
@@ -133,7 +143,8 @@ proptest! {
         seeds in proptest::collection::vec(0u64..100, 1..5),
         plan_mask in 0u64..16,
     ) {
-        let src = build_spec_source(0, 10, wl_mask, wl_len, prof_mask, sw_mask, &seeds, plan_mask);
+        let src =
+            build_spec_source(0, 10, wl_mask, wl_len, prof_mask, sw_mask, &seeds, plan_mask, None);
         let spec = CampaignSpec::parse(&src).unwrap();
         let cells = spec.expand();
         let product = spec.workloads.len()
@@ -213,6 +224,31 @@ proptest! {
     }
 
     #[test]
+    fn robustness_keys_survive_the_canonical_round_trip(
+        deadline_idx in 0usize..6,
+        retries in 0u32..10,
+        event_budget in 0u64..1_000_000,
+    ) {
+        let src = build_spec_source(
+            0, 10, 3, 2, 1, 1, &[1], 0, Some((deadline_idx, retries, event_budget)),
+        );
+        let spec = CampaignSpec::parse(&src)
+            .unwrap_or_else(|e| panic!("robustness spec rejected: {e}\n{src}"));
+        prop_assert_eq!(spec.retries, retries);
+        prop_assert_eq!(spec.event_budget, event_budget);
+        let reparsed = CampaignSpec::parse(&spec.to_string()).unwrap();
+        prop_assert_eq!(reparsed.cell_deadline, spec.cell_deadline);
+        prop_assert_eq!(reparsed.retries, retries);
+        prop_assert_eq!(reparsed.event_budget, event_budget);
+        // Omitting the section entirely means defaults, not errors.
+        let bare = build_spec_source(0, 10, 3, 2, 1, 1, &[1], 0, None);
+        let spec = CampaignSpec::parse(&bare).unwrap();
+        prop_assert_eq!(spec.cell_deadline.as_nanos(), 0);
+        prop_assert_eq!(spec.retries, 1);
+        prop_assert_eq!(spec.event_budget, 0);
+    }
+
+    #[test]
     fn switchless_labels_round_trip_through_display(workers in 1u32..10_000) {
         let axis = SwitchlessAxis::On { workers };
         prop_assert_eq!(SwitchlessAxis::parse(&axis.to_string()), Some(axis));
@@ -226,7 +262,7 @@ proptest! {
 /// `cargo test` alone catches a drifted spec.
 #[test]
 fn shipped_specs_parse_and_canonicalise() {
-    for name in ["smoke", "stressors", "chaos_matrix"] {
+    for name in ["smoke", "stressors", "chaos_matrix", "faulty"] {
         let path = format!("{}/../specs/{name}.toml", env!("CARGO_MANIFEST_DIR"));
         let src = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path}: {e}"));
         let spec = CampaignSpec::parse(&src).unwrap_or_else(|e| panic!("{path}: {e}"));
